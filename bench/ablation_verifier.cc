@@ -1,0 +1,82 @@
+// Ablation: the phase-2 lower-bound cascade (VerifyOptions). Measures
+// cNSM-DTW verification time and pruning counters with each stage of the
+// cascade toggled — quantifying what LB_Kim, LB_Keogh and reordered early
+// abandoning contribute to the headline numbers.
+//
+//   ./ablation_verifier [--n <len>] [--runs <k>] [--seed <s>] [--quick]
+#include "bench_common.h"
+
+#include "match/kv_match.h"
+
+using namespace kvmatch;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  flags.n = std::min<size_t>(flags.n, flags.quick ? 100'000 : 400'000);
+  const size_t m = 512;
+  const size_t rho = m / 20;
+
+  std::printf("Ablation: verifier lower-bound cascade, cNSM-DTW, n=%zu, "
+              "|Q|=%zu, %d runs\n\n", flags.n, m, flags.runs);
+  const Workload w = Workload::Make(flags.n, flags.seed);
+  const MinMax mm = ComputeMinMax(w.series.values());
+  const KvIndex index = BuildKvIndex(w.series, {.window = 64});
+  const KvMatcher matcher(w.series, w.prefix, index);
+
+  Rng rng(flags.seed + 1);
+  std::vector<std::vector<double>> queries;
+  std::vector<double> eps;
+  for (int run = 0; run < flags.runs; ++run) {
+    auto q = MakeQuery(w, m, &rng, 0.05);
+    QueryParams cal{QueryType::kCnsmDtw, 0.0, 1.5,
+                    (mm.max - mm.min) * 0.05, rho};
+    eps.push_back(CalibrateOnPrefix(w, q, cal, 1e-4, 100'000));
+    queries.push_back(std::move(q));
+  }
+
+  struct Config {
+    const char* name;
+    bool kim, keogh;
+  };
+  const Config configs[] = {
+      {"no lower bounds", false, false},
+      {"LB_Kim only", true, false},
+      {"LB_Keogh only", false, true},
+      {"full cascade (default)", true, true},
+  };
+
+  TablePrinter table({"Cascade", "phase2 (ms)", "LB pruned", "DTW calls"});
+  for (const Config& config : configs) {
+    double ms = 0;
+    uint64_t pruned = 0, calls = 0;
+    for (int run = 0; run < flags.runs; ++run) {
+      QueryParams params{QueryType::kCnsmDtw, eps[static_cast<size_t>(run)],
+                         1.5, (mm.max - mm.min) * 0.05, rho};
+      MatchOptions options;
+      options.verify.use_lb_kim = config.kim;
+      options.verify.use_lb_keogh = config.keogh;
+      MatchStats stats;
+      auto r = matcher.Match(queries[static_cast<size_t>(run)], params,
+                             &stats, options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "match failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      ms += stats.phase2_ms;
+      pruned += stats.lb_pruned;
+      calls += stats.distance_calls;
+    }
+    const double k = flags.runs;
+    table.AddRow({config.name, TablePrinter::Fmt(ms / k, 1),
+                  TablePrinter::Fmt(static_cast<double>(pruned) / k),
+                  TablePrinter::Fmt(static_cast<double>(calls) / k)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: each stage cuts DTW calls; LB_Keogh does the heavy\n"
+      "lifting, LB_Kim is a cheap first filter, and the full cascade gives\n"
+      "the lowest phase-2 time. All configurations return identical\n"
+      "results (verified in match_test.cc).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared conventions for the per-table/figure bench harnesses.
+//
+// Scale note: the paper evaluates on length-10⁹ series (HBase cluster);
+// these harnesses default to 10⁶-ish local workloads. Selectivity levels
+// are chosen so the *absolute match counts* mirror the paper's: the
+// paper's selectivity 10⁻⁹..10⁻⁵ of 10⁹ offsets = 1..10⁴ matches; we use
+// 10⁻⁶..10⁻² of ~10⁶ offsets = 1..10⁴ matches. Pass --n to scale up.
+#ifndef KVMATCH_BENCH_BENCH_COMMON_H_
+#define KVMATCH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/calibration.h"
+#include "bench_util/table_printer.h"
+#include "bench_util/workload.h"
+#include "index/index_builder.h"
+#include "matchdp/kv_match_dp.h"
+
+namespace kvmatch {
+
+/// Paper-equivalent selectivity ladder (see scale note above). Labels keep
+/// the paper's exponents for easy cross-reading.
+struct SelectivityLevel {
+  const char* paper_label;  // as printed in the paper's tables
+  double fraction;          // of our (n - m + 1) offsets
+};
+
+inline std::vector<SelectivityLevel> PaperSelectivities(bool quick) {
+  std::vector<SelectivityLevel> levels = {
+      {"10^-9", 1e-6}, {"10^-8", 1e-5}, {"10^-7", 1e-4},
+      {"10^-6", 1e-3}, {"10^-5", 1e-2},
+  };
+  if (quick) levels.resize(2);
+  return levels;
+}
+
+/// Builds the default KV-matchDP index stack Σ = {25, 50, 100, 200, 400}
+/// (paper §VIII-A4).
+struct DpStack {
+  std::vector<KvIndex> indexes;
+  std::vector<const KvIndex*> ptrs;
+  double build_seconds = 0.0;
+
+  explicit DpStack(const TimeSeries& series, size_t wu = 25, size_t levels = 5,
+                   double width = 0.5) {
+    Stopwatch sw;
+    indexes = BuildIndexSet(series, wu, levels, width);
+    build_seconds = sw.Seconds();
+    for (const auto& index : indexes) ptrs.push_back(&index);
+  }
+
+  uint64_t TotalBytes() const {
+    uint64_t bytes = 0;
+    for (const auto& index : indexes) bytes += index.EncodedSizeBytes();
+    return bytes;
+  }
+};
+
+/// Calibrates ε for a target fraction on a bounded prefix of the workload
+/// (full-series calibration via repeated scans would dominate bench time).
+inline double CalibrateOnPrefix(const Workload& w, std::span<const double> q,
+                                QueryParams params, double fraction,
+                                size_t prefix_cap = 400'000) {
+  if (w.series.size() <= prefix_cap) {
+    return CalibrateEpsilonViaEd(w.series, w.prefix, q, params, fraction);
+  }
+  TimeSeries prefix_series(std::vector<double>(
+      w.series.values().begin(),
+      w.series.values().begin() + static_cast<long>(prefix_cap)));
+  PrefixStats ps(prefix_series);
+  return CalibrateEpsilonViaEd(prefix_series, ps, q, params, fraction);
+}
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_BENCH_BENCH_COMMON_H_

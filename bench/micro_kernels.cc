@@ -1,0 +1,180 @@
+// google-benchmark micro suite: the hot kernels behind the headline
+// numbers — distances, lower bounds, envelope, interval algebra, index
+// build/probe and storage block/SSTable paths.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "distance/dtw.h"
+#include "distance/ed.h"
+#include "distance/envelope.h"
+#include "distance/lower_bounds.h"
+#include "index/index_builder.h"
+#include "storage/block.h"
+#include "storage/sstable.h"
+#include "ts/generator.h"
+#include "ts/stats_oracle.h"
+
+namespace kvmatch {
+namespace {
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Uniform(-5, 5);
+  return v;
+}
+
+void BM_EuclideanDistance(benchmark::State& state) {
+  const auto a = RandomSeries(static_cast<size_t>(state.range(0)), 1);
+  const auto b = RandomSeries(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EuclideanDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EuclideanDistance)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_EdEarlyAbandon(benchmark::State& state) {
+  const auto a = RandomSeries(static_cast<size_t>(state.range(0)), 1);
+  const auto b = RandomSeries(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredEdEarlyAbandon(a, b, 10.0));
+  }
+}
+BENCHMARK(BM_EdEarlyAbandon)->Arg(1024)->Arg(8192);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const size_t m = 512;
+  const auto a = RandomSeries(m, 1);
+  const auto b = RandomSeries(m, 2);
+  const size_t rho = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(a, b, rho));
+  }
+}
+BENCHMARK(BM_DtwBanded)->Arg(5)->Arg(25)->Arg(100);
+
+void BM_Envelope(benchmark::State& state) {
+  const auto q = RandomSeries(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildEnvelope(q, q.size() / 20));
+  }
+}
+BENCHMARK(BM_Envelope)->Arg(512)->Arg(8192);
+
+void BM_LbKeogh(benchmark::State& state) {
+  const auto s = RandomSeries(512, 4);
+  const auto q = RandomSeries(512, 5);
+  const Envelope env = BuildEnvelope(q, 25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbKeoghSquared(s, env, 1e18, nullptr));
+  }
+}
+BENCHMARK(BM_LbKeogh);
+
+void BM_IntervalIntersect(benchmark::State& state) {
+  Rng rng(6);
+  IntervalList a, b;
+  int64_t pa = 0, pb = 0;
+  for (int i = 0; i < state.range(0); ++i) {
+    pa += rng.UniformInt(2, 20);
+    a.AppendInterval({pa, pa + rng.UniformInt(0, 10)});
+    pa = a.intervals().back().r;
+    pb += rng.UniformInt(2, 20);
+    b.AppendInterval({pb, pb + rng.UniformInt(0, 10)});
+    pb = b.intervals().back().r;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntervalList::Intersect(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntervalIntersect)->Arg(1000)->Arg(100000);
+
+void BM_IndexBuild(benchmark::State& state) {
+  Rng rng(7);
+  const TimeSeries x = GenerateUcrLike(static_cast<size_t>(state.range(0)),
+                                       &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildKvIndex(x, {.window = 50}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexBuild)->Arg(100000)->Arg(1000000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_IndexProbe(benchmark::State& state) {
+  Rng rng(8);
+  const TimeSeries x = GenerateUcrLike(500'000, &rng);
+  const KvIndex index = BuildKvIndex(x, {.window = 50});
+  const MinMax mm = ComputeMinMax(x.values());
+  double lo = mm.min;
+  for (auto _ : state) {
+    lo += 0.37;
+    if (lo > mm.max - 1.5) lo = mm.min;
+    benchmark::DoNotOptimize(index.ProbeRange(lo, lo + 1.0));
+  }
+}
+BENCHMARK(BM_IndexProbe);
+
+void BM_PrefixStatsWindow(benchmark::State& state) {
+  Rng rng(9);
+  const TimeSeries x = GenerateSynthetic(1'000'000, &rng);
+  const PrefixStats ps(x);
+  size_t off = 0;
+  for (auto _ : state) {
+    off = (off + 997) % (x.size() - 512);
+    benchmark::DoNotOptimize(ps.WindowMeanStd(off, 512));
+  }
+}
+BENCHMARK(BM_PrefixStatsWindow);
+
+void BM_BlockBuildParse(benchmark::State& state) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 1000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    entries.emplace_back(key, std::string(32, 'v'));
+  }
+  for (auto _ : state) {
+    BlockBuilder builder(16);
+    for (const auto& [k, v] : entries) builder.Add(k, v);
+    auto block = BlockReader::Parse(builder.Finish());
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_BlockBuildParse);
+
+void BM_SstableScan(benchmark::State& state) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kvm_bench.sst").string();
+  {
+    SstableBuilder builder(path, 4096);
+    for (int i = 0; i < 50'000; ++i) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "key%08d", i);
+      builder.Add(key, std::string(16, 'v')).ok();
+    }
+    builder.Finish().ok();
+  }
+  auto reader = SstableReader::Open(path);
+  for (auto _ : state) {
+    size_t count = 0;
+    for (auto it = (*reader)->Scan("key00010000", "key00020000");
+         it->Valid(); it->Next()) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SstableScan);
+
+}  // namespace
+}  // namespace kvmatch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Example 1 from the paper (PAMAP-style activity monitoring): normalized
+// matching alone confuses activities whose normalized shapes collide
+// (lying vs sitting vs breaks); adding the cNSM mean constraint recovers
+// the intended activity. This example also demonstrates the exploratory
+// workflow the paper motivates: one index, four query types, interactive
+// knob turning.
+//
+//   ./activity_explorer [--seed <s>]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/workload.h"
+#include "common/rng.h"
+#include "index/index_builder.h"
+#include "match/kv_match.h"
+#include "ts/generator.h"
+
+using namespace kvmatch;
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  Rng rng(flags.seed);
+
+  // ---- A day of accelerometer data: activities in 3-minute blocks at
+  // 100 Hz equivalent (scaled down), sharing oscillation shape but
+  // differing in level/amplitude. ----
+  const size_t block_len = 2'000;
+  const int kActivities = 5;
+  const char* kNames[] = {"lying", "sitting", "standing", "walking",
+                          "running"};
+  std::vector<double> data;
+  std::vector<std::pair<size_t, int>> blocks;
+  for (int rep = 0; rep < 12; ++rep) {
+    for (int act = 0; act < kActivities; ++act) {
+      blocks.emplace_back(data.size(), act);
+      const double level = 2.0 * act - 4.0;
+      const double amp = 0.3 + 0.25 * act;
+      for (size_t i = 0; i < block_len; ++i) {
+        data.push_back(level +
+                       amp * std::sin(2.0 * M_PI * 0.015 *
+                                      static_cast<double>(i)) +
+                       rng.Gaussian(0.0, 0.02));
+      }
+    }
+  }
+  const TimeSeries x{std::move(data)};
+  const PrefixStats prefix(x);
+  std::printf("accelerometer record: %zu samples, %zu activity blocks\n\n",
+              x.size(), blocks.size());
+
+  const KvIndex index = BuildKvIndex(x, {.window = 50, .width = 0.25});
+  const KvMatcher matcher(x, prefix, index);
+
+  // Query: a window of "lying" (activity 0).
+  const size_t q_len = 1'000;
+  const auto q = ExtractQuery(x, blocks[0].first + 300, q_len, 0.0, &rng);
+
+  auto report = [&](const char* label, const QueryParams& params) {
+    MatchStats stats;
+    auto results = matcher.Match(q, params, &stats);
+    if (!results.ok()) {
+      std::fprintf(stderr, "match failed: %s\n",
+                   results.status().ToString().c_str());
+      std::exit(1);
+    }
+    size_t per_activity[kActivities] = {};
+    for (const auto& m : *results) {
+      for (const auto& [off, act] : blocks) {
+        if (m.offset >= off && m.offset + q_len <= off + block_len) {
+          ++per_activity[act];
+          break;
+        }
+      }
+    }
+    std::printf("%s: %zu matches | ", label, results->size());
+    for (int act = 0; act < kActivities; ++act) {
+      if (per_activity[act] > 0) {
+        std::printf("%s:%zu ", kNames[act], per_activity[act]);
+      }
+    }
+    std::printf("| %llu candidates\n",
+                static_cast<unsigned long long>(stats.candidate_positions));
+  };
+
+  // NSM-like query (huge α/β): normalized shape only — activities collide.
+  report("NSM  (no constraint)     ",
+         {QueryType::kCnsmEd, 6.0, 1000.0, 1000.0, 0});
+  // cNSM with a tight mean constraint: only "lying" survives.
+  report("cNSM (|µ-µQ| <= 0.5)     ",
+         {QueryType::kCnsmEd, 6.0, 1000.0, 0.5, 0});
+  // cNSM with σ constraint as well: the paper's full knob.
+  report("cNSM (α=1.3, β=0.5)      ",
+         {QueryType::kCnsmEd, 6.0, 1.3, 0.5, 0});
+  // Same index also answers RSM and DTW queries (exploratory search).
+  report("RSM-ED (raw values)      ", {QueryType::kRsmEd, 8.0, 1.0, 0.0, 0});
+  report("cNSM-DTW (warping ±50)   ",
+         {QueryType::kCnsmDtw, 5.0, 1.3, 0.5, 50});
+
+  std::printf(
+      "\nOne KV-index served all five queries; only the per-window mean\n"
+      "ranges differ between query types (paper §III, Lemmas 1-4).\n");
+  return 0;
+}

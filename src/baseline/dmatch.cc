@@ -1,0 +1,109 @@
+#include "baseline/dmatch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "baseline/transforms.h"
+#include "distance/envelope.h"
+#include "index/interval.h"
+#include "match/verifier.h"
+
+namespace kvmatch {
+
+namespace {
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+DMatch::DMatch(const TimeSeries& series, const PrefixStats& prefix,
+               Options options)
+    : series_(series),
+      prefix_(prefix),
+      options_(options),
+      tree_(options.paa_dims, options.rtree_fanout) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t n = series.size();
+  const size_t w = options_.window;
+  std::vector<std::pair<Rect, int64_t>> items;
+  for (size_t j = 0; j + w <= n; j += w) {  // disjoint data windows
+    const auto window = series.Subsequence(j, w);
+    items.emplace_back(Rect::Point(Paa(window, options_.paa_dims)),
+                       static_cast<int64_t>(j));
+  }
+  tree_.BulkLoad(std::move(items));
+  build_seconds_ = MsSince(t0) / 1000.0;
+}
+
+std::vector<MatchResult> DMatch::Match(std::span<const double> q,
+                                       double epsilon, size_t rho,
+                                       RtreeMatchStats* stats) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<MatchResult> results;
+  const size_t m = q.size();
+  const size_t w = options_.window;
+  const size_t n = series_.size();
+  if (m < 2 * w - 1 || n < m) return results;
+
+  // Any length-m subsequence fully contains at least p_d disjoint data
+  // windows; if DTW(S, Q) <= ε, at least one contained window pair is
+  // within ε / sqrt(p_d) of the corresponding (envelope-relaxed) query
+  // region.
+  const size_t p_d = std::max<size_t>(1, (m - w + 1) / w);
+  const double radius = epsilon / std::sqrt(static_cast<double>(p_d));
+
+  // Sliding envelope windows of the query: data window at alignment a may
+  // warp against q[a-rho, a+w-1+rho]; the envelope already folds the band
+  // in, so window a of (L, U) covers it.
+  const Envelope env = BuildEnvelope(q, rho);
+  std::vector<int64_t> candidates;
+  for (size_t a = 0; a + w <= m; ++a) {
+    const auto la = std::span<const double>(env.lower).subspan(a, w);
+    const auto ua = std::span<const double>(env.upper).subspan(a, w);
+    const Rect rect = PaaEnvelopeRect(Paa(la, options_.paa_dims),
+                                      Paa(ua, options_.paa_dims), w, radius);
+    std::vector<int64_t> hits;
+    const uint64_t visited = tree_.RangeQuery(rect, &hits);
+    if (stats != nullptr) {
+      stats->index_accesses += visited;
+      stats->range_queries += 1;
+      stats->per_window_candidates.push_back(hits.size());
+    }
+    for (int64_t t : hits) {
+      const int64_t s = t - static_cast<int64_t>(a);
+      if (s >= 0 && s + static_cast<int64_t>(m) <= static_cast<int64_t>(n)) {
+        candidates.push_back(s);
+      }
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  IntervalList cs;
+  for (int64_t c : candidates) cs.AppendPosition(c);
+  if (stats != nullptr) {
+    stats->candidate_positions = static_cast<uint64_t>(cs.num_positions());
+    stats->phase1_ms = MsSince(t0);
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  QueryParams params;
+  params.type = QueryType::kRsmDtw;
+  params.epsilon = epsilon;
+  params.rho = rho;
+  Verifier verifier(series_, prefix_);
+  MatchStats vstats;
+  results = verifier.Verify(q, params, cs, &vstats);
+  if (stats != nullptr) {
+    stats->distance_calls = vstats.distance_calls;
+    stats->lb_pruned = vstats.lb_pruned;
+    stats->phase2_ms = MsSince(t1);
+  }
+  return results;
+}
+
+}  // namespace kvmatch

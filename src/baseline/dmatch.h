@@ -1,0 +1,51 @@
+// DMatch (Fu et al., VLDBJ'08): duality-based subsequence matching under
+// DTW (paper §VIII-A3). Disjoint data windows are PAA-transformed into an
+// R-tree; every sliding window of the query's Sakoe-Chiba envelope issues
+// a box query; candidates are unioned and verified with banded DTW.
+//
+// Per the paper's setup: window length 64, PAA to 4 dimensions.
+#ifndef KVMATCH_BASELINE_DMATCH_H_
+#define KVMATCH_BASELINE_DMATCH_H_
+
+#include <span>
+#include <vector>
+
+#include "baseline/general_match.h"
+#include "baseline/rtree.h"
+#include "match/query_types.h"
+#include "ts/stats_oracle.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+
+class DMatch {
+ public:
+  struct Options {
+    size_t window = 64;   // w
+    size_t paa_dims = 4;  // f
+    size_t rtree_fanout = 16;
+  };
+
+  DMatch(const TimeSeries& series, const PrefixStats& prefix,
+         Options options);
+
+  /// RSM-DTW ε-match with band width `rho`. |Q| must be >= 2w - 1 so every
+  /// subsequence contains at least one disjoint data window.
+  std::vector<MatchResult> Match(std::span<const double> q, double epsilon,
+                                 size_t rho,
+                                 RtreeMatchStats* stats = nullptr) const;
+
+  uint64_t IndexBytes() const { return tree_.ApproximateBytes(); }
+  double BuildSeconds() const { return build_seconds_; }
+
+ private:
+  const TimeSeries& series_;
+  const PrefixStats& prefix_;
+  Options options_;
+  RTree tree_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_BASELINE_DMATCH_H_

@@ -1,0 +1,128 @@
+#include "baseline/general_match.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "baseline/transforms.h"
+#include "index/interval.h"
+#include "match/verifier.h"
+
+namespace kvmatch {
+
+namespace {
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+GeneralMatch::GeneralMatch(const TimeSeries& series,
+                           const PrefixStats& prefix, Options options)
+    : series_(series),
+      prefix_(prefix),
+      options_(options),
+      tree_(options.paa_dims, options.rtree_fanout) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t n = series.size();
+  const size_t w = options_.window;
+  std::vector<std::pair<Rect, int64_t>> items;
+  if (n >= w) {
+    for (size_t j = 0; j + w <= n; j += options_.stride) {
+      const auto window = series.Subsequence(j, w);
+      items.emplace_back(Rect::Point(Paa(window, options_.paa_dims)),
+                         static_cast<int64_t>(j));
+    }
+  }
+  tree_.BulkLoad(std::move(items));
+  build_seconds_ = MsSince(t0) / 1000.0;
+}
+
+std::vector<MatchResult> GeneralMatch::Match(std::span<const double> q,
+                                             double epsilon,
+                                             RtreeMatchStats* stats) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<MatchResult> results;
+  const size_t m = q.size();
+  const size_t w = options_.window;
+  const size_t n = series_.size();
+  if (m < w || n < m) return results;
+  const size_t j_stride = options_.stride;
+
+  std::vector<int64_t> candidates;
+
+  if (j_stride == 1) {
+    // FRM: disjoint query windows, sliding data windows.
+    const size_t p = m / w;
+    const double radius = epsilon / std::sqrt(static_cast<double>(p));
+    for (size_t i = 0; i < p; ++i) {
+      const auto qi = q.subspan(i * w, w);
+      const Rect rect = PaaQueryRect(Paa(qi, options_.paa_dims), w, radius);
+      std::vector<int64_t> hits;
+      const uint64_t visited = tree_.RangeQuery(rect, &hits);
+      if (stats != nullptr) {
+        stats->index_accesses += visited;
+        stats->range_queries += 1;
+        stats->per_window_candidates.push_back(hits.size());
+      }
+      for (int64_t t : hits) {
+        const int64_t s = t - static_cast<int64_t>(i * w);
+        if (s >= 0 && s + static_cast<int64_t>(m) <= static_cast<int64_t>(n)) {
+          candidates.push_back(s);
+        }
+      }
+    }
+  } else {
+    // Dual-Match flavor: data windows every J positions, query windows at
+    // every alignment a. Each subsequence of length m fully contains at
+    // least p_d = ⌊(m - w + 1) / J⌋ indexed windows.
+    const size_t p_d =
+        std::max<size_t>(1, (m - w + 1) / j_stride);
+    const double radius = epsilon / std::sqrt(static_cast<double>(p_d));
+    for (size_t a = 0; a + w <= m; ++a) {
+      const auto qa = q.subspan(a, w);
+      const Rect rect = PaaQueryRect(Paa(qa, options_.paa_dims), w, radius);
+      std::vector<int64_t> hits;
+      const uint64_t visited = tree_.RangeQuery(rect, &hits);
+      if (stats != nullptr) {
+        stats->index_accesses += visited;
+        stats->range_queries += 1;
+        stats->per_window_candidates.push_back(hits.size());
+      }
+      for (int64_t t : hits) {
+        const int64_t s = t - static_cast<int64_t>(a);
+        if (s >= 0 && s + static_cast<int64_t>(m) <= static_cast<int64_t>(n)) {
+          candidates.push_back(s);
+        }
+      }
+    }
+  }
+
+  // Union, then verify with the shared phase-2 machinery.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  IntervalList cs;
+  for (int64_t c : candidates) cs.AppendPosition(c);
+  if (stats != nullptr) {
+    stats->candidate_positions = static_cast<uint64_t>(cs.num_positions());
+    stats->phase1_ms = MsSince(t0);
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  QueryParams params;
+  params.type = QueryType::kRsmEd;
+  params.epsilon = epsilon;
+  Verifier verifier(series_, prefix_);
+  MatchStats vstats;
+  results = verifier.Verify(q, params, cs, &vstats);
+  if (stats != nullptr) {
+    stats->distance_calls = vstats.distance_calls;
+    stats->lb_pruned = vstats.lb_pruned;
+    stats->phase2_ms = MsSince(t1);
+  }
+  return results;
+}
+
+}  // namespace kvmatch

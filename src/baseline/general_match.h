@@ -1,0 +1,72 @@
+// FRM (Faloutsos et al., SIGMOD'94) and Dual-Match (Moon et al., ICDE'01)
+// under the General Match umbrella (Moon et al., SIGMOD'02): R-tree based
+// RSM-ED baselines (paper §VIII-A3, §IX).
+//
+// The `stride` parameter is General Match's J:
+//   J = 1  -> FRM: every sliding data window is indexed; the query is
+//             split into disjoint windows, each issuing one range query of
+//             radius ε/√p; candidates are the UNION across windows.
+//   J = w  -> Dual-Match: only disjoint data windows are indexed; every
+//             sliding query window issues a range query of radius ε/√p_d.
+// Intermediate J interpolates (data windows every J positions; query
+// windows at all J alignments).
+//
+// Verification (phase 2) reuses the library's Verifier so the comparison
+// against KV-match isolates candidate generation + index access cost.
+#ifndef KVMATCH_BASELINE_GENERAL_MATCH_H_
+#define KVMATCH_BASELINE_GENERAL_MATCH_H_
+
+#include <span>
+#include <vector>
+
+#include "baseline/rtree.h"
+#include "match/query_types.h"
+#include "ts/stats_oracle.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+
+struct RtreeMatchStats {
+  uint64_t index_accesses = 0;  // R-tree nodes visited
+  uint64_t range_queries = 0;
+  uint64_t candidate_positions = 0;  // final candidate count (post union)
+  uint64_t distance_calls = 0;
+  uint64_t lb_pruned = 0;
+  double phase1_ms = 0.0;
+  double phase2_ms = 0.0;
+  /// Per-query-window candidate counts before the union (Table VII).
+  std::vector<uint64_t> per_window_candidates;
+};
+
+class GeneralMatch {
+ public:
+  struct Options {
+    size_t window = 50;    // w
+    size_t paa_dims = 4;   // f
+    size_t stride = 1;     // J: 1 = FRM, window = Dual-Match
+    size_t rtree_fanout = 16;
+  };
+
+  /// Builds the R-tree over `series` (STR bulk load).
+  GeneralMatch(const TimeSeries& series, const PrefixStats& prefix,
+               Options options);
+
+  /// RSM-ED ε-match. |Q| must be >= window.
+  std::vector<MatchResult> Match(std::span<const double> q, double epsilon,
+                                 RtreeMatchStats* stats = nullptr) const;
+
+  uint64_t IndexBytes() const { return tree_.ApproximateBytes(); }
+  double BuildSeconds() const { return build_seconds_; }
+  const Options& options() const { return options_; }
+
+ private:
+  const TimeSeries& series_;
+  const PrefixStats& prefix_;
+  Options options_;
+  RTree tree_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_BASELINE_GENERAL_MATCH_H_

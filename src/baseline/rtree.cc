@@ -1,0 +1,281 @@
+#include "baseline/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace kvmatch {
+
+bool Rect::Intersects(const Rect& o) const {
+  for (size_t d = 0; d < lo.size(); ++d) {
+    if (hi[d] < o.lo[d] || o.hi[d] < lo[d]) return false;
+  }
+  return true;
+}
+
+bool Rect::ContainsPoint(const std::vector<double>& p) const {
+  for (size_t d = 0; d < lo.size(); ++d) {
+    if (p[d] < lo[d] || p[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+void Rect::Enlarge(const Rect& o) {
+  for (size_t d = 0; d < lo.size(); ++d) {
+    lo[d] = std::min(lo[d], o.lo[d]);
+    hi[d] = std::max(hi[d], o.hi[d]);
+  }
+}
+
+double Rect::Volume() const {
+  double v = 1.0;
+  for (size_t d = 0; d < lo.size(); ++d) v *= hi[d] - lo[d];
+  return v;
+}
+
+double Rect::EnlargementNeeded(const Rect& o) const {
+  double enlarged = 1.0;
+  for (size_t d = 0; d < lo.size(); ++d) {
+    enlarged *= std::max(hi[d], o.hi[d]) - std::min(lo[d], o.lo[d]);
+  }
+  return enlarged - Volume();
+}
+
+struct RTree::Node {
+  bool leaf = true;
+  Rect mbr;
+  // Leaf: (rect, id); internal: children with their MBRs.
+  std::vector<std::pair<Rect, int64_t>> entries;
+  std::vector<std::unique_ptr<Node>> children;
+
+  void RecomputeMbr() {
+    if (leaf) {
+      if (entries.empty()) return;
+      mbr = entries[0].first;
+      for (size_t i = 1; i < entries.size(); ++i) mbr.Enlarge(entries[i].first);
+    } else {
+      if (children.empty()) return;
+      mbr = children[0]->mbr;
+      for (size_t i = 1; i < children.size(); ++i) mbr.Enlarge(children[i]->mbr);
+    }
+  }
+};
+
+RTree::RTree(size_t dims, size_t max_entries)
+    : dims_(dims),
+      max_entries_(std::max<size_t>(4, max_entries)),
+      min_entries_(std::max<size_t>(2, max_entries * 2 / 5)),
+      root_(std::make_unique<Node>()) {}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+void RTree::Insert(const Rect& rect, int64_t id) {
+  assert(rect.lo.size() == dims_);
+  std::unique_ptr<Node> split;
+  InsertRec(root_.get(), rect, id, 0, &split);
+  if (split != nullptr) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split));
+    new_root->RecomputeMbr();
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+void RTree::InsertRec(Node* node, const Rect& rect, int64_t id, int level,
+                      std::unique_ptr<Node>* split_out) {
+  if (node->leaf) {
+    node->entries.emplace_back(rect, id);
+    if (node->entries.size() == 1) {
+      node->mbr = rect;
+    } else {
+      node->mbr.Enlarge(rect);
+    }
+    if (node->entries.size() > max_entries_) *split_out = SplitNode(node);
+    return;
+  }
+  // Choose the child needing least enlargement (ties: smaller volume).
+  size_t best = 0;
+  double best_enl = std::numeric_limits<double>::infinity();
+  double best_vol = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const double enl = node->children[i]->mbr.EnlargementNeeded(rect);
+    const double vol = node->children[i]->mbr.Volume();
+    if (enl < best_enl || (enl == best_enl && vol < best_vol)) {
+      best = i;
+      best_enl = enl;
+      best_vol = vol;
+    }
+  }
+  std::unique_ptr<Node> child_split;
+  InsertRec(node->children[best].get(), rect, id, level + 1, &child_split);
+  node->mbr.Enlarge(rect);
+  if (child_split != nullptr) {
+    node->children.push_back(std::move(child_split));
+    if (node->children.size() > max_entries_) *split_out = SplitNode(node);
+  }
+}
+
+std::unique_ptr<RTree::Node> RTree::SplitNode(Node* node) {
+  // Quadratic split (Guttman): pick the two seeds wasting the most area
+  // together, then assign remaining entries greedily.
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  auto rect_of = [&](size_t i) -> const Rect& {
+    return node->leaf ? node->entries[i].first : node->children[i]->mbr;
+  };
+  const size_t count =
+      node->leaf ? node->entries.size() : node->children.size();
+
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = i + 1; j < count; ++j) {
+      Rect combined = rect_of(i);
+      combined.Enlarge(rect_of(j));
+      const double waste =
+          combined.Volume() - rect_of(i).Volume() - rect_of(j).Volume();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  // Distribute: group A stays in node, group B moves to sibling.
+  std::vector<std::pair<Rect, int64_t>> entries;
+  std::vector<std::unique_ptr<Node>> children;
+  entries.swap(node->entries);
+  children.swap(node->children);
+
+  Rect mbr_a = node->leaf ? entries[seed_a].first : children[seed_a]->mbr;
+  Rect mbr_b = node->leaf ? entries[seed_b].first : children[seed_b]->mbr;
+
+  auto push = [&](size_t i, bool to_a) {
+    if (node->leaf) {
+      (to_a ? node->entries : sibling->entries).push_back(std::move(entries[i]));
+    } else {
+      (to_a ? node->children : sibling->children)
+          .push_back(std::move(children[i]));
+    }
+  };
+  push(seed_a, true);
+  push(seed_b, false);
+  size_t count_a = 1, count_b = 1;
+
+  for (size_t i = 0; i < count; ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    // Copy: push() moves the entry out from under a reference.
+    const Rect r = node->leaf ? entries[i].first : children[i]->mbr;
+    const size_t remaining = count - i;
+    bool to_a;
+    // Force-assign to keep the minimum fill.
+    if (count_a + remaining <= min_entries_) {
+      to_a = true;
+    } else if (count_b + remaining <= min_entries_) {
+      to_a = false;
+    } else {
+      const double enl_a = mbr_a.EnlargementNeeded(r);
+      const double enl_b = mbr_b.EnlargementNeeded(r);
+      to_a = enl_a < enl_b || (enl_a == enl_b && count_a <= count_b);
+    }
+    push(i, to_a);
+    if (to_a) {
+      mbr_a.Enlarge(r);
+      ++count_a;
+    } else {
+      mbr_b.Enlarge(r);
+      ++count_b;
+    }
+  }
+  node->RecomputeMbr();
+  sibling->RecomputeMbr();
+  return sibling;
+}
+
+void RTree::BulkLoad(std::vector<std::pair<Rect, int64_t>> items) {
+  size_ = items.size();
+  if (items.empty()) {
+    root_ = std::make_unique<Node>();
+    return;
+  }
+  // STR-style load: sort by the first dimension's center and tile into
+  // leaf-sized runs. (Classic STR uses per-dim slabs; for the PAA-point
+  // workloads of the baselines the first dimension already clusters well,
+  // and queries touch contiguous runs.)
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    return a.first.lo[0] + a.first.hi[0] < b.first.lo[0] + b.first.hi[0];
+  });
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t i = 0; i < items.size(); i += max_entries_) {
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    const size_t end = std::min(items.size(), i + max_entries_);
+    for (size_t k = i; k < end; ++k) leaf->entries.push_back(std::move(items[k]));
+    leaf->RecomputeMbr();
+    level.push_back(std::move(leaf));
+  }
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next;
+    for (size_t i = 0; i < level.size(); i += max_entries_) {
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      const size_t end = std::min(level.size(), i + max_entries_);
+      for (size_t k = i; k < end; ++k) parent->children.push_back(std::move(level[k]));
+      parent->RecomputeMbr();
+      next.push_back(std::move(parent));
+    }
+    level = std::move(next);
+  }
+  root_ = std::move(level[0]);
+}
+
+uint64_t RTree::RangeQuery(const Rect& query,
+                           std::vector<int64_t>* out) const {
+  uint64_t visited = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++visited;
+    if (node->leaf) {
+      for (const auto& [rect, id] : node->entries) {
+        if (rect.Intersects(query)) out->push_back(id);
+      }
+    } else {
+      for (const auto& child : node->children) {
+        if (child->mbr.Intersects(query)) stack.push_back(child.get());
+      }
+    }
+  }
+  return visited;
+}
+
+uint64_t RTree::ApproximateBytes() const {
+  // Entries dominate: each holds 2 f-dim double vectors + an id; nodes add
+  // MBRs. Walk the tree.
+  uint64_t bytes = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  const uint64_t rect_bytes = 2 * dims_ * sizeof(double) + 32;
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    bytes += rect_bytes + 64;
+    if (node->leaf) {
+      bytes += node->entries.size() * (rect_bytes + sizeof(int64_t));
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,74 @@
+// In-memory R-tree over f-dimensional boxes: the index substrate of the
+// FRM / General Match / DMatch baselines (§VIII-A3, §IX).
+//
+// Supports STR bulk loading (sort-tile-recursive) for fast construction
+// plus classic insert with quadratic split. Range queries count visited
+// nodes — the "#index accesses" metric of Tables III/IV.
+#ifndef KVMATCH_BASELINE_RTREE_H_
+#define KVMATCH_BASELINE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace kvmatch {
+
+/// Axis-aligned box in f dimensions (f fixed per tree).
+struct Rect {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  static Rect Point(const std::vector<double>& p) { return {p, p}; }
+
+  bool Intersects(const Rect& o) const;
+  bool ContainsPoint(const std::vector<double>& p) const;
+  /// Grows to cover `o`.
+  void Enlarge(const Rect& o);
+  double Volume() const;
+  double EnlargementNeeded(const Rect& o) const;
+};
+
+class RTree {
+ public:
+  /// `dims` is the dimensionality, `max_entries` the node fanout M
+  /// (min fanout is M * 0.4).
+  explicit RTree(size_t dims, size_t max_entries = 16);
+  ~RTree();
+
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  /// Inserts a box with an opaque payload id.
+  void Insert(const Rect& rect, int64_t id);
+
+  /// STR bulk load: builds the tree from all items at once (replaces any
+  /// current contents). Much faster than repeated Insert for large n.
+  void BulkLoad(std::vector<std::pair<Rect, int64_t>> items);
+
+  /// Appends ids of all entries whose box intersects `query` to `out`.
+  /// Returns the number of tree nodes visited.
+  uint64_t RangeQuery(const Rect& query, std::vector<int64_t>* out) const;
+
+  size_t size() const { return size_; }
+  size_t dims() const { return dims_; }
+  /// Approximate bytes used by nodes + entries (for Fig. 8-style size
+  /// comparisons).
+  uint64_t ApproximateBytes() const;
+
+ private:
+  struct Node;
+
+  void InsertRec(Node* node, const Rect& rect, int64_t id, int level,
+                 std::unique_ptr<Node>* split_out);
+  std::unique_ptr<Node> SplitNode(Node* node);
+
+  size_t dims_;
+  size_t max_entries_;
+  size_t min_entries_;
+  size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_BASELINE_RTREE_H_

@@ -1,0 +1,51 @@
+#include "baseline/transforms.h"
+
+#include <cmath>
+
+namespace kvmatch {
+
+std::vector<double> Paa(std::span<const double> s, size_t f) {
+  std::vector<double> out(f, 0.0);
+  const size_t w = s.size();
+  const size_t seg = w / f;
+  for (size_t i = 0; i < f; ++i) {
+    const size_t begin = i * seg;
+    const size_t end = (i + 1 == f) ? w : begin + seg;
+    double sum = 0.0;
+    for (size_t k = begin; k < end; ++k) sum += s[k];
+    out[i] = sum / static_cast<double>(end - begin);
+  }
+  return out;
+}
+
+Rect PaaQueryRect(const std::vector<double>& center, size_t w,
+                  double radius) {
+  const size_t f = center.size();
+  const double half =
+      radius / std::sqrt(static_cast<double>(w) / static_cast<double>(f));
+  Rect rect;
+  rect.lo.resize(f);
+  rect.hi.resize(f);
+  for (size_t i = 0; i < f; ++i) {
+    rect.lo[i] = center[i] - half;
+    rect.hi[i] = center[i] + half;
+  }
+  return rect;
+}
+
+Rect PaaEnvelopeRect(const std::vector<double>& lo,
+                     const std::vector<double>& hi, size_t w, double radius) {
+  const size_t f = lo.size();
+  const double half =
+      radius / std::sqrt(static_cast<double>(w) / static_cast<double>(f));
+  Rect rect;
+  rect.lo.resize(f);
+  rect.hi.resize(f);
+  for (size_t i = 0; i < f; ++i) {
+    rect.lo[i] = lo[i] - half;
+    rect.hi[i] = hi[i] + half;
+  }
+  return rect;
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,29 @@
+// Feature transforms for the R-tree baselines: PAA (piecewise aggregate
+// approximation). PAA satisfies (w/f)·Σ(paa_i − paa'_i)² ≤ ED²(S, S'),
+// which makes R-tree box queries safe (no false dismissals).
+#ifndef KVMATCH_BASELINE_TRANSFORMS_H_
+#define KVMATCH_BASELINE_TRANSFORMS_H_
+
+#include <span>
+#include <vector>
+
+#include "baseline/rtree.h"
+
+namespace kvmatch {
+
+/// PAA of a length-w series into f coefficients (w must be >= f; trailing
+/// remainder points fold into the last coefficient).
+std::vector<double> Paa(std::span<const double> s, size_t f);
+
+/// The R-tree box that safely contains every PAA point within ED-distance
+/// `radius` of `center`: per-dimension half-width radius / sqrt(w/f).
+Rect PaaQueryRect(const std::vector<double>& center, size_t w, double radius);
+
+/// Box built from per-dimension [lo, hi] PAA envelopes (DMatch / DTW side)
+/// expanded by `radius` as in PaaQueryRect.
+Rect PaaEnvelopeRect(const std::vector<double>& lo,
+                     const std::vector<double>& hi, size_t w, double radius);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_BASELINE_TRANSFORMS_H_

@@ -1,0 +1,45 @@
+// UCR Suite baseline (Rakthanmanon et al., KDD'12), adapted to ε-match as
+// in the paper's evaluation (§VIII-A3): full scan of X with the UCR
+// optimization cascade — streaming mean/std, reordered early-abandoning
+// normalized ED, LB_Kim / LB_Keogh cascades and early-abandoning DTW.
+//
+// Handles all four query types: RSM variants skip normalization; cNSM
+// variants additionally push the α/β constraints down into the scan.
+#ifndef KVMATCH_BASELINE_UCR_SUITE_H_
+#define KVMATCH_BASELINE_UCR_SUITE_H_
+
+#include <span>
+#include <vector>
+
+#include "match/query_types.h"
+#include "ts/stats_oracle.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+
+struct UcrStats {
+  uint64_t offsets_scanned = 0;
+  uint64_t constraint_pruned = 0;
+  uint64_t lb_kim_pruned = 0;
+  uint64_t lb_keogh_pruned = 0;
+  uint64_t distance_calls = 0;
+};
+
+class UcrSuite {
+ public:
+  /// `prefix` must be built over `series`.
+  UcrSuite(const TimeSeries& series, const PrefixStats& prefix)
+      : series_(series), prefix_(prefix) {}
+
+  std::vector<MatchResult> Match(std::span<const double> q,
+                                 const QueryParams& params,
+                                 UcrStats* stats = nullptr) const;
+
+ private:
+  const TimeSeries& series_;
+  const PrefixStats& prefix_;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_BASELINE_UCR_SUITE_H_

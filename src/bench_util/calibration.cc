@@ -1,0 +1,63 @@
+#include "bench_util/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kvmatch {
+
+double CalibrateEpsilon(const TimeSeries& series, const PrefixStats& prefix,
+                        std::span<const double> q, QueryParams params,
+                        double target_selectivity, int max_iters,
+                        double hi_hint) {
+  const size_t n = series.size();
+  const size_t m = q.size();
+  if (n < m) return 0.0;
+  const double offsets = static_cast<double>(n - m + 1);
+  const double target =
+      std::max(1.0, std::round(target_selectivity * offsets));
+  UcrSuite ucr(series, prefix);
+
+  auto count_at = [&](double eps) -> double {
+    params.epsilon = eps;
+    return static_cast<double>(ucr.Match(q, params).size());
+  };
+
+  // Bracket: grow hi until the count reaches the target (or saturates),
+  // unless the caller already knows an upper bracket.
+  double lo = 0.0;
+  double hi = hi_hint > 0.0 ? hi_hint : 1.0;
+  if (hi_hint <= 0.0) {
+    for (int i = 0; i < 40 && count_at(hi) < target; ++i) hi *= 2.0;
+  }
+  // Shrink with binary search toward the smallest ε reaching the target.
+  for (int i = 0; i < max_iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (count_at(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double CalibrateEpsilonViaEd(const TimeSeries& series,
+                             const PrefixStats& prefix,
+                             std::span<const double> q, QueryParams params,
+                             double target_selectivity, int max_iters) {
+  if (!IsDtw(params.type)) {
+    return CalibrateEpsilon(series, prefix, q, params, target_selectivity,
+                            max_iters);
+  }
+  QueryParams ed = params;
+  ed.type = params.type == QueryType::kRsmDtw ? QueryType::kRsmEd
+                                              : QueryType::kCnsmEd;
+  ed.rho = 0;
+  const double ed_eps = CalibrateEpsilon(series, prefix, q, ed,
+                                         target_selectivity, max_iters);
+  // DTW_ρ <= ED, so the DTW ε reaching the same count is <= ed_eps.
+  return CalibrateEpsilon(series, prefix, q, params, target_selectivity,
+                          std::max(8, max_iters / 2), ed_eps);
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,39 @@
+// Selectivity calibration (paper §VIII): the evaluation fixes a target
+// selectivity (matches / possible offsets, e.g. 10⁻⁷) and adjusts ε until
+// a query reaches it. We binary-search ε against the UCR Suite scan (exact
+// and fast enough at bench scale).
+#ifndef KVMATCH_BENCH_UTIL_CALIBRATION_H_
+#define KVMATCH_BENCH_UTIL_CALIBRATION_H_
+
+#include <span>
+
+#include "baseline/ucr_suite.h"
+#include "match/query_types.h"
+
+namespace kvmatch {
+
+/// Finds ε such that the match count of `q` over `series` is close to
+/// `target_selectivity * (n - m + 1)` (at least 1 match). Returns the
+/// calibrated ε; `params.epsilon` is ignored on input.
+///
+/// `hi_hint` (> 0) supplies a known upper bracket for ε and skips the
+/// doubling phase. Crucial for DTW: bracketing with a huge ε defeats every
+/// lower bound and each probe scan degenerates to full DTW per offset.
+/// Since DTW_ρ <= ED, the ED-calibrated ε is always a valid DTW bracket —
+/// CalibrateEpsilonViaEd exploits exactly that.
+double CalibrateEpsilon(const TimeSeries& series, const PrefixStats& prefix,
+                        std::span<const double> q, QueryParams params,
+                        double target_selectivity, int max_iters = 24,
+                        double hi_hint = 0.0);
+
+/// For DTW query types: calibrates the matching ED variant first (cheap),
+/// then bisects the DTW ε below that bracket. For ED types this is plain
+/// CalibrateEpsilon.
+double CalibrateEpsilonViaEd(const TimeSeries& series,
+                             const PrefixStats& prefix,
+                             std::span<const double> q, QueryParams params,
+                             double target_selectivity, int max_iters = 24);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_BENCH_UTIL_CALIBRATION_H_

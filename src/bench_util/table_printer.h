@@ -1,0 +1,30 @@
+// Fixed-width table printing for the per-table bench harnesses, so bench
+// output visually mirrors the paper's tables.
+#ifndef KVMATCH_BENCH_UTIL_TABLE_PRINTER_H_
+#define KVMATCH_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace kvmatch {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders the table to stdout.
+  void Print() const;
+
+  static std::string Fmt(double v, int precision = 1);
+  static std::string FmtInt(uint64_t v);
+  static std::string FmtSci(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_BENCH_UTIL_TABLE_PRINTER_H_

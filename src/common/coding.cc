@@ -1,0 +1,161 @@
+#include "common/coding.h"
+
+#include <bit>
+
+namespace kvmatch {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t v;
+  std::memcpy(&v, ptr, 4);
+  return v;
+}
+
+uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t v;
+  std::memcpy(&v, ptr, 8);
+  return v;
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && p < limit; shift += 7) {
+    uint32_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+bool GetVarint32(std::string_view* input, uint32_t* value) {
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  const char* q = GetVarint32Ptr(p, limit, value);
+  if (q == nullptr) return false;
+  input->remove_prefix(static_cast<size_t>(q - p));
+  return true;
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* value) {
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  const char* q = GetVarint64Ptr(p, limit, value);
+  if (q == nullptr) return false;
+  input->remove_prefix(static_cast<size_t>(q - p));
+  return true;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint32_t len;
+  if (!GetVarint32(input, &len)) return false;
+  if (input->size() < len) return false;
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return true;
+}
+
+void PutDouble(std::string* dst, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  PutFixed64(dst, bits);
+}
+
+double DecodeDouble(const char* ptr) {
+  uint64_t bits = DecodeFixed64(ptr);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::string EncodeOrderedDouble(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  // IEEE-754 trick: positive numbers get the sign bit set (to sort above
+  // negatives); negative numbers are bit-flipped so larger magnitude sorts
+  // lower.
+  if (bits & (1ull << 63)) {
+    bits = ~bits;
+  } else {
+    bits |= (1ull << 63);
+  }
+  std::string out(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    out[7 - i] = static_cast<char>((bits >> (i * 8)) & 0xff);
+  }
+  return out;
+}
+
+double DecodeOrderedDouble(std::string_view key) {
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits = (bits << 8) | static_cast<unsigned char>(key[i]);
+  }
+  if (bits & (1ull << 63)) {
+    bits &= ~(1ull << 63);
+  } else {
+    bits = ~bits;
+  }
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+}  // namespace kvmatch

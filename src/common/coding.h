@@ -1,0 +1,53 @@
+// Binary coding utilities: fixed-width little-endian integers, varints and
+// an order-preserving encoding of doubles for use as sorted KV-store keys.
+#ifndef KVMATCH_COMMON_CODING_H_
+#define KVMATCH_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace kvmatch {
+
+// ---- Fixed-width little-endian ----
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+uint32_t DecodeFixed32(const char* ptr);
+uint64_t DecodeFixed64(const char* ptr);
+
+// ---- Varints (LEB128) ----
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Decodes a varint32 from [p, limit). Returns pointer past the varint, or
+/// nullptr on malformed/truncated input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Convenience: consume a varint from the front of a string_view.
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+
+/// Length-prefixed string slices.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+// ---- Doubles ----
+
+void PutDouble(std::string* dst, double value);
+double DecodeDouble(const char* ptr);
+
+/// Encodes a double into 8 bytes whose lexicographic (big-endian, unsigned)
+/// order equals the numeric order of the doubles, including negatives.
+/// Used to key KV-index rows by mean value in any sorted KV store.
+std::string EncodeOrderedDouble(double value);
+
+/// Inverse of EncodeOrderedDouble. `key` must be exactly 8 bytes.
+double DecodeOrderedDouble(std::string_view key);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_COMMON_CODING_H_

@@ -1,0 +1,34 @@
+// CRC-32C (Castagnoli) checksum, used to protect SSTable blocks on disk.
+#ifndef KVMATCH_COMMON_CRC32C_H_
+#define KVMATCH_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace kvmatch {
+namespace crc32c {
+
+/// Extends `init_crc` with `data`. Pass 0 for a fresh checksum.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+inline uint32_t Value(std::string_view data) {
+  return Extend(0, data.data(), data.size());
+}
+
+/// Masks a CRC so that storing a CRC of data that itself contains CRCs does
+/// not degenerate (same scheme as LevelDB/RocksDB).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace kvmatch
+
+#endif  // KVMATCH_COMMON_CRC32C_H_

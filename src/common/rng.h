@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All generators in the library take an explicit Rng so that datasets,
+// queries and tests are reproducible from a seed.
+#ifndef KVMATCH_COMMON_RNG_H_
+#define KVMATCH_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace kvmatch {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Deterministic across
+/// platforms, unlike std::mt19937 + std::normal_distribution.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_COMMON_RNG_H_

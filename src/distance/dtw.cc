@@ -1,0 +1,76 @@
+#include "distance/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace kvmatch {
+
+double DtwDistance(std::span<const double> a, std::span<const double> b,
+                   size_t rho, double threshold,
+                   std::span<const double> cum_lb) {
+  const size_t m = a.size();
+  if (m == 0) return 0.0;
+  const double inf = std::numeric_limits<double>::infinity();
+  const double thr_sq = threshold < inf ? threshold * threshold : inf;
+
+  // Row-by-row DP over the band; prev/curr hold squared costs.
+  std::vector<double> prev(m, inf), curr(m, inf);
+  for (size_t i = 0; i < m; ++i) {
+    const size_t j_lo = i > rho ? i - rho : 0;
+    const size_t j_hi = std::min(m - 1, i + rho);
+    double row_min = inf;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = a[i] - b[j];
+      const double cost = d * d;
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = inf;
+        if (i > 0) best = std::min(best, prev[j]);                    // a-suffix
+        if (j > 0) best = std::min(best, curr[j - 1]);                // b-suffix
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);       // both
+      }
+      curr[j] = best + cost;
+      row_min = std::min(row_min, curr[j]);
+    }
+    // Early abandoning: the final cost can only grow along any path; add
+    // the cumulative lower bound of the remaining tail when available.
+    if (thr_sq < inf) {
+      double tail = 0.0;
+      if (!cum_lb.empty()) {
+        const size_t next = std::min(m, i + rho + 1);
+        if (next < cum_lb.size()) tail = cum_lb[next];
+      }
+      if (row_min + tail > thr_sq) return inf;
+    }
+    std::swap(prev, curr);
+    std::fill(curr.begin(), curr.end(), inf);
+  }
+  // Uniform early-abandon contract: any result above the threshold is
+  // reported as +inf, whether detected mid-band or at the end.
+  if (prev[m - 1] > thr_sq) return inf;
+  return std::sqrt(prev[m - 1]);
+}
+
+double DtwDistanceFull(std::span<const double> a, std::span<const double> b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 0.0;
+  if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, inf), curr(m + 1, inf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = inf;
+    for (size_t j = 1; j <= m; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      curr[j] = d * d +
+                std::min({prev[j], curr[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, curr);
+  }
+  return std::sqrt(prev[m]);
+}
+
+}  // namespace kvmatch

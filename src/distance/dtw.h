@@ -1,0 +1,28 @@
+// Dynamic Time Warping with a Sakoe-Chiba band (paper §II).
+#ifndef KVMATCH_DISTANCE_DTW_H_
+#define KVMATCH_DISTANCE_DTW_H_
+
+#include <limits>
+#include <span>
+
+namespace kvmatch {
+
+/// DTW distance between equal-length sequences restricted to the
+/// Sakoe-Chiba band |i - j| <= rho. With rho = 0 this equals ED.
+///
+/// `threshold` (on the *distance*, not its square) enables early abandoning:
+/// if every cell in some anti-diagonal row of the band exceeds threshold²,
+/// +inf is returned. `cum_lb` optionally supplies the UCR Suite cumulative
+/// lower-bound tail array (cb[i] = lower bound contribution of points >= i):
+/// adding cb[i+band] tightens abandoning further.
+double DtwDistance(std::span<const double> a, std::span<const double> b,
+                   size_t rho,
+                   double threshold = std::numeric_limits<double>::infinity(),
+                   std::span<const double> cum_lb = {});
+
+/// Unconstrained (full-matrix) DTW — reference implementation for tests.
+double DtwDistanceFull(std::span<const double> a, std::span<const double> b);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_DISTANCE_DTW_H_

@@ -1,0 +1,35 @@
+#include "distance/envelope.h"
+
+#include <deque>
+
+namespace kvmatch {
+
+Envelope BuildEnvelope(std::span<const double> q, size_t rho) {
+  const size_t m = q.size();
+  Envelope env;
+  env.lower.resize(m);
+  env.upper.resize(m);
+  if (m == 0) return env;
+
+  // Window for position i is [i-rho, i+rho] clamped to [0, m).
+  std::deque<size_t> max_dq, min_dq;
+  size_t right = 0;  // next index to push
+  for (size_t i = 0; i < m; ++i) {
+    const size_t win_hi = std::min(m - 1, i + rho);
+    while (right <= win_hi) {
+      while (!max_dq.empty() && q[max_dq.back()] <= q[right]) max_dq.pop_back();
+      max_dq.push_back(right);
+      while (!min_dq.empty() && q[min_dq.back()] >= q[right]) min_dq.pop_back();
+      min_dq.push_back(right);
+      ++right;
+    }
+    const size_t win_lo = i > rho ? i - rho : 0;
+    while (max_dq.front() < win_lo) max_dq.pop_front();
+    while (min_dq.front() < win_lo) min_dq.pop_front();
+    env.upper[i] = q[max_dq.front()];
+    env.lower[i] = q[min_dq.front()];
+  }
+  return env;
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,23 @@
+// Query envelopes for banded DTW (paper §III-C).
+//
+// L_i = min_{|r|<=rho} q_{i+r},  U_i = max_{|r|<=rho} q_{i+r}.
+// Computed in O(m) with Lemire's streaming min/max (monotonic deques).
+#ifndef KVMATCH_DISTANCE_ENVELOPE_H_
+#define KVMATCH_DISTANCE_ENVELOPE_H_
+
+#include <span>
+#include <vector>
+
+namespace kvmatch {
+
+struct Envelope {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// Builds the Sakoe-Chiba envelope of `q` with band width `rho`.
+Envelope BuildEnvelope(std::span<const double> q, size_t rho);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_DISTANCE_ENVELOPE_H_

@@ -1,0 +1,98 @@
+#include "distance/lower_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kvmatch {
+
+namespace {
+inline double Sq(double x) { return x * x; }
+}  // namespace
+
+double LbKimSquared(std::span<const double> s, std::span<const double> q,
+                    double threshold_sq) {
+  const size_t m = q.size();
+  if (m == 0) return 0.0;
+  // First and last points are fixed by any warping path.
+  double lb = Sq(s[0] - q[0]) + Sq(s[m - 1] - q[m - 1]);
+  if (lb > threshold_sq || m < 4) return lb;
+  // Second point: best alignment among the three feasible pairings.
+  double d = std::min({Sq(s[1] - q[0]), Sq(s[0] - q[1]), Sq(s[1] - q[1])});
+  lb += d;
+  if (lb > threshold_sq) return lb;
+  // Penultimate point, symmetric.
+  d = std::min({Sq(s[m - 2] - q[m - 1]), Sq(s[m - 1] - q[m - 2]),
+                Sq(s[m - 2] - q[m - 2])});
+  lb += d;
+  return lb;
+}
+
+double LbKeoghSquared(std::span<const double> s, const Envelope& env,
+                      double threshold_sq, std::vector<double>* cb) {
+  const size_t m = s.size();
+  if (cb != nullptr) cb->assign(m, 0.0);
+  double lb = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    double d = 0.0;
+    if (s[i] > env.upper[i]) {
+      d = Sq(s[i] - env.upper[i]);
+    } else if (s[i] < env.lower[i]) {
+      d = Sq(s[i] - env.lower[i]);
+    }
+    lb += d;
+    if (cb != nullptr) (*cb)[i] = d;
+    if (lb > threshold_sq && cb == nullptr) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return lb;
+}
+
+double LbKeoghNormalizedSquared(std::span<const double> s, double mean,
+                                double std, const Envelope& env,
+                                double threshold_sq, std::vector<double>* cb) {
+  const size_t m = s.size();
+  if (cb != nullptr) cb->assign(m, 0.0);
+  const double inv = std > 1e-12 ? 1.0 / std : 0.0;
+  double lb = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    const double x = (s[i] - mean) * inv;
+    double d = 0.0;
+    if (x > env.upper[i]) {
+      d = Sq(x - env.upper[i]);
+    } else if (x < env.lower[i]) {
+      d = Sq(x - env.lower[i]);
+    }
+    lb += d;
+    if (cb != nullptr) (*cb)[i] = d;
+    if (lb > threshold_sq && cb == nullptr) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return lb;
+}
+
+std::vector<double> SuffixCumulate(const std::vector<double>& cb) {
+  std::vector<double> out(cb.size() + 1, 0.0);
+  for (size_t i = cb.size(); i > 0; --i) {
+    out[i - 1] = out[i] + cb[i - 1];
+  }
+  return out;
+}
+
+double LbPaaSquared(std::span<const double> s_means,
+                    std::span<const double> l_means,
+                    std::span<const double> u_means, size_t w) {
+  double lb = 0.0;
+  const double dw = static_cast<double>(w);
+  for (size_t i = 0; i < s_means.size(); ++i) {
+    if (s_means[i] > u_means[i]) {
+      lb += dw * Sq(s_means[i] - u_means[i]);
+    } else if (s_means[i] < l_means[i]) {
+      lb += dw * Sq(s_means[i] - l_means[i]);
+    }
+  }
+  return lb;
+}
+
+}  // namespace kvmatch

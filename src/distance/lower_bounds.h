@@ -1,0 +1,56 @@
+// DTW lower bounds (LB_Kim, LB_Keogh, LB_PAA) used by the verifier and the
+// UCR Suite / FAST baselines.
+//
+// All bounds return *squared* values so callers compare against ε² without
+// square roots in the hot path. Every bound B satisfies B ≤ DTW²_ρ.
+#ifndef KVMATCH_DISTANCE_LOWER_BOUNDS_H_
+#define KVMATCH_DISTANCE_LOWER_BOUNDS_H_
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "distance/envelope.h"
+
+namespace kvmatch {
+
+/// Simplified LB_Kim (UCR Suite's LB_KimFL): distances of the first and
+/// last points (plus second/penultimate refinements).
+double LbKimSquared(std::span<const double> s, std::span<const double> q,
+                    double threshold_sq
+                    = std::numeric_limits<double>::infinity());
+
+/// LB_Keogh of candidate `s` against the query envelope, with early
+/// abandoning at `threshold_sq`. If `cb` is non-null it receives the
+/// per-position contributions (cb[i]), which DtwDistance uses for tighter
+/// abandoning after suffix-accumulation.
+double LbKeoghSquared(std::span<const double> s, const Envelope& env,
+                      double threshold_sq
+                      = std::numeric_limits<double>::infinity(),
+                      std::vector<double>* cb = nullptr);
+
+/// LB_Keogh of a *normalized-on-the-fly* candidate: s is raw, and each point
+/// is normalized with (mean, std) before comparison against a normalized
+/// query's envelope.
+double LbKeoghNormalizedSquared(std::span<const double> s, double mean,
+                                double std, const Envelope& env,
+                                double threshold_sq
+                                = std::numeric_limits<double>::infinity(),
+                                std::vector<double>* cb = nullptr);
+
+/// Converts per-position contributions cb into the suffix-cumulative array
+/// used by DtwDistance: out[i] = sum_{k >= i} cb[k], out[m] = 0.
+std::vector<double> SuffixCumulate(const std::vector<double>& cb);
+
+/// LB_PAA (paper Eq. 3): piecewise-aggregate bound over p disjoint windows
+/// of width w, using candidate window means vs envelope window means.
+/// `s_means[i]`, `l_means[i]`, `u_means[i]` are the means of the i-th
+/// disjoint window of S, L and U. Returns the squared bound
+/// Σ w·contribution ≤ DTW²_ρ(S, Q).
+double LbPaaSquared(std::span<const double> s_means,
+                    std::span<const double> l_means,
+                    std::span<const double> u_means, size_t w);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_DISTANCE_LOWER_BOUNDS_H_

@@ -1,0 +1,209 @@
+#include "index/index_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <thread>
+
+namespace kvmatch {
+
+namespace {
+
+/// Fixed-width bucket id for a mean value: k such that v ∈ [k·d, (k+1)·d).
+int64_t BucketOf(double v, double d) {
+  return static_cast<int64_t>(std::floor(v / d));
+}
+
+/// Step 1: fixed-width rows over series positions [begin, end) (window
+/// starts), using a running sum for O(1) mean updates.
+std::map<int64_t, IntervalList> BuildFixedWidthRows(
+    const TimeSeries& series, size_t w, double d, size_t begin, size_t end) {
+  std::map<int64_t, IntervalList> buckets;
+  if (end <= begin) return buckets;
+  double sum = 0.0;
+  for (size_t k = begin; k < begin + w; ++k) sum += series[k];
+  const double inv_w = 1.0 / static_cast<double>(w);
+  for (size_t i = begin; i < end; ++i) {
+    const double mean = sum * inv_w;
+    buckets[BucketOf(mean, d)].AppendPosition(static_cast<int64_t>(i));
+    if (i + 1 < end) {
+      sum += series[i + w] - series[i];
+    }
+  }
+  return buckets;
+}
+
+/// Step 2: greedy merge of adjacent rows (paper §IV-B). Rows arrive sorted
+/// by key range; the merge walks once left to right.
+std::vector<IndexRow> MergeRows(const std::map<int64_t, IntervalList>& buckets,
+                                double d, double gamma,
+                                double max_row_width) {
+  std::vector<IndexRow> rows;
+  for (const auto& [bucket, value] : buckets) {
+    IndexRow row;
+    row.low = static_cast<double>(bucket) * d;
+    row.up = static_cast<double>(bucket + 1) * d;
+    row.value = value;
+    if (!rows.empty()) {
+      IndexRow& prev = rows.back();
+      // Merge is only meaningful for rows with adjacent key ranges; a gap
+      // between bucket ids means a mean-value range with no windows at all,
+      // which we keep separate to avoid widening scans.
+      const bool adjacent = prev.up == row.low;
+      const bool within_cap =
+          max_row_width <= 0.0 || (row.up - prev.low) <= max_row_width + 1e-12;
+      if (adjacent && within_cap) {
+        IntervalList merged = IntervalList::Union(prev.value, row.value);
+        const double ratio =
+            static_cast<double>(merged.num_intervals()) /
+            static_cast<double>(prev.value.num_intervals() +
+                                row.value.num_intervals());
+        if (ratio < gamma) {
+          prev.up = row.up;
+          prev.value = std::move(merged);
+          continue;
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+KvIndex BuildKvIndex(const TimeSeries& series, const IndexBuildOptions& opts) {
+  const size_t n = series.size();
+  const size_t w = opts.window;
+  if (n < w || w == 0) return KvIndex(w, n, {});
+  auto buckets = BuildFixedWidthRows(series, w, opts.width, 0, n - w + 1);
+  return KvIndex(w, n,
+                 MergeRows(buckets, opts.width, opts.merge_threshold,
+                           opts.width * opts.max_row_width_factor));
+}
+
+KvIndex BuildKvIndexSegmented(const TimeSeries& series,
+                              const IndexBuildOptions& opts,
+                              size_t num_segments) {
+  const size_t n = series.size();
+  const size_t w = opts.window;
+  if (n < w || w == 0) return KvIndex(w, n, {});
+  const size_t total = n - w + 1;
+  num_segments = std::max<size_t>(1, std::min(num_segments, total));
+  const size_t chunk = (total + num_segments - 1) / num_segments;
+
+  // Build per-segment fixed-width rows, then union them bucket-by-bucket.
+  // Segments cover disjoint, increasing position ranges, so per-bucket
+  // interval lists concatenate in order.
+  std::map<int64_t, IntervalList> all;
+  for (size_t s = 0; s < num_segments; ++s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    auto part = BuildFixedWidthRows(series, w, opts.width, begin, end);
+    for (auto& [bucket, value] : part) {
+      auto it = all.find(bucket);
+      if (it == all.end()) {
+        all.emplace(bucket, std::move(value));
+      } else {
+        it->second = IntervalList::Union(it->second, value);
+      }
+    }
+  }
+  return KvIndex(w, n,
+                 MergeRows(all, opts.width, opts.merge_threshold,
+                           opts.width * opts.max_row_width_factor));
+}
+
+IncrementalIndexBuilder::IncrementalIndexBuilder(IndexBuildOptions opts)
+    : opts_(opts) {
+  tail_.resize(std::max<size_t>(1, opts_.window), 0.0);
+}
+
+void IncrementalIndexBuilder::Append(double value) {
+  const size_t w = opts_.window;
+  window_sum_ += value;
+  if (count_ >= w) {
+    // Evict the point leaving the window.
+    window_sum_ -= tail_[tail_pos_];
+  }
+  tail_[tail_pos_] = value;
+  tail_pos_ = (tail_pos_ + 1) % w;
+  ++count_;
+  if (count_ >= w) {
+    const double mean = window_sum_ / static_cast<double>(w);
+    const int64_t position = static_cast<int64_t>(count_ - w);
+    buckets_[BucketOf(mean, opts_.width)].AppendPosition(position);
+  }
+}
+
+void IncrementalIndexBuilder::AppendChunk(std::span<const double> values) {
+  for (double v : values) Append(v);
+}
+
+KvIndex IncrementalIndexBuilder::Snapshot() const {
+  return KvIndex(opts_.window, count_,
+                 MergeRows(buckets_, opts_.width, opts_.merge_threshold,
+                           opts_.width * opts_.max_row_width_factor));
+}
+
+KvIndex BuildKvIndexParallel(const TimeSeries& series,
+                             const IndexBuildOptions& opts,
+                             size_t num_threads) {
+  const size_t n = series.size();
+  const size_t w = opts.window;
+  if (n < w || w == 0) return KvIndex(w, n, {});
+  const size_t total = n - w + 1;
+  num_threads = std::max<size_t>(1, std::min(num_threads, total));
+  const size_t chunk = (total + num_threads - 1) / num_threads;
+
+  // Map: per-segment fixed-width rows, one worker each.
+  std::vector<std::map<int64_t, IntervalList>> parts(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&series, &opts, &parts, t, begin, end] {
+      parts[t] = BuildFixedWidthRows(series, opts.window, opts.width, begin,
+                                     end);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Reduce: segments cover increasing position ranges, so bucket lists
+  // concatenate in order when merged segment-by-segment.
+  std::map<int64_t, IntervalList> all;
+  for (auto& part : parts) {
+    for (auto& [bucket, value] : part) {
+      auto it = all.find(bucket);
+      if (it == all.end()) {
+        all.emplace(bucket, std::move(value));
+      } else {
+        it->second = IntervalList::Union(it->second, value);
+      }
+    }
+  }
+  return KvIndex(w, n,
+                 MergeRows(all, opts.width, opts.merge_threshold,
+                           opts.width * opts.max_row_width_factor));
+}
+
+std::vector<KvIndex> BuildIndexSet(const TimeSeries& series, size_t wu,
+                                   size_t num_levels, double width,
+                                   double merge_threshold) {
+  std::vector<KvIndex> out;
+  out.reserve(num_levels);
+  size_t w = wu;
+  for (size_t i = 0; i < num_levels; ++i, w *= 2) {
+    IndexBuildOptions opts;
+    opts.window = w;
+    opts.width = width;
+    opts.merge_threshold = merge_threshold;
+    out.push_back(BuildKvIndex(series, opts));
+  }
+  return out;
+}
+
+}  // namespace kvmatch

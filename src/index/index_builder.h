@@ -1,0 +1,93 @@
+// KV-index building (paper §IV-B).
+//
+// Two steps: (1) stream the series once, computing each sliding-window mean
+// in O(1) and appending the window position to the fixed-width row
+// [k·d, (k+1)·d); (2) greedily merge adjacent rows whose interval lists are
+// largely contiguous:  n_I(V_i ∪ V_{i+1}) / (n_I(V_i) + n_I(V_{i+1})) < γ.
+// Total cost O(n).
+//
+// BuildSegmented builds per-segment then merges, demonstrating the paper's
+// out-of-core / MapReduce-friendly variant.
+#ifndef KVMATCH_INDEX_INDEX_BUILDER_H_
+#define KVMATCH_INDEX_INDEX_BUILDER_H_
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "index/kv_index.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+
+struct IndexBuildOptions {
+  size_t window = 50;     // w
+  double width = 0.5;     // d: initial fixed range width
+  double merge_threshold = 0.8;  // γ
+  /// Cap on a merged row's key-range width, as a multiple of `width`.
+  /// The paper's greedy γ-merge can cascade on smooth data (adjacent rows
+  /// keep interleaving) until a single row covers the whole mean range and
+  /// the index loses all pruning power; bounding the merged width keeps
+  /// scans selective. 0 disables the cap.
+  double max_row_width_factor = 2.0;
+};
+
+/// Builds a KV-index over `series` in one in-memory pass.
+KvIndex BuildKvIndex(const TimeSeries& series, const IndexBuildOptions& opts);
+
+/// Streaming index construction: feed points (or chunks) as they arrive,
+/// snapshot a queryable KvIndex at any moment. The γ merge runs at
+/// Snapshot time; intermediate state is the fixed-width row map plus a
+/// w-point tail, so memory is O(index) not O(data). Production-style
+/// extension beyond the paper's static build.
+class IncrementalIndexBuilder {
+ public:
+  explicit IncrementalIndexBuilder(IndexBuildOptions opts);
+
+  /// Appends one value to the logical series.
+  void Append(double value);
+  /// Appends a chunk.
+  void AppendChunk(std::span<const double> values);
+
+  /// Number of points consumed so far.
+  size_t size() const { return count_; }
+
+  /// Builds the index for everything appended so far. The builder remains
+  /// usable (more appends allowed after a snapshot).
+  KvIndex Snapshot() const;
+
+ private:
+  IndexBuildOptions opts_;
+  size_t count_ = 0;
+  double window_sum_ = 0.0;
+  std::vector<double> tail_;          // last w points, circular
+  size_t tail_pos_ = 0;
+  std::map<int64_t, IntervalList> buckets_;
+};
+
+/// Builds the same index by splitting the series into `num_segments`
+/// chunks, building fixed-width rows per chunk, merging chunk rows, then
+/// applying the γ merge — the paper's large-scale path. Result is
+/// identical to BuildKvIndex.
+KvIndex BuildKvIndexSegmented(const TimeSeries& series,
+                              const IndexBuildOptions& opts,
+                              size_t num_segments);
+
+/// Multithreaded variant of BuildKvIndexSegmented: per-segment fixed-width
+/// rows are built in `num_threads` worker threads and merged afterwards —
+/// the shared-memory analogue of the paper's MapReduce build (§IV-B).
+/// Result is identical to BuildKvIndex.
+KvIndex BuildKvIndexParallel(const TimeSeries& series,
+                             const IndexBuildOptions& opts,
+                             size_t num_threads);
+
+/// Builds the KV-matchDP index set: windows Σ = {wu · 2^(i-1) | 1 <= i <= L}
+/// (paper §VI), sharing a single pass over the series per window length.
+std::vector<KvIndex> BuildIndexSet(const TimeSeries& series, size_t wu,
+                                   size_t num_levels,
+                                   double width = 0.5,
+                                   double merge_threshold = 0.8);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_INDEX_INDEX_BUILDER_H_

@@ -1,0 +1,114 @@
+#include "index/interval.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace kvmatch {
+
+IntervalList::IntervalList(std::vector<WindowInterval> intervals) {
+  for (const auto& wi : intervals) AppendInterval(wi);
+}
+
+void IntervalList::AppendPosition(int64_t pos) {
+  AppendInterval({pos, pos});
+}
+
+void IntervalList::AppendInterval(WindowInterval wi) {
+  assert(wi.l <= wi.r);
+  if (!intervals_.empty() && wi.l <= intervals_.back().r + 1) {
+    assert(wi.r >= intervals_.back().l);
+    // Coalesce with the back, counting only genuinely new positions.
+    const int64_t new_lo = std::max(wi.l, intervals_.back().r + 1);
+    if (wi.r > intervals_.back().r) {
+      num_positions_ += wi.r - new_lo + 1;
+      intervals_.back().r = wi.r;
+    }
+    return;
+  }
+  intervals_.push_back(wi);
+  num_positions_ += wi.size();
+}
+
+bool IntervalList::Contains(int64_t pos) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), pos,
+      [](int64_t p, const WindowInterval& wi) { return p < wi.l; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return pos <= it->r;
+}
+
+IntervalList IntervalList::Union(const IntervalList& a,
+                                 const IntervalList& b) {
+  IntervalList out;
+  size_t i = 0, j = 0;
+  while (i < a.intervals_.size() || j < b.intervals_.size()) {
+    const bool take_a =
+        j >= b.intervals_.size() ||
+        (i < a.intervals_.size() && a.intervals_[i].l <= b.intervals_[j].l);
+    out.AppendInterval(take_a ? a.intervals_[i++] : b.intervals_[j++]);
+  }
+  return out;
+}
+
+IntervalList IntervalList::Intersect(const IntervalList& a,
+                                     const IntervalList& b) {
+  IntervalList out;
+  size_t i = 0, j = 0;
+  while (i < a.intervals_.size() && j < b.intervals_.size()) {
+    const auto& x = a.intervals_[i];
+    const auto& y = b.intervals_[j];
+    const int64_t lo = std::max(x.l, y.l);
+    const int64_t hi = std::min(x.r, y.r);
+    if (lo <= hi) out.AppendInterval({lo, hi});
+    if (x.r < y.r) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+IntervalList IntervalList::ShiftLeft(int64_t delta) const {
+  IntervalList out;
+  for (const auto& wi : intervals_) {
+    const int64_t l = wi.l - delta;
+    const int64_t r = wi.r - delta;
+    if (r < 0) continue;
+    out.AppendInterval({std::max<int64_t>(l, 0), r});
+  }
+  return out;
+}
+
+void IntervalList::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, intervals_.size());
+  int64_t prev_end = 0;  // previous r + 1; first gap is from 0
+  for (const auto& wi : intervals_) {
+    PutVarint64(dst, static_cast<uint64_t>(wi.l - prev_end));
+    PutVarint64(dst, static_cast<uint64_t>(wi.r - wi.l));
+    prev_end = wi.r + 1;
+  }
+}
+
+bool IntervalList::DecodeFrom(std::string_view* input, IntervalList* out) {
+  *out = IntervalList();
+  uint64_t count;
+  if (!GetVarint64(input, &count)) return false;
+  int64_t prev_end = 0;
+  for (uint64_t k = 0; k < count; ++k) {
+    uint64_t gap, len_minus_1;
+    if (!GetVarint64(input, &gap) || !GetVarint64(input, &len_minus_1)) {
+      return false;
+    }
+    const int64_t l = prev_end + static_cast<int64_t>(gap);
+    const int64_t r = l + static_cast<int64_t>(len_minus_1);
+    out->AppendInterval({l, r});
+    prev_end = r + 1;
+  }
+  return true;
+}
+
+}  // namespace kvmatch

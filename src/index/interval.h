@@ -1,0 +1,77 @@
+// Window intervals and ordered interval lists (paper Def. 1, §IV-A, §V).
+//
+// A WindowInterval [l, r] denotes the consecutive sliding windows
+// X(l,w) ... X(r,w). KV-index row values, IS_i, CS_i and CS are all ordered
+// lists of disjoint intervals; the matching algorithm reduces to the
+// merge / shift / intersect operations defined here.
+#ifndef KVMATCH_INDEX_INTERVAL_H_
+#define KVMATCH_INDEX_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kvmatch {
+
+/// Inclusive interval of window positions (0-based).
+struct WindowInterval {
+  int64_t l = 0;
+  int64_t r = 0;
+
+  int64_t size() const { return r - l + 1; }
+  bool operator==(const WindowInterval&) const = default;
+};
+
+/// Ordered list of disjoint, non-adjacentable intervals.
+///
+/// Invariant: intervals[k].r + 1 < intervals[k+1].l — i.e. sorted, disjoint
+/// and maximally merged (adjacent intervals are coalesced on construction).
+class IntervalList {
+ public:
+  IntervalList() = default;
+  explicit IntervalList(std::vector<WindowInterval> intervals);
+
+  /// Appends a position, extending the last interval when adjacent.
+  /// Positions must arrive in non-decreasing order.
+  void AppendPosition(int64_t pos);
+
+  /// Appends an interval; must start after the current back (adjacent
+  /// intervals are coalesced).
+  void AppendInterval(WindowInterval wi);
+
+  size_t num_intervals() const { return intervals_.size(); }   // n_I
+  int64_t num_positions() const { return num_positions_; }     // n_P
+  bool empty() const { return intervals_.empty(); }
+
+  const std::vector<WindowInterval>& intervals() const { return intervals_; }
+  const WindowInterval& operator[](size_t i) const { return intervals_[i]; }
+
+  bool Contains(int64_t pos) const;
+
+  /// Set union (merging overlapping/adjacent intervals) — used when
+  /// building the row merge and when unioning RList rows into IS_i.
+  static IntervalList Union(const IntervalList& a, const IntervalList& b);
+
+  /// Set intersection — the CS ∩ CS_i step of Algorithm 1.
+  static IntervalList Intersect(const IntervalList& a, const IntervalList& b);
+
+  /// Left-shifts every interval by `delta`, clamping at position >= 0
+  /// (candidates cannot start before the series does). Intervals entirely
+  /// below 0 are dropped.
+  IntervalList ShiftLeft(int64_t delta) const;
+
+  /// Serialization: delta-encoded varints — <count> then per interval
+  /// <varint gap_from_previous_r_plus_1><varint length-1>.
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(std::string_view* input, IntervalList* out);
+
+  bool operator==(const IntervalList&) const = default;
+
+ private:
+  std::vector<WindowInterval> intervals_;
+  int64_t num_positions_ = 0;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_INDEX_INTERVAL_H_

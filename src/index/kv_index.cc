@@ -1,0 +1,251 @@
+#include "index/kv_index.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/coding.h"
+
+namespace kvmatch {
+
+namespace {
+
+std::string RowKey(const std::string& ns, double low) {
+  return ns + "r" + EncodeOrderedDouble(low);
+}
+
+std::string MetaKey(const std::string& ns) { return ns + "m"; }
+
+std::string EncodeRowValue(const IndexRow& row) {
+  std::string out;
+  PutDouble(&out, row.up);
+  row.value.EncodeTo(&out);
+  return out;
+}
+
+bool DecodeRowValue(std::string_view in, double* up, IntervalList* value) {
+  if (in.size() < 8) return false;
+  *up = DecodeDouble(in.data());
+  in.remove_prefix(8);
+  return IntervalList::DecodeFrom(&in, value);
+}
+
+}  // namespace
+
+// FIFO cache of decoded rows, keyed by meta-row index.
+struct KvIndex::RowCache {
+  size_t max_rows = 0;
+  std::unordered_map<size_t, IntervalList> rows;
+  std::deque<size_t> order;  // insertion order for eviction
+
+  bool Get(size_t idx, const IntervalList** out) const {
+    auto it = rows.find(idx);
+    if (it == rows.end()) return false;
+    *out = &it->second;
+    return true;
+  }
+
+  void Put(size_t idx, IntervalList value) {
+    if (max_rows == 0 || rows.count(idx) > 0) return;
+    while (rows.size() >= max_rows && !order.empty()) {
+      rows.erase(order.front());
+      order.pop_front();
+    }
+    rows.emplace(idx, std::move(value));
+    order.push_back(idx);
+  }
+};
+
+void KvIndex::EnableRowCache(size_t max_rows) const {
+  if (max_rows == 0) {
+    cache_.reset();
+    return;
+  }
+  cache_ = std::make_shared<RowCache>();
+  cache_->max_rows = max_rows;
+}
+
+KvIndex::KvIndex(size_t window, size_t series_length,
+                 std::vector<IndexRow> rows)
+    : window_(window), series_length_(series_length), rows_(std::move(rows)) {
+  RebuildMeta();
+}
+
+void KvIndex::RebuildMeta() {
+  meta_.clear();
+  meta_.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    meta_.push_back({row.low, row.up,
+                     static_cast<uint64_t>(row.value.num_intervals()),
+                     static_cast<uint64_t>(row.value.num_positions())});
+  }
+}
+
+size_t KvIndex::RowLowerBound(double v) const {
+  // First row with up > v; rows are sorted and disjoint.
+  auto it = std::upper_bound(
+      meta_.begin(), meta_.end(), v,
+      [](double x, const RowMeta& m) { return x < m.up; });
+  return static_cast<size_t>(it - meta_.begin());
+}
+
+Result<IntervalList> KvIndex::ProbeRange(double lr, double ur,
+                                         ProbeStats* stats) const {
+  IntervalList is;
+  if (meta_.empty() || ur < lr) return is;
+  const size_t first = RowLowerBound(lr);
+  if (first >= meta_.size() || meta_[first].low > ur) {
+    if (stats != nullptr) stats->index_accesses += 1;
+    return is;
+  }
+
+  if (stats != nullptr) stats->index_accesses += 1;
+
+  if (store_ == nullptr) {
+    // In-memory form.
+    for (size_t i = first; i < rows_.size() && rows_[i].low <= ur; ++i) {
+      is = IntervalList::Union(is, rows_[i].value);
+      if (stats != nullptr) {
+        stats->rows_fetched += 1;
+        stats->intervals_fetched += rows_[i].value.num_intervals();
+      }
+    }
+    return is;
+  }
+
+  // Store-backed: sequential scans over the key range, with cached rows
+  // (if the row cache is enabled) served from memory so only the missing
+  // runs touch the store (§VI-C optimization 1).
+  size_t last = first;
+  while (last + 1 < meta_.size() && meta_[last + 1].low <= ur) ++last;
+
+  // Fetches rows [run_first, run_last] with one scan, unioning into `is`
+  // and inserting into the cache.
+  auto fetch_run = [&](size_t run_first, size_t run_last) -> Status {
+    const std::string start_key = RowKey(ns_, meta_[run_first].low);
+    // End: key strictly greater than the last row's key.
+    std::string end_key = RowKey(ns_, meta_[run_last].low);
+    end_key.push_back('\x01');
+    size_t idx = run_first;
+    for (auto it = store_->Scan(start_key, end_key); it->Valid();
+         it->Next(), ++idx) {
+      double up;
+      IntervalList row_value;
+      if (!DecodeRowValue(it->value(), &up, &row_value)) {
+        return Status::Corruption("bad index row");
+      }
+      if (stats != nullptr) {
+        stats->rows_fetched += 1;
+        stats->intervals_fetched += row_value.num_intervals();
+        stats->bytes_fetched += it->value().size();
+      }
+      is = IntervalList::Union(is, row_value);
+      if (cache_ != nullptr) cache_->Put(idx, std::move(row_value));
+    }
+    return Status::OK();
+  };
+
+  if (cache_ == nullptr) {
+    KVMATCH_RETURN_NOT_OK(fetch_run(first, last));
+    return is;
+  }
+
+  size_t i = first;
+  while (i <= last) {
+    const IntervalList* cached = nullptr;
+    if (cache_->Get(i, &cached)) {
+      is = IntervalList::Union(is, *cached);
+      if (stats != nullptr) stats->cache_hits += 1;
+      ++i;
+      continue;
+    }
+    // Extend the missing run as far as it goes.
+    size_t run_last = i;
+    const IntervalList* probe = nullptr;
+    while (run_last + 1 <= last && !cache_->Get(run_last + 1, &probe)) {
+      ++run_last;
+    }
+    if (stats != nullptr && i != first) stats->index_accesses += 1;
+    KVMATCH_RETURN_NOT_OK(fetch_run(i, run_last));
+    i = run_last + 1;
+  }
+  return is;
+}
+
+uint64_t KvIndex::EstimateIntervals(double lr, double ur) const {
+  uint64_t n = 0;
+  for (size_t i = RowLowerBound(lr); i < meta_.size() && meta_[i].low <= ur;
+       ++i) {
+    n += meta_[i].num_intervals;
+  }
+  return n;
+}
+
+uint64_t KvIndex::EstimatePositions(double lr, double ur) const {
+  uint64_t n = 0;
+  for (size_t i = RowLowerBound(lr); i < meta_.size() && meta_[i].low <= ur;
+       ++i) {
+    n += meta_[i].num_positions;
+  }
+  return n;
+}
+
+Status KvIndex::Persist(KvStore* store, const std::string& ns) const {
+  for (const auto& row : rows_) {
+    KVMATCH_RETURN_NOT_OK(store->Put(RowKey(ns, row.low),
+                                     EncodeRowValue(row)));
+  }
+  std::string meta;
+  PutVarint64(&meta, window_);
+  PutVarint64(&meta, series_length_);
+  PutVarint64(&meta, meta_.size());
+  for (const auto& m : meta_) {
+    PutDouble(&meta, m.low);
+    PutDouble(&meta, m.up);
+    PutVarint64(&meta, m.num_intervals);
+    PutVarint64(&meta, m.num_positions);
+  }
+  KVMATCH_RETURN_NOT_OK(store->Put(MetaKey(ns), meta));
+  return store->Flush();
+}
+
+Result<KvIndex> KvIndex::Open(const KvStore* store, const std::string& ns) {
+  std::string meta;
+  KVMATCH_RETURN_NOT_OK(store->Get(MetaKey(ns), &meta));
+  KvIndex index;
+  std::string_view in(meta);
+  uint64_t w, n, count;
+  if (!GetVarint64(&in, &w) || !GetVarint64(&in, &n) ||
+      !GetVarint64(&in, &count)) {
+    return Status::Corruption("bad index meta header");
+  }
+  index.window_ = w;
+  index.series_length_ = n;
+  index.meta_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (in.size() < 16) return Status::Corruption("meta entry truncated");
+    RowMeta m;
+    m.low = DecodeDouble(in.data());
+    m.up = DecodeDouble(in.data() + 8);
+    in.remove_prefix(16);
+    if (!GetVarint64(&in, &m.num_intervals) ||
+        !GetVarint64(&in, &m.num_positions)) {
+      return Status::Corruption("meta entry truncated");
+    }
+    index.meta_.push_back(m);
+  }
+  index.store_ = store;
+  index.ns_ = ns;
+  return index;
+}
+
+uint64_t KvIndex::EncodedSizeBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& row : rows_) {
+    bytes += 9 + EncodeRowValue(row).size();  // key (1+8) + value
+  }
+  bytes += 24 * meta_.size();  // meta entry upper bound
+  return bytes;
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,130 @@
+// KV-index (paper §IV): ordered rows keyed by mean-value range.
+//
+// Row i is ⟨K_i = [low_i, up_i), V_i = IntervalList⟩: the set of length-w
+// sliding windows of X whose mean falls in K_i, organized as sorted window
+// intervals. A meta table ⟨K_i, n_I(V_i), n_P(V_i)⟩ is kept in memory so
+// probes can locate the row range for a mean-value query with binary search
+// and issue exactly one sequential KvStore scan.
+#ifndef KVMATCH_INDEX_KV_INDEX_H_
+#define KVMATCH_INDEX_KV_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/interval.h"
+#include "storage/kvstore.h"
+
+namespace kvmatch {
+
+/// One key-value row of the index.
+struct IndexRow {
+  double low = 0.0;   // inclusive
+  double up = 0.0;    // exclusive
+  IntervalList value;
+};
+
+/// Meta-table entry: everything needed to plan a probe without touching
+/// row data (paper §IV-A: ⟨K_i, pos_i, n_I, n_P⟩; byte positions are
+/// delegated to the KvStore, so we keep the key range and counts).
+struct RowMeta {
+  double low = 0.0;
+  double up = 0.0;
+  uint64_t num_intervals = 0;
+  uint64_t num_positions = 0;
+};
+
+/// Probe statistics, reported per query for the paper's "#index accesses"
+/// metric (Tables III/IV).
+struct ProbeStats {
+  uint64_t index_accesses = 0;   // scan operations issued
+  uint64_t rows_fetched = 0;     // rows decoded
+  uint64_t intervals_fetched = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t cache_hits = 0;       // rows served from the row cache
+
+  void Add(const ProbeStats& o) {
+    index_accesses += o.index_accesses;
+    rows_fetched += o.rows_fetched;
+    intervals_fetched += o.intervals_fetched;
+    bytes_fetched += o.bytes_fetched;
+    cache_hits += o.cache_hits;
+  }
+};
+
+/// A complete KV-index over one window length w.
+///
+/// The index may live fully in memory (after Build) or be backed by a
+/// KvStore (after Persist + Open). Both forms serve ProbeRange.
+class KvIndex {
+ public:
+  KvIndex() = default;
+  KvIndex(size_t window, size_t series_length, std::vector<IndexRow> rows);
+
+  size_t window() const { return window_; }
+  size_t series_length() const { return series_length_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<IndexRow>& rows() const { return rows_; }
+  const std::vector<RowMeta>& meta() const { return meta_; }
+
+  /// Fetches every row whose key range intersects [lr, ur] and unions
+  /// their interval lists into IS (one logical sequential scan). Boundary
+  /// rows may contribute windows outside [lr, ur]; per §V-B this only adds
+  /// negative candidates, never loses positives.
+  ///
+  /// In-memory form: served from rows_. Store-backed form: one KvStore
+  /// Scan. `stats` may be null.
+  Result<IntervalList> ProbeRange(double lr, double ur,
+                                  ProbeStats* stats = nullptr) const;
+
+  /// Estimates n_I(IS) for [lr, ur] from the meta table alone (used by the
+  /// KV-matchDP objective, Eq. 8/9). Never touches row data.
+  uint64_t EstimateIntervals(double lr, double ur) const;
+  uint64_t EstimatePositions(double lr, double ur) const;
+
+  /// Writes all rows + meta into `store` under `ns` ("namespace") so many
+  /// indexes can share a store. Keys: ns + "r" + ordered-double(low);
+  /// meta under ns + "m".
+  Status Persist(KvStore* store, const std::string& ns = "") const;
+
+  /// Opens a store-backed index persisted by Persist. Row data stays in
+  /// the store; only meta is loaded.
+  static Result<KvIndex> Open(const KvStore* store, const std::string& ns = "");
+
+  /// Approximate in-memory/encoded size in bytes (rows + meta).
+  uint64_t EncodedSizeBytes() const;
+
+  /// Enables the query-time row cache for store-backed indexes (paper
+  /// §VI-C, first optimization): decoded rows are kept and reused across
+  /// probes, so overlapping RLists only fetch the missing tail. Caches at
+  /// most `max_rows` rows (FIFO eviction); 0 disables. No effect on
+  /// in-memory indexes.
+  void EnableRowCache(size_t max_rows) const;
+
+ private:
+  void RebuildMeta();
+
+  /// Index of the first meta row with up > v (the row that could contain
+  /// v), i.e. lower bound over row upper ends.
+  size_t RowLowerBound(double v) const;
+
+  size_t window_ = 0;
+  size_t series_length_ = 0;
+  std::vector<IndexRow> rows_;    // empty in store-backed form
+  std::vector<RowMeta> meta_;
+
+  // Store-backed form:
+  const KvStore* store_ = nullptr;
+  std::string ns_;
+
+  // Row cache (mutable: caching is logically const). Keyed by the row's
+  // meta index; insertion order doubles as the FIFO eviction queue.
+  struct RowCache;
+  mutable std::shared_ptr<RowCache> cache_;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_INDEX_KV_INDEX_H_

@@ -1,0 +1,125 @@
+#include "match/query_ranges.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "distance/envelope.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+
+namespace {
+
+/// cNSM range construction shared by Lemmas 2 and 4: given the inner
+/// bounds A (lower, built from µ^Q_i or µ^L_i) and B (upper, from µ^Q_i or
+/// µ^U_i), minimize a·A + b + µ_Q and maximize a·B + b + µ_Q over
+/// a ∈ {1/α, α}, b ∈ {-β, β}.
+void CnsmRange(double a_lo, double b_hi, double alpha, double beta,
+               double mu_q, double* lr, double* ur) {
+  const double vmin = std::min(alpha * a_lo, a_lo / alpha);
+  const double vmax = std::max(alpha * b_hi, b_hi / alpha);
+  *lr = vmin + mu_q - beta;
+  *ur = vmax + mu_q + beta;
+}
+
+std::vector<double> PrefixSum(std::span<const double> v) {
+  std::vector<double> out(v.size() + 1, 0.0);
+  for (size_t i = 0; i < v.size(); ++i) out[i + 1] = out[i] + v[i];
+  return out;
+}
+
+double RangeMean(const std::vector<double>& prefix, size_t offset,
+                 size_t len) {
+  return (prefix[offset + len] - prefix[offset]) / static_cast<double>(len);
+}
+
+}  // namespace
+
+QueryRangeContext::QueryRangeContext(std::span<const double> query,
+                                     const QueryParams& p)
+    : q(query), params(p) {
+  const MeanStd ms = ComputeMeanStd(q);
+  mu_q = ms.mean;
+  sigma_q = ms.std;
+  if (IsDtw(params.type)) {
+    const Envelope env = BuildEnvelope(q, params.rho);
+    env_lower_sum = PrefixSum(env.lower);
+    env_upper_sum = PrefixSum(env.upper);
+  } else {
+    q_sum = PrefixSum(q);
+  }
+}
+
+QueryWindow ComputeWindowRange(const QueryRangeContext& ctx, size_t offset,
+                               size_t len) {
+  QueryWindow qw;
+  qw.offset = offset;
+  qw.length = len;
+  const double sqrt_w = std::sqrt(static_cast<double>(len));
+  const double eps = ctx.params.epsilon;
+  switch (ctx.params.type) {
+    case QueryType::kRsmEd: {
+      const double mu_i = RangeMean(ctx.q_sum, offset, len);
+      qw.lr = mu_i - eps / sqrt_w;
+      qw.ur = mu_i + eps / sqrt_w;
+      break;
+    }
+    case QueryType::kRsmDtw: {
+      const double mu_l = RangeMean(ctx.env_lower_sum, offset, len);
+      const double mu_u = RangeMean(ctx.env_upper_sum, offset, len);
+      qw.lr = mu_l - eps / sqrt_w;
+      qw.ur = mu_u + eps / sqrt_w;
+      break;
+    }
+    case QueryType::kCnsmEd: {
+      const double mu_i = RangeMean(ctx.q_sum, offset, len);
+      const double a_lo = mu_i - ctx.mu_q - eps * ctx.sigma_q / sqrt_w;
+      const double b_hi = mu_i - ctx.mu_q + eps * ctx.sigma_q / sqrt_w;
+      CnsmRange(a_lo, b_hi, ctx.params.alpha, ctx.params.beta, ctx.mu_q,
+                &qw.lr, &qw.ur);
+      break;
+    }
+    case QueryType::kCnsmDtw: {
+      const double mu_l = RangeMean(ctx.env_lower_sum, offset, len);
+      const double mu_u = RangeMean(ctx.env_upper_sum, offset, len);
+      const double a_lo = mu_l - ctx.mu_q - eps * ctx.sigma_q / sqrt_w;
+      const double b_hi = mu_u - ctx.mu_q + eps * ctx.sigma_q / sqrt_w;
+      CnsmRange(a_lo, b_hi, ctx.params.alpha, ctx.params.beta, ctx.mu_q,
+                &qw.lr, &qw.ur);
+      break;
+    }
+    case QueryType::kRsmL1: {
+      // Σ_window |s_j - q_j| >= w·|µ^S_i - µ^Q_i| (triangle inequality),
+      // so qualifying windows satisfy |µ^S_i - µ^Q_i| <= ε / w.
+      const double mu_i = RangeMean(ctx.q_sum, offset, len);
+      qw.lr = mu_i - eps / static_cast<double>(len);
+      qw.ur = mu_i + eps / static_cast<double>(len);
+      break;
+    }
+  }
+  return qw;
+}
+
+std::vector<QueryWindow> ComputeQueryWindowsSegmented(
+    std::span<const double> q, const std::vector<size_t>& lengths,
+    const QueryParams& params) {
+  const QueryRangeContext ctx(q, params);
+  std::vector<QueryWindow> out;
+  out.reserve(lengths.size());
+  size_t offset = 0;
+  for (size_t len : lengths) {
+    out.push_back(ComputeWindowRange(ctx, offset, len));
+    offset += len;
+  }
+  return out;
+}
+
+std::vector<QueryWindow> ComputeQueryWindows(std::span<const double> q,
+                                             size_t w,
+                                             const QueryParams& params) {
+  const size_t p = w == 0 ? 0 : q.size() / w;
+  std::vector<size_t> lengths(p, w);
+  return ComputeQueryWindowsSegmented(q, lengths, params);
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,61 @@
+// Per-window mean-value ranges [LR_i, UR_i] for the four query types
+// (paper Lemmas 1-4). Any subsequence in ε-match / (ε,α,β)-match with Q has
+// every disjoint-window mean inside the corresponding range, so windows
+// outside the range are safely filtered.
+#ifndef KVMATCH_MATCH_QUERY_RANGES_H_
+#define KVMATCH_MATCH_QUERY_RANGES_H_
+
+#include <span>
+#include <vector>
+
+#include "match/query_types.h"
+
+namespace kvmatch {
+
+/// One disjoint query window and its admissible data-window mean range.
+struct QueryWindow {
+  size_t offset = 0;  // start within Q
+  size_t length = 0;  // w for this window
+  double lr = 0.0;    // lower bound of admissible µ_S_i
+  double ur = 0.0;    // upper bound
+};
+
+/// Query-global precomputation reused across per-window range requests
+/// (the DP segmenter evaluates O(m'·L) candidate windows).
+struct QueryRangeContext {
+  explicit QueryRangeContext(std::span<const double> q,
+                             const QueryParams& params);
+
+  std::span<const double> q;
+  QueryParams params;
+  double mu_q = 0.0;
+  double sigma_q = 0.0;
+  // Envelope prefix sums (DTW types): env_lower_sum[i] = sum of L[0..i).
+  std::vector<double> env_lower_sum;
+  std::vector<double> env_upper_sum;
+  // Plain prefix sum of q (ED types).
+  std::vector<double> q_sum;
+};
+
+/// Computes [LR, UR] for the single window Q(offset, len) under the
+/// context's query type (Lemmas 1-4; each proof involves only one window).
+QueryWindow ComputeWindowRange(const QueryRangeContext& ctx, size_t offset,
+                               size_t len);
+
+/// Splits Q into p = ⌊|Q|/w⌋ disjoint length-w windows and computes their
+/// ranges for the given query type (the trailing remainder is ignored, as
+/// the lemmas are necessary conditions; paper §V-A).
+std::vector<QueryWindow> ComputeQueryWindows(std::span<const double> q,
+                                             size_t w,
+                                             const QueryParams& params);
+
+/// Variable-length variant used by KV-matchDP: `lengths[i]` is the length
+/// of the i-th disjoint window (must sum to <= |Q|). The lemma proofs only
+/// ever involve one window, so they carry over unchanged (paper §VI-A).
+std::vector<QueryWindow> ComputeQueryWindowsSegmented(
+    std::span<const double> q, const std::vector<size_t>& lengths,
+    const QueryParams& params);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_MATCH_QUERY_RANGES_H_

@@ -1,0 +1,66 @@
+// Query specification shared by KV-match, KV-matchDP and the baselines.
+#ifndef KVMATCH_MATCH_QUERY_TYPES_H_
+#define KVMATCH_MATCH_QUERY_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "index/kv_index.h"
+
+namespace kvmatch {
+
+/// The four query types served by a single KV-index (paper §II, §III),
+/// plus RSM under the L1 norm — the paper's "more distance measures"
+/// future work (§X). L1 admits the same mean-range filtering: by the
+/// triangle inequality Σ_window |s_j - q_j| >= w·|µ^S_i - µ^Q_i|, so
+/// L1(S, Q) <= ε implies µ^S_i ∈ [µ^Q_i - ε/w, µ^Q_i + ε/w].
+enum class QueryType {
+  kRsmEd,    // raw ε-match, Euclidean
+  kRsmDtw,   // raw ε-match, banded DTW
+  kCnsmEd,   // (ε, α, β)-match on normalized series, Euclidean
+  kCnsmDtw,  // (ε, α, β)-match on normalized series, banded DTW
+  kRsmL1,    // raw ε-match, Manhattan (L1)
+};
+
+inline bool IsNormalized(QueryType t) {
+  return t == QueryType::kCnsmEd || t == QueryType::kCnsmDtw;
+}
+inline bool IsDtw(QueryType t) {
+  return t == QueryType::kRsmDtw || t == QueryType::kCnsmDtw;
+}
+inline bool IsL1(QueryType t) { return t == QueryType::kRsmL1; }
+
+/// Full query parameterization.
+struct QueryParams {
+  QueryType type = QueryType::kRsmEd;
+  double epsilon = 0.0;  // distance threshold ε (raw or normalized space)
+  double alpha = 1.0;    // cNSM amplitude-scaling knob, α >= 1
+  double beta = 0.0;     // cNSM offset-shifting knob, β >= 0
+  size_t rho = 0;        // Sakoe-Chiba band width for DTW
+};
+
+/// One match: the subsequence X(offset, |Q|) and its distance to Q
+/// (normalized distance for cNSM types).
+struct MatchResult {
+  size_t offset = 0;
+  double distance = 0.0;
+
+  bool operator==(const MatchResult&) const = default;
+};
+
+/// End-to-end statistics for one query, feeding the paper's evaluation
+/// metrics (#candidates, #index accesses, runtime split).
+struct MatchStats {
+  ProbeStats probe;
+  uint64_t candidate_positions = 0;  // n_P(CS): subsequences verified
+  uint64_t candidate_intervals = 0;  // n_I(CS): data fetches in phase 2
+  uint64_t distance_calls = 0;       // full distance computations
+  uint64_t lb_pruned = 0;            // candidates killed by lower bounds
+  uint64_t constraint_pruned = 0;    // cNSM candidates killed by α/β checks
+  double phase1_ms = 0.0;
+  double phase2_ms = 0.0;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_MATCH_QUERY_TYPES_H_

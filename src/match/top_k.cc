@@ -1,0 +1,61 @@
+#include "match/top_k.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace kvmatch {
+
+namespace {
+
+/// Greedy non-overlap filter: results are distance-sorted; keep a result
+/// only if no kept result lies within `zone` offsets.
+std::vector<MatchResult> ApplyExclusion(std::vector<MatchResult> sorted,
+                                        size_t zone) {
+  if (zone == 0) return sorted;
+  std::vector<MatchResult> kept;
+  for (const auto& r : sorted) {
+    bool blocked = false;
+    for (const auto& other : kept) {
+      const size_t delta = r.offset > other.offset ? r.offset - other.offset
+                                                   : other.offset - r.offset;
+      if (delta < zone) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) kept.push_back(r);
+  }
+  return kept;
+}
+
+}  // namespace
+
+Result<std::vector<MatchResult>> TopKMatch(
+    const std::function<Result<std::vector<MatchResult>>(double epsilon)>&
+        match_fn,
+    size_t k, const TopKOptions& options) {
+  if (k == 0) return std::vector<MatchResult>{};
+  double epsilon = options.initial_epsilon;
+  std::vector<MatchResult> last;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    auto results = match_fn(epsilon);
+    if (!results.ok()) return results.status();
+    std::vector<MatchResult> sorted = std::move(results).value();
+    std::sort(sorted.begin(), sorted.end(),
+              [](const MatchResult& a, const MatchResult& b) {
+                return a.distance < b.distance ||
+                       (a.distance == b.distance && a.offset < b.offset);
+              });
+    sorted = ApplyExclusion(std::move(sorted), options.exclusion_zone);
+    if (sorted.size() >= k) {
+      sorted.resize(k);
+      return sorted;
+    }
+    last = std::move(sorted);
+    epsilon *= options.growth;
+  }
+  // Budget exhausted: return the best we saw (may be fewer than k).
+  return last;
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,40 @@
+// Top-K subsequence search on top of ε-match (engineering extension; the
+// paper's engine answers threshold queries, while exploratory users often
+// want "the k best matches" — UCR Suite's native mode).
+//
+// Strategy: run ε-match with geometrically growing ε until at least k
+// results arrive, then keep the k smallest distances. Correct because an
+// ε-match with ε >= d_k returns every subsequence within d_k, so the k
+// smallest of the final round are the global top-k.
+#ifndef KVMATCH_MATCH_TOP_K_H_
+#define KVMATCH_MATCH_TOP_K_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "match/query_types.h"
+
+namespace kvmatch {
+
+struct TopKOptions {
+  double initial_epsilon = 0.5;
+  double growth = 2.0;       // ε multiplier per round
+  int max_rounds = 40;       // gives up past initial · growth^max_rounds
+  /// Exclude trivial matches: keep at most one result per window of this
+  /// many offsets (0 disables). UCR-style non-overlap handling.
+  size_t exclusion_zone = 0;
+};
+
+/// `match_fn` runs one ε-match (e.g. wraps KvMatcher::Match or
+/// KvMatchDp::Match with everything but ε bound). Returns the k best
+/// matches sorted by distance; fewer if the series has fewer eligible
+/// offsets or max_rounds is exhausted.
+Result<std::vector<MatchResult>> TopKMatch(
+    const std::function<Result<std::vector<MatchResult>>(double epsilon)>&
+        match_fn,
+    size_t k, const TopKOptions& options = {});
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_MATCH_TOP_K_H_

@@ -1,0 +1,137 @@
+#include "match/verifier.h"
+
+#include <cmath>
+#include <limits>
+
+#include "distance/dtw.h"
+#include "distance/ed.h"
+#include "distance/envelope.h"
+#include "distance/lower_bounds.h"
+
+namespace kvmatch {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Verifier::Verifier(const TimeSeries& series, const PrefixStats& prefix)
+    : series_(series), prefix_(prefix) {}
+
+std::vector<MatchResult> Verifier::Verify(std::span<const double> q,
+                                          const QueryParams& params,
+                                          const IntervalList& cs,
+                                          MatchStats* stats,
+                                          const VerifyOptions& options) const {
+  std::vector<MatchResult> results;
+  const size_t m = q.size();
+  const size_t n = series_.size();
+  if (m == 0 || n < m) return results;
+  const double eps_sq = params.epsilon * params.epsilon;
+  const bool normalized = IsNormalized(params.type);
+  const bool dtw = IsDtw(params.type);
+
+  // Query-side precomputation.
+  std::vector<double> q_hat;           // normalized query (cNSM)
+  std::vector<int> ed_order;           // reordered-ED visit order
+  Envelope env;                        // envelope of q (raw or normalized)
+  MeanStd q_ms = ComputeMeanStd(q);
+  std::span<const double> q_cmp = q;   // series the distance is against
+  if (normalized) {
+    q_hat = ZNormalize(q);
+    q_cmp = q_hat;
+  }
+  if (dtw) {
+    env = BuildEnvelope(q_cmp, params.rho);
+  } else if (options.use_reordered_ed) {
+    ed_order = SortedAbsOrder(q_cmp);
+  }
+
+  std::vector<double> s_hat;               // normalized candidate buffer
+  std::vector<double> cb;                  // LB_Keogh contributions
+  for (const auto& wi : cs.intervals()) {
+    for (int64_t j = wi.l; j <= wi.r; ++j) {
+      const size_t off = static_cast<size_t>(j);
+      if (off + m > n) break;  // cannot host a full |Q| subsequence
+      const auto s = series_.Subsequence(off, m);
+
+      double mean = 0.0, std = 0.0;
+      if (normalized) {
+        const MeanStd ms = prefix_.WindowMeanStd(off, m);
+        mean = ms.mean;
+        std = ms.std;
+        // cNSM constraint push-down: α on σ-ratio, β on mean difference.
+        const bool sigma_ok =
+            std >= q_ms.std / params.alpha - 1e-12 &&
+            std <= q_ms.std * params.alpha + 1e-12;
+        const bool mu_ok = std::fabs(mean - q_ms.mean) <= params.beta + 1e-12;
+        if (!sigma_ok || !mu_ok) {
+          if (stats != nullptr) ++stats->constraint_pruned;
+          continue;
+        }
+      }
+
+      if (IsL1(params.type)) {
+        // L1 path: distances are compared un-squared.
+        const double d = L1DistanceEarlyAbandon(s, q_cmp, params.epsilon);
+        if (stats != nullptr) ++stats->distance_calls;
+        if (d > params.epsilon) continue;
+        results.push_back({off, d});
+        continue;
+      }
+
+      double dist_sq = kInf;
+      if (!dtw) {
+        // ED path.
+        if (normalized) {
+          if (options.use_reordered_ed) {
+            dist_sq = SquaredNormalizedEdOrdered(s, mean, std, q_cmp,
+                                                 ed_order, eps_sq);
+          } else {
+            s_hat.assign(s.begin(), s.end());
+            const double inv = std > 1e-12 ? 1.0 / std : 0.0;
+            for (auto& v : s_hat) v = (v - mean) * inv;
+            dist_sq = SquaredEdEarlyAbandon(s_hat, q_cmp, eps_sq);
+          }
+        } else {
+          dist_sq = SquaredEdEarlyAbandon(s, q_cmp, eps_sq);
+        }
+        if (stats != nullptr) ++stats->distance_calls;
+        if (dist_sq > eps_sq) continue;
+      } else {
+        // DTW path: LB_Kim -> LB_Keogh (collecting cb) -> exact banded DTW.
+        std::span<const double> s_cmp = s;
+        if (normalized) {
+          s_hat.assign(s.begin(), s.end());
+          const double inv = std > 1e-12 ? 1.0 / std : 0.0;
+          for (auto& v : s_hat) v = (v - mean) * inv;
+          s_cmp = s_hat;
+        }
+        if (options.use_lb_kim &&
+            LbKimSquared(s_cmp, q_cmp, eps_sq) > eps_sq) {
+          if (stats != nullptr) ++stats->lb_pruned;
+          continue;
+        }
+        std::span<const double> cum_lb;
+        std::vector<double> cum;
+        if (options.use_lb_keogh) {
+          const double lb = LbKeoghSquared(s_cmp, env, eps_sq, &cb);
+          if (lb > eps_sq) {
+            if (stats != nullptr) ++stats->lb_pruned;
+            continue;
+          }
+          cum = SuffixCumulate(cb);
+          cum_lb = cum;
+        }
+        const double d =
+            DtwDistance(s_cmp, q_cmp, params.rho, params.epsilon, cum_lb);
+        if (stats != nullptr) ++stats->distance_calls;
+        if (d > params.epsilon) continue;
+        dist_sq = d * d;
+      }
+      results.push_back({off, std::sqrt(dist_sq)});
+    }
+  }
+  return results;
+}
+
+}  // namespace kvmatch

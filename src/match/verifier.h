@@ -1,0 +1,46 @@
+// Phase-2 verification (paper §V-C, last paragraph): fetch candidate
+// subsequences, apply the cNSM constraints and UCR-style lower bounds, and
+// compute exact distances for the survivors.
+#ifndef KVMATCH_MATCH_VERIFIER_H_
+#define KVMATCH_MATCH_VERIFIER_H_
+
+#include <span>
+#include <vector>
+
+#include "index/interval.h"
+#include "match/query_types.h"
+#include "ts/stats_oracle.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+
+/// Tunable verification options (lower-bound cascade toggles used by the
+/// ablation benchmarks).
+struct VerifyOptions {
+  bool use_lb_kim = true;    // DTW only
+  bool use_lb_keogh = true;  // DTW only
+  bool use_reordered_ed = true;
+};
+
+/// Verifies every candidate start offset in `cs` (interpreted as candidate
+/// subsequence start positions, already shifted by the matcher) against Q.
+/// Results are ordered by offset. `stats` may be null.
+class Verifier {
+ public:
+  /// `prefix` must be built over `series`; it supplies O(1) µ_S / σ_S.
+  Verifier(const TimeSeries& series, const PrefixStats& prefix);
+
+  std::vector<MatchResult> Verify(std::span<const double> q,
+                                  const QueryParams& params,
+                                  const IntervalList& cs,
+                                  MatchStats* stats = nullptr,
+                                  const VerifyOptions& options = {}) const;
+
+ private:
+  const TimeSeries& series_;
+  const PrefixStats& prefix_;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_MATCH_VERIFIER_H_

@@ -1,0 +1,27 @@
+#include "matchdp/kv_match_dp.h"
+
+namespace kvmatch {
+
+Result<std::vector<MatchResult>> KvMatchDp::Match(
+    std::span<const double> q, const QueryParams& params, MatchStats* stats,
+    const MatchOptions& options) const {
+  auto sg = SegmentQuery(q, params, indexes_);
+  if (!sg.ok()) return sg.status();
+
+  std::vector<QuerySegment> segments;
+  segments.reserve(sg->lengths.size());
+  size_t offset = 0;
+  for (size_t len : sg->lengths) {
+    const KvIndex* index = nullptr;
+    for (const auto* idx : indexes_) {
+      if (idx->window() == len) index = idx;
+    }
+    if (index == nullptr) return Status::Internal("no index for segment");
+    segments.push_back({index, offset, len});
+    offset += len;
+  }
+  return MatchWithSegments(series_, prefix_, q, params, segments, stats,
+                           options);
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,157 @@
+#include "matchdp/segmenter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "match/query_ranges.h"
+
+namespace kvmatch {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Status ValidateIndexes(const std::vector<const KvIndex*>& indexes,
+                       size_t* wu) {
+  if (indexes.empty()) return Status::InvalidArgument("no indexes");
+  *wu = indexes[0]->window();
+  if (*wu == 0) return Status::InvalidArgument("zero window");
+  size_t expect = *wu;
+  for (const auto* idx : indexes) {
+    if (idx == nullptr) return Status::InvalidArgument("null index");
+    if (idx->window() != expect) {
+      return Status::InvalidArgument(
+          "index windows must be wu, 2wu, 4wu, ... in order");
+    }
+    expect *= 2;
+  }
+  return Status::OK();
+}
+
+/// log of n_I(IS) for window Q(offset, len) served by `index`; -inf when
+/// the estimate is zero (an empty IS forces an empty CS — the best case).
+double LogCost(const QueryRangeContext& ctx, const KvIndex& index,
+               size_t offset, size_t len) {
+  const QueryWindow qw = ComputeWindowRange(ctx, offset, len);
+  const uint64_t c = index.EstimateIntervals(qw.lr, qw.ur);
+  return c == 0 ? -kInf : std::log(static_cast<double>(c));
+}
+
+}  // namespace
+
+Result<Segmentation> SegmentQuery(
+    std::span<const double> q, const QueryParams& params,
+    const std::vector<const KvIndex*>& indexes) {
+  size_t wu = 0;
+  KVMATCH_RETURN_NOT_OK(ValidateIndexes(indexes, &wu));
+  const size_t big_l = indexes.size();
+  const size_t m_prime = q.size() / wu;
+  if (m_prime == 0) {
+    return Status::InvalidArgument("query shorter than wu");
+  }
+  const double n = static_cast<double>(indexes[0]->series_length());
+
+  const QueryRangeContext ctx(q, params);
+
+  // Pre-compute log C_{i-ϕ+1, ϕ}: cost of the window of ϕ wu-units ending
+  // at unit boundary i (1-based, as in Eq. 9).
+  // cost[i][k] with ϕ = 2^k covering q[(i-ϕ)*wu, i*wu).
+  std::vector<std::vector<double>> cost(
+      m_prime + 1, std::vector<double>(big_l, kInf));
+  for (size_t i = 1; i <= m_prime; ++i) {
+    size_t phi = 1;
+    for (size_t k = 0; k < big_l && phi <= i; ++k, phi *= 2) {
+      cost[i][k] = LogCost(ctx, *indexes[k], (i - phi) * wu, phi * wu);
+    }
+  }
+
+  // DP over (boundary i, number of windows j), log-space:
+  //   lv[i][j] = min over ϕ ((j-1)·lv[i-ϕ][j-1] + log C) / j
+  // Minimizing the log of the geometric mean is monotone-equivalent to
+  // Eq. 9. Note -inf propagates correctly (empty IS wins outright).
+  std::vector<std::vector<double>> lv(
+      m_prime + 1, std::vector<double>(m_prime + 1, kInf));
+  std::vector<std::vector<int>> parent(
+      m_prime + 1, std::vector<int>(m_prime + 1, -1));
+  lv[0][0] = 0.0;
+  for (size_t i = 1; i <= m_prime; ++i) {
+    for (size_t j = 1; j <= i; ++j) {
+      size_t phi = 1;
+      for (size_t k = 0; k < big_l && phi <= i; ++k, phi *= 2) {
+        const double prev = lv[i - phi][j - 1];
+        if (prev == kInf || cost[i][k] == kInf) continue;
+        double v;
+        if (prev == -kInf || cost[i][k] == -kInf) {
+          v = -kInf;
+        } else {
+          v = (static_cast<double>(j - 1) * prev + cost[i][k]) /
+              static_cast<double>(j);
+        }
+        if (v < lv[i][j]) {
+          lv[i][j] = v;
+          parent[i][j] = static_cast<int>(phi);
+        }
+      }
+    }
+  }
+
+  // Best window count at the full prefix.
+  size_t best_j = 0;
+  double best = kInf;
+  for (size_t j = 1; j <= m_prime; ++j) {
+    if (lv[m_prime][j] < best) {
+      best = lv[m_prime][j];
+      best_j = j;
+    }
+  }
+  if (best_j == 0) {
+    return Status::Internal("segmentation DP found no solution");
+  }
+
+  Segmentation sg;
+  size_t i = m_prime, j = best_j;
+  while (i > 0) {
+    const int phi = parent[i][j];
+    sg.lengths.push_back(static_cast<size_t>(phi) * wu);
+    i -= static_cast<size_t>(phi);
+    --j;
+  }
+  std::reverse(sg.lengths.begin(), sg.lengths.end());
+  // F = exp(lv) / n  (geometric mean of n_I over n).
+  sg.objective = best == -kInf ? 0.0 : std::exp(best) / n;
+  return sg;
+}
+
+Result<double> EvaluateSegmentation(
+    std::span<const double> q, const QueryParams& params,
+    const std::vector<const KvIndex*>& indexes,
+    const std::vector<size_t>& lengths) {
+  size_t wu = 0;
+  KVMATCH_RETURN_NOT_OK(ValidateIndexes(indexes, &wu));
+  const QueryRangeContext ctx(q, params);
+  const double n = static_cast<double>(indexes[0]->series_length());
+  double log_sum = 0.0;
+  size_t offset = 0;
+  for (size_t len : lengths) {
+    if (offset + len > q.size()) {
+      return Status::InvalidArgument("segmentation longer than Q");
+    }
+    // Locate the index serving this length.
+    const KvIndex* index = nullptr;
+    for (const auto* idx : indexes) {
+      if (idx->window() == len) index = idx;
+    }
+    if (index == nullptr) {
+      return Status::InvalidArgument("segment length not in Σ");
+    }
+    const double lc = LogCost(ctx, *index, offset, len);
+    if (lc == -kInf) return 0.0;
+    log_sum += lc;
+    offset += len;
+  }
+  if (lengths.empty()) return Status::InvalidArgument("empty segmentation");
+  return std::exp(log_sum / static_cast<double>(lengths.size())) / n;
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,42 @@
+// Dynamic query segmentation for KV-matchDP (paper §VI, Algorithm 2).
+//
+// Given indexes with window lengths Σ = {wu·2^(k-1) | 1 <= k <= L}, split
+// the query into disjoint windows (each with length ∈ Σ) minimizing the
+// objective F(SG) = (∏ n_I(IS_i) / n)^(1/p) — the geometric mean of the
+// per-window interval counts (Eq. 8). n_I(IS_i) is estimated from the meta
+// tables alone, so segmentation costs no row I/O.
+#ifndef KVMATCH_MATCHDP_SEGMENTER_H_
+#define KVMATCH_MATCHDP_SEGMENTER_H_
+
+#include <span>
+#include <vector>
+
+#include "index/kv_index.h"
+#include "match/query_types.h"
+
+namespace kvmatch {
+
+struct Segmentation {
+  /// Window lengths, left to right; each ∈ Σ; sums to <= |Q|.
+  std::vector<size_t> lengths;
+  /// Objective value F(SG) achieved (Eq. 8, including the 1/n factor).
+  double objective = 0.0;
+};
+
+/// Runs the two-dimensional DP of Algorithm 2. `indexes[k]` must have
+/// window length wu·2^k (k = 0..L-1) and all must cover the same series.
+/// Requires |Q| >= wu. The DP works in log space for numeric stability.
+Result<Segmentation> SegmentQuery(
+    std::span<const double> q, const QueryParams& params,
+    const std::vector<const KvIndex*>& indexes);
+
+/// Evaluates the objective F (Eq. 8) of an arbitrary segmentation —
+/// exposed for tests and the segmentation-quality ablation.
+Result<double> EvaluateSegmentation(
+    std::span<const double> q, const QueryParams& params,
+    const std::vector<const KvIndex*>& indexes,
+    const std::vector<size_t>& lengths);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_MATCHDP_SEGMENTER_H_

@@ -1,0 +1,89 @@
+#include "matchdp/session.h"
+
+namespace kvmatch {
+
+namespace {
+std::string IndexNs(size_t w) { return "idx/w" + std::to_string(w) + "/"; }
+}  // namespace
+
+Status Session::FinishInit(Options options) {
+  (void)options;
+  prefix_ = PrefixStats(series_);
+  index_ptrs_.clear();
+  for (const auto& index : indexes_) index_ptrs_.push_back(&index);
+  matcher_ = std::make_unique<KvMatchDp>(series_, prefix_, index_ptrs_);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Session>> Session::FromSeries(TimeSeries series,
+                                                     Options options) {
+  if (series.size() < options.wu) {
+    return Status::InvalidArgument("series shorter than smallest window");
+  }
+  auto session = std::unique_ptr<Session>(new Session());
+  session->series_ = std::move(series);
+  session->indexes_ = BuildIndexSet(session->series_, options.wu,
+                                    options.levels, options.width);
+  KVMATCH_RETURN_NOT_OK(session->FinishInit(options));
+  return session;
+}
+
+Result<std::unique_ptr<Session>> Session::Ingest(KvStore* store,
+                                                 TimeSeries series,
+                                                 Options options) {
+  auto session = FromSeries(std::move(series), options);
+  if (!session.ok()) return session.status();
+  KVMATCH_RETURN_NOT_OK(SeriesStore::Write(store, (*session)->series_,
+                                           "data/", options.series_chunk));
+  for (const auto& index : (*session)->indexes_) {
+    KVMATCH_RETURN_NOT_OK(index.Persist(store, IndexNs(index.window())));
+  }
+  return session;
+}
+
+Result<std::unique_ptr<Session>> Session::Open(const KvStore* store,
+                                               Options options) {
+  auto series_store = SeriesStore::Open(store, "data/");
+  if (!series_store.ok()) return series_store.status();
+  auto series = series_store->ReadAll();
+  if (!series.ok()) return series.status();
+
+  auto session = std::unique_ptr<Session>(new Session());
+  session->series_ = std::move(series).value();
+  size_t w = options.wu;
+  for (size_t level = 0; level < options.levels; ++level, w *= 2) {
+    auto index = KvIndex::Open(store, IndexNs(w));
+    if (!index.ok()) return index.status();
+    if (options.row_cache_rows > 0) {
+      index->EnableRowCache(options.row_cache_rows);
+    }
+    session->indexes_.push_back(std::move(index).value());
+  }
+  KVMATCH_RETURN_NOT_OK(session->FinishInit(options));
+  return session;
+}
+
+Result<std::vector<MatchResult>> Session::Query(std::span<const double> q,
+                                                const QueryParams& params,
+                                                MatchStats* stats) const {
+  return matcher_->Match(q, params, stats);
+}
+
+Result<std::vector<MatchResult>> Session::QueryTopK(
+    std::span<const double> q, QueryParams params, size_t k,
+    const TopKOptions& options) const {
+  return TopKMatch(
+      [&](double epsilon) {
+        params.epsilon = epsilon;
+        return matcher_->Match(q, params);
+      },
+      k, options);
+}
+
+uint64_t Session::IndexBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& index : indexes_) bytes += index.EncodedSizeBytes();
+  return bytes;
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,92 @@
+// Session: the one-stop public entry point for the exploratory workflow
+// the paper motivates (§I, §III "Analysis") — load or ingest a series
+// once, then interactively issue any of the four query types, top-k
+// variants, and re-tuned (ε, α, β, ρ) knobs against the same index stack.
+//
+// Owns everything: the series, its prefix-stat oracle, the KV-index stack
+// and (optionally) the backing KvStore. Cheap to query repeatedly.
+#ifndef KVMATCH_MATCHDP_SESSION_H_
+#define KVMATCH_MATCHDP_SESSION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "index/index_builder.h"
+#include "match/top_k.h"
+#include "matchdp/kv_match_dp.h"
+#include "storage/kvstore.h"
+#include "ts/series_store.h"
+
+namespace kvmatch {
+
+class Session {
+ public:
+  struct Options {
+    size_t wu = 25;          // smallest index window
+    size_t levels = 5;       // Σ = {wu · 2^k}
+    double width = 0.5;      // index row width d
+    size_t row_cache_rows = 1024;  // per store-backed index; 0 disables
+    size_t series_chunk = 1024;    // SeriesStore chunk size
+  };
+
+  /// Builds a session from an in-memory series: constructs the index
+  /// stack in memory. The fastest way to get going.
+  static Result<std::unique_ptr<Session>> FromSeries(TimeSeries series,
+                                                     Options options);
+  static Result<std::unique_ptr<Session>> FromSeries(TimeSeries series) {
+    return FromSeries(std::move(series), Options());
+  }
+
+  /// Ingests a series into `store` (chunked data + persisted index stack
+  /// under "data/" and "idx/w<w>/") and returns a session over it. The
+  /// store must outlive the session.
+  static Result<std::unique_ptr<Session>> Ingest(KvStore* store,
+                                                 TimeSeries series,
+                                                 Options options);
+  static Result<std::unique_ptr<Session>> Ingest(KvStore* store,
+                                                 TimeSeries series) {
+    return Ingest(store, std::move(series), Options());
+  }
+
+  /// Reopens a session previously written by Ingest: data and indexes are
+  /// read back from the store (indexes stay store-backed with the row
+  /// cache enabled).
+  static Result<std::unique_ptr<Session>> Open(const KvStore* store,
+                                               Options options);
+  static Result<std::unique_ptr<Session>> Open(const KvStore* store) {
+    return Open(store, Options());
+  }
+
+  /// ε-match with any of the four query types. |Q| must be >= wu.
+  Result<std::vector<MatchResult>> Query(std::span<const double> q,
+                                         const QueryParams& params,
+                                         MatchStats* stats = nullptr) const;
+
+  /// Top-k best matches under the given query type (ε in `params` is
+  /// ignored; the search expands ε internally).
+  Result<std::vector<MatchResult>> QueryTopK(
+      std::span<const double> q, QueryParams params, size_t k,
+      const TopKOptions& options = {}) const;
+
+  const TimeSeries& series() const { return series_; }
+  size_t num_indexes() const { return indexes_.size(); }
+  /// Total encoded bytes across the index stack (in-memory form only).
+  uint64_t IndexBytes() const;
+
+ private:
+  Session() = default;
+
+  Status FinishInit(Options options);  // builds prefix stats + matcher
+
+  TimeSeries series_;
+  PrefixStats prefix_;
+  std::vector<KvIndex> indexes_;
+  std::vector<const KvIndex*> index_ptrs_;
+  std::unique_ptr<KvMatchDp> matcher_;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_MATCHDP_SESSION_H_

@@ -1,0 +1,126 @@
+#include "storage/block.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace kvmatch {
+
+void BlockBuilder::Add(std::string_view key, std::string_view value) {
+  assert(last_key_.empty() || key >= std::string_view(last_key_));
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    const size_t min_len = std::min(last_key_.size(), key.size());
+    while (shared < min_len && last_key_[shared] == key[shared]) ++shared;
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const size_t non_shared = key.size() - shared;
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+  last_key_.assign(key.data(), key.size());
+  ++counter_;
+}
+
+std::string BlockBuilder::Finish() {
+  for (uint32_t r : restarts_) PutFixed32(&buffer_, r);
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  return std::move(buffer_);
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.assign(1, 0);
+  counter_ = 0;
+  last_key_.clear();
+}
+
+Result<BlockReader> BlockReader::Parse(std::string contents) {
+  if (contents.size() < 4) return Status::Corruption("block too small");
+  BlockReader block;
+  block.data_ = std::move(contents);
+  const uint32_t n =
+      DecodeFixed32(block.data_.data() + block.data_.size() - 4);
+  const uint64_t trailer = 4ull + 4ull * n;
+  if (trailer > block.data_.size()) {
+    return Status::Corruption("restart array overflows block");
+  }
+  block.num_restarts_ = n;
+  block.restarts_offset_ =
+      static_cast<uint32_t>(block.data_.size() - trailer);
+  return block;
+}
+
+void BlockReader::Iterator::SeekToRestart(uint32_t index) {
+  const uint32_t off =
+      DecodeFixed32(block_->data_.data() + block_->restarts_offset_ +
+                    4 * index);
+  offset_ = off;
+  next_offset_ = off;
+  key_.clear();
+  valid_ = ParseCurrent();
+}
+
+bool BlockReader::Iterator::ParseCurrent() {
+  offset_ = next_offset_;
+  if (offset_ >= block_->restarts_offset_) return false;
+  const char* p = block_->data_.data() + offset_;
+  const char* limit = block_->data_.data() + block_->restarts_offset_;
+  uint32_t shared, non_shared, value_len;
+  p = GetVarint32Ptr(p, limit, &shared);
+  if (p == nullptr) { status_ = Status::Corruption("bad entry"); return false; }
+  p = GetVarint32Ptr(p, limit, &non_shared);
+  if (p == nullptr) { status_ = Status::Corruption("bad entry"); return false; }
+  p = GetVarint32Ptr(p, limit, &value_len);
+  if (p == nullptr) { status_ = Status::Corruption("bad entry"); return false; }
+  if (p + non_shared + value_len > limit || shared > key_.size()) {
+    status_ = Status::Corruption("entry overflows block");
+    return false;
+  }
+  key_.resize(shared);
+  key_.append(p, non_shared);
+  value_ = std::string_view(p + non_shared, value_len);
+  next_offset_ = static_cast<uint32_t>((p + non_shared + value_len) -
+                                       block_->data_.data());
+  return true;
+}
+
+void BlockReader::Iterator::SeekToFirst() {
+  if (block_->num_restarts_ == 0) {
+    valid_ = false;
+    return;
+  }
+  SeekToRestart(0);
+}
+
+void BlockReader::Iterator::Seek(std::string_view target) {
+  if (block_->num_restarts_ == 0) {
+    valid_ = false;
+    return;
+  }
+  // Binary search over restart points: find the last restart whose key is
+  // < target, then scan forward.
+  uint32_t lo = 0, hi = block_->num_restarts_ - 1;
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi + 1) / 2;
+    SeekToRestart(mid);
+    if (valid_ && std::string_view(key_) < target) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  SeekToRestart(lo);
+  while (valid_ && std::string_view(key_) < target) Next();
+}
+
+void BlockReader::Iterator::Next() {
+  valid_ = ParseCurrent();
+}
+
+}  // namespace kvmatch

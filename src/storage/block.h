@@ -1,0 +1,98 @@
+// SSTable data block format (LevelDB/RocksDB style):
+//
+//   entry*: <varint shared><varint non_shared><varint value_len>
+//           <non_shared key bytes><value bytes>
+//   trailer: <fixed32 restart[0..k-1]><fixed32 k>
+//
+// Keys use shared-prefix compression; restart points every
+// `restart_interval` entries allow binary search within a block.
+#ifndef KVMATCH_STORAGE_BLOCK_H_
+#define KVMATCH_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kvmatch {
+
+/// Builds one data block. Keys must be added in sorted order.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16)
+      : restart_interval_(restart_interval) {
+    restarts_.push_back(0);
+  }
+
+  void Add(std::string_view key, std::string_view value);
+
+  /// Appends the restart trailer and returns the finished block contents.
+  std::string Finish();
+
+  size_t CurrentSizeEstimate() const {
+    return buffer_.size() + restarts_.size() * 4 + 4;
+  }
+  bool empty() const { return buffer_.empty(); }
+  const std::string& last_key() const { return last_key_; }
+
+  void Reset();
+
+ private:
+  int restart_interval_;
+  int counter_ = 0;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  std::string last_key_;
+};
+
+/// Parsed, immutable view of a finished block.
+class BlockReader {
+ public:
+  /// Validates the trailer; the block contents are copied in.
+  static Result<BlockReader> Parse(std::string contents);
+
+  /// Iterator positioned entry-by-entry; Seek uses restart-point binary
+  /// search then linear scan.
+  class Iterator {
+   public:
+    explicit Iterator(const BlockReader* block) : block_(block) {}
+
+    void SeekToFirst();
+    /// Positions at the first entry with key >= target.
+    void Seek(std::string_view target);
+    void Next();
+    bool Valid() const { return valid_; }
+    std::string_view key() const { return key_; }
+    std::string_view value() const { return value_; }
+    Status status() const { return status_; }
+
+   private:
+    void SeekToRestart(uint32_t index);
+    bool ParseCurrent();
+
+    const BlockReader* block_;
+    uint32_t offset_ = 0;       // offset of current entry
+    uint32_t next_offset_ = 0;  // offset after current entry
+    std::string key_;
+    std::string_view value_;
+    bool valid_ = false;
+    Status status_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  BlockReader() = default;
+
+  std::string data_;
+  uint32_t restarts_offset_ = 0;
+  uint32_t num_restarts_ = 0;
+
+  friend class Iterator;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_STORAGE_BLOCK_H_

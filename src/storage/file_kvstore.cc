@@ -1,0 +1,244 @@
+#include "storage/file_kvstore.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace kvmatch {
+
+namespace {
+constexpr uint64_t kFooterMagic = 0x4b564d4649445831ull;  // "KVMFIDX1"
+constexpr size_t kFooterSize = 8 /*meta offset*/ + 8 /*meta len*/ +
+                               4 /*crc*/ + 8 /*magic*/;
+}  // namespace
+
+// Iterates meta_ entries in [start, end), reading values lazily from file.
+class FileScanIterator : public ScanIterator {
+ public:
+  FileScanIterator(const FileKvStore* store, size_t begin, size_t end)
+      : store_(store), idx_(begin), end_(end) {
+    ReadCurrent();
+  }
+
+  bool Valid() const override { return idx_ < end_ && status_.ok(); }
+  void Next() override {
+    ++idx_;
+    ReadCurrent();
+  }
+  std::string_view key() const override {
+    return store_->meta_[idx_].key;
+  }
+  std::string_view value() const override { return value_; }
+  Status status() const override { return status_; }
+
+ private:
+  void ReadCurrent() {
+    if (idx_ >= end_) return;
+    const auto& me = store_->meta_[idx_];
+    value_.resize(me.value_len);
+    if (std::fseek(store_->file_, static_cast<long>(me.offset), SEEK_SET) !=
+        0) {
+      status_ = Status::IOError("seek failed");
+      return;
+    }
+    if (me.value_len > 0 &&
+        std::fread(value_.data(), 1, me.value_len, store_->file_) !=
+            me.value_len) {
+      status_ = Status::IOError("short value read");
+    }
+  }
+
+  const FileKvStore* store_;
+  size_t idx_;
+  size_t end_;
+  std::string value_;
+  Status status_;
+};
+
+Result<std::unique_ptr<FileKvStore>> FileKvStore::Open(
+    const std::string& path) {
+  auto store = std::unique_ptr<FileKvStore>(new FileKvStore(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f != nullptr) {
+    store->file_ = f;
+    Status st = store->LoadMeta();
+    if (!st.ok()) return st;
+  }
+  return store;
+}
+
+FileKvStore::~FileKvStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileKvStore::LoadMeta() {
+  std::fseek(file_, 0, SEEK_END);
+  const long size = std::ftell(file_);
+  if (size < static_cast<long>(kFooterSize)) {
+    return Status::Corruption(path_ + ": too small for footer");
+  }
+  char footer[kFooterSize];
+  std::fseek(file_, size - static_cast<long>(kFooterSize), SEEK_SET);
+  if (std::fread(footer, 1, kFooterSize, file_) != kFooterSize) {
+    return Status::IOError("footer read failed");
+  }
+  const uint64_t magic = DecodeFixed64(footer + 20);
+  if (magic != kFooterMagic) {
+    return Status::Corruption(path_ + ": bad magic");
+  }
+  const uint64_t meta_off = DecodeFixed64(footer);
+  const uint64_t meta_len = DecodeFixed64(footer + 8);
+  const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(footer + 16));
+
+  std::string meta(meta_len, '\0');
+  std::fseek(file_, static_cast<long>(meta_off), SEEK_SET);
+  if (meta_len > 0 && std::fread(meta.data(), 1, meta_len, file_) != meta_len) {
+    return Status::IOError("meta read failed");
+  }
+  if (crc32c::Value(meta.data(), meta.size()) != expected_crc) {
+    return Status::Corruption(path_ + ": meta checksum mismatch");
+  }
+
+  meta_.clear();
+  std::string_view in(meta);
+  uint64_t count;
+  if (!GetVarint64(&in, &count)) return Status::Corruption("meta count");
+  meta_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view key;
+    uint64_t offset;
+    uint32_t vlen;
+    if (!GetLengthPrefixed(&in, &key) || !GetVarint64(&in, &offset) ||
+        !GetVarint32(&in, &vlen)) {
+      return Status::Corruption("meta entry truncated");
+    }
+    meta_.push_back({std::string(key), offset, vlen});
+  }
+  return Status::OK();
+}
+
+Status FileKvStore::Put(std::string_view key, std::string_view value) {
+  pending_[std::string(key)] = std::string(value);
+  return Status::OK();
+}
+
+Status FileKvStore::Get(std::string_view key, std::string* value) const {
+  auto pit = pending_.find(std::string(key));
+  if (pit != pending_.end()) {
+    *value = pit->second;
+    return Status::OK();
+  }
+  auto it = std::lower_bound(
+      meta_.begin(), meta_.end(), key,
+      [](const MetaEntry& e, std::string_view k) { return e.key < k; });
+  if (it == meta_.end() || it->key != key) return Status::NotFound();
+  value->resize(it->value_len);
+  std::fseek(file_, static_cast<long>(it->offset), SEEK_SET);
+  if (it->value_len > 0 &&
+      std::fread(value->data(), 1, it->value_len, file_) != it->value_len) {
+    return Status::IOError("value read failed");
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<ScanIterator> FileKvStore::Scan(std::string_view start_key,
+                                                std::string_view end_key)
+    const {
+  auto lower = std::lower_bound(
+      meta_.begin(), meta_.end(), start_key,
+      [](const MetaEntry& e, std::string_view k) { return e.key < k; });
+  auto upper = end_key.empty()
+                   ? meta_.end()
+                   : std::lower_bound(meta_.begin(), meta_.end(), end_key,
+                                      [](const MetaEntry& e,
+                                         std::string_view k) {
+                                        return e.key < k;
+                                      });
+  return std::make_unique<FileScanIterator>(
+      this, static_cast<size_t>(lower - meta_.begin()),
+      static_cast<size_t>(upper - meta_.begin()));
+}
+
+size_t FileKvStore::ApproximateCount() const {
+  return meta_.size() + pending_.size();
+}
+
+Status FileKvStore::Flush() {
+  if (pending_.empty()) return Status::OK();
+  // Merge existing on-disk entries with pending writes (pending wins).
+  std::map<std::string, std::string> all;
+  for (const auto& me : meta_) {
+    std::string v;
+    KVMATCH_RETURN_NOT_OK(Get(me.key, &v));
+    all[me.key] = std::move(v);
+  }
+  for (auto& [k, v] : pending_) all[k] = std::move(v);
+  pending_.clear();
+
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::FILE* out = std::fopen(path_.c_str(), "wb");
+  if (out == nullptr) return Status::IOError("cannot create " + path_);
+
+  meta_.clear();
+  meta_.reserve(all.size());
+  uint64_t offset = 0;
+  for (const auto& [k, v] : all) {
+    std::string entry;
+    PutLengthPrefixed(&entry, k);
+    const uint64_t value_off = offset + entry.size() +
+                               [&] {
+                                 std::string tmp;
+                                 PutVarint32(&tmp,
+                                             static_cast<uint32_t>(v.size()));
+                                 return tmp.size();
+                               }();
+    PutVarint32(&entry, static_cast<uint32_t>(v.size()));
+    entry.append(v);
+    if (std::fwrite(entry.data(), 1, entry.size(), out) != entry.size()) {
+      std::fclose(out);
+      return Status::IOError("entry write failed");
+    }
+    meta_.push_back({k, value_off, static_cast<uint32_t>(v.size())});
+    offset += entry.size();
+  }
+
+  std::string meta;
+  PutVarint64(&meta, meta_.size());
+  for (const auto& me : meta_) {
+    PutLengthPrefixed(&meta, me.key);
+    PutVarint64(&meta, me.offset);
+    PutVarint32(&meta, me.value_len);
+  }
+  const uint64_t meta_off = offset;
+  if (std::fwrite(meta.data(), 1, meta.size(), out) != meta.size()) {
+    std::fclose(out);
+    return Status::IOError("meta write failed");
+  }
+  std::string footer;
+  PutFixed64(&footer, meta_off);
+  PutFixed64(&footer, meta.size());
+  PutFixed32(&footer, crc32c::Mask(crc32c::Value(meta.data(), meta.size())));
+  PutFixed64(&footer, kFooterMagic);
+  if (std::fwrite(footer.data(), 1, footer.size(), out) != footer.size()) {
+    std::fclose(out);
+    return Status::IOError("footer write failed");
+  }
+  if (std::fclose(out) != 0) return Status::IOError("close failed");
+
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) return Status::IOError("reopen failed");
+  return Status::OK();
+}
+
+uint64_t FileKvStore::FileBytes() const {
+  if (file_ == nullptr) return 0;
+  std::fseek(file_, 0, SEEK_END);
+  return static_cast<uint64_t>(std::ftell(file_));
+}
+
+}  // namespace kvmatch

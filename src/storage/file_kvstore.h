@@ -1,0 +1,65 @@
+// FileKvStore: the paper's "local file version" of the index store (§VII-A).
+//
+// Layout:
+//   [entry 0][entry 1]...[entry N-1][meta block][footer]
+// where each entry is <varint key_len><key><varint val_len><value>, the
+// meta block is a serialized array of <key, offset, value_len> triples, and
+// the footer records the meta block's position plus a magic number. The
+// meta block plays the paper's "meta table" role: it is loaded into memory
+// up front, and each Scan becomes one binary search + one sequential read.
+//
+// Writes are staged in memory and sorted at Flush; the store is
+// write-once / read-many, matching index building.
+#ifndef KVMATCH_STORAGE_FILE_KVSTORE_H_
+#define KVMATCH_STORAGE_FILE_KVSTORE_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/kvstore.h"
+
+namespace kvmatch {
+
+class FileKvStore : public KvStore {
+ public:
+  /// Opens (or prepares to create) the store at `path`. If the file exists
+  /// its meta block is loaded; otherwise the store starts empty and
+  /// becomes durable at Flush().
+  static Result<std::unique_ptr<FileKvStore>> Open(const std::string& path);
+
+  ~FileKvStore() override;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) const override;
+  std::unique_ptr<ScanIterator> Scan(std::string_view start_key,
+                                     std::string_view end_key) const override;
+  size_t ApproximateCount() const override;
+  Status Flush() override;
+
+  /// Total bytes of the on-disk file (0 before first Flush).
+  uint64_t FileBytes() const;
+
+ private:
+  explicit FileKvStore(std::string path) : path_(std::move(path)) {}
+
+  Status LoadMeta();
+
+  struct MetaEntry {
+    std::string key;
+    uint64_t offset;    // byte offset of the value within the file
+    uint32_t value_len;
+  };
+
+  std::string path_;
+  std::map<std::string, std::string> pending_;  // staged writes
+  std::vector<MetaEntry> meta_;                 // sorted by key
+  mutable std::FILE* file_ = nullptr;           // open read handle
+
+  friend class FileScanIterator;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_STORAGE_FILE_KVSTORE_H_

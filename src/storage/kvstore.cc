@@ -1,0 +1,6 @@
+#include "storage/kvstore.h"
+
+// Interface-only translation unit: anchors the vtables of KvStore and
+// ScanIterator so every user does not emit them.
+
+namespace kvmatch {}  // namespace kvmatch

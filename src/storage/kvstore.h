@@ -1,0 +1,56 @@
+// KvStore: the storage abstraction KV-index is built on (paper §IV-A, §VII).
+//
+// The paper's only requirement on the backing store is a sorted "scan"
+// operation with start/end keys (Table II lists local files, HDFS, HBase,
+// LevelDB, Cassandra). We mirror that: any KvStore provides Put/Get plus an
+// ordered iterator over a key range, and the index/matching layers are
+// agnostic to which implementation they run on.
+#ifndef KVMATCH_STORAGE_KVSTORE_H_
+#define KVMATCH_STORAGE_KVSTORE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace kvmatch {
+
+/// Ordered iterator over a key range. Usage:
+///   for (auto it = store.Scan(a, b); it->Valid(); it->Next()) ...
+class ScanIterator {
+ public:
+  virtual ~ScanIterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void Next() = 0;
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+  /// Non-OK if the underlying read failed (e.g. checksum mismatch).
+  virtual Status status() const = 0;
+};
+
+/// Abstract sorted key-value store.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+  virtual Status Get(std::string_view key, std::string* value) const = 0;
+
+  /// Ordered scan of keys in [start_key, end_key). An empty end_key means
+  /// "until the end of the store".
+  virtual std::unique_ptr<ScanIterator> Scan(std::string_view start_key,
+                                             std::string_view end_key)
+      const = 0;
+
+  /// Number of entries, when cheaply known.
+  virtual size_t ApproximateCount() const = 0;
+
+  /// Flushes buffered writes to durable storage (no-op where meaningless).
+  virtual Status Flush() { return Status::OK(); }
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_STORAGE_KVSTORE_H_

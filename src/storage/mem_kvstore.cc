@@ -1,0 +1,47 @@
+#include "storage/mem_kvstore.h"
+
+namespace kvmatch {
+
+namespace {
+
+class MemScanIterator : public ScanIterator {
+ public:
+  MemScanIterator(std::map<std::string, std::string>::const_iterator begin,
+                  std::map<std::string, std::string>::const_iterator end)
+      : it_(begin), end_(end) {}
+
+  bool Valid() const override { return it_ != end_; }
+  void Next() override { ++it_; }
+  std::string_view key() const override { return it_->first; }
+  std::string_view value() const override { return it_->second; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::map<std::string, std::string>::const_iterator it_;
+  std::map<std::string, std::string>::const_iterator end_;
+};
+
+}  // namespace
+
+Status MemKvStore::Put(std::string_view key, std::string_view value) {
+  map_[std::string(key)] = std::string(value);
+  return Status::OK();
+}
+
+Status MemKvStore::Get(std::string_view key, std::string* value) const {
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return Status::NotFound();
+  *value = it->second;
+  return Status::OK();
+}
+
+std::unique_ptr<ScanIterator> MemKvStore::Scan(std::string_view start_key,
+                                               std::string_view end_key)
+    const {
+  auto begin = map_.lower_bound(std::string(start_key));
+  auto end = end_key.empty() ? map_.end()
+                             : map_.lower_bound(std::string(end_key));
+  return std::make_unique<MemScanIterator>(begin, end);
+}
+
+}  // namespace kvmatch

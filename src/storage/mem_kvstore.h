@@ -1,0 +1,31 @@
+// In-memory KvStore backed by a sorted map. Reference implementation used
+// in tests and as the build-side staging area for FileKvStore.
+#ifndef KVMATCH_STORAGE_MEM_KVSTORE_H_
+#define KVMATCH_STORAGE_MEM_KVSTORE_H_
+
+#include <map>
+#include <string>
+
+#include "storage/kvstore.h"
+
+namespace kvmatch {
+
+class MemKvStore : public KvStore {
+ public:
+  MemKvStore() = default;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) const override;
+  std::unique_ptr<ScanIterator> Scan(std::string_view start_key,
+                                     std::string_view end_key) const override;
+  size_t ApproximateCount() const override { return map_.size(); }
+
+  const std::map<std::string, std::string>& entries() const { return map_; }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_STORAGE_MEM_KVSTORE_H_

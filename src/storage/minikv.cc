@@ -1,0 +1,238 @@
+#include "storage/minikv.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace kvmatch {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<MiniKv>> MiniKv::Open(const std::string& dir,
+                                             Options options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create dir " + dir);
+  auto kv = std::unique_ptr<MiniKv>(new MiniKv(dir, options));
+
+  std::vector<uint64_t> seqs;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() == 10 && name.ends_with(".sst")) {
+      seqs.push_back(std::stoull(name.substr(0, 6)));
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  for (uint64_t seq : seqs) {
+    auto reader = SstableReader::Open(kv->TablePath(seq));
+    if (!reader.ok()) return reader.status();
+    kv->tables_.push_back(std::move(reader).value());
+    kv->table_paths_.push_back(kv->TablePath(seq));
+    kv->next_seq_ = seq + 1;
+  }
+  return kv;
+}
+
+std::string MiniKv::TablePath(uint64_t seq) const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%06llu.sst",
+                static_cast<unsigned long long>(seq));
+  return dir_ + "/" + buf;
+}
+
+Status MiniKv::Put(std::string_view key, std::string_view value) {
+  auto [it, inserted] = memtable_.insert_or_assign(std::string(key),
+                                                   std::string(value));
+  (void)it;
+  memtable_bytes_ += key.size() + value.size();
+  if (memtable_bytes_ >= options_.memtable_limit_bytes) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status MiniKv::Get(std::string_view key, std::string* value) const {
+  auto mit = memtable_.find(std::string(key));
+  if (mit != memtable_.end()) {
+    *value = mit->second;
+    return Status::OK();
+  }
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    Status st = (*it)->Get(key, value);
+    if (st.ok()) return st;
+    if (!st.IsNotFound()) return st;
+  }
+  return Status::NotFound();
+}
+
+Status MiniKv::Flush() {
+  if (memtable_.empty()) return Status::OK();
+  const uint64_t seq = next_seq_++;
+  SstableBuilder builder(TablePath(seq), options_.sstable_block_size);
+  for (const auto& [k, v] : memtable_) {
+    KVMATCH_RETURN_NOT_OK(builder.Add(k, v));
+  }
+  KVMATCH_RETURN_NOT_OK(builder.Finish());
+  auto reader = SstableReader::Open(TablePath(seq));
+  if (!reader.ok()) return reader.status();
+  tables_.push_back(std::move(reader).value());
+  table_paths_.push_back(TablePath(seq));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  return Status::OK();
+}
+
+namespace {
+
+// K-way merge over memtable + SSTables; on duplicate keys the newest source
+// wins (memtable > later tables > earlier tables).
+class MergingIterator : public ScanIterator {
+ public:
+  // sources are ordered oldest..newest; the memtable slice (if any) is
+  // appended last and therefore has the highest priority.
+  struct Source {
+    std::unique_ptr<ScanIterator> iter;  // nullptr for the memtable source
+    std::map<std::string, std::string>::const_iterator mit, mend;
+    bool is_mem = false;
+    int priority = 0;  // higher wins on equal keys
+  };
+
+  MergingIterator(std::vector<Source> sources, std::string end_key)
+      : sources_(std::move(sources)), end_key_(std::move(end_key)) {
+    FindNext();
+  }
+
+  bool Valid() const override { return current_ >= 0 && status_.ok(); }
+  void Next() override {
+    AdvanceAllAt(CurrentKeyCopy());
+    FindNext();
+  }
+  std::string_view key() const override { return KeyOf(sources_[current_]); }
+  std::string_view value() const override {
+    const auto& s = sources_[static_cast<size_t>(current_)];
+    return s.is_mem ? std::string_view(s.mit->second) : s.iter->value();
+  }
+  Status status() const override { return status_; }
+
+ private:
+  static std::string_view KeyOf(const Source& s) {
+    return s.is_mem ? std::string_view(s.mit->first) : s.iter->key();
+  }
+
+  bool SourceValid(const Source& s) const {
+    if (s.is_mem) {
+      return s.mit != s.mend &&
+             (end_key_.empty() || s.mit->first < end_key_);
+    }
+    return s.iter->Valid() &&
+           (end_key_.empty() || s.iter->key() < std::string_view(end_key_));
+  }
+
+  std::string CurrentKeyCopy() const {
+    return std::string(KeyOf(sources_[static_cast<size_t>(current_)]));
+  }
+
+  // Pops every source positioned at `key` (shadowed duplicates advance too).
+  void AdvanceAllAt(const std::string& key) {
+    for (auto& s : sources_) {
+      if (!SourceValid(s)) continue;
+      if (KeyOf(s) == key) {
+        if (s.is_mem) {
+          ++s.mit;
+        } else {
+          s.iter->Next();
+        }
+      }
+    }
+  }
+
+  void FindNext() {
+    current_ = -1;
+    std::string_view best;
+    int best_priority = -1;
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      auto& s = sources_[i];
+      if (!s.is_mem && !s.iter->status().ok()) {
+        status_ = s.iter->status();
+        return;
+      }
+      if (!SourceValid(s)) continue;
+      const std::string_view k = KeyOf(s);
+      if (current_ < 0 || k < best ||
+          (k == best && s.priority > best_priority)) {
+        current_ = static_cast<int>(i);
+        best = k;
+        best_priority = s.priority;
+      }
+    }
+  }
+
+  std::vector<Source> sources_;
+  std::string end_key_;
+  int current_ = -1;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<ScanIterator> MiniKv::Scan(std::string_view start_key,
+                                           std::string_view end_key) const {
+  std::vector<MergingIterator::Source> sources;
+  int priority = 0;
+  for (const auto& table : tables_) {
+    MergingIterator::Source s;
+    s.iter = table->Scan(start_key, end_key);
+    s.priority = priority++;
+    sources.push_back(std::move(s));
+  }
+  MergingIterator::Source mem;
+  mem.is_mem = true;
+  mem.mit = memtable_.lower_bound(std::string(start_key));
+  mem.mend = end_key.empty() ? memtable_.end()
+                             : memtable_.lower_bound(std::string(end_key));
+  mem.priority = priority;
+  sources.push_back(std::move(mem));
+  return std::make_unique<MergingIterator>(std::move(sources),
+                                           std::string(end_key));
+}
+
+size_t MiniKv::ApproximateCount() const {
+  size_t n = memtable_.size();
+  for (const auto& t : tables_) n += t->num_entries();
+  return n;  // upper bound: shadowed duplicates counted per table
+}
+
+Status MiniKv::Compact() {
+  KVMATCH_RETURN_NOT_OK(Flush());
+  if (tables_.size() <= 1) return Status::OK();
+  const uint64_t seq = next_seq_++;
+  {
+    SstableBuilder builder(TablePath(seq), options_.sstable_block_size);
+    auto it = Scan("", "");
+    for (; it->Valid(); it->Next()) {
+      KVMATCH_RETURN_NOT_OK(builder.Add(it->key(), it->value()));
+    }
+    KVMATCH_RETURN_NOT_OK(it->status());
+    KVMATCH_RETURN_NOT_OK(builder.Finish());
+  }
+  // Drop the old tables and their files.
+  std::vector<std::string> old_paths = std::move(table_paths_);
+  tables_.clear();
+  table_paths_.clear();
+  for (const auto& p : old_paths) std::remove(p.c_str());
+  auto reader = SstableReader::Open(TablePath(seq));
+  if (!reader.ok()) return reader.status();
+  tables_.push_back(std::move(reader).value());
+  table_paths_.push_back(TablePath(seq));
+  return Status::OK();
+}
+
+uint64_t MiniKv::TotalFileBytes() const {
+  uint64_t n = 0;
+  for (const auto& t : tables_) n += t->file_bytes();
+  return n;
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,69 @@
+// MiniKv: a small LSM-flavoured embedded store — MemTable + immutable
+// SSTables with a merging scan. It stands in for the paper's HBase backend:
+// same Put/Scan contract, durable, sorted, block-structured.
+//
+// Writes land in an in-memory sorted memtable; Flush() (or exceeding
+// `memtable_limit_bytes`) turns the memtable into a new SSTable under the
+// store directory. Reads consult the memtable first, then SSTables newest
+// to oldest. Scans merge all sources with newest-wins semantics.
+#ifndef KVMATCH_STORAGE_MINIKV_H_
+#define KVMATCH_STORAGE_MINIKV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/kvstore.h"
+#include "storage/sstable.h"
+
+namespace kvmatch {
+
+class MiniKv : public KvStore {
+ public:
+  struct Options {
+    size_t memtable_limit_bytes = 8 << 20;
+    size_t sstable_block_size = 4096;
+  };
+
+  /// Opens (creating the directory if needed) a MiniKv at `dir`. Existing
+  /// SSTables (NNNNNN.sst, ordered by sequence number) are picked up.
+  static Result<std::unique_ptr<MiniKv>> Open(const std::string& dir,
+                                              Options options);
+  static Result<std::unique_ptr<MiniKv>> Open(const std::string& dir) {
+    return Open(dir, Options());
+  }
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) const override;
+  std::unique_ptr<ScanIterator> Scan(std::string_view start_key,
+                                     std::string_view end_key) const override;
+  size_t ApproximateCount() const override;
+  Status Flush() override;
+
+  /// Merges all SSTables + memtable into a single new SSTable (a full
+  /// compaction), dropping shadowed versions.
+  Status Compact();
+
+  size_t NumTables() const { return tables_.size(); }
+  uint64_t TotalFileBytes() const;
+
+ private:
+  MiniKv(std::string dir, Options options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  std::string TablePath(uint64_t seq) const;
+
+  std::string dir_;
+  Options options_;
+  std::map<std::string, std::string> memtable_;
+  size_t memtable_bytes_ = 0;
+  uint64_t next_seq_ = 1;
+  // Newest last; lookups walk backwards. table_paths_ parallels tables_.
+  std::vector<std::unique_ptr<SstableReader>> tables_;
+  std::vector<std::string> table_paths_;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_STORAGE_MINIKV_H_

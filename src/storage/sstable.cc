@@ -1,0 +1,256 @@
+#include "storage/sstable.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace kvmatch {
+
+namespace {
+constexpr uint64_t kTableMagic = 0x4b564d5353543131ull;  // "KVMSST11"
+constexpr size_t kFooterSize = 8 + 8 + 8 + 8;  // index handle + count + magic
+}  // namespace
+
+void BlockHandle::EncodeTo(std::string* dst) const {
+  PutFixed64(dst, offset);
+  PutFixed64(dst, size);
+}
+
+bool BlockHandle::DecodeFrom(std::string_view* input, BlockHandle* handle) {
+  if (input->size() < 16) return false;
+  handle->offset = DecodeFixed64(input->data());
+  handle->size = DecodeFixed64(input->data() + 8);
+  input->remove_prefix(16);
+  return true;
+}
+
+SstableBuilder::SstableBuilder(std::string path, size_t target_block_size)
+    : path_(std::move(path)), target_block_size_(target_block_size) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) io_status_ = Status::IOError("cannot create " + path_);
+}
+
+Status SstableBuilder::Add(std::string_view key, std::string_view value) {
+  KVMATCH_RETURN_NOT_OK(io_status_);
+  if (!last_key_.empty() && key <= std::string_view(last_key_)) {
+    return Status::InvalidArgument("keys must be strictly increasing");
+  }
+  data_block_.Add(key, value);
+  last_key_.assign(key.data(), key.size());
+  ++num_entries_;
+  if (data_block_.CurrentSizeEstimate() >= target_block_size_) {
+    KVMATCH_RETURN_NOT_OK(FlushDataBlock());
+  }
+  return Status::OK();
+}
+
+Status SstableBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return Status::OK();
+  BlockHandle handle;
+  KVMATCH_RETURN_NOT_OK(WriteBlock(data_block_.Finish(), &handle));
+  pending_index_.emplace_back(last_key_, handle);
+  data_block_.Reset();
+  return Status::OK();
+}
+
+Status SstableBuilder::WriteBlock(const std::string& contents,
+                                  BlockHandle* handle) {
+  handle->offset = offset_;
+  handle->size = contents.size();
+  if (std::fwrite(contents.data(), 1, contents.size(), file_) !=
+      contents.size()) {
+    return Status::IOError("block write failed");
+  }
+  std::string trailer;
+  PutFixed32(&trailer,
+             crc32c::Mask(crc32c::Value(contents.data(), contents.size())));
+  if (std::fwrite(trailer.data(), 1, trailer.size(), file_) !=
+      trailer.size()) {
+    return Status::IOError("crc write failed");
+  }
+  offset_ += contents.size() + trailer.size();
+  return Status::OK();
+}
+
+Status SstableBuilder::Finish() {
+  KVMATCH_RETURN_NOT_OK(io_status_);
+  KVMATCH_RETURN_NOT_OK(FlushDataBlock());
+  for (const auto& [key, handle] : pending_index_) {
+    std::string encoded;
+    handle.EncodeTo(&encoded);
+    index_block_.Add(key, encoded);
+  }
+  BlockHandle index_handle;
+  KVMATCH_RETURN_NOT_OK(WriteBlock(index_block_.Finish(), &index_handle));
+  std::string footer;
+  index_handle.EncodeTo(&footer);
+  PutFixed64(&footer, num_entries_);
+  PutFixed64(&footer, kTableMagic);
+  if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size()) {
+    return Status::IOError("footer write failed");
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IOError("close failed");
+  }
+  file_ = nullptr;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SstableReader>> SstableReader::Open(
+    const std::string& path) {
+  auto reader = std::unique_ptr<SstableReader>(new SstableReader());
+  reader->path_ = path;
+  reader->file_ = std::fopen(path.c_str(), "rb");
+  if (reader->file_ == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(reader->file_, 0, SEEK_END);
+  reader->file_bytes_ = static_cast<uint64_t>(std::ftell(reader->file_));
+  if (reader->file_bytes_ < kFooterSize) {
+    return Status::Corruption(path + ": too small");
+  }
+  char footer[kFooterSize];
+  std::fseek(reader->file_,
+             static_cast<long>(reader->file_bytes_ - kFooterSize), SEEK_SET);
+  if (std::fread(footer, 1, kFooterSize, reader->file_) != kFooterSize) {
+    return Status::IOError("footer read failed");
+  }
+  if (DecodeFixed64(footer + 24) != kTableMagic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  std::string_view fv(footer, 16);
+  BlockHandle index_handle;
+  BlockHandle::DecodeFrom(&fv, &index_handle);
+  reader->num_entries_ = DecodeFixed64(footer + 16);
+
+  auto index_block = reader->ReadBlock(index_handle);
+  if (!index_block.ok()) return index_block.status();
+  auto it = index_block->NewIterator();
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    std::string_view v = it.value();
+    BlockHandle h;
+    if (!BlockHandle::DecodeFrom(&v, &h)) {
+      return Status::Corruption("bad index entry");
+    }
+    reader->index_.emplace_back(std::string(it.key()), h);
+  }
+  return reader;
+}
+
+SstableReader::~SstableReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<BlockReader> SstableReader::ReadBlock(const BlockHandle& handle) const {
+  std::string contents(handle.size, '\0');
+  std::fseek(file_, static_cast<long>(handle.offset), SEEK_SET);
+  if (handle.size > 0 &&
+      std::fread(contents.data(), 1, handle.size, file_) != handle.size) {
+    return Status::IOError("block read failed");
+  }
+  char crc_buf[4];
+  if (std::fread(crc_buf, 1, 4, file_) != 4) {
+    return Status::IOError("crc read failed");
+  }
+  const uint32_t expected = crc32c::Unmask(DecodeFixed32(crc_buf));
+  if (crc32c::Value(contents.data(), contents.size()) != expected) {
+    return Status::Corruption(path_ + ": block checksum mismatch");
+  }
+  return BlockReader::Parse(std::move(contents));
+}
+
+Status SstableReader::Get(std::string_view key, std::string* value) const {
+  // Find the first block whose last key is >= key.
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const auto& e, std::string_view k) { return e.first < k; });
+  if (it == index_.end()) return Status::NotFound();
+  auto block = ReadBlock(it->second);
+  if (!block.ok()) return block.status();
+  auto bit = block->NewIterator();
+  bit.Seek(key);
+  if (bit.Valid() && bit.key() == key) {
+    value->assign(bit.value().data(), bit.value().size());
+    return Status::OK();
+  }
+  return Status::NotFound();
+}
+
+// Streams entries across data blocks within [start, end).
+class SstableScanIterator : public ScanIterator {
+ public:
+  SstableScanIterator(const SstableReader* reader, std::string_view start,
+                      std::string_view end)
+      : reader_(reader), end_key_(end) {
+    block_idx_ = static_cast<size_t>(
+        std::lower_bound(reader_->index_.begin(), reader_->index_.end(),
+                         start,
+                         [](const auto& e, std::string_view k) {
+                           return e.first < k;
+                         }) -
+        reader_->index_.begin());
+    if (!LoadBlock()) return;
+    block_it_->Seek(start);
+    SkipToValid(start);
+  }
+
+  bool Valid() const override {
+    return block_it_.has_value() && block_it_->Valid() && status_.ok() &&
+           (end_key_.empty() || block_it_->key() < std::string_view(end_key_));
+  }
+  void Next() override {
+    block_it_->Next();
+    SkipToValid({});
+  }
+  std::string_view key() const override { return block_it_->key(); }
+  std::string_view value() const override { return block_it_->value(); }
+  Status status() const override { return status_; }
+
+ private:
+  bool LoadBlock() {
+    block_it_.reset();
+    block_.reset();
+    if (block_idx_ >= reader_->index_.size()) return false;
+    auto block = reader_->ReadBlock(reader_->index_[block_idx_].second);
+    if (!block.ok()) {
+      status_ = block.status();
+      return false;
+    }
+    block_ = std::make_unique<BlockReader>(std::move(block).value());
+    block_it_.emplace(block_->NewIterator());
+    return true;
+  }
+
+  // Advances across block boundaries until a valid entry or exhaustion.
+  void SkipToValid(std::string_view seek_target) {
+    while (block_it_.has_value() && !block_it_->Valid() && status_.ok()) {
+      if (!block_it_->status().ok()) {
+        status_ = block_it_->status();
+        return;
+      }
+      ++block_idx_;
+      if (!LoadBlock()) return;
+      if (seek_target.empty()) {
+        block_it_->SeekToFirst();
+      } else {
+        block_it_->Seek(seek_target);
+      }
+    }
+  }
+
+  const SstableReader* reader_;
+  std::string end_key_;
+  size_t block_idx_ = 0;
+  std::unique_ptr<BlockReader> block_;
+  std::optional<BlockReader::Iterator> block_it_;
+  Status status_;
+};
+
+std::unique_ptr<ScanIterator> SstableReader::Scan(std::string_view start_key,
+                                                  std::string_view end_key)
+    const {
+  return std::make_unique<SstableScanIterator>(this, start_key, end_key);
+}
+
+}  // namespace kvmatch

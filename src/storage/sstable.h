@@ -1,0 +1,91 @@
+// SSTable: a sorted, immutable, block-structured table file.
+//
+//   [data block + crc32c]* [index block + crc32c] [footer]
+//
+// The index block maps each data block's last key to its BlockHandle
+// (offset, size). The footer stores the index handle and a magic number.
+// Every block is CRC-protected; corruption is detected at read time.
+#ifndef KVMATCH_STORAGE_SSTABLE_H_
+#define KVMATCH_STORAGE_SSTABLE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/kvstore.h"
+
+namespace kvmatch {
+
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(std::string_view* input, BlockHandle* handle);
+};
+
+/// Writes an SSTable; keys must arrive in strictly increasing order.
+class SstableBuilder {
+ public:
+  /// `target_block_size` is the uncompressed payload threshold at which a
+  /// data block is cut.
+  explicit SstableBuilder(std::string path, size_t target_block_size = 4096);
+
+  Status Add(std::string_view key, std::string_view value);
+  /// Writes the index block and footer. The builder is unusable afterwards.
+  Status Finish();
+
+  uint64_t num_entries() const { return num_entries_; }
+
+ private:
+  Status FlushDataBlock();
+  Status WriteBlock(const std::string& contents, BlockHandle* handle);
+
+  std::string path_;
+  size_t target_block_size_;
+  std::FILE* file_ = nullptr;
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_{1};
+  std::string last_key_;
+  std::vector<std::pair<std::string, BlockHandle>> pending_index_;
+  Status io_status_;
+};
+
+/// Reads an SSTable. Thread-compatible (no interior mutability beyond the
+/// FILE*, which is only touched under the read methods).
+class SstableReader {
+ public:
+  static Result<std::unique_ptr<SstableReader>> Open(const std::string& path);
+  ~SstableReader();
+
+  Status Get(std::string_view key, std::string* value) const;
+
+  /// Ordered iterator over [start_key, end_key) within this table.
+  std::unique_ptr<ScanIterator> Scan(std::string_view start_key,
+                                     std::string_view end_key) const;
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  SstableReader() = default;
+
+  Result<BlockReader> ReadBlock(const BlockHandle& handle) const;
+
+  std::string path_;
+  mutable std::FILE* file_ = nullptr;
+  uint64_t file_bytes_ = 0;
+  uint64_t num_entries_ = 0;
+  // Decoded index: (last_key, handle) per data block, in key order.
+  std::vector<std::pair<std::string, BlockHandle>> index_;
+
+  friend class SstableScanIterator;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_STORAGE_SSTABLE_H_

@@ -1,0 +1,83 @@
+#include "ts/io.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace kvmatch {
+
+Status WriteBinary(const TimeSeries& series, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const auto& v = series.values();
+  if (!v.empty() &&
+      std::fwrite(v.data(), sizeof(double), v.size(), f) != v.size()) {
+    std::fclose(f);
+    return Status::IOError("short write to " + path);
+  }
+  if (std::fclose(f) != 0) return Status::IOError("close failed: " + path);
+  return Status::OK();
+}
+
+Result<TimeSeries> ReadBinary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long bytes = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (bytes < 0 || bytes % static_cast<long>(sizeof(double)) != 0) {
+    std::fclose(f);
+    return Status::Corruption(path + " is not a multiple of 8 bytes");
+  }
+  std::vector<double> v(static_cast<size_t>(bytes) / sizeof(double));
+  if (!v.empty() &&
+      std::fread(v.data(), sizeof(double), v.size(), f) != v.size()) {
+    std::fclose(f);
+    return Status::IOError("short read from " + path);
+  }
+  std::fclose(f);
+  return TimeSeries(std::move(v));
+}
+
+Result<std::vector<double>> ReadBinaryRange(const std::string& path,
+                                            size_t offset, size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (std::fseek(f, static_cast<long>(offset * sizeof(double)), SEEK_SET) !=
+      0) {
+    std::fclose(f);
+    return Status::IOError("seek failed in " + path);
+  }
+  std::vector<double> v(len);
+  if (len > 0 && std::fread(v.data(), sizeof(double), len, f) != len) {
+    std::fclose(f);
+    return Status::OutOfRange("range past end of " + path);
+  }
+  std::fclose(f);
+  return v;
+}
+
+Status WriteCsv(const TimeSeries& series, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  for (double v : series.values()) {
+    if (std::fprintf(f, "%.17g\n", v) < 0) {
+      std::fclose(f);
+      return Status::IOError("write failed: " + path);
+    }
+  }
+  if (std::fclose(f) != 0) return Status::IOError("close failed: " + path);
+  return Status::OK();
+}
+
+Result<TimeSeries> ReadCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::vector<double> v;
+  double x;
+  while (std::fscanf(f, "%lf", &x) == 1) v.push_back(x);
+  std::fclose(f);
+  return TimeSeries(std::move(v));
+}
+
+}  // namespace kvmatch

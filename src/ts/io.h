@@ -1,0 +1,31 @@
+// Time series persistence: raw binary (the paper's data-file format, §VII-A)
+// and CSV for interoperability.
+#ifndef KVMATCH_TS_IO_H_
+#define KVMATCH_TS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+
+/// Writes values back-to-back as little-endian doubles; offsets are implied
+/// by byte position, mirroring the paper's local-file layout.
+Status WriteBinary(const TimeSeries& series, const std::string& path);
+
+/// Reads a binary file written by WriteBinary.
+Result<TimeSeries> ReadBinary(const std::string& path);
+
+/// Reads a contiguous range [offset, offset+len) of values from a binary
+/// file without loading the whole series (seek + sequential read).
+Result<std::vector<double>> ReadBinaryRange(const std::string& path,
+                                            size_t offset, size_t len);
+
+/// One value per line.
+Status WriteCsv(const TimeSeries& series, const std::string& path);
+Result<TimeSeries> ReadCsv(const std::string& path);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_TS_IO_H_

@@ -1,0 +1,53 @@
+// SeriesStore: time series data stored *in* a KvStore (paper §VII-B).
+//
+// The paper's HBase deployment splits the series into equal-length disjoint
+// chunks (1024 points by default), one row each: key = chunk start offset,
+// value = the packed values. Phase 2 of KV-match then fetches candidate
+// subsequences with ranged reads instead of holding the series in memory.
+// This mirrors that layout over any KvStore.
+#ifndef KVMATCH_TS_SERIES_STORE_H_
+#define KVMATCH_TS_SERIES_STORE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/kvstore.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+
+class SeriesStore {
+ public:
+  /// Writes `series` into `store` under namespace `ns` as chunked rows
+  /// plus a header row recording length and chunk size.
+  static Status Write(KvStore* store, const TimeSeries& series,
+                      const std::string& ns = "",
+                      size_t chunk_size = 1024);
+
+  /// Opens a series previously written with Write. Only the header is
+  /// read; values are fetched on demand.
+  static Result<SeriesStore> Open(const KvStore* store,
+                                  const std::string& ns = "");
+
+  size_t size() const { return length_; }
+  size_t chunk_size() const { return chunk_size_; }
+
+  /// Reads values [offset, offset + len) with one ranged scan over the
+  /// covering chunks. Fails with OutOfRange past the end.
+  Result<std::vector<double>> ReadRange(size_t offset, size_t len) const;
+
+  /// Loads the whole series (convenience for index building).
+  Result<TimeSeries> ReadAll() const;
+
+ private:
+  SeriesStore() = default;
+
+  const KvStore* store_ = nullptr;
+  std::string ns_;
+  size_t length_ = 0;
+  size_t chunk_size_ = 0;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_TS_SERIES_STORE_H_

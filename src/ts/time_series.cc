@@ -1,0 +1,54 @@
+#include "ts/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kvmatch {
+
+double Mean(std::span<const double> s) {
+  if (s.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : s) sum += v;
+  return sum / static_cast<double>(s.size());
+}
+
+double StdDev(std::span<const double> s) { return ComputeMeanStd(s).std; }
+
+MeanStd ComputeMeanStd(std::span<const double> s) {
+  MeanStd out;
+  if (s.empty()) return out;
+  double sum = 0.0, sq = 0.0;
+  for (double v : s) {
+    sum += v;
+    sq += v * v;
+  }
+  const double n = static_cast<double>(s.size());
+  out.mean = sum / n;
+  // Clamp to zero: catastrophic cancellation can produce tiny negatives.
+  const double var = std::max(0.0, sq / n - out.mean * out.mean);
+  out.std = std::sqrt(var);
+  return out;
+}
+
+std::vector<double> ZNormalize(std::span<const double> s) {
+  const MeanStd ms = ComputeMeanStd(s);
+  std::vector<double> out(s.size());
+  if (ms.std <= 1e-12) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  const double inv = 1.0 / ms.std;
+  for (size_t i = 0; i < s.size(); ++i) out[i] = (s[i] - ms.mean) * inv;
+  return out;
+}
+
+MinMax ComputeMinMax(std::span<const double> s) {
+  MinMax out;
+  if (s.empty()) return out;
+  auto [lo, hi] = std::minmax_element(s.begin(), s.end());
+  out.min = *lo;
+  out.max = *hi;
+  return out;
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,71 @@
+// TimeSeries: the core value container plus subsequence views and
+// z-normalization (paper §II).
+#ifndef KVMATCH_TS_TIME_SERIES_H_
+#define KVMATCH_TS_TIME_SERIES_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kvmatch {
+
+/// A sequence of ordered double values X = (x_1, ..., x_n).
+///
+/// Offsets in the public API are 0-based (the paper uses 1-based); a
+/// subsequence X(i, l) here is values [i, i+l).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double operator[](size_t i) const { return values_[i]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+  const double* data() const { return values_.data(); }
+
+  /// Read-only view of the length-`len` subsequence starting at `offset`.
+  /// Caller must ensure offset + len <= size().
+  std::span<const double> Subsequence(size_t offset, size_t len) const {
+    return std::span<const double>(values_.data() + offset, len);
+  }
+
+  void Append(double v) { values_.push_back(v); }
+  void Extend(const std::vector<double>& vs) {
+    values_.insert(values_.end(), vs.begin(), vs.end());
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Mean of a span.
+double Mean(std::span<const double> s);
+
+/// Population standard deviation of a span (the paper's σ).
+double StdDev(std::span<const double> s);
+
+/// Mean and population std in one pass.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd ComputeMeanStd(std::span<const double> s);
+
+/// Returns the z-normalized copy Ŝ = (s_i - µ) / σ. If σ is (numerically)
+/// zero the series is constant and all normalized values are 0.
+std::vector<double> ZNormalize(std::span<const double> s);
+
+/// Min and max of a span (both 0 when empty).
+struct MinMax {
+  double min = 0.0;
+  double max = 0.0;
+};
+MinMax ComputeMinMax(std::span<const double> s);
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_TS_TIME_SERIES_H_

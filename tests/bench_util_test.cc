@@ -1,0 +1,123 @@
+// Tests for bench_util: ε calibration (including the DTW-via-ED bracket),
+// flag parsing, workload construction and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "baseline/ucr_suite.h"
+#include "bench_util/calibration.h"
+#include "bench_util/table_printer.h"
+#include "bench_util/workload.h"
+
+namespace kvmatch {
+namespace {
+
+TEST(CalibrationTest, HitsTargetForEd) {
+  const Workload w = Workload::Make(30000, 401);
+  Rng rng(402);
+  const auto q = MakeQuery(w, 128, &rng);
+  for (double fraction : {1e-3, 1e-2}) {
+    QueryParams params{QueryType::kRsmEd, 0.0, 1.0, 0.0, 0};
+    const double eps =
+        CalibrateEpsilon(w.series, w.prefix, q, params, fraction);
+    params.epsilon = eps;
+    const UcrSuite ucr(w.series, w.prefix);
+    const double count = static_cast<double>(ucr.Match(q, params).size());
+    const double target = std::max(
+        1.0, std::round(fraction *
+                        static_cast<double>(w.series.size() - 128 + 1)));
+    EXPECT_GE(count, target) << "fraction=" << fraction;
+    // Binary search converges to (roughly) the smallest qualifying ε.
+    params.epsilon = eps * 0.8;
+    EXPECT_LT(static_cast<double>(ucr.Match(q, params).size()),
+              count + 1.0);
+  }
+}
+
+TEST(CalibrationTest, ViaEdMatchesDirectDtwCalibration) {
+  const Workload w = Workload::Make(12000, 403);
+  Rng rng(404);
+  const auto q = MakeQuery(w, 128, &rng);
+  QueryParams params{QueryType::kRsmDtw, 0.0, 1.0, 0.0, 6};
+  const double direct =
+      CalibrateEpsilon(w.series, w.prefix, q, params, 1e-3);
+  const double via_ed =
+      CalibrateEpsilonViaEd(w.series, w.prefix, q, params, 1e-3);
+  // Both must reach the target; ε values agree within bisection slack.
+  const UcrSuite ucr(w.series, w.prefix);
+  params.epsilon = via_ed;
+  const size_t count = ucr.Match(q, params).size();
+  const double target = std::max(
+      1.0,
+      std::round(1e-3 * static_cast<double>(w.series.size() - 128 + 1)));
+  EXPECT_GE(static_cast<double>(count), target);
+  EXPECT_NEAR(via_ed, direct, direct * 0.25 + 1e-6);
+}
+
+TEST(CalibrationTest, HiHintSkipsBracketAndStaysCorrect) {
+  const Workload w = Workload::Make(12000, 405);
+  Rng rng(406);
+  const auto q = MakeQuery(w, 128, &rng);
+  QueryParams params{QueryType::kRsmEd, 0.0, 1.0, 0.0, 0};
+  const double free_eps =
+      CalibrateEpsilon(w.series, w.prefix, q, params, 1e-3);
+  const double hinted = CalibrateEpsilon(w.series, w.prefix, q, params,
+                                         1e-3, 24, free_eps * 4.0);
+  EXPECT_NEAR(hinted, free_eps, free_eps * 0.3 + 1e-9);
+}
+
+TEST(BenchFlagsTest, ParsesAllFlags) {
+  const char* argv[] = {"prog", "--n", "12345", "--runs", "7",
+                        "--seed", "99", "--quick"};
+  const BenchFlags flags =
+      BenchFlags::Parse(8, const_cast<char**>(argv));
+  EXPECT_EQ(flags.n, 12345u);
+  EXPECT_EQ(flags.runs, 7);
+  EXPECT_EQ(flags.seed, 99u);
+  EXPECT_TRUE(flags.quick);
+}
+
+TEST(BenchFlagsTest, DefaultsWhenUnset) {
+  const char* argv[] = {"prog"};
+  const BenchFlags flags =
+      BenchFlags::Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.n, 2'000'000u);
+  EXPECT_EQ(flags.runs, 3);
+  EXPECT_FALSE(flags.quick);
+}
+
+TEST(WorkloadTest, KindsProduceDifferentSeries) {
+  const Workload ucr = Workload::Make(5000, 11, "ucr");
+  const Workload synth = Workload::Make(5000, 11, "synthetic");
+  EXPECT_EQ(ucr.series.size(), 5000u);
+  EXPECT_EQ(synth.series.size(), 5000u);
+  EXPECT_NE(ucr.series.values(), synth.series.values());
+}
+
+TEST(WorkloadTest, MakeQueryStaysInBounds) {
+  const Workload w = Workload::Make(2000, 12);
+  Rng rng(13);
+  for (int t = 0; t < 50; ++t) {
+    const auto q = MakeQuery(w, 500, &rng);
+    EXPECT_EQ(q.size(), 500u);
+  }
+}
+
+TEST(TablePrinterTest, FormattersAreStable) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0), "2.0");
+  EXPECT_EQ(TablePrinter::FmtInt(1234567), "1234567");
+  EXPECT_EQ(TablePrinter::FmtSci(0.00012), "1.2e-04");
+}
+
+TEST(StopwatchTest, MeasuresForwardTime) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sw.Ms(), 0.0);
+  EXPECT_GE(sw.Seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace kvmatch

@@ -1,0 +1,234 @@
+// Unit tests for common/: Status/Result, coding, CRC32C, Rng.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace kvmatch {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status st = Status::NotFound("missing key");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, EachFactoryMapsToItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, 0xffffffff);
+  ASSERT_EQ(buf.size(), 16u);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 4), 1u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 8), 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 12), 0xffffffffu);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x123456789abcdef0ull);
+  EXPECT_EQ(DecodeFixed64(buf.data()), 0x123456789abcdef0ull);
+}
+
+TEST(CodingTest, Varint32RoundTripBoundaries) {
+  const uint32_t cases[] = {0, 1, 127, 128, 16383, 16384, (1u << 21) - 1,
+                            1u << 21, (1u << 28) - 1, 1u << 28, 0xffffffffu};
+  std::string buf;
+  for (uint32_t v : cases) PutVarint32(&buf, v);
+  std::string_view in(buf);
+  for (uint32_t v : cases) {
+    uint32_t decoded;
+    ASSERT_TRUE(GetVarint32(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Varint64RoundTripBoundaries) {
+  const uint64_t cases[] = {0, 1, 127, 128, (1ull << 35) - 1, 1ull << 35,
+                            (1ull << 63), 0xffffffffffffffffull};
+  std::string buf;
+  for (uint64_t v : cases) PutVarint64(&buf, v);
+  std::string_view in(buf);
+  for (uint64_t v : cases) {
+    uint64_t decoded;
+    ASSERT_TRUE(GetVarint64(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(CodingTest, VarintRejectsTruncation) {
+  std::string buf;
+  PutVarint32(&buf, 1u << 28);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    uint32_t v;
+    EXPECT_FALSE(GetVarint32(&in, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view in(buf);
+  std::string_view v;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v));
+  EXPECT_EQ(v, "");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v));
+  EXPECT_EQ(v, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v));
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  const double cases[] = {0.0, -0.0, 1.5, -1.5, 1e300, -1e300,
+                          std::numeric_limits<double>::infinity()};
+  for (double v : cases) {
+    std::string buf;
+    PutDouble(&buf, v);
+    EXPECT_EQ(DecodeDouble(buf.data()), v);
+  }
+}
+
+TEST(CodingTest, OrderedDoublePreservesOrder) {
+  std::vector<double> values = {-1e300, -42.5, -1.0, -1e-10, 0.0,
+                                1e-10,  1.0,   42.5, 1e300};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(EncodeOrderedDouble(values[i]),
+              EncodeOrderedDouble(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(CodingTest, OrderedDoubleRoundTrip) {
+  const double cases[] = {-123.456, -1.0, 0.0, 0.5, 7.25, 9e99};
+  for (double v : cases) {
+    EXPECT_EQ(DecodeOrderedDouble(EncodeOrderedDouble(v)), v);
+  }
+}
+
+TEST(CodingTest, OrderedDoubleRandomizedOrderProperty) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.Uniform(-1e6, 1e6);
+    const double b = rng.Uniform(-1e6, 1e6);
+    EXPECT_EQ(a < b, EncodeOrderedDouble(a) < EncodeOrderedDouble(b));
+  }
+}
+
+TEST(Crc32cTest, KnownValueStability) {
+  // Self-consistency: value depends only on content.
+  const uint32_t c1 = crc32c::Value("hello world");
+  const uint32_t c2 = crc32c::Value(std::string("hello world"));
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, crc32c::Value("hello worlc"));
+}
+
+TEST(Crc32cTest, ExtendEqualsWhole) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = crc32c::Value(data);
+  const uint32_t split =
+      crc32c::Extend(crc32c::Value(data.substr(0, 10)),
+                     data.data() + 10, data.size() - 10);
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32cTest, MaskUnmaskRoundTrip) {
+  const uint32_t crc = crc32c::Value("payload");
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-5.0, 5.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+}  // namespace
+}  // namespace kvmatch

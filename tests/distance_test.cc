@@ -1,0 +1,268 @@
+// Unit + property tests for distance/: ED, DTW, envelopes, lower bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "distance/dtw.h"
+#include "distance/ed.h"
+#include "distance/envelope.h"
+#include "distance/lower_bounds.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> RandomSeries(size_t n, Rng* rng, double lo = -5,
+                                 double hi = 5) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->Uniform(lo, hi);
+  return v;
+}
+
+TEST(EdTest, KnownValue) {
+  const std::vector<double> a = {0, 0, 0};
+  const std::vector<double> b = {1, 2, 2};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 3.0);
+}
+
+TEST(EdTest, ZeroForIdentical) {
+  Rng rng(1);
+  const auto a = RandomSeries(100, &rng);
+  EXPECT_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(EdTest, EarlyAbandonMatchesExactWhenUnderThreshold) {
+  Rng rng(2);
+  const auto a = RandomSeries(64, &rng);
+  const auto b = RandomSeries(64, &rng);
+  const double exact = EuclideanDistance(a, b);
+  const double sq = SquaredEdEarlyAbandon(a, b, exact * exact + 1.0);
+  EXPECT_NEAR(std::sqrt(sq), exact, 1e-9);
+}
+
+TEST(EdTest, EarlyAbandonReturnsInfWhenOverThreshold) {
+  Rng rng(3);
+  const auto a = RandomSeries(64, &rng);
+  const auto b = RandomSeries(64, &rng);
+  const double exact_sq = SquaredEdEarlyAbandon(a, b, kInf);
+  EXPECT_EQ(SquaredEdEarlyAbandon(a, b, exact_sq * 0.5), kInf);
+}
+
+TEST(EdTest, SortedAbsOrderIsDecreasing) {
+  const std::vector<double> q = {0.5, -3.0, 1.0, -0.1};
+  const auto order = SortedAbsOrder(q);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1);  // |-3.0|
+  EXPECT_EQ(order[1], 2);  // |1.0|
+  EXPECT_EQ(order[2], 0);
+  EXPECT_EQ(order[3], 3);
+}
+
+TEST(EdTest, ReorderedNormalizedEdMatchesNaive) {
+  Rng rng(4);
+  const auto s = RandomSeries(128, &rng);
+  auto q = RandomSeries(128, &rng);
+  q = ZNormalize(q);
+  const MeanStd ms = ComputeMeanStd(s);
+  const auto s_hat = ZNormalize(s);
+  const double naive = EuclideanDistance(s_hat, q);
+  const auto order = SortedAbsOrder(q);
+  const double sq =
+      SquaredNormalizedEdOrdered(s, ms.mean, ms.std, q, order, kInf);
+  EXPECT_NEAR(std::sqrt(sq), naive, 1e-9);
+}
+
+TEST(EdTest, L1KnownValueAndEarlyAbandon) {
+  const std::vector<double> a = {0, 0, 0, 0};
+  const std::vector<double> b = {1, -2, 3, -4};
+  EXPECT_DOUBLE_EQ(L1DistanceEarlyAbandon(a, b), 10.0);
+  EXPECT_EQ(L1DistanceEarlyAbandon(a, b, 9.0), kInf);
+  EXPECT_DOUBLE_EQ(L1DistanceEarlyAbandon(a, b, 10.0), 10.0);
+}
+
+TEST(EdTest, L1DominatesEd) {
+  // ||x||_1 >= ||x||_2 always.
+  Rng rng(19);
+  for (int t = 0; t < 30; ++t) {
+    const auto a = RandomSeries(64, &rng);
+    const auto b = RandomSeries(64, &rng);
+    EXPECT_GE(L1DistanceEarlyAbandon(a, b),
+              EuclideanDistance(a, b) - 1e-9);
+  }
+}
+
+TEST(DtwTest, RhoZeroEqualsEd) {
+  Rng rng(5);
+  const auto a = RandomSeries(50, &rng);
+  const auto b = RandomSeries(50, &rng);
+  EXPECT_NEAR(DtwDistance(a, b, 0), EuclideanDistance(a, b), 1e-9);
+}
+
+TEST(DtwTest, NeverExceedsEd) {
+  Rng rng(6);
+  for (int t = 0; t < 20; ++t) {
+    const auto a = RandomSeries(40, &rng);
+    const auto b = RandomSeries(40, &rng);
+    EXPECT_LE(DtwDistance(a, b, 5), EuclideanDistance(a, b) + 1e-9);
+  }
+}
+
+TEST(DtwTest, WideBandEqualsFullDtw) {
+  Rng rng(7);
+  for (int t = 0; t < 10; ++t) {
+    const auto a = RandomSeries(30, &rng);
+    const auto b = RandomSeries(30, &rng);
+    EXPECT_NEAR(DtwDistance(a, b, 29), DtwDistanceFull(a, b), 1e-9);
+  }
+}
+
+TEST(DtwTest, BandMonotoneInRho) {
+  Rng rng(8);
+  const auto a = RandomSeries(60, &rng);
+  const auto b = RandomSeries(60, &rng);
+  double prev = kInf;
+  for (size_t rho : {0u, 1u, 2u, 5u, 10u, 59u}) {
+    const double d = DtwDistance(a, b, rho);
+    EXPECT_LE(d, prev + 1e-9);
+    prev = d;
+  }
+}
+
+TEST(DtwTest, WarpingAlignsShiftedSpike) {
+  // A spike shifted by 2 positions: ED is large, DTW with rho>=2 is small.
+  std::vector<double> a(20, 0.0), b(20, 0.0);
+  a[5] = 10.0;
+  b[7] = 10.0;
+  EXPECT_GT(EuclideanDistance(a, b), 10.0);
+  EXPECT_NEAR(DtwDistance(a, b, 2), 0.0, 1e-9);
+}
+
+TEST(DtwTest, EarlyAbandonConsistentWithExact) {
+  Rng rng(9);
+  for (int t = 0; t < 50; ++t) {
+    const auto a = RandomSeries(32, &rng);
+    const auto b = RandomSeries(32, &rng);
+    const double exact = DtwDistance(a, b, 3);
+    // Threshold above: must return the exact value.
+    EXPECT_NEAR(DtwDistance(a, b, 3, exact + 0.1), exact, 1e-9);
+    // Threshold below: must return inf.
+    EXPECT_EQ(DtwDistance(a, b, 3, exact * 0.9), kInf);
+  }
+}
+
+TEST(DtwTest, EmptyInputIsZero) {
+  const std::vector<double> empty;
+  EXPECT_EQ(DtwDistance(empty, empty, 0), 0.0);
+}
+
+TEST(EnvelopeTest, MatchesNaiveMinMax) {
+  Rng rng(10);
+  const auto q = RandomSeries(200, &rng);
+  for (size_t rho : {0u, 1u, 5u, 17u, 199u}) {
+    const Envelope env = BuildEnvelope(q, rho);
+    for (size_t i = 0; i < q.size(); ++i) {
+      const size_t lo = i > rho ? i - rho : 0;
+      const size_t hi = std::min(q.size() - 1, i + rho);
+      double mn = kInf, mx = -kInf;
+      for (size_t k = lo; k <= hi; ++k) {
+        mn = std::min(mn, q[k]);
+        mx = std::max(mx, q[k]);
+      }
+      ASSERT_EQ(env.lower[i], mn) << "rho=" << rho << " i=" << i;
+      ASSERT_EQ(env.upper[i], mx) << "rho=" << rho << " i=" << i;
+    }
+  }
+}
+
+TEST(EnvelopeTest, RhoZeroIsIdentity) {
+  Rng rng(11);
+  const auto q = RandomSeries(50, &rng);
+  const Envelope env = BuildEnvelope(q, 0);
+  EXPECT_EQ(env.lower, q);
+  EXPECT_EQ(env.upper, q);
+}
+
+TEST(EnvelopeTest, SandwichesQuery) {
+  Rng rng(12);
+  const auto q = RandomSeries(100, &rng);
+  const Envelope env = BuildEnvelope(q, 7);
+  for (size_t i = 0; i < q.size(); ++i) {
+    EXPECT_LE(env.lower[i], q[i]);
+    EXPECT_GE(env.upper[i], q[i]);
+  }
+}
+
+// Property sweep: every lower bound must lower-bound banded DTW.
+class LowerBoundProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LowerBoundProperty, BoundsSandwichDtw) {
+  const size_t rho = GetParam();
+  Rng rng(100 + rho);
+  for (int t = 0; t < 60; ++t) {
+    const auto s = RandomSeries(96, &rng);
+    const auto q = RandomSeries(96, &rng);
+    const Envelope env = BuildEnvelope(q, rho);
+    const double dtw = DtwDistance(s, q, rho);
+    const double dtw_sq = dtw * dtw;
+
+    EXPECT_LE(LbKimSquared(s, q), dtw_sq + 1e-9);
+
+    std::vector<double> cb;
+    const double keogh = LbKeoghSquared(s, env, kInf, &cb);
+    EXPECT_LE(keogh, dtw_sq + 1e-9);
+
+    // Cumulative array sums to the bound.
+    const auto cum = SuffixCumulate(cb);
+    EXPECT_NEAR(cum[0], keogh, 1e-9);
+    EXPECT_EQ(cum.back(), 0.0);
+
+    // LB_PAA over w=16 windows.
+    const size_t w = 16, p = 96 / w;
+    std::vector<double> s_means(p), l_means(p), u_means(p);
+    for (size_t i = 0; i < p; ++i) {
+      s_means[i] = Mean(std::span<const double>(s).subspan(i * w, w));
+      l_means[i] = Mean(std::span<const double>(env.lower).subspan(i * w, w));
+      u_means[i] = Mean(std::span<const double>(env.upper).subspan(i * w, w));
+    }
+    EXPECT_LE(LbPaaSquared(s_means, l_means, u_means, w), dtw_sq + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rho, LowerBoundProperty,
+                         ::testing::Values(0, 1, 3, 5, 10));
+
+TEST(LowerBoundTest, NormalizedKeoghMatchesExplicitNormalization) {
+  Rng rng(14);
+  const auto s = RandomSeries(64, &rng);
+  auto q = RandomSeries(64, &rng);
+  q = ZNormalize(q);
+  const Envelope env = BuildEnvelope(q, 4);
+  const MeanStd ms = ComputeMeanStd(s);
+  const auto s_hat = ZNormalize(s);
+  const double direct = LbKeoghSquared(s_hat, env, kInf, nullptr);
+  const double on_the_fly =
+      LbKeoghNormalizedSquared(s, ms.mean, ms.std, env, kInf, nullptr);
+  EXPECT_NEAR(direct, on_the_fly, 1e-9);
+}
+
+TEST(LowerBoundTest, KeoghZeroInsideEnvelope) {
+  Rng rng(15);
+  const auto q = RandomSeries(64, &rng);
+  const Envelope env = BuildEnvelope(q, 3);
+  // The query itself lies inside its own envelope.
+  EXPECT_EQ(LbKeoghSquared(q, env, kInf, nullptr), 0.0);
+}
+
+TEST(LowerBoundTest, LbKimUsesEndpoints) {
+  std::vector<double> s = {5.0, 0, 0, 0, 0, 0, 0, 3.0};
+  std::vector<double> q(8, 0.0);
+  EXPECT_GE(LbKimSquared(s, q), 25.0 + 9.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace kvmatch

@@ -1,0 +1,284 @@
+// Tests for the §VI-C optimizations and engineering extensions: the
+// store-backed row cache, the multithreaded index build, and failure
+// injection on persisted index rows.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baseline/brute_force.h"
+#include "common/coding.h"
+#include "common/rng.h"
+#include "index/index_builder.h"
+#include "match/kv_match.h"
+#include "storage/mem_kvstore.h"
+#include "ts/generator.h"
+
+namespace kvmatch {
+namespace {
+
+TEST(RowCacheTest, CachedProbesReturnIdenticalResults) {
+  Rng rng(91);
+  const TimeSeries x = GenerateSynthetic(12000, &rng);
+  const KvIndex built = BuildKvIndex(x, {.window = 50});
+  MemKvStore store;
+  ASSERT_TRUE(built.Persist(&store, "").ok());
+  auto cold = KvIndex::Open(&store, "");
+  auto warm = KvIndex::Open(&store, "");
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  warm->EnableRowCache(256);
+
+  Rng prng(92);
+  for (int t = 0; t < 50; ++t) {
+    const double lr = prng.Uniform(-8, 7);
+    const double ur = lr + prng.Uniform(0.0, 2.0);
+    auto a = cold->ProbeRange(lr, ur);
+    auto b = warm->ProbeRange(lr, ur);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+TEST(RowCacheTest, RepeatedProbeHitsCache) {
+  Rng rng(93);
+  const TimeSeries x = GenerateSynthetic(10000, &rng);
+  const KvIndex built = BuildKvIndex(x, {.window = 50});
+  MemKvStore store;
+  ASSERT_TRUE(built.Persist(&store, "").ok());
+  auto index = KvIndex::Open(&store, "");
+  ASSERT_TRUE(index.ok());
+  index->EnableRowCache(1024);
+
+  ProbeStats first, second;
+  ASSERT_TRUE(index->ProbeRange(-1.0, 1.0, &first).ok());
+  ASSERT_TRUE(index->ProbeRange(-1.0, 1.0, &second).ok());
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_GT(first.rows_fetched, 0u);
+  EXPECT_EQ(second.rows_fetched, 0u);  // fully served from cache
+  EXPECT_GT(second.cache_hits, 0u);
+  EXPECT_EQ(second.cache_hits, first.rows_fetched);
+}
+
+TEST(RowCacheTest, PartialOverlapFetchesOnlyMissingRows) {
+  Rng rng(94);
+  const TimeSeries x = GenerateSynthetic(20000, &rng);
+  const KvIndex built = BuildKvIndex(x, {.window = 50, .width = 0.25});
+  MemKvStore store;
+  ASSERT_TRUE(built.Persist(&store, "").ok());
+  auto index = KvIndex::Open(&store, "");
+  ASSERT_TRUE(index.ok());
+  index->EnableRowCache(1024);
+
+  ProbeStats narrow;
+  ASSERT_TRUE(index->ProbeRange(-0.5, 0.5, &narrow).ok());
+  ProbeStats wide;
+  ASSERT_TRUE(index->ProbeRange(-1.5, 1.5, &wide).ok());
+  // The wide probe reuses the narrow probe's rows.
+  EXPECT_GT(wide.cache_hits, 0u);
+  // And still returns the exact same answer as an uncached index.
+  auto uncached = KvIndex::Open(&store, "");
+  ASSERT_TRUE(uncached.ok());
+  auto a = index->ProbeRange(-1.5, 1.5);
+  auto b = uncached->ProbeRange(-1.5, 1.5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(RowCacheTest, EvictionKeepsBoundAndCorrectness) {
+  Rng rng(95);
+  const TimeSeries x = GenerateSynthetic(20000, &rng);
+  const KvIndex built = BuildKvIndex(x, {.window = 50, .width = 0.25});
+  MemKvStore store;
+  ASSERT_TRUE(built.Persist(&store, "").ok());
+  auto index = KvIndex::Open(&store, "");
+  ASSERT_TRUE(index.ok());
+  index->EnableRowCache(2);  // tiny: constant eviction
+
+  Rng prng(96);
+  auto reference = KvIndex::Open(&store, "");
+  ASSERT_TRUE(reference.ok());
+  for (int t = 0; t < 60; ++t) {
+    const double lr = prng.Uniform(-8, 7);
+    const double ur = lr + prng.Uniform(0.0, 3.0);
+    auto a = index->ProbeRange(lr, ur);
+    auto b = reference->ProbeRange(lr, ur);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+TEST(RowCacheTest, MatcherEndToEndWithCache) {
+  Rng rng(97);
+  const TimeSeries x = GenerateSynthetic(8000, &rng);
+  PrefixStats ps(x);
+  const KvIndex built = BuildKvIndex(x, {.window = 25});
+  MemKvStore store;
+  ASSERT_TRUE(built.Persist(&store, "").ok());
+  auto index = KvIndex::Open(&store, "");
+  ASSERT_TRUE(index.ok());
+  index->EnableRowCache(512);
+  const KvMatcher matcher(x, ps, *index);
+  const auto q = ExtractQuery(x, 3000, 150, 0.2, &rng);
+  QueryParams params{QueryType::kCnsmEd, 3.0, 1.5, 3.0, 0};
+  const auto expected = BruteForceMatch(x, q, params);
+  // Run twice: cold then warm; both must be exact.
+  for (int round = 0; round < 2; ++round) {
+    auto got = matcher.Match(q, params);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), expected.size()) << "round " << round;
+    for (size_t i = 0; i < got->size(); ++i) {
+      EXPECT_EQ((*got)[i].offset, expected[i].offset);
+    }
+  }
+}
+
+class ParallelBuild : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelBuild, IdenticalToSequentialBuild) {
+  const size_t threads = GetParam();
+  Rng rng(98);
+  const TimeSeries x = GenerateUcrLike(30000, &rng);
+  const IndexBuildOptions opts{.window = 50};
+  const KvIndex plain = BuildKvIndex(x, opts);
+  const KvIndex parallel = BuildKvIndexParallel(x, opts, threads);
+  ASSERT_EQ(parallel.num_rows(), plain.num_rows());
+  for (size_t i = 0; i < plain.num_rows(); ++i) {
+    EXPECT_EQ(parallel.rows()[i].low, plain.rows()[i].low);
+    EXPECT_EQ(parallel.rows()[i].up, plain.rows()[i].up);
+    EXPECT_EQ(parallel.rows()[i].value, plain.rows()[i].value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelBuild,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ParallelBuildTest, MoreThreadsThanPositions) {
+  Rng rng(99);
+  const TimeSeries x = GenerateSynthetic(100, &rng);
+  const KvIndex plain = BuildKvIndex(x, {.window = 50});
+  const KvIndex parallel =
+      BuildKvIndexParallel(x, {.window = 50}, 1000);
+  EXPECT_EQ(parallel.num_rows(), plain.num_rows());
+}
+
+TEST(IncrementalBuilderTest, SnapshotEqualsBatchBuild) {
+  Rng rng(201);
+  const TimeSeries x = GenerateUcrLike(15000, &rng);
+  const IndexBuildOptions opts{.window = 50};
+  const KvIndex batch = BuildKvIndex(x, opts);
+
+  IncrementalIndexBuilder builder(opts);
+  builder.AppendChunk(x.values());
+  const KvIndex streamed = builder.Snapshot();
+  ASSERT_EQ(streamed.num_rows(), batch.num_rows());
+  for (size_t i = 0; i < batch.num_rows(); ++i) {
+    EXPECT_EQ(streamed.rows()[i].low, batch.rows()[i].low);
+    EXPECT_EQ(streamed.rows()[i].value, batch.rows()[i].value);
+  }
+  EXPECT_EQ(streamed.series_length(), x.size());
+}
+
+TEST(IncrementalBuilderTest, ChunkBoundariesDoNotMatter) {
+  Rng rng(202);
+  const TimeSeries x = GenerateSynthetic(5000, &rng);
+  const IndexBuildOptions opts{.window = 32};
+
+  IncrementalIndexBuilder one_shot(opts);
+  one_shot.AppendChunk(x.values());
+
+  IncrementalIndexBuilder chunked(opts);
+  size_t pos = 0;
+  Rng crng(203);
+  while (pos < x.size()) {
+    const size_t len = std::min<size_t>(
+        x.size() - pos, static_cast<size_t>(crng.UniformInt(1, 700)));
+    chunked.AppendChunk(
+        std::span<const double>(x.values()).subspan(pos, len));
+    pos += len;
+  }
+  const KvIndex a = one_shot.Snapshot();
+  const KvIndex b = chunked.Snapshot();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(a.rows()[i].value, b.rows()[i].value);
+  }
+}
+
+TEST(IncrementalBuilderTest, MidStreamSnapshotMatchesPrefixBuild) {
+  Rng rng(204);
+  const TimeSeries x = GenerateSynthetic(6000, &rng);
+  const IndexBuildOptions opts{.window = 25};
+  IncrementalIndexBuilder builder(opts);
+  const size_t half = 3000;
+  builder.AppendChunk(
+      std::span<const double>(x.values()).subspan(0, half));
+  const KvIndex snap = builder.Snapshot();
+  const TimeSeries prefix_series(std::vector<double>(
+      x.values().begin(), x.values().begin() + half));
+  const KvIndex expected = BuildKvIndex(prefix_series, opts);
+  ASSERT_EQ(snap.num_rows(), expected.num_rows());
+  for (size_t i = 0; i < snap.num_rows(); ++i) {
+    EXPECT_EQ(snap.rows()[i].value, expected.rows()[i].value);
+  }
+  // The builder keeps working after a snapshot.
+  builder.AppendChunk(
+      std::span<const double>(x.values()).subspan(half));
+  const KvIndex full = builder.Snapshot();
+  const KvIndex full_expected = BuildKvIndex(x, opts);
+  EXPECT_EQ(full.num_rows(), full_expected.num_rows());
+}
+
+TEST(IncrementalBuilderTest, FewerPointsThanWindowGivesEmptyIndex) {
+  IncrementalIndexBuilder builder({.window = 100});
+  for (int i = 0; i < 50; ++i) builder.Append(1.0);
+  EXPECT_EQ(builder.Snapshot().num_rows(), 0u);
+}
+
+TEST(FailureInjectionTest, CorruptRowValueSurfacesCorruption) {
+  Rng rng(100);
+  const TimeSeries x = GenerateSynthetic(8000, &rng);
+  const KvIndex built = BuildKvIndex(x, {.window = 50});
+  ASSERT_GT(built.num_rows(), 1u);
+  MemKvStore store;
+  ASSERT_TRUE(built.Persist(&store, "").ok());
+  // Truncate one row's value so interval decoding fails.
+  const std::string victim_key =
+      "r" + EncodeOrderedDouble(built.rows()[0].low);
+  std::string value;
+  ASSERT_TRUE(store.Get(victim_key, &value).ok());
+  ASSERT_TRUE(store.Put(victim_key, value.substr(0, 9)).ok());
+
+  auto index = KvIndex::Open(&store, "");
+  ASSERT_TRUE(index.ok());
+  auto probe = index->ProbeRange(built.rows()[0].low,
+                                 built.rows()[0].up - 1e-9);
+  ASSERT_FALSE(probe.ok());
+  EXPECT_TRUE(probe.status().IsCorruption());
+}
+
+TEST(FailureInjectionTest, MissingMetaIsNotFound) {
+  MemKvStore store;
+  auto index = KvIndex::Open(&store, "absent/");
+  EXPECT_FALSE(index.ok());
+  EXPECT_TRUE(index.status().IsNotFound());
+}
+
+TEST(FailureInjectionTest, TruncatedMetaIsCorruption) {
+  Rng rng(101);
+  const TimeSeries x = GenerateSynthetic(5000, &rng);
+  const KvIndex built = BuildKvIndex(x, {.window = 50});
+  MemKvStore store;
+  ASSERT_TRUE(built.Persist(&store, "").ok());
+  std::string meta;
+  ASSERT_TRUE(store.Get("m", &meta).ok());
+  ASSERT_TRUE(store.Put("m", meta.substr(0, meta.size() / 2)).ok());
+  auto index = KvIndex::Open(&store, "");
+  ASSERT_FALSE(index.ok());
+  EXPECT_TRUE(index.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace kvmatch

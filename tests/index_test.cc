@@ -1,0 +1,309 @@
+// Unit + property tests for index/: KV-index building, row merge,
+// meta-table estimates, persistence over every KvStore implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+
+#include "common/rng.h"
+#include "index/index_builder.h"
+#include "index/kv_index.h"
+#include "storage/file_kvstore.h"
+#include "storage/mem_kvstore.h"
+#include "storage/minikv.h"
+#include "ts/generator.h"
+#include "ts/stats_oracle.h"
+
+namespace kvmatch {
+namespace {
+
+namespace fs = std::filesystem;
+
+TimeSeries MakeSeries(size_t n, uint64_t seed = 42) {
+  Rng rng(seed);
+  return GenerateSynthetic(n, &rng);
+}
+
+std::set<int64_t> ProbePositions(const KvIndex& index, double lr, double ur) {
+  auto is = index.ProbeRange(lr, ur);
+  EXPECT_TRUE(is.ok());
+  std::set<int64_t> out;
+  for (const auto& wi : is->intervals()) {
+    for (int64_t p = wi.l; p <= wi.r; ++p) out.insert(p);
+  }
+  return out;
+}
+
+TEST(IndexBuilderTest, RowsArePairwiseDisjointAndSorted) {
+  const TimeSeries x = MakeSeries(20000);
+  const KvIndex index = BuildKvIndex(x, {.window = 50});
+  ASSERT_GT(index.num_rows(), 0u);
+  for (size_t i = 0; i < index.num_rows(); ++i) {
+    const auto& row = index.rows()[i];
+    EXPECT_LT(row.low, row.up);
+    if (i > 0) EXPECT_LE(index.rows()[i - 1].up, row.low);
+  }
+}
+
+TEST(IndexBuilderTest, EveryWindowAppearsExactlyOnce) {
+  const TimeSeries x = MakeSeries(5000);
+  const size_t w = 32;
+  const KvIndex index = BuildKvIndex(x, {.window = w});
+  std::set<int64_t> seen;
+  int64_t total = 0;
+  for (const auto& row : index.rows()) {
+    for (const auto& wi : row.value.intervals()) {
+      for (int64_t p = wi.l; p <= wi.r; ++p) {
+        EXPECT_TRUE(seen.insert(p).second) << "duplicate position " << p;
+      }
+    }
+    total += row.value.num_positions();
+  }
+  EXPECT_EQ(static_cast<size_t>(total), x.size() - w + 1);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), static_cast<int64_t>(x.size() - w));
+}
+
+TEST(IndexBuilderTest, WindowMeansFallInTheirRowRange) {
+  const TimeSeries x = MakeSeries(8000);
+  const size_t w = 25;
+  const KvIndex index = BuildKvIndex(x, {.window = w, .width = 0.5});
+  PrefixStats ps(x);
+  for (const auto& row : index.rows()) {
+    for (const auto& wi : row.value.intervals()) {
+      for (int64_t p = wi.l; p <= wi.r; ++p) {
+        const double mu = ps.WindowMean(static_cast<size_t>(p), w);
+        EXPECT_GE(mu, row.low - 1e-9);
+        EXPECT_LT(mu, row.up + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(IndexBuilderTest, MergeReducesRowsButKeepsWindows) {
+  const TimeSeries x = MakeSeries(30000);
+  const KvIndex strict =
+      BuildKvIndex(x, {.window = 50, .width = 0.1, .merge_threshold = 0.0});
+  const KvIndex merged =
+      BuildKvIndex(x, {.window = 50, .width = 0.1, .merge_threshold = 0.9});
+  EXPECT_LT(merged.num_rows(), strict.num_rows());
+  // Same probe answers regardless of merge (merge only coarsens rows).
+  PrefixStats ps(x);
+  Rng rng(5);
+  for (int t = 0; t < 20; ++t) {
+    const double lr = rng.Uniform(-10, 9);
+    const double ur = lr + rng.Uniform(0.1, 3.0);
+    const auto a = ProbePositions(strict, lr, ur);
+    const auto b = ProbePositions(merged, lr, ur);
+    // Both are supersets of the truth; truth = windows with mean in range.
+    for (size_t p = 0; p + 50 <= x.size(); ++p) {
+      const double mu = ps.WindowMean(p, 50);
+      if (mu >= lr && mu <= ur) {
+        EXPECT_TRUE(a.count(static_cast<int64_t>(p)));
+        EXPECT_TRUE(b.count(static_cast<int64_t>(p)));
+      }
+    }
+    // Coarser rows can only add windows.
+    for (int64_t p : a) EXPECT_TRUE(b.count(p));
+  }
+}
+
+TEST(IndexBuilderTest, ProbeReturnsSupersetOfTrueWindows) {
+  const TimeSeries x = MakeSeries(10000, 7);
+  const size_t w = 40;
+  const KvIndex index = BuildKvIndex(x, {.window = w});
+  PrefixStats ps(x);
+  Rng rng(8);
+  for (int t = 0; t < 30; ++t) {
+    const double lr = rng.Uniform(-8, 7);
+    const double ur = lr + rng.Uniform(0.0, 2.0);
+    const auto got = ProbePositions(index, lr, ur);
+    for (size_t p = 0; p + w <= x.size(); ++p) {
+      const double mu = ps.WindowMean(p, w);
+      if (mu >= lr && mu <= ur) {
+        EXPECT_TRUE(got.count(static_cast<int64_t>(p)))
+            << "missing window " << p << " mean " << mu;
+      }
+    }
+    // And the superset is bounded by row width: every returned window's
+    // mean lies within the probed range padded by the widest (merged) row.
+    double max_row_width = 0.0;
+    for (const auto& m : index.meta()) {
+      max_row_width = std::max(max_row_width, m.up - m.low);
+    }
+    for (int64_t p : got) {
+      const double mu = ps.WindowMean(static_cast<size_t>(p), w);
+      EXPECT_GE(mu, lr - max_row_width - 1e-9);
+      EXPECT_LE(mu, ur + max_row_width + 1e-9);
+    }
+  }
+}
+
+TEST(IndexBuilderTest, EmptyProbeOutsideDataRange) {
+  const TimeSeries x = MakeSeries(5000);
+  const KvIndex index = BuildKvIndex(x, {.window = 50});
+  EXPECT_TRUE(ProbePositions(index, 1e6, 2e6).empty());
+  EXPECT_TRUE(ProbePositions(index, -2e6, -1e6).empty());
+}
+
+TEST(IndexBuilderTest, SeriesShorterThanWindowYieldsEmptyIndex) {
+  const TimeSeries x = MakeSeries(30);
+  const KvIndex index = BuildKvIndex(x, {.window = 50});
+  EXPECT_EQ(index.num_rows(), 0u);
+}
+
+TEST(IndexBuilderTest, SegmentedBuildEqualsPlainBuild) {
+  const TimeSeries x = MakeSeries(12000, 11);
+  const IndexBuildOptions opts{.window = 50, .width = 0.5,
+                               .merge_threshold = 0.8};
+  const KvIndex plain = BuildKvIndex(x, opts);
+  for (size_t segs : {2u, 3u, 7u, 64u}) {
+    const KvIndex seg = BuildKvIndexSegmented(x, opts, segs);
+    ASSERT_EQ(seg.num_rows(), plain.num_rows()) << "segments=" << segs;
+    for (size_t i = 0; i < plain.num_rows(); ++i) {
+      EXPECT_EQ(seg.rows()[i].low, plain.rows()[i].low);
+      EXPECT_EQ(seg.rows()[i].up, plain.rows()[i].up);
+      EXPECT_EQ(seg.rows()[i].value, plain.rows()[i].value);
+    }
+  }
+}
+
+TEST(IndexBuilderTest, BuildIndexSetDoublesWindows) {
+  const TimeSeries x = MakeSeries(20000);
+  const auto set = BuildIndexSet(x, 25, 5);
+  ASSERT_EQ(set.size(), 5u);
+  size_t w = 25;
+  for (const auto& index : set) {
+    EXPECT_EQ(index.window(), w);
+    EXPECT_EQ(index.series_length(), x.size());
+    w *= 2;
+  }
+}
+
+TEST(IndexTest, MetaEstimatesMatchRowSums) {
+  const TimeSeries x = MakeSeries(15000, 3);
+  const KvIndex index = BuildKvIndex(x, {.window = 100});
+  Rng rng(4);
+  for (int t = 0; t < 20; ++t) {
+    const double lr = rng.Uniform(-8, 7);
+    const double ur = lr + rng.Uniform(0.0, 3.0);
+    auto is = index.ProbeRange(lr, ur);
+    ASSERT_TRUE(is.ok());
+    // The estimate sums raw per-row nI; the actual union may merge
+    // intervals that touch across rows, so estimate >= actual.
+    EXPECT_GE(index.EstimateIntervals(lr, ur), is->num_intervals());
+    EXPECT_GE(index.EstimatePositions(lr, ur),
+              static_cast<uint64_t>(is->num_positions()));
+  }
+}
+
+TEST(IndexTest, ProbeStatsCountAccesses) {
+  const TimeSeries x = MakeSeries(10000);
+  const KvIndex index = BuildKvIndex(x, {.window = 50});
+  ProbeStats stats;
+  auto is = index.ProbeRange(-1.0, 1.0, &stats);
+  ASSERT_TRUE(is.ok());
+  EXPECT_EQ(stats.index_accesses, 1u);
+  EXPECT_GT(stats.rows_fetched, 0u);
+}
+
+class IndexPersistence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexPersistence, RoundTripThroughStore) {
+  const TimeSeries x = MakeSeries(8000, 9);
+  const KvIndex built = BuildKvIndex(x, {.window = 50});
+
+  std::unique_ptr<KvStore> store;
+  std::string cleanup;
+  switch (GetParam()) {
+    case 0:
+      store = std::make_unique<MemKvStore>();
+      break;
+    case 1: {
+      cleanup =
+          (fs::temp_directory_path() / "kvm_index_persist_file").string();
+      std::remove(cleanup.c_str());
+      auto r = FileKvStore::Open(cleanup);
+      ASSERT_TRUE(r.ok());
+      store = std::move(r).value();
+      break;
+    }
+    default: {
+      cleanup =
+          (fs::temp_directory_path() / "kvm_index_persist_mini").string();
+      fs::remove_all(cleanup);
+      auto r = MiniKv::Open(cleanup);
+      ASSERT_TRUE(r.ok());
+      store = std::move(r).value();
+      break;
+    }
+  }
+
+  ASSERT_TRUE(built.Persist(store.get(), "idx50/").ok());
+  auto opened = KvIndex::Open(store.get(), "idx50/");
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->window(), built.window());
+  EXPECT_EQ(opened->series_length(), built.series_length());
+  ASSERT_EQ(opened->meta().size(), built.meta().size());
+
+  // Probes agree between the in-memory and store-backed forms.
+  Rng rng(10);
+  for (int t = 0; t < 15; ++t) {
+    const double lr = rng.Uniform(-8, 7);
+    const double ur = lr + rng.Uniform(0.0, 2.0);
+    auto a = built.ProbeRange(lr, ur);
+    auto b = opened->ProbeRange(lr, ur);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+
+  store.reset();
+  if (!cleanup.empty()) {
+    std::error_code ec;
+    fs::remove_all(cleanup, ec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, IndexPersistence, ::testing::Values(0, 1, 2));
+
+TEST(IndexTest, MultipleIndexesShareOneStore) {
+  const TimeSeries x = MakeSeries(6000);
+  auto store = std::make_unique<MemKvStore>();
+  const auto set = BuildIndexSet(x, 25, 3);
+  for (const auto& index : set) {
+    const std::string ns = "w" + std::to_string(index.window()) + "/";
+    ASSERT_TRUE(index.Persist(store.get(), ns).ok());
+  }
+  for (const auto& index : set) {
+    const std::string ns = "w" + std::to_string(index.window()) + "/";
+    auto opened = KvIndex::Open(store.get(), ns);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(opened->window(), index.window());
+    auto a = index.ProbeRange(-1, 1);
+    auto b = opened->ProbeRange(-1, 1);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+TEST(IndexTest, LargerWindowShrinksIndex) {
+  // Table VIII phenomenon: larger w -> smoother means -> fewer intervals
+  // -> smaller index. The trend is monotone end-to-end with mild slack at
+  // individual steps.
+  Rng rng(13);
+  const TimeSeries x = GenerateUcrLike(100000, &rng);
+  std::vector<uint64_t> sizes;
+  for (size_t w : {25u, 50u, 100u, 200u, 400u}) {
+    const KvIndex index = BuildKvIndex(x, {.window = w});
+    sizes.push_back(index.EncodedSizeBytes());
+  }
+  EXPECT_LT(sizes.back(), sizes.front());
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LT(sizes[i], sizes[i - 1] * 1.2) << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kvmatch

@@ -1,0 +1,208 @@
+// Unit + property tests for index/interval: the window-interval algebra
+// that Algorithm 1 is built on. Property tests compare against a naive
+// position-set implementation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/interval.h"
+
+namespace kvmatch {
+namespace {
+
+std::set<int64_t> ToSet(const IntervalList& list) {
+  std::set<int64_t> out;
+  for (const auto& wi : list.intervals()) {
+    for (int64_t p = wi.l; p <= wi.r; ++p) out.insert(p);
+  }
+  return out;
+}
+
+IntervalList FromSet(const std::set<int64_t>& s) {
+  IntervalList out;
+  for (int64_t p : s) out.AppendPosition(p);
+  return out;
+}
+
+IntervalList RandomList(Rng* rng, int64_t universe, double density) {
+  std::set<int64_t> s;
+  for (int64_t p = 0; p < universe; ++p) {
+    if (rng->NextDouble() < density) s.insert(p);
+  }
+  return FromSet(s);
+}
+
+TEST(IntervalTest, AppendPositionCoalescesAdjacent) {
+  IntervalList list;
+  list.AppendPosition(1);
+  list.AppendPosition(2);
+  list.AppendPosition(3);
+  list.AppendPosition(7);
+  ASSERT_EQ(list.num_intervals(), 2u);
+  EXPECT_EQ(list[0], (WindowInterval{1, 3}));
+  EXPECT_EQ(list[1], (WindowInterval{7, 7}));
+  EXPECT_EQ(list.num_positions(), 4);
+}
+
+TEST(IntervalTest, AppendDuplicatePositionIsIdempotent) {
+  IntervalList list;
+  list.AppendPosition(5);
+  list.AppendPosition(5);
+  EXPECT_EQ(list.num_intervals(), 1u);
+  EXPECT_EQ(list.num_positions(), 1);
+}
+
+TEST(IntervalTest, AppendIntervalMergesOverlap) {
+  IntervalList list;
+  list.AppendInterval({1, 5});
+  list.AppendInterval({4, 8});  // overlaps
+  ASSERT_EQ(list.num_intervals(), 1u);
+  EXPECT_EQ(list[0], (WindowInterval{1, 8}));
+  EXPECT_EQ(list.num_positions(), 8);
+}
+
+TEST(IntervalTest, ContainsBinarySearch) {
+  IntervalList list;
+  list.AppendInterval({2, 4});
+  list.AppendInterval({10, 10});
+  list.AppendInterval({20, 29});
+  EXPECT_FALSE(list.Contains(1));
+  EXPECT_TRUE(list.Contains(2));
+  EXPECT_TRUE(list.Contains(4));
+  EXPECT_FALSE(list.Contains(5));
+  EXPECT_TRUE(list.Contains(10));
+  EXPECT_FALSE(list.Contains(11));
+  EXPECT_TRUE(list.Contains(25));
+  EXPECT_FALSE(list.Contains(30));
+}
+
+TEST(IntervalTest, UnionAgainstNaiveSets) {
+  Rng rng(21);
+  for (int t = 0; t < 50; ++t) {
+    const auto a = RandomList(&rng, 200, 0.2);
+    const auto b = RandomList(&rng, 200, 0.2);
+    const auto u = IntervalList::Union(a, b);
+    std::set<int64_t> expected = ToSet(a);
+    const auto sb = ToSet(b);
+    expected.insert(sb.begin(), sb.end());
+    EXPECT_EQ(ToSet(u), expected);
+    EXPECT_EQ(u, FromSet(expected)) << "canonical form";
+  }
+}
+
+TEST(IntervalTest, IntersectAgainstNaiveSets) {
+  Rng rng(22);
+  for (int t = 0; t < 50; ++t) {
+    const auto a = RandomList(&rng, 200, 0.4);
+    const auto b = RandomList(&rng, 200, 0.4);
+    const auto x = IntervalList::Intersect(a, b);
+    const auto sa = ToSet(a);
+    const auto sb = ToSet(b);
+    std::set<int64_t> expected;
+    for (int64_t p : sa) {
+      if (sb.count(p)) expected.insert(p);
+    }
+    EXPECT_EQ(ToSet(x), expected);
+    EXPECT_EQ(x, FromSet(expected)) << "canonical form";
+  }
+}
+
+TEST(IntervalTest, IntersectWithSelfIsIdentity) {
+  Rng rng(23);
+  const auto a = RandomList(&rng, 300, 0.3);
+  EXPECT_EQ(IntervalList::Intersect(a, a), a);
+}
+
+TEST(IntervalTest, UnionWithEmptyIsIdentity) {
+  Rng rng(24);
+  const auto a = RandomList(&rng, 100, 0.3);
+  const IntervalList empty;
+  EXPECT_EQ(IntervalList::Union(a, empty), a);
+  EXPECT_EQ(IntervalList::Union(empty, a), a);
+  EXPECT_TRUE(IntervalList::Intersect(a, empty).empty());
+}
+
+TEST(IntervalTest, ShiftLeftAgainstNaive) {
+  Rng rng(25);
+  for (int64_t delta : {0, 1, 7, 50}) {
+    const auto a = RandomList(&rng, 150, 0.25);
+    const auto shifted = a.ShiftLeft(delta);
+    std::set<int64_t> expected;
+    for (int64_t p : ToSet(a)) {
+      if (p - delta >= 0) expected.insert(p - delta);
+    }
+    EXPECT_EQ(ToSet(shifted), expected) << "delta=" << delta;
+  }
+}
+
+TEST(IntervalTest, ShiftLeftClampsAtZero) {
+  IntervalList a;
+  a.AppendInterval({3, 10});
+  const auto shifted = a.ShiftLeft(5);
+  ASSERT_EQ(shifted.num_intervals(), 1u);
+  EXPECT_EQ(shifted[0], (WindowInterval{0, 5}));
+}
+
+TEST(IntervalTest, ShiftLeftDropsFullyNegative) {
+  IntervalList a;
+  a.AppendInterval({1, 3});
+  a.AppendInterval({100, 110});
+  const auto shifted = a.ShiftLeft(50);
+  ASSERT_EQ(shifted.num_intervals(), 1u);
+  EXPECT_EQ(shifted[0], (WindowInterval{50, 60}));
+}
+
+TEST(IntervalTest, EncodeDecodeRoundTrip) {
+  Rng rng(26);
+  for (int t = 0; t < 30; ++t) {
+    const auto a = RandomList(&rng, 500, 0.1);
+    std::string buf;
+    a.EncodeTo(&buf);
+    std::string_view in(buf);
+    IntervalList decoded;
+    ASSERT_TRUE(IntervalList::DecodeFrom(&in, &decoded));
+    EXPECT_TRUE(in.empty());
+    EXPECT_EQ(decoded, a);
+    EXPECT_EQ(decoded.num_positions(), a.num_positions());
+  }
+}
+
+TEST(IntervalTest, DecodeRejectsTruncation) {
+  IntervalList a;
+  a.AppendInterval({100, 200});
+  a.AppendInterval({300, 400});
+  std::string buf;
+  a.EncodeTo(&buf);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    IntervalList decoded;
+    EXPECT_FALSE(IntervalList::DecodeFrom(&in, &decoded)) << "cut=" << cut;
+  }
+}
+
+TEST(IntervalTest, DeltaEncodingIsCompact) {
+  // 1000 consecutive positions encode as one interval: a handful of bytes.
+  IntervalList a;
+  a.AppendInterval({1000000, 1000999});
+  std::string buf;
+  a.EncodeTo(&buf);
+  EXPECT_LT(buf.size(), 10u);
+}
+
+TEST(IntervalTest, CountsTrackAlgebra) {
+  Rng rng(27);
+  const auto a = RandomList(&rng, 400, 0.15);
+  const auto b = RandomList(&rng, 400, 0.15);
+  const auto u = IntervalList::Union(a, b);
+  const auto x = IntervalList::Intersect(a, b);
+  EXPECT_EQ(static_cast<size_t>(u.num_positions()), ToSet(u).size());
+  EXPECT_EQ(static_cast<size_t>(x.num_positions()), ToSet(x).size());
+  // Inclusion-exclusion on position counts.
+  EXPECT_EQ(u.num_positions() + x.num_positions(),
+            a.num_positions() + b.num_positions());
+}
+
+}  // namespace
+}  // namespace kvmatch

@@ -1,0 +1,159 @@
+// Randomized end-to-end property sweep: across seeds, window sizes, data
+// generators and query types, KV-match and KV-matchDP must return exactly
+// the brute-force answer (no false dismissals, no false positives), and
+// the candidate set must contain every true match.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "baseline/brute_force.h"
+#include "common/rng.h"
+#include "index/index_builder.h"
+#include "match/kv_match.h"
+#include "matchdp/kv_match_dp.h"
+#include "ts/generator.h"
+
+namespace kvmatch {
+namespace {
+
+// (seed, window, ucr_like)
+using SweepParam = std::tuple<uint64_t, size_t, bool>;
+
+class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweep, KvMatchEqualsBruteForceOnAllQueryTypes) {
+  const auto [seed, w, ucr_like] = GetParam();
+  Rng rng(seed);
+  const TimeSeries x =
+      ucr_like ? GenerateUcrLike(4000, &rng) : GenerateSynthetic(4000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = w});
+  const KvMatcher matcher(x, ps, index);
+
+  const size_t m = 4 * w;
+  const size_t off = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(x.size() - m)));
+  const auto q = ExtractQuery(x, off, m, 0.15, &rng);
+
+  const QueryParams cases[] = {
+      {QueryType::kRsmEd, 4.0, 1.0, 0.0, 0},
+      {QueryType::kRsmDtw, 3.0, 1.0, 0.0, w / 4},
+      {QueryType::kCnsmEd, 3.0, 1.4, 2.5, 0},
+      {QueryType::kCnsmDtw, 2.5, 1.4, 2.5, w / 4},
+  };
+  for (const auto& params : cases) {
+    const auto expected = BruteForceMatch(x, q, params);
+    auto got = matcher.Match(q, params);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->size(), expected.size())
+        << "type=" << static_cast<int>(params.type) << " seed=" << seed
+        << " w=" << w;
+    for (size_t i = 0; i < got->size(); ++i) {
+      EXPECT_EQ((*got)[i].offset, expected[i].offset);
+      EXPECT_NEAR((*got)[i].distance, expected[i].distance, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PipelineSweep,
+    ::testing::Combine(::testing::Values(1, 7, 13, 29, 101),
+                       ::testing::Values(16, 25, 50),
+                       ::testing::Bool()));
+
+class DpSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DpSweep, KvMatchDpEqualsBruteForceAcrossLengths) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 5);
+  const TimeSeries x = GenerateSynthetic(5000, &rng);
+  PrefixStats ps(x);
+  const auto set = BuildIndexSet(x, 20, 3);  // w = 20, 40, 80
+  std::vector<const KvIndex*> ptrs;
+  for (const auto& index : set) ptrs.push_back(&index);
+  const KvMatchDp matcher(x, ps, ptrs);
+
+  for (size_t m : {60u, 140u, 300u}) {
+    const size_t off = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(x.size() - m)));
+    const auto q = ExtractQuery(x, off, m, 0.2, &rng);
+    QueryParams params{QueryType::kCnsmEd, 3.0, 1.5, 3.0, 0};
+    const auto expected = BruteForceMatch(x, q, params);
+    auto got = matcher.Match(q, params);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), expected.size()) << "seed=" << seed << " m=" << m;
+    for (size_t i = 0; i < got->size(); ++i) {
+      EXPECT_EQ((*got)[i].offset, expected[i].offset);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpSweep,
+                         ::testing::Values(2, 3, 5, 8, 21, 55));
+
+// Shift/scale invariance: a query that is an affine transform of a data
+// subsequence must be found by cNSM as long as (α, β) admit the transform,
+// and must be rejected once they do not.
+class AffineKnobs : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(AffineKnobs, ConstraintsAdmitOrRejectAffineTransforms) {
+  const auto [scale, shift] = GetParam();
+  Rng rng(77);
+  const TimeSeries x = GenerateSynthetic(4000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 25});
+  const KvMatcher matcher(x, ps, index);
+
+  const size_t off = 1500, m = 200;
+  const auto base = ExtractQuery(x, off, m, 0.0, &rng);
+  const auto q = ShiftScale(base, shift, scale);
+
+  // Admitting knobs: α covers the scale, β covers the shift (plus the
+  // change of mean from scaling). Normalized shapes are identical, so any
+  // small ε works.
+  const MeanStd base_ms = ComputeMeanStd(base);
+  const double mean_delta =
+      std::fabs((scale - 1.0) * base_ms.mean + shift);
+  QueryParams admit{QueryType::kCnsmEd, 0.5,
+                    std::max(scale, 1.0 / scale) + 0.01,
+                    mean_delta + 0.01, 0};
+  auto got = matcher.Match(q, admit);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(std::any_of(got->begin(), got->end(), [&](const MatchResult& r) {
+    return r.offset == off;
+  })) << "scale=" << scale << " shift=" << shift;
+
+  // Rejecting knobs: α strictly below the scale (when scaling) or β
+  // strictly below the shift (when shifting).
+  if (scale != 1.0) {
+    QueryParams reject = admit;
+    reject.alpha = std::max(scale, 1.0 / scale) * 0.9;
+    if (reject.alpha < 1.0) reject.alpha = 1.0;
+    auto r = matcher.Match(q, reject);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(std::any_of(r->begin(), r->end(), [&](const MatchResult& m2) {
+      return m2.offset == off;
+    }));
+  }
+  if (shift != 0.0 && scale == 1.0) {
+    QueryParams reject = admit;
+    reject.beta = mean_delta * 0.9;
+    auto r = matcher.Match(q, reject);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(std::any_of(r->begin(), r->end(), [&](const MatchResult& m2) {
+      return m2.offset == off;
+    }));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transforms, AffineKnobs,
+    ::testing::Values(std::make_tuple(1.0, 3.0), std::make_tuple(1.0, -5.0),
+                      std::make_tuple(1.8, 0.0), std::make_tuple(0.6, 0.0),
+                      std::make_tuple(1.5, 2.0), std::make_tuple(0.7, -1.5)));
+
+}  // namespace
+}  // namespace kvmatch

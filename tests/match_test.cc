@@ -1,0 +1,237 @@
+// KV-match correctness: exact agreement with brute force on all four query
+// types (the paper's central no-false-dismissal + verification guarantee),
+// plus candidate-set and option behaviors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/brute_force.h"
+#include "common/rng.h"
+#include "index/index_builder.h"
+#include "match/kv_match.h"
+#include "ts/generator.h"
+
+namespace kvmatch {
+namespace {
+
+struct MatchCase {
+  QueryType type;
+  double epsilon;
+  double alpha;
+  double beta;
+  size_t rho;
+  const char* name;
+};
+
+void ExpectSameMatches(const std::vector<MatchResult>& got,
+                       const std::vector<MatchResult>& expected,
+                       const char* label) {
+  ASSERT_EQ(got.size(), expected.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].offset, expected[i].offset) << label << " i=" << i;
+    EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-6)
+        << label << " i=" << i;
+  }
+}
+
+class KvMatchAgainstBruteForce : public ::testing::TestWithParam<MatchCase> {
+};
+
+TEST_P(KvMatchAgainstBruteForce, ExactAgreement) {
+  const MatchCase mc = GetParam();
+  Rng rng(41);
+  const TimeSeries x = GenerateSynthetic(6000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 32});
+  const KvMatcher matcher(x, ps, index);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    const size_t m = 128;
+    const size_t off = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(x.size() - m)));
+    const auto q = ExtractQuery(x, off, m, 0.2, &rng);
+
+    QueryParams params{mc.type, mc.epsilon, mc.alpha, mc.beta, mc.rho};
+    const auto expected = BruteForceMatch(x, q, params);
+    MatchStats stats;
+    auto got = matcher.Match(q, params, &stats);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectSameMatches(*got, expected, mc.name);
+    // The planted (noisy) query should match itself at small ε... only
+    // guaranteed when ε is generous; here just check candidate accounting.
+    EXPECT_GE(stats.candidate_positions,
+              static_cast<uint64_t>(expected.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, KvMatchAgainstBruteForce,
+    ::testing::Values(
+        MatchCase{QueryType::kRsmEd, 3.0, 1.0, 0.0, 0, "rsm_ed_tight"},
+        MatchCase{QueryType::kRsmEd, 10.0, 1.0, 0.0, 0, "rsm_ed_loose"},
+        MatchCase{QueryType::kRsmDtw, 3.0, 1.0, 0.0, 6, "rsm_dtw"},
+        MatchCase{QueryType::kRsmDtw, 8.0, 1.0, 0.0, 12, "rsm_dtw_loose"},
+        MatchCase{QueryType::kCnsmEd, 3.0, 1.5, 2.0, 0, "cnsm_ed"},
+        MatchCase{QueryType::kCnsmEd, 6.0, 2.0, 8.0, 0, "cnsm_ed_loose"},
+        MatchCase{QueryType::kCnsmDtw, 3.0, 1.5, 2.0, 6, "cnsm_dtw"},
+        MatchCase{QueryType::kCnsmDtw, 5.0, 2.0, 6.0, 10, "cnsm_dtw_loose"},
+        MatchCase{QueryType::kRsmL1, 30.0, 1.0, 0.0, 0, "rsm_l1"},
+        MatchCase{QueryType::kRsmL1, 90.0, 1.0, 0.0, 0, "rsm_l1_loose"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(KvMatchTest, SelfQueryAtZeroEpsilonFindsItself) {
+  Rng rng(42);
+  const TimeSeries x = GenerateSynthetic(4000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 25});
+  const KvMatcher matcher(x, ps, index);
+  const auto q = ExtractQuery(x, 1234, 100, 0.0, &rng);
+  QueryParams params{QueryType::kRsmEd, 1e-9, 1.0, 0.0, 0};
+  auto got = matcher.Match(q, params);
+  ASSERT_TRUE(got.ok());
+  ASSERT_GE(got->size(), 1u);
+  EXPECT_TRUE(std::any_of(got->begin(), got->end(),
+                          [](const MatchResult& r) {
+                            return r.offset == 1234;
+                          }));
+}
+
+TEST(KvMatchTest, QueryShorterThanWindowIsInvalid) {
+  Rng rng(43);
+  const TimeSeries x = GenerateSynthetic(1000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 50});
+  const KvMatcher matcher(x, ps, index);
+  const std::vector<double> q(30, 1.0);
+  QueryParams params{QueryType::kRsmEd, 1.0, 1.0, 0.0, 0};
+  EXPECT_FALSE(matcher.Match(q, params).ok());
+}
+
+TEST(KvMatchTest, NonMultipleQueryLengthUsesPrefix) {
+  // |Q| = 110, w = 32: p = 3 windows, remainder ignored; results must
+  // still agree with brute force on the full query.
+  Rng rng(44);
+  const TimeSeries x = GenerateSynthetic(3000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 32});
+  const KvMatcher matcher(x, ps, index);
+  const auto q = ExtractQuery(x, 500, 110, 0.1, &rng);
+  QueryParams params{QueryType::kRsmEd, 4.0, 1.0, 0.0, 0};
+  const auto expected = BruteForceMatch(x, q, params);
+  auto got = matcher.Match(q, params);
+  ASSERT_TRUE(got.ok());
+  ExpectSameMatches(*got, expected, "prefix");
+}
+
+TEST(KvMatchTest, CandidateSetContainsAllTrueMatches) {
+  Rng rng(45);
+  const TimeSeries x = GenerateSynthetic(5000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 25});
+  for (QueryType type : {QueryType::kRsmEd, QueryType::kRsmDtw,
+                         QueryType::kCnsmEd, QueryType::kCnsmDtw}) {
+    const auto q = ExtractQuery(x, 2000, 100, 0.3, &rng);
+    QueryParams params{type, 5.0, 1.5, 3.0, 5};
+    const auto expected = BruteForceMatch(x, q, params);
+    std::vector<QuerySegment> segments;
+    for (size_t i = 0; i < 4; ++i) segments.push_back({&index, i * 25, 25});
+    auto cs = ComputeCandidateSet(x, q, params, segments);
+    ASSERT_TRUE(cs.ok());
+    for (const auto& match : expected) {
+      EXPECT_TRUE(cs->Contains(static_cast<int64_t>(match.offset)))
+          << "type=" << static_cast<int>(type)
+          << " offset=" << match.offset;
+    }
+  }
+}
+
+TEST(KvMatchTest, MoreWindowsNeverEnlargeCandidateSet) {
+  Rng rng(46);
+  const TimeSeries x = GenerateSynthetic(5000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 25});
+  const auto q = ExtractQuery(x, 1000, 200, 0.2, &rng);
+  QueryParams params{QueryType::kRsmEd, 5.0, 1.0, 0.0, 0};
+  int64_t prev = INT64_MAX;
+  for (size_t use = 1; use <= 8; ++use) {
+    std::vector<QuerySegment> segments;
+    for (size_t i = 0; i < use; ++i) segments.push_back({&index, i * 25, 25});
+    auto cs = ComputeCandidateSet(x, q, params, segments);
+    ASSERT_TRUE(cs.ok());
+    EXPECT_LE(cs->num_positions(), prev);
+    prev = cs->num_positions();
+  }
+}
+
+TEST(KvMatchTest, ReorderAndCapOptionsKeepCorrectness) {
+  Rng rng(47);
+  const TimeSeries x = GenerateSynthetic(4000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 25});
+  const KvMatcher matcher(x, ps, index);
+  const auto q = ExtractQuery(x, 700, 150, 0.2, &rng);
+  QueryParams params{QueryType::kCnsmEd, 4.0, 1.5, 3.0, 0};
+  const auto expected = BruteForceMatch(x, q, params);
+
+  for (MatchOptions options :
+       {MatchOptions{.reorder_windows = true},
+        MatchOptions{.max_windows = 2},
+        MatchOptions{.reorder_windows = true, .max_windows = 3}}) {
+    auto got = matcher.Match(q, params, nullptr, options);
+    ASSERT_TRUE(got.ok());
+    ExpectSameMatches(*got, expected, "options");
+  }
+}
+
+TEST(KvMatchTest, VerifierOptionTogglesKeepCorrectness) {
+  Rng rng(48);
+  const TimeSeries x = GenerateSynthetic(4000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 25});
+  const KvMatcher matcher(x, ps, index);
+  const auto q = ExtractQuery(x, 900, 100, 0.3, &rng);
+  QueryParams params{QueryType::kCnsmDtw, 4.0, 1.5, 3.0, 5};
+  const auto expected = BruteForceMatch(x, q, params);
+
+  for (int mask = 0; mask < 8; ++mask) {
+    MatchOptions options;
+    options.verify.use_lb_kim = mask & 1;
+    options.verify.use_lb_keogh = mask & 2;
+    options.verify.use_reordered_ed = mask & 4;
+    auto got = matcher.Match(q, params, nullptr, options);
+    ASSERT_TRUE(got.ok());
+    ExpectSameMatches(*got, expected, "verify toggles");
+  }
+}
+
+TEST(KvMatchTest, StatsArePopulated) {
+  Rng rng(49);
+  const TimeSeries x = GenerateSynthetic(4000, &rng);
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 25});
+  const KvMatcher matcher(x, ps, index);
+  const auto q = ExtractQuery(x, 100, 100, 0.1, &rng);
+  QueryParams params{QueryType::kRsmEd, 5.0, 1.0, 0.0, 0};
+  MatchStats stats;
+  ASSERT_TRUE(matcher.Match(q, params, &stats).ok());
+  EXPECT_EQ(stats.probe.index_accesses, 4u);  // one scan per window
+  EXPECT_GT(stats.candidate_positions, 0u);
+  EXPECT_GE(stats.phase1_ms, 0.0);
+  EXPECT_GE(stats.phase2_ms, 0.0);
+}
+
+TEST(KvMatchTest, EmptySeriesAndDegenerateInputs) {
+  const TimeSeries x(std::vector<double>(200, 1.0));
+  PrefixStats ps(x);
+  const KvIndex index = BuildKvIndex(x, {.window = 25});
+  const KvMatcher matcher(x, ps, index);
+  // Constant data, constant query: normalized distance is 0 everywhere.
+  const std::vector<double> q(50, 1.0);
+  QueryParams params{QueryType::kRsmEd, 0.5, 1.0, 0.0, 0};
+  auto got = matcher.Match(q, params);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 200u - 50 + 1);
+}
+
+}  // namespace
+}  // namespace kvmatch

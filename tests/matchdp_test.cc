@@ -1,0 +1,212 @@
+// KV-matchDP: DP segmentation validity and optimality, multi-index
+// matching agreement with brute force.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "baseline/brute_force.h"
+#include "common/rng.h"
+#include "index/index_builder.h"
+#include "matchdp/kv_match_dp.h"
+#include "ts/generator.h"
+
+namespace kvmatch {
+namespace {
+
+struct DpFixture {
+  TimeSeries x;
+  PrefixStats ps;
+  std::vector<KvIndex> indexes;
+  std::vector<const KvIndex*> ptrs;
+
+  explicit DpFixture(size_t n, uint64_t seed = 51, size_t wu = 25,
+                     size_t levels = 3) {
+    Rng rng(seed);
+    x = GenerateSynthetic(n, &rng);
+    ps = PrefixStats(x);
+    indexes = BuildIndexSet(x, wu, levels);
+    for (const auto& index : indexes) ptrs.push_back(&index);
+  }
+};
+
+TEST(SegmenterTest, LengthsAreInSigmaAndTileQueryPrefix) {
+  DpFixture f(8000);
+  Rng rng(52);
+  for (size_t m : {50u, 100u, 175u, 200u, 400u, 730u}) {
+    const auto q = ExtractQuery(f.x, 100, m, 0.2, &rng);
+    QueryParams params{QueryType::kRsmEd, 2.0, 1.0, 0.0, 0};
+    auto sg = SegmentQuery(q, params, f.ptrs);
+    ASSERT_TRUE(sg.ok()) << "m=" << m;
+    size_t total = 0;
+    for (size_t len : sg->lengths) {
+      EXPECT_TRUE(len == 25 || len == 50 || len == 100) << "m=" << m;
+      total += len;
+    }
+    // Covers the longest prefix that is a multiple of wu.
+    EXPECT_EQ(total, (m / 25) * 25) << "m=" << m;
+  }
+}
+
+TEST(SegmenterTest, QueryShorterThanWuFails) {
+  DpFixture f(3000);
+  const std::vector<double> q(20, 1.0);
+  QueryParams params{QueryType::kRsmEd, 1.0, 1.0, 0.0, 0};
+  EXPECT_FALSE(SegmentQuery(q, params, f.ptrs).ok());
+}
+
+TEST(SegmenterTest, DpBeatsAllEnumeratedSegmentations) {
+  // Exhaustively enumerate valid segmentations of a short query and check
+  // the DP's objective is minimal.
+  DpFixture f(6000, 53);
+  Rng rng(54);
+  const auto q = ExtractQuery(f.x, 1000, 200, 0.3, &rng);
+  QueryParams params{QueryType::kCnsmEd, 2.0, 1.5, 3.0, 0};
+  auto sg = SegmentQuery(q, params, f.ptrs);
+  ASSERT_TRUE(sg.ok());
+
+  // Enumerate all tilings of 8 wu-units with pieces {1, 2, 4}.
+  std::vector<std::vector<size_t>> all;
+  std::vector<size_t> current;
+  std::function<void(size_t)> enumerate = [&](size_t remaining) {
+    if (remaining == 0) {
+      all.push_back(current);
+      return;
+    }
+    for (size_t piece : {1u, 2u, 4u}) {
+      if (piece <= remaining) {
+        current.push_back(piece * 25);
+        enumerate(remaining - piece);
+        current.pop_back();
+      }
+    }
+  };
+  enumerate(8);
+  ASSERT_GT(all.size(), 10u);
+
+  double best_enum = 1e300;
+  for (const auto& lengths : all) {
+    auto f_val = EvaluateSegmentation(q, params, f.ptrs, lengths);
+    ASSERT_TRUE(f_val.ok());
+    best_enum = std::min(best_enum, *f_val);
+  }
+  EXPECT_NEAR(sg->objective, best_enum, 1e-9 + best_enum * 1e-9);
+}
+
+TEST(SegmenterTest, ObjectiveMatchesEvaluateSegmentation) {
+  DpFixture f(5000, 55);
+  Rng rng(56);
+  const auto q = ExtractQuery(f.x, 500, 300, 0.2, &rng);
+  QueryParams params{QueryType::kRsmEd, 3.0, 1.0, 0.0, 0};
+  auto sg = SegmentQuery(q, params, f.ptrs);
+  ASSERT_TRUE(sg.ok());
+  auto f_val = EvaluateSegmentation(q, params, f.ptrs, sg->lengths);
+  ASSERT_TRUE(f_val.ok());
+  EXPECT_NEAR(sg->objective, *f_val, 1e-9 + *f_val * 1e-9);
+}
+
+struct DpMatchCase {
+  QueryType type;
+  double epsilon;
+  double alpha;
+  double beta;
+  size_t rho;
+  size_t m;
+  const char* name;
+};
+
+class KvMatchDpAgainstBruteForce
+    : public ::testing::TestWithParam<DpMatchCase> {};
+
+TEST_P(KvMatchDpAgainstBruteForce, ExactAgreement) {
+  const DpMatchCase mc = GetParam();
+  DpFixture f(6000, 57);
+  const KvMatchDp matcher(f.x, f.ps, f.ptrs);
+  Rng rng(58);
+  for (int trial = 0; trial < 3; ++trial) {
+    const size_t off = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(f.x.size() - mc.m)));
+    const auto q = ExtractQuery(f.x, off, mc.m, 0.2, &rng);
+    QueryParams params{mc.type, mc.epsilon, mc.alpha, mc.beta, mc.rho};
+    const auto expected = BruteForceMatch(f.x, q, params);
+    auto got = matcher.Match(q, params);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->size(), expected.size()) << mc.name;
+    for (size_t i = 0; i < got->size(); ++i) {
+      EXPECT_EQ((*got)[i].offset, expected[i].offset) << mc.name;
+      EXPECT_NEAR((*got)[i].distance, expected[i].distance, 1e-6) << mc.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, KvMatchDpAgainstBruteForce,
+    ::testing::Values(
+        DpMatchCase{QueryType::kRsmEd, 4.0, 1.0, 0.0, 0, 150, "rsm_ed"},
+        DpMatchCase{QueryType::kRsmDtw, 3.0, 1.0, 0.0, 5, 150, "rsm_dtw"},
+        DpMatchCase{QueryType::kCnsmEd, 3.0, 1.5, 2.0, 0, 175, "cnsm_ed"},
+        DpMatchCase{QueryType::kCnsmDtw, 3.0, 1.5, 3.0, 5, 200, "cnsm_dtw"},
+        DpMatchCase{QueryType::kRsmEd, 6.0, 1.0, 0.0, 0, 425, "rsm_ed_long"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(KvMatchDpTest, AgreesWithBasicKvMatchOnAlignedQueries) {
+  DpFixture f(6000, 59);
+  Rng rng(60);
+  const KvMatchDp dp(f.x, f.ps, f.ptrs);
+  const KvMatcher basic(f.x, f.ps, f.indexes[0]);  // w = 25
+  const auto q = ExtractQuery(f.x, 2500, 250, 0.2, &rng);
+  QueryParams params{QueryType::kCnsmEd, 3.5, 1.5, 4.0, 0};
+  auto a = dp.Match(q, params);
+  auto b = basic.Match(q, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].offset, (*b)[i].offset);
+  }
+}
+
+TEST(SegmenterTest, EstimateUpperBoundsActualProbe) {
+  // The DP plans from meta-table estimates; those must never undercount
+  // the intervals an actual probe unions (else the plan could be built on
+  // impossible optimism).
+  DpFixture f(6000, 62);
+  Rng rng(63);
+  const auto q = ExtractQuery(f.x, 800, 200, 0.3, &rng);
+  QueryParams params{QueryType::kCnsmEd, 2.5, 1.5, 2.0, 0};
+  const QueryRangeContext ctx(q, params);
+  for (const auto* index : f.ptrs) {
+    for (size_t off = 0; off + index->window() <= q.size();
+         off += index->window()) {
+      const QueryWindow qw = ComputeWindowRange(ctx, off, index->window());
+      auto is = index->ProbeRange(qw.lr, qw.ur);
+      ASSERT_TRUE(is.ok());
+      EXPECT_GE(index->EstimateIntervals(qw.lr, qw.ur),
+                is->num_intervals());
+    }
+  }
+}
+
+TEST(SegmenterTest, SingleLevelDegeneratesToFixedWindows) {
+  // With one index the DP has no choice: every window is wu long.
+  DpFixture f(4000, 64, /*wu=*/25, /*levels=*/1);
+  Rng rng(65);
+  const auto q = ExtractQuery(f.x, 500, 175, 0.2, &rng);
+  QueryParams params{QueryType::kRsmEd, 2.0, 1.0, 0.0, 0};
+  auto sg = SegmentQuery(q, params, f.ptrs);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_EQ(sg->lengths.size(), 7u);
+  for (size_t len : sg->lengths) EXPECT_EQ(len, 25u);
+}
+
+TEST(KvMatchDpTest, MismatchedIndexSetRejected) {
+  DpFixture f(3000, 61);
+  // Drop the middle index: windows no longer double.
+  std::vector<const KvIndex*> bad = {f.ptrs[0], f.ptrs[2]};
+  const std::vector<double> q(100, 1.0);
+  QueryParams params{QueryType::kRsmEd, 1.0, 1.0, 0.0, 0};
+  EXPECT_FALSE(SegmentQuery(q, params, bad).ok());
+}
+
+}  // namespace
+}  // namespace kvmatch

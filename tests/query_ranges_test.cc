@@ -1,0 +1,191 @@
+// Tests for the Lemma 1-4 filtering ranges: soundness (every true match's
+// window means lie inside [LR_i, UR_i]) and structural properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/brute_force.h"
+#include "common/rng.h"
+#include "match/query_ranges.h"
+#include "ts/generator.h"
+#include "ts/stats_oracle.h"
+
+namespace kvmatch {
+namespace {
+
+struct RangeCase {
+  QueryType type;
+  double alpha;
+  double beta;
+  size_t rho;
+  const char* name;
+};
+
+class LemmaSoundness : public ::testing::TestWithParam<RangeCase> {};
+
+// The core no-false-dismissal property behind the whole index: for every
+// brute-force match S, each disjoint window mean µ^S_i must fall within the
+// computed [LR_i, UR_i].
+TEST_P(LemmaSoundness, TrueMatchWindowMeansInsideRange) {
+  const RangeCase rc = GetParam();
+  Rng rng(31);
+  const TimeSeries x = GenerateSynthetic(4000, &rng);
+  PrefixStats ps(x);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t m = 128;
+    const size_t w = 32;
+    const size_t off = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(x.size() - m)));
+    const auto q = ExtractQuery(x, off, m, 0.3, &rng);
+
+    QueryParams params;
+    params.type = rc.type;
+    params.alpha = rc.alpha;
+    params.beta = rc.beta;
+    params.rho = rc.rho;
+    // Generous ε so several matches exist (L1 sums |diffs| over m points,
+    // so its scale is ~√m times the ED scale).
+    params.epsilon =
+        IsL1(rc.type) ? 80.0 : (IsNormalized(rc.type) ? 4.0 : 8.0);
+
+    const auto matches = BruteForceMatch(x, q, params);
+    ASSERT_FALSE(matches.empty()) << rc.name;
+
+    const auto windows = ComputeQueryWindows(q, w, params);
+    ASSERT_EQ(windows.size(), m / w);
+    for (const auto& match : matches) {
+      for (const auto& qw : windows) {
+        const double mu =
+            ps.WindowMean(match.offset + qw.offset, qw.length);
+        EXPECT_GE(mu, qw.lr - 1e-9)
+            << rc.name << " offset=" << match.offset << " win=" << qw.offset;
+        EXPECT_LE(mu, qw.ur + 1e-9)
+            << rc.name << " offset=" << match.offset << " win=" << qw.offset;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, LemmaSoundness,
+    ::testing::Values(
+        RangeCase{QueryType::kRsmEd, 1.0, 0.0, 0, "rsm_ed"},
+        RangeCase{QueryType::kRsmDtw, 1.0, 0.0, 5, "rsm_dtw"},
+        RangeCase{QueryType::kCnsmEd, 1.5, 2.0, 0, "cnsm_ed"},
+        RangeCase{QueryType::kCnsmEd, 2.0, 10.0, 0, "cnsm_ed_loose"},
+        RangeCase{QueryType::kCnsmDtw, 1.5, 2.0, 5, "cnsm_dtw"},
+        RangeCase{QueryType::kCnsmDtw, 1.1, 1.0, 3, "cnsm_dtw_tight"},
+        RangeCase{QueryType::kRsmL1, 1.0, 0.0, 0, "rsm_l1"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(QueryRangesTest, RsmEdRangeIsSymmetricAroundWindowMean) {
+  Rng rng(32);
+  std::vector<double> q(100);
+  for (auto& v : q) v = rng.Uniform(-5, 5);
+  QueryParams params;
+  params.type = QueryType::kRsmEd;
+  params.epsilon = 2.0;
+  const auto windows = ComputeQueryWindows(q, 25, params);
+  ASSERT_EQ(windows.size(), 4u);
+  for (const auto& qw : windows) {
+    const double mu = Mean(std::span<const double>(q).subspan(qw.offset, 25));
+    EXPECT_NEAR(qw.lr, mu - 2.0 / 5.0, 1e-12);
+    EXPECT_NEAR(qw.ur, mu + 2.0 / 5.0, 1e-12);
+  }
+}
+
+TEST(QueryRangesTest, DtwRangeContainsEdRange) {
+  // The DTW envelope relaxes the window bounds: DTW ranges must contain
+  // the ED ranges for the same ε.
+  Rng rng(33);
+  std::vector<double> q(200);
+  for (auto& v : q) v = rng.Uniform(-5, 5);
+  QueryParams ed{QueryType::kRsmEd, 3.0, 1.0, 0.0, 0};
+  QueryParams dtw{QueryType::kRsmDtw, 3.0, 1.0, 0.0, 10};
+  const auto we = ComputeQueryWindows(q, 50, ed);
+  const auto wd = ComputeQueryWindows(q, 50, dtw);
+  for (size_t i = 0; i < we.size(); ++i) {
+    EXPECT_LE(wd[i].lr, we[i].lr + 1e-12);
+    EXPECT_GE(wd[i].ur, we[i].ur - 1e-12);
+  }
+}
+
+TEST(QueryRangesTest, RhoZeroDtwEqualsEdRanges) {
+  Rng rng(34);
+  std::vector<double> q(100);
+  for (auto& v : q) v = rng.Uniform(-5, 5);
+  QueryParams ed{QueryType::kRsmEd, 2.5, 1.0, 0.0, 0};
+  QueryParams dtw{QueryType::kRsmDtw, 2.5, 1.0, 0.0, 0};
+  const auto we = ComputeQueryWindows(q, 20, ed);
+  const auto wd = ComputeQueryWindows(q, 20, dtw);
+  for (size_t i = 0; i < we.size(); ++i) {
+    EXPECT_NEAR(wd[i].lr, we[i].lr, 1e-12);
+    EXPECT_NEAR(wd[i].ur, we[i].ur, 1e-12);
+  }
+}
+
+TEST(QueryRangesTest, LooserConstraintsWidenCnsmRanges) {
+  Rng rng(35);
+  std::vector<double> q(100);
+  for (auto& v : q) v = rng.Uniform(-5, 5);
+  QueryParams tight{QueryType::kCnsmEd, 1.0, 1.1, 1.0, 0};
+  QueryParams loose{QueryType::kCnsmEd, 1.0, 2.0, 10.0, 0};
+  const auto wt = ComputeQueryWindows(q, 25, tight);
+  const auto wl = ComputeQueryWindows(q, 25, loose);
+  for (size_t i = 0; i < wt.size(); ++i) {
+    EXPECT_LE(wl[i].lr, wt[i].lr);
+    EXPECT_GE(wl[i].ur, wt[i].ur);
+  }
+}
+
+TEST(QueryRangesTest, LargerEpsilonWidensRanges) {
+  Rng rng(36);
+  std::vector<double> q(150);
+  for (auto& v : q) v = rng.Uniform(-5, 5);
+  for (QueryType type : {QueryType::kRsmEd, QueryType::kRsmDtw,
+                         QueryType::kCnsmEd, QueryType::kCnsmDtw}) {
+    QueryParams small{type, 1.0, 1.5, 2.0, 4};
+    QueryParams big{type, 5.0, 1.5, 2.0, 4};
+    const auto ws = ComputeQueryWindows(q, 30, small);
+    const auto wb = ComputeQueryWindows(q, 30, big);
+    for (size_t i = 0; i < ws.size(); ++i) {
+      EXPECT_LE(wb[i].lr, ws[i].lr + 1e-12);
+      EXPECT_GE(wb[i].ur, ws[i].ur - 1e-12);
+    }
+  }
+}
+
+TEST(QueryRangesTest, SegmentedWindowsTileTheQuery) {
+  Rng rng(37);
+  std::vector<double> q(175);
+  for (auto& v : q) v = rng.Uniform(-5, 5);
+  QueryParams params{QueryType::kRsmEd, 1.0, 1.0, 0.0, 0};
+  const std::vector<size_t> lengths = {50, 100, 25};
+  const auto ws = ComputeQueryWindowsSegmented(q, lengths, params);
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_EQ(ws[0].offset, 0u);
+  EXPECT_EQ(ws[1].offset, 50u);
+  EXPECT_EQ(ws[2].offset, 150u);
+  EXPECT_EQ(ws[2].length, 25u);
+}
+
+TEST(QueryRangesTest, ContextMatchesBatchComputation) {
+  Rng rng(38);
+  std::vector<double> q(160);
+  for (auto& v : q) v = rng.Uniform(-5, 5);
+  for (QueryType type : {QueryType::kRsmEd, QueryType::kRsmDtw,
+                         QueryType::kCnsmEd, QueryType::kCnsmDtw}) {
+    QueryParams params{type, 2.0, 1.5, 3.0, 6};
+    const QueryRangeContext ctx(q, params);
+    const auto batch = ComputeQueryWindows(q, 40, params);
+    for (const auto& qw : batch) {
+      const auto single = ComputeWindowRange(ctx, qw.offset, qw.length);
+      EXPECT_NEAR(single.lr, qw.lr, 1e-12);
+      EXPECT_NEAR(single.ur, qw.ur, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kvmatch

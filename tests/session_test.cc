@@ -1,0 +1,153 @@
+// Tests for the Session facade: in-memory, ingest, reopen, query types,
+// top-k, and the exploratory re-tuning loop.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/brute_force.h"
+#include "common/rng.h"
+#include "matchdp/session.h"
+#include "storage/mem_kvstore.h"
+#include "storage/minikv.h"
+#include "ts/generator.h"
+
+namespace kvmatch {
+namespace {
+
+namespace fs = std::filesystem;
+
+Session::Options SmallOptions() {
+  Session::Options options;
+  options.wu = 25;
+  options.levels = 3;
+  return options;
+}
+
+TEST(SessionTest, FromSeriesAnswersAllQueryTypes) {
+  Rng rng(501);
+  TimeSeries x = GenerateSynthetic(6000, &rng);
+  const TimeSeries reference = x;  // session takes ownership
+  auto session = Session::FromSeries(std::move(x), SmallOptions());
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->num_indexes(), 3u);
+  EXPECT_GT((*session)->IndexBytes(), 0u);
+
+  const auto q = ExtractQuery(reference, 2000, 150, 0.2, &rng);
+  for (QueryType type : {QueryType::kRsmEd, QueryType::kRsmDtw,
+                         QueryType::kCnsmEd, QueryType::kCnsmDtw}) {
+    QueryParams params{type, 3.5, 1.5, 3.0, 5};
+    const auto expected = BruteForceMatch(reference, q, params);
+    MatchStats stats;
+    auto got = (*session)->Query(q, params, &stats);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->size(), expected.size())
+        << "type=" << static_cast<int>(type);
+    for (size_t i = 0; i < got->size(); ++i) {
+      EXPECT_EQ((*got)[i].offset, expected[i].offset);
+    }
+  }
+}
+
+TEST(SessionTest, SeriesTooShortRejected) {
+  TimeSeries tiny(std::vector<double>(10, 1.0));
+  auto session = Session::FromSeries(std::move(tiny), SmallOptions());
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(SessionTest, IngestThenOpenRoundTrip) {
+  Rng rng(502);
+  TimeSeries x = GenerateUcrLike(8000, &rng);
+  const TimeSeries reference = x;
+  MemKvStore store;
+  {
+    auto ingested = Session::Ingest(&store, std::move(x), SmallOptions());
+    ASSERT_TRUE(ingested.ok()) << ingested.status().ToString();
+  }
+  auto session = Session::Open(&store, SmallOptions());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ((*session)->series().values(), reference.values());
+
+  const auto q = ExtractQuery(reference, 3000, 200, 0.1, &rng);
+  QueryParams params{QueryType::kCnsmEd, 3.0, 1.5, 2.0, 0};
+  const auto expected = BruteForceMatch(reference, q, params);
+  MatchStats stats;
+  auto got = (*session)->Query(q, params, &stats);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), expected.size());
+  // Store-backed probes actually read from the store.
+  EXPECT_GT(stats.probe.bytes_fetched + stats.probe.cache_hits, 0u);
+}
+
+TEST(SessionTest, OpenOverMiniKvSurvivesCompaction) {
+  Rng rng(503);
+  TimeSeries x = GenerateSynthetic(6000, &rng);
+  const TimeSeries reference = x;
+  const std::string dir =
+      (fs::temp_directory_path() / "kvm_session_minikv").string();
+  fs::remove_all(dir);
+  auto kv = MiniKv::Open(dir);
+  ASSERT_TRUE(kv.ok());
+  {
+    auto ingested = Session::Ingest(kv->get(), std::move(x), SmallOptions());
+    ASSERT_TRUE(ingested.ok());
+  }
+  ASSERT_TRUE((*kv)->Compact().ok());
+  auto session = Session::Open(kv->get(), SmallOptions());
+  ASSERT_TRUE(session.ok());
+  const auto q = ExtractQuery(reference, 1000, 100, 0.2, &rng);
+  QueryParams params{QueryType::kRsmEd, 4.0, 1.0, 0.0, 0};
+  const auto expected = BruteForceMatch(reference, q, params);
+  auto got = (*session)->Query(q, params);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), expected.size());
+  fs::remove_all(dir);
+}
+
+TEST(SessionTest, OpenWithoutIngestFails) {
+  MemKvStore empty;
+  auto session = Session::Open(&empty, SmallOptions());
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(SessionTest, TopKMatchesThresholdSemantics) {
+  Rng rng(504);
+  TimeSeries x = GenerateSynthetic(6000, &rng);
+  const TimeSeries reference = x;
+  auto session = Session::FromSeries(std::move(x), SmallOptions());
+  ASSERT_TRUE(session.ok());
+  const auto q = ExtractQuery(reference, 2500, 150, 0.3, &rng);
+  QueryParams params{QueryType::kRsmEd, 0.0, 1.0, 0.0, 0};
+  auto top = (*session)->QueryTopK(q, params, 8);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 8u);
+  // Distances are sorted and each result is a genuine ε-match at its own
+  // distance.
+  for (size_t i = 1; i < top->size(); ++i) {
+    EXPECT_GE((*top)[i].distance, (*top)[i - 1].distance);
+  }
+  params.epsilon = (*top)[7].distance + 1e-9;
+  const auto all = BruteForceMatch(reference, q, params);
+  EXPECT_GE(all.size(), 8u);
+}
+
+TEST(SessionTest, ExploratoryRetuningLoop) {
+  // The paper's pitch: one index, interactive knob turning. Tighten β
+  // progressively and observe a monotone shrinking result set.
+  Rng rng(505);
+  TimeSeries x = GenerateSynthetic(8000, &rng);
+  const TimeSeries reference = x;
+  auto session = Session::FromSeries(std::move(x), SmallOptions());
+  ASSERT_TRUE(session.ok());
+  const auto q = ExtractQuery(reference, 4000, 200, 0.3, &rng);
+  size_t prev = SIZE_MAX;
+  for (double beta : {10.0, 5.0, 2.0, 0.5}) {
+    QueryParams params{QueryType::kCnsmEd, 4.0, 1.5, beta, 0};
+    auto got = (*session)->Query(q, params);
+    ASSERT_TRUE(got.ok());
+    EXPECT_LE(got->size(), prev) << "beta=" << beta;
+    prev = got->size();
+  }
+}
+
+}  // namespace
+}  // namespace kvmatch

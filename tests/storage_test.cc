@@ -1,0 +1,447 @@
+// Unit tests for storage/: MemKvStore, FileKvStore, block format, SSTable,
+// MiniKv (including corruption detection and newest-wins merge semantics).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/block.h"
+#include "storage/file_kvstore.h"
+#include "storage/mem_kvstore.h"
+#include "storage/minikv.h"
+#include "storage/sstable.h"
+
+namespace kvmatch {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key%06d", i);
+  return buf;
+}
+
+// ---- Shared KvStore contract, parameterized over implementations ----
+
+enum class StoreKind { kMem, kFile, kMini };
+
+struct StoreFixture {
+  std::unique_ptr<KvStore> store;
+  std::string path;  // for cleanup
+
+  StoreFixture() = default;
+  StoreFixture(StoreFixture&&) = default;
+  StoreFixture& operator=(StoreFixture&&) = default;
+
+  ~StoreFixture() {
+    store.reset();
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+StoreFixture MakeStore(StoreKind kind, const std::string& tag) {
+  StoreFixture f;
+  switch (kind) {
+    case StoreKind::kMem:
+      f.store = std::make_unique<MemKvStore>();
+      break;
+    case StoreKind::kFile: {
+      f.path = TempPath("kvm_file_" + tag);
+      std::remove(f.path.c_str());
+      auto r = FileKvStore::Open(f.path);
+      EXPECT_TRUE(r.ok());
+      f.store = std::move(r).value();
+      break;
+    }
+    case StoreKind::kMini: {
+      f.path = TempPath("kvm_mini_" + tag);
+      fs::remove_all(f.path);
+      auto r = MiniKv::Open(f.path);
+      EXPECT_TRUE(r.ok());
+      f.store = std::move(r).value();
+      break;
+    }
+  }
+  return f;
+}
+
+class KvStoreContract : public ::testing::TestWithParam<StoreKind> {};
+
+TEST_P(KvStoreContract, PutGetRoundTrip) {
+  auto f = MakeStore(GetParam(), "putget");
+  ASSERT_TRUE(f.store->Put("alpha", "1").ok());
+  ASSERT_TRUE(f.store->Put("beta", "2").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  std::string v;
+  ASSERT_TRUE(f.store->Get("alpha", &v).ok());
+  EXPECT_EQ(v, "1");
+  ASSERT_TRUE(f.store->Get("beta", &v).ok());
+  EXPECT_EQ(v, "2");
+  EXPECT_TRUE(f.store->Get("gamma", &v).IsNotFound());
+}
+
+TEST_P(KvStoreContract, OverwriteKeepsLatest) {
+  auto f = MakeStore(GetParam(), "overwrite");
+  ASSERT_TRUE(f.store->Put("k", "old").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  ASSERT_TRUE(f.store->Put("k", "new").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  std::string v;
+  ASSERT_TRUE(f.store->Get("k", &v).ok());
+  EXPECT_EQ(v, "new");
+}
+
+TEST_P(KvStoreContract, ScanIsOrderedAndBounded) {
+  auto f = MakeStore(GetParam(), "scan");
+  Rng rng(1);
+  std::map<std::string, std::string> truth;
+  for (int i = 0; i < 500; ++i) {
+    const std::string k = Key(static_cast<int>(rng.UniformInt(0, 9999)));
+    const std::string v = "v" + std::to_string(i);
+    truth[k] = v;
+    ASSERT_TRUE(f.store->Put(k, v).ok());
+  }
+  ASSERT_TRUE(f.store->Flush().ok());
+
+  const std::string lo = Key(2500), hi = Key(7500);
+  std::map<std::string, std::string> expected;
+  for (const auto& [k, v] : truth) {
+    if (k >= lo && k < hi) expected[k] = v;
+  }
+  std::map<std::string, std::string> got;
+  std::string prev;
+  for (auto it = f.store->Scan(lo, hi); it->Valid(); it->Next()) {
+    ASSERT_TRUE(it->status().ok());
+    const std::string k(it->key());
+    EXPECT_GT(k, prev);  // strictly increasing
+    prev = k;
+    got[k] = std::string(it->value());
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(KvStoreContract, ScanEmptyEndKeyGoesToEnd) {
+  auto f = MakeStore(GetParam(), "scanend");
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(f.store->Put(Key(i), "x").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  size_t count = 0;
+  for (auto it = f.store->Scan(Key(10), ""); it->Valid(); it->Next()) ++count;
+  EXPECT_EQ(count, 10u);
+}
+
+TEST_P(KvStoreContract, ScanEmptyRange) {
+  auto f = MakeStore(GetParam(), "scannone");
+  ASSERT_TRUE(f.store->Put("m", "1").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  auto it = f.store->Scan("x", "z");
+  EXPECT_FALSE(it->Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, KvStoreContract,
+                         ::testing::Values(StoreKind::kMem, StoreKind::kFile,
+                                           StoreKind::kMini));
+
+// ---- FileKvStore specifics ----
+
+TEST(FileKvStoreTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("kvm_file_reopen");
+  std::remove(path.c_str());
+  {
+    auto r = FileKvStore::Open(path);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE((*r)->Put("persist", "yes").ok());
+    ASSERT_TRUE((*r)->Flush().ok());
+  }
+  auto r = FileKvStore::Open(path);
+  ASSERT_TRUE(r.ok());
+  std::string v;
+  ASSERT_TRUE((*r)->Get("persist", &v).ok());
+  EXPECT_EQ(v, "yes");
+  std::remove(path.c_str());
+}
+
+TEST(FileKvStoreTest, DetectsCorruptedMeta) {
+  const std::string path = TempPath("kvm_file_corrupt");
+  std::remove(path.c_str());
+  {
+    auto r = FileKvStore::Open(path);
+    ASSERT_TRUE(r.ok());
+    for (int i = 0; i < 50; ++i) ASSERT_TRUE((*r)->Put(Key(i), "v").ok());
+    ASSERT_TRUE((*r)->Flush().ok());
+  }
+  // Flip a byte in the middle of the file (meta area is near the end).
+  {
+    std::FILE* fp = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(fp, nullptr);
+    std::fseek(fp, -40, SEEK_END);
+    int c = std::fgetc(fp);
+    std::fseek(fp, -40, SEEK_END);
+    std::fputc(c ^ 0xff, fp);
+    std::fclose(fp);
+  }
+  auto r = FileKvStore::Open(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(FileKvStoreTest, FileBytesGrowsWithData) {
+  const std::string path = TempPath("kvm_file_bytes");
+  std::remove(path.c_str());
+  auto r = FileKvStore::Open(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->FileBytes(), 0u);
+  ASSERT_TRUE((*r)->Put("k", std::string(10000, 'x')).ok());
+  ASSERT_TRUE((*r)->Flush().ok());
+  EXPECT_GT((*r)->FileBytes(), 10000u);
+  std::remove(path.c_str());
+}
+
+// ---- Block format ----
+
+TEST(BlockTest, BuildParseIterate) {
+  BlockBuilder builder(4);
+  std::map<std::string, std::string> truth;
+  for (int i = 0; i < 100; ++i) {
+    truth[Key(i)] = "value" + std::to_string(i);
+  }
+  for (const auto& [k, v] : truth) builder.Add(k, v);
+  auto block = BlockReader::Parse(builder.Finish());
+  ASSERT_TRUE(block.ok());
+  auto it = block->NewIterator();
+  auto expect = truth.begin();
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++expect) {
+    ASSERT_NE(expect, truth.end());
+    EXPECT_EQ(it.key(), expect->first);
+    EXPECT_EQ(it.value(), expect->second);
+  }
+  EXPECT_EQ(expect, truth.end());
+}
+
+TEST(BlockTest, SeekFindsLowerBound) {
+  BlockBuilder builder(4);
+  for (int i = 0; i < 100; i += 2) builder.Add(Key(i), "v");
+  auto block = BlockReader::Parse(builder.Finish());
+  ASSERT_TRUE(block.ok());
+  auto it = block->NewIterator();
+  it.Seek(Key(31));  // odd key: lower bound is 32
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), Key(32));
+  it.Seek(Key(0));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), Key(0));
+  it.Seek(Key(99));  // past the last key
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BlockTest, SharedPrefixCompressionShrinks) {
+  BlockBuilder with_sharing(16);
+  BlockBuilder no_sharing(1);  // restart every entry: no sharing
+  for (int i = 0; i < 64; ++i) {
+    with_sharing.Add(Key(i), "v");
+    no_sharing.Add(Key(i), "v");
+  }
+  EXPECT_LT(with_sharing.Finish().size(), no_sharing.Finish().size());
+}
+
+TEST(BlockTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(BlockReader::Parse("no").ok());
+  // Restart count overflowing the block.
+  std::string bogus(4, '\xff');
+  EXPECT_FALSE(BlockReader::Parse(bogus).ok());
+}
+
+// ---- SSTable ----
+
+TEST(SstableTest, BuildOpenGetScan) {
+  const std::string path = TempPath("kvm_sstable_basic");
+  std::remove(path.c_str());
+  {
+    SstableBuilder builder(path, 256);  // small blocks: force many
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(builder.Add(Key(i), "value" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+  }
+  auto reader = SstableReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_entries(), 1000u);
+  std::string v;
+  ASSERT_TRUE((*reader)->Get(Key(512), &v).ok());
+  EXPECT_EQ(v, "value512");
+  EXPECT_TRUE((*reader)->Get("nope", &v).IsNotFound());
+
+  size_t count = 0;
+  std::string prev;
+  for (auto it = (*reader)->Scan(Key(100), Key(200)); it->Valid();
+       it->Next()) {
+    EXPECT_GT(std::string(it->key()), prev);
+    prev = std::string(it->key());
+    ++count;
+  }
+  EXPECT_EQ(count, 100u);
+  std::remove(path.c_str());
+}
+
+TEST(SstableTest, RejectsOutOfOrderKeys) {
+  const std::string path = TempPath("kvm_sstable_order");
+  SstableBuilder builder(path);
+  ASSERT_TRUE(builder.Add("b", "1").ok());
+  EXPECT_FALSE(builder.Add("a", "2").ok());
+  EXPECT_FALSE(builder.Add("b", "3").ok());  // duplicates rejected too
+  std::remove(path.c_str());
+}
+
+TEST(SstableTest, DetectsBlockCorruption) {
+  const std::string path = TempPath("kvm_sstable_corrupt");
+  std::remove(path.c_str());
+  {
+    SstableBuilder builder(path, 128);
+    for (int i = 0; i < 500; ++i) ASSERT_TRUE(builder.Add(Key(i), "v").ok());
+    ASSERT_TRUE(builder.Finish().ok());
+  }
+  {
+    std::FILE* fp = std::fopen(path.c_str(), "rb+");
+    std::fseek(fp, 10, SEEK_SET);  // inside the first data block
+    int c = std::fgetc(fp);
+    std::fseek(fp, 10, SEEK_SET);
+    std::fputc(c ^ 0x1, fp);
+    std::fclose(fp);
+  }
+  auto reader = SstableReader::Open(path);
+  ASSERT_TRUE(reader.ok());  // index block is intact
+  std::string v;
+  EXPECT_TRUE((*reader)->Get(Key(0), &v).IsCorruption());
+  std::remove(path.c_str());
+}
+
+// ---- MiniKv specifics ----
+
+TEST(MiniKvTest, MemtableFlushCreatesTables) {
+  const std::string dir = TempPath("kvm_mini_flush");
+  fs::remove_all(dir);
+  auto kv = MiniKv::Open(dir);
+  ASSERT_TRUE(kv.ok());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE((*kv)->Put(Key(i), "v").ok());
+  EXPECT_EQ((*kv)->NumTables(), 0u);
+  ASSERT_TRUE((*kv)->Flush().ok());
+  EXPECT_EQ((*kv)->NumTables(), 1u);
+  EXPECT_GT((*kv)->TotalFileBytes(), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(MiniKvTest, NewestWinsAcrossTables) {
+  const std::string dir = TempPath("kvm_mini_newest");
+  fs::remove_all(dir);
+  auto kv = MiniKv::Open(dir);
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->Put("k", "v1").ok());
+  ASSERT_TRUE((*kv)->Flush().ok());
+  ASSERT_TRUE((*kv)->Put("k", "v2").ok());
+  ASSERT_TRUE((*kv)->Flush().ok());
+  ASSERT_TRUE((*kv)->Put("k", "v3").ok());  // stays in memtable
+  std::string v;
+  ASSERT_TRUE((*kv)->Get("k", &v).ok());
+  EXPECT_EQ(v, "v3");
+  // Scan sees exactly one version.
+  size_t count = 0;
+  for (auto it = (*kv)->Scan("", ""); it->Valid(); it->Next()) {
+    EXPECT_EQ(it->value(), "v3");
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(MiniKvTest, PersistsAcrossReopen) {
+  const std::string dir = TempPath("kvm_mini_reopen");
+  fs::remove_all(dir);
+  {
+    auto kv = MiniKv::Open(dir);
+    ASSERT_TRUE(kv.ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*kv)->Put(Key(i), std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*kv)->Flush().ok());
+  }
+  auto kv = MiniKv::Open(dir);
+  ASSERT_TRUE(kv.ok());
+  std::string v;
+  ASSERT_TRUE((*kv)->Get(Key(77), &v).ok());
+  EXPECT_EQ(v, "77");
+  fs::remove_all(dir);
+}
+
+TEST(MiniKvTest, CompactMergesToSingleTable) {
+  const std::string dir = TempPath("kvm_mini_compact");
+  fs::remove_all(dir);
+  auto kv = MiniKv::Open(dir);
+  ASSERT_TRUE(kv.ok());
+  for (int round = 0; round < 4; ++round) {
+    for (int i = round * 50; i < round * 50 + 100; ++i) {
+      ASSERT_TRUE((*kv)->Put(Key(i), "r" + std::to_string(round)).ok());
+    }
+    ASSERT_TRUE((*kv)->Flush().ok());
+  }
+  EXPECT_EQ((*kv)->NumTables(), 4u);
+  ASSERT_TRUE((*kv)->Compact().ok());
+  EXPECT_EQ((*kv)->NumTables(), 1u);
+  // Overlapping rounds: later rounds win.
+  std::string v;
+  ASSERT_TRUE((*kv)->Get(Key(60), &v).ok());
+  EXPECT_EQ(v, "r1");
+  ASSERT_TRUE((*kv)->Get(Key(160), &v).ok());
+  EXPECT_EQ(v, "r3");
+  fs::remove_all(dir);
+}
+
+TEST(MiniKvTest, AutoFlushOnMemtableLimit) {
+  const std::string dir = TempPath("kvm_mini_autoflush");
+  fs::remove_all(dir);
+  MiniKv::Options opts;
+  opts.memtable_limit_bytes = 1024;
+  auto kv = MiniKv::Open(dir, opts);
+  ASSERT_TRUE(kv.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*kv)->Put(Key(i), std::string(32, 'x')).ok());
+  }
+  EXPECT_GT((*kv)->NumTables(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(MiniKvTest, LargeRandomWorkloadMatchesStdMap) {
+  const std::string dir = TempPath("kvm_mini_random");
+  fs::remove_all(dir);
+  MiniKv::Options opts;
+  opts.memtable_limit_bytes = 4096;
+  auto kv = MiniKv::Open(dir, opts);
+  ASSERT_TRUE(kv.ok());
+  Rng rng(77);
+  std::map<std::string, std::string> truth;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string k = Key(static_cast<int>(rng.UniformInt(0, 999)));
+    const std::string v = std::to_string(rng.Next());
+    truth[k] = v;
+    ASSERT_TRUE((*kv)->Put(k, v).ok());
+  }
+  // Full scan equals the map.
+  auto expect = truth.begin();
+  for (auto it = (*kv)->Scan("", ""); it->Valid(); it->Next(), ++expect) {
+    ASSERT_NE(expect, truth.end());
+    EXPECT_EQ(it->key(), expect->first);
+    EXPECT_EQ(it->value(), expect->second);
+  }
+  EXPECT_EQ(expect, truth.end());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace kvmatch

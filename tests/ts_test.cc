@@ -1,0 +1,210 @@
+// Unit tests for ts/: TimeSeries statistics, PrefixStats oracle, I/O,
+// generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "ts/generator.h"
+#include "ts/io.h"
+#include "ts/stats_oracle.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  TimeSeries ts({1.0, 2.0, 3.0});
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_FALSE(ts.empty());
+  EXPECT_EQ(ts[1], 2.0);
+  const auto sub = ts.Subsequence(1, 2);
+  EXPECT_EQ(sub[0], 2.0);
+  EXPECT_EQ(sub[1], 3.0);
+}
+
+TEST(TimeSeriesTest, MeanAndStd) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);  // classic population-σ example
+}
+
+TEST(TimeSeriesTest, MeanStdEmptyIsZero) {
+  const std::vector<double> v;
+  const MeanStd ms = ComputeMeanStd(v);
+  EXPECT_EQ(ms.mean, 0.0);
+  EXPECT_EQ(ms.std, 0.0);
+}
+
+TEST(TimeSeriesTest, ZNormalizeProperties) {
+  Rng rng(3);
+  std::vector<double> v(257);
+  for (auto& x : v) x = rng.Uniform(-10, 10);
+  const auto z = ZNormalize(v);
+  const MeanStd ms = ComputeMeanStd(z);
+  EXPECT_NEAR(ms.mean, 0.0, 1e-9);
+  EXPECT_NEAR(ms.std, 1.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, ZNormalizeConstantSeriesIsZeros) {
+  const std::vector<double> v(10, 3.5);
+  for (double z : ZNormalize(v)) EXPECT_EQ(z, 0.0);
+}
+
+TEST(TimeSeriesTest, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 7.0, 2.0};
+  const MinMax mm = ComputeMinMax(v);
+  EXPECT_EQ(mm.min, -1.0);
+  EXPECT_EQ(mm.max, 7.0);
+}
+
+TEST(PrefixStatsTest, MatchesNaiveOnRandomWindows) {
+  Rng rng(5);
+  std::vector<double> v(1000);
+  for (auto& x : v) x = rng.Uniform(-100, 100);
+  TimeSeries ts(v);
+  PrefixStats ps(ts);
+  EXPECT_EQ(ps.series_length(), 1000u);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(1, 100));
+    const size_t off =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(1000 - len)));
+    const MeanStd naive = ComputeMeanStd(ts.Subsequence(off, len));
+    const MeanStd fast = ps.WindowMeanStd(off, len);
+    // Prefix sums trade a little precision (cancellation) for O(1) reads.
+    EXPECT_NEAR(fast.mean, naive.mean, 1e-8);
+    EXPECT_NEAR(fast.std, naive.std, 2e-5 + naive.std * 1e-6);
+  }
+}
+
+TEST(PrefixStatsTest, SlidingMeansMatchWindowMean) {
+  Rng rng(6);
+  std::vector<double> v(300);
+  for (auto& x : v) x = rng.Uniform(-5, 5);
+  PrefixStats ps{std::span<const double>(v)};
+  const auto means = ps.SlidingMeans(32);
+  ASSERT_EQ(means.size(), 300u - 32 + 1);
+  for (size_t i = 0; i < means.size(); i += 13) {
+    EXPECT_NEAR(means[i], ps.WindowMean(i, 32), 1e-12);
+  }
+}
+
+TEST(PrefixStatsTest, SlidingMeansEmptyWhenWindowTooLarge) {
+  const std::vector<double> v(10, 1.0);
+  PrefixStats ps{std::span<const double>(v)};
+  EXPECT_TRUE(ps.SlidingMeans(11).empty());
+  EXPECT_TRUE(ps.SlidingMeans(0).empty());
+}
+
+TEST(IoTest, BinaryRoundTrip) {
+  Rng rng(7);
+  std::vector<double> v(1234);
+  for (auto& x : v) x = rng.Uniform(-1e6, 1e6);
+  TimeSeries ts(v);
+  const std::string path = TempPath("kvmatch_io_test.bin");
+  ASSERT_TRUE(WriteBinary(ts, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->values(), ts.values());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BinaryRangeRead) {
+  TimeSeries ts({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const std::string path = TempPath("kvmatch_io_range.bin");
+  ASSERT_TRUE(WriteBinary(ts, path).ok());
+  auto range = ReadBinaryRange(path, 3, 4);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(*range, (std::vector<double>{3, 4, 5, 6}));
+  auto past_end = ReadBinaryRange(path, 8, 5);
+  EXPECT_FALSE(past_end.ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CsvRoundTrip) {
+  TimeSeries ts({1.25, -2.5, 3e10, 0.0});
+  const std::string path = TempPath("kvmatch_io_test.csv");
+  ASSERT_TRUE(WriteCsv(ts, path).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->values(), ts.values());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIOError) {
+  EXPECT_FALSE(ReadBinary("/nonexistent/kvmatch.bin").ok());
+  EXPECT_FALSE(ReadCsv("/nonexistent/kvmatch.csv").ok());
+}
+
+TEST(GeneratorTest, SyntheticExactLengthAndDeterminism) {
+  Rng r1(42), r2(42);
+  const TimeSeries a = GenerateSynthetic(10000, &r1);
+  const TimeSeries b = GenerateSynthetic(10000, &r2);
+  EXPECT_EQ(a.size(), 10000u);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(GeneratorTest, SyntheticVariesAcrossSeeds) {
+  Rng r1(1), r2(2);
+  const TimeSeries a = GenerateSynthetic(5000, &r1);
+  const TimeSeries b = GenerateSynthetic(5000, &r2);
+  EXPECT_NE(a.values(), b.values());
+}
+
+TEST(GeneratorTest, UcrLikeExactLength) {
+  Rng rng(8);
+  EXPECT_EQ(GenerateUcrLike(12345, &rng).size(), 12345u);
+}
+
+TEST(GeneratorTest, UcrLikeValuesBounded) {
+  Rng rng(9);
+  const TimeSeries ts = GenerateUcrLike(50000, &rng);
+  const MinMax mm = ComputeMinMax(ts.values());
+  EXPECT_GT(mm.min, -100.0);
+  EXPECT_LT(mm.max, 100.0);
+}
+
+TEST(GeneratorTest, ExtractQueryNoNoiseIsExact) {
+  Rng rng(10);
+  const TimeSeries ts = GenerateSynthetic(1000, &rng);
+  const auto q = ExtractQuery(ts, 100, 50, 0.0, &rng);
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(q[i], ts[100 + i]);
+}
+
+TEST(GeneratorTest, ShiftScaleAppliesAffine) {
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  const auto out = ShiftScale(q, 10.0, 2.0);
+  EXPECT_EQ(out, (std::vector<double>{12.0, 14.0, 16.0}));
+}
+
+TEST(GeneratorTest, EogPatternShape) {
+  const auto p = EogPattern(200, 500.0, 50.0, 900.0);
+  ASSERT_EQ(p.size(), 200u);
+  const MinMax mm = ComputeMinMax(p);
+  EXPECT_NEAR(mm.max, 900.0, 1.0);   // reaches the peak
+  EXPECT_LT(mm.min, 500.0);          // dips below base
+  EXPECT_NEAR(p.front(), 500.0, 1.0);
+}
+
+TEST(GeneratorTest, StrainPulseReturnsToBaseline) {
+  const auto p = StrainPulse(100, 10.0, 5.0);
+  EXPECT_NEAR(p.front(), 10.0, 1e-9);
+  EXPECT_NEAR(p.back(), 10.0, 1e-9);
+  EXPECT_GT(ComputeMinMax(p).max, 14.0);
+}
+
+TEST(GeneratorTest, ActivityBlockLevelsSeparateActivities) {
+  Rng rng(11);
+  const auto a0 = ActivityBlock(500, 0, &rng);
+  const auto a2 = ActivityBlock(500, 2, &rng);
+  EXPECT_GT(std::fabs(Mean(a0) - Mean(a2)), 1.0);
+}
+
+}  // namespace
+}  // namespace kvmatch

@@ -1,0 +1,135 @@
+// Direct tests of the phase-2 Verifier: pruning accounting, boundary
+// clamping, normalization handling and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/brute_force.h"
+#include "common/rng.h"
+#include "match/verifier.h"
+#include "ts/generator.h"
+
+namespace kvmatch {
+namespace {
+
+IntervalList AllOffsets(const TimeSeries& x, size_t m) {
+  IntervalList cs;
+  cs.AppendInterval({0, static_cast<int64_t>(x.size() - m)});
+  return cs;
+}
+
+TEST(VerifierTest, FullCandidateSetEqualsBruteForce) {
+  Rng rng(111);
+  const TimeSeries x = GenerateSynthetic(3000, &rng);
+  PrefixStats ps(x);
+  const Verifier verifier(x, ps);
+  const auto q = ExtractQuery(x, 900, 128, 0.2, &rng);
+  for (QueryType type : {QueryType::kRsmEd, QueryType::kRsmDtw,
+                         QueryType::kCnsmEd, QueryType::kCnsmDtw}) {
+    QueryParams params{type, 3.5, 1.5, 3.0, 6};
+    const auto expected = BruteForceMatch(x, q, params);
+    const auto got = verifier.Verify(q, params, AllOffsets(x, q.size()));
+    ASSERT_EQ(got.size(), expected.size())
+        << "type=" << static_cast<int>(type);
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].offset, expected[i].offset);
+      EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-6);
+    }
+  }
+}
+
+TEST(VerifierTest, CandidatesPastSeriesEndAreSkipped) {
+  Rng rng(112);
+  const TimeSeries x = GenerateSynthetic(500, &rng);
+  PrefixStats ps(x);
+  const Verifier verifier(x, ps);
+  const auto q = ExtractQuery(x, 100, 100, 0.0, &rng);
+  IntervalList cs;
+  cs.AppendInterval({350, 499});  // offsets 401..499 cannot host |Q|=100
+  QueryParams params{QueryType::kRsmEd, 1e6, 1.0, 0.0, 0};
+  const auto got = verifier.Verify(q, params, cs);
+  ASSERT_FALSE(got.empty());
+  for (const auto& m : got) {
+    EXPECT_LE(m.offset + q.size(), x.size());
+  }
+  EXPECT_EQ(got.size(), 400u - 350 + 1);
+}
+
+TEST(VerifierTest, EmptyCandidateSetYieldsNoResults) {
+  Rng rng(113);
+  const TimeSeries x = GenerateSynthetic(500, &rng);
+  PrefixStats ps(x);
+  const Verifier verifier(x, ps);
+  const auto q = ExtractQuery(x, 0, 50, 0.0, &rng);
+  QueryParams params{QueryType::kRsmEd, 1e6, 1.0, 0.0, 0};
+  EXPECT_TRUE(verifier.Verify(q, params, IntervalList()).empty());
+}
+
+TEST(VerifierTest, StatsSeparateConstraintAndLowerBoundPruning) {
+  Rng rng(114);
+  const TimeSeries x = GenerateSynthetic(4000, &rng);
+  PrefixStats ps(x);
+  const Verifier verifier(x, ps);
+  const auto q = ExtractQuery(x, 1000, 128, 0.1, &rng);
+  // Tight constraints: most candidates die on α/β before any distance.
+  QueryParams params{QueryType::kCnsmDtw, 2.0, 1.05, 0.2, 6};
+  MatchStats stats;
+  verifier.Verify(q, params, AllOffsets(x, q.size()), &stats);
+  EXPECT_GT(stats.constraint_pruned, 0u);
+  // Everything was either pruned or distance-checked.
+  const uint64_t total = x.size() - q.size() + 1;
+  EXPECT_EQ(stats.constraint_pruned + stats.lb_pruned + stats.distance_calls,
+            total);
+}
+
+TEST(VerifierTest, RawTypesIgnoreConstraints) {
+  Rng rng(115);
+  const TimeSeries x = GenerateSynthetic(2000, &rng);
+  PrefixStats ps(x);
+  const Verifier verifier(x, ps);
+  const auto q = ExtractQuery(x, 500, 100, 0.0, &rng);
+  // Absurd constraints must not affect RSM results.
+  QueryParams rsm{QueryType::kRsmEd, 5.0, 1.0, 0.0, 0};
+  QueryParams rsm_weird = rsm;
+  rsm_weird.alpha = 1.0;
+  rsm_weird.beta = 0.0;
+  const auto a = verifier.Verify(q, rsm, AllOffsets(x, q.size()));
+  const auto b = verifier.Verify(q, rsm_weird, AllOffsets(x, q.size()));
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(VerifierTest, ConstantCandidateAgainstConstantQuery) {
+  // σ = 0 on both sides: normalized forms are all-zero, distance 0.
+  TimeSeries x(std::vector<double>(300, 7.0));
+  PrefixStats ps(x);
+  const Verifier verifier(x, ps);
+  const std::vector<double> q(50, 7.0);
+  QueryParams params{QueryType::kCnsmEd, 0.1, 1.5, 1.0, 0};
+  const auto got = verifier.Verify(q, params, AllOffsets(x, q.size()));
+  EXPECT_EQ(got.size(), 300u - 50 + 1);
+  for (const auto& m : got) EXPECT_NEAR(m.distance, 0.0, 1e-12);
+}
+
+TEST(VerifierTest, DistanceReportedIsNormalizedForCnsm) {
+  Rng rng(116);
+  const TimeSeries x = GenerateSynthetic(2000, &rng);
+  PrefixStats ps(x);
+  const Verifier verifier(x, ps);
+  const size_t off = 700, m = 100;
+  const auto base = ExtractQuery(x, off, m, 0.0, &rng);
+  // Shifted copy: raw distance is large, normalized distance ~0.
+  const auto q = ShiftScale(base, 5.0, 1.0);
+  QueryParams params{QueryType::kCnsmEd, 0.5, 1.1, 6.0, 0};
+  const auto got = verifier.Verify(q, params, AllOffsets(x, m));
+  bool found = false;
+  for (const auto& r : got) {
+    if (r.offset == off) {
+      found = true;
+      EXPECT_NEAR(r.distance, 0.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace kvmatch

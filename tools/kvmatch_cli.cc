@@ -1,0 +1,248 @@
+// kvmatch_cli: end-to-end command-line front-end for the library — the
+// workflow a downstream user runs without writing C++.
+//
+//   kvmatch_cli generate --out data.bin --n 1000000 [--kind ucr|synthetic]
+//                        [--seed 42]
+//   kvmatch_cli build    --data data.bin --index index.kvm
+//                        [--wu 25] [--levels 5] [--width 0.5]
+//                        [--threads N]
+//   kvmatch_cli info     --index index.kvm
+//   kvmatch_cli query    --data data.bin --index index.kvm
+//                        --qoffset 1000 --qlen 512 --epsilon 3.0
+//                        [--type rsm-ed|rsm-dtw|cnsm-ed|cnsm-dtw]
+//                        [--alpha 1.5] [--beta 2.0] [--rho 25] [--limit 10]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "index/index_builder.h"
+#include "match/kv_match.h"
+#include "matchdp/kv_match_dp.h"
+#include "storage/file_kvstore.h"
+#include "ts/generator.h"
+#include "ts/io.h"
+
+using namespace kvmatch;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  std::string Get(const std::string& key, const std::string& dflt = "") const {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t dflt) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double GetF(const std::string& key, double dflt) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+  bool Has(const std::string& key) const { return kv.count(key) > 0; }
+};
+
+Args ParseArgs(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      const std::string key = argv[i] + 2;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        args.kv[key] = argv[++i];
+      } else {
+        args.kv[key] = "1";
+      }
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: kvmatch_cli <generate|build|info|query> [--flags]\n"
+               "see the header of tools/kvmatch_cli.cc for details\n");
+  return 2;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string out = args.Get("out");
+  if (out.empty()) return Usage();
+  const size_t n = args.GetU64("n", 1'000'000);
+  Rng rng(args.GetU64("seed", 42));
+  const TimeSeries x = args.Get("kind", "ucr") == "synthetic"
+                           ? GenerateSynthetic(n, &rng)
+                           : GenerateUcrLike(n, &rng);
+  const Status st = WriteBinary(x, out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu points to %s\n", x.size(), out.c_str());
+  return 0;
+}
+
+int CmdBuild(const Args& args) {
+  const std::string data_path = args.Get("data");
+  const std::string index_path = args.Get("index");
+  if (data_path.empty() || index_path.empty()) return Usage();
+  auto data = ReadBinary(data_path);
+  if (!data.ok()) return Fail(data.status());
+
+  const size_t wu = args.GetU64("wu", 25);
+  const size_t levels = args.GetU64("levels", 5);
+  const double width = args.GetF("width", 0.5);
+  const size_t threads = args.GetU64("threads", 1);
+
+  std::remove(index_path.c_str());
+  auto store = FileKvStore::Open(index_path);
+  if (!store.ok()) return Fail(store.status());
+
+  size_t w = wu;
+  for (size_t level = 0; level < levels; ++level, w *= 2) {
+    IndexBuildOptions opts;
+    opts.window = w;
+    opts.width = width;
+    const KvIndex index = threads > 1
+                              ? BuildKvIndexParallel(*data, opts, threads)
+                              : BuildKvIndex(*data, opts);
+    const Status st =
+        index.Persist(store->get(), "w" + std::to_string(w) + "/");
+    if (!st.ok()) return Fail(st);
+    std::printf("w=%-4zu rows=%-6zu ~%llu bytes\n", w, index.num_rows(),
+                static_cast<unsigned long long>(index.EncodedSizeBytes()));
+  }
+  // Record the level layout so `query`/`info` can find the indexes.
+  std::string layout;
+  layout += std::to_string(wu) + " " + std::to_string(levels);
+  if (Status st = (*store)->Put("!layout", layout); !st.ok()) return Fail(st);
+  if (Status st = (*store)->Flush(); !st.ok()) return Fail(st);
+  std::printf("index stack written to %s (%llu bytes on disk)\n",
+              index_path.c_str(),
+              static_cast<unsigned long long>((*store)->FileBytes()));
+  return 0;
+}
+
+Result<std::pair<size_t, size_t>> ReadLayout(const KvStore& store) {
+  std::string layout;
+  KVMATCH_RETURN_NOT_OK(store.Get("!layout", &layout));
+  size_t wu = 0, levels = 0;
+  if (std::sscanf(layout.c_str(), "%zu %zu", &wu, &levels) != 2) {
+    return Status::Corruption("bad !layout row");
+  }
+  return std::make_pair(wu, levels);
+}
+
+int CmdInfo(const Args& args) {
+  const std::string index_path = args.Get("index");
+  if (index_path.empty()) return Usage();
+  auto store = FileKvStore::Open(index_path);
+  if (!store.ok()) return Fail(store.status());
+  auto layout = ReadLayout(**store);
+  if (!layout.ok()) return Fail(layout.status());
+  auto [wu, levels] = *layout;
+  std::printf("index stack: wu=%zu levels=%zu file=%llu bytes\n", wu, levels,
+              static_cast<unsigned long long>((*store)->FileBytes()));
+  size_t w = wu;
+  for (size_t level = 0; level < levels; ++level, w *= 2) {
+    auto index = KvIndex::Open(store->get(), "w" + std::to_string(w) + "/");
+    if (!index.ok()) return Fail(index.status());
+    uint64_t intervals = 0, positions = 0;
+    for (const auto& m : index->meta()) {
+      intervals += m.num_intervals;
+      positions += m.num_positions;
+    }
+    std::printf("  w=%-4zu rows=%-6zu nI=%-9llu nP=%llu\n", w,
+                index->meta().size(),
+                static_cast<unsigned long long>(intervals),
+                static_cast<unsigned long long>(positions));
+  }
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  const std::string data_path = args.Get("data");
+  const std::string index_path = args.Get("index");
+  if (data_path.empty() || index_path.empty() || !args.Has("qlen")) {
+    return Usage();
+  }
+  auto data = ReadBinary(data_path);
+  if (!data.ok()) return Fail(data.status());
+  auto store = FileKvStore::Open(index_path);
+  if (!store.ok()) return Fail(store.status());
+  auto layout = ReadLayout(**store);
+  if (!layout.ok()) return Fail(layout.status());
+  auto [wu, levels] = *layout;
+
+  std::vector<KvIndex> indexes;
+  size_t w = wu;
+  for (size_t level = 0; level < levels; ++level, w *= 2) {
+    auto index = KvIndex::Open(store->get(), "w" + std::to_string(w) + "/");
+    if (!index.ok()) return Fail(index.status());
+    index->EnableRowCache(1024);
+    indexes.push_back(std::move(index).value());
+  }
+  std::vector<const KvIndex*> ptrs;
+  for (const auto& index : indexes) ptrs.push_back(&index);
+
+  const size_t q_off = args.GetU64("qoffset", 0);
+  const size_t q_len = args.GetU64("qlen", 512);
+  if (q_off + q_len > data->size()) {
+    return Fail(Status::InvalidArgument("query range past end of data"));
+  }
+  Rng rng(7);
+  const auto q = ExtractQuery(*data, q_off, q_len,
+                              args.GetF("qnoise", 0.0), &rng);
+
+  QueryParams params;
+  const std::string type = args.Get("type", "cnsm-ed");
+  if (type == "rsm-ed") params.type = QueryType::kRsmEd;
+  else if (type == "rsm-dtw") params.type = QueryType::kRsmDtw;
+  else if (type == "cnsm-ed") params.type = QueryType::kCnsmEd;
+  else if (type == "cnsm-dtw") params.type = QueryType::kCnsmDtw;
+  else if (type == "rsm-l1") params.type = QueryType::kRsmL1;
+  else return Usage();
+  params.epsilon = args.GetF("epsilon", 1.0);
+  params.alpha = args.GetF("alpha", 1.5);
+  params.beta = args.GetF("beta", 2.0);
+  params.rho = args.GetU64("rho", q_len / 20);
+
+  const PrefixStats prefix(*data);
+  const KvMatchDp matcher(*data, prefix, ptrs);
+  MatchStats stats;
+  auto results = matcher.Match(q, params, &stats);
+  if (!results.ok()) return Fail(results.status());
+
+  std::printf("%zu matches | candidates=%llu scans=%llu cache_hits=%llu | "
+              "phase1=%.2fms phase2=%.2fms\n",
+              results->size(),
+              static_cast<unsigned long long>(stats.candidate_positions),
+              static_cast<unsigned long long>(stats.probe.index_accesses),
+              static_cast<unsigned long long>(stats.probe.cache_hits),
+              stats.phase1_ms, stats.phase2_ms);
+  const size_t limit = args.GetU64("limit", 10);
+  size_t shown = 0;
+  for (const auto& m : *results) {
+    std::printf("  offset=%-10zu dist=%.4f\n", m.offset, m.distance);
+    if (++shown == limit) break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Args args = ParseArgs(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "build") return CmdBuild(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "query") return CmdQuery(args);
+  return Usage();
+}
