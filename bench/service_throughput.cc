@@ -1,0 +1,112 @@
+// Service throughput scaling: aggregate QPS of the QueryService as the
+// worker pool grows from 1 to N threads over a multi-series catalog.
+//
+// Setup mirrors the production shape the ROADMAP targets: one shared
+// KvStore holding 8 independent series (default 10⁶ points total), a
+// Catalog of store-backed sessions with the synchronized row cache, and a
+// fixed batch of mixed ε-match queries fanned across the series. The same
+// batch is replayed at each pool size; speedup is wall-clock relative to
+// the 1-thread run.
+//
+//   ./bench_service_throughput [--n <total points>] [--runs <batch mult>]
+//                              [--seed <s>] [--quick]
+#include "bench_common.h"
+
+#include <future>
+
+#include "service/catalog.h"
+#include "service/query_service.h"
+#include "storage/mem_kvstore.h"
+
+using namespace kvmatch;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const size_t kSeries = 8;
+  size_t total_points = flags.n == 2'000'000 ? 1'000'000 : flags.n;
+  size_t batch = 64 * static_cast<size_t>(std::max(1, flags.runs));
+  if (flags.quick) {
+    total_points = 200'000;
+    batch = 32;
+  }
+  const size_t per_series = total_points / kSeries;
+  const size_t m = 256;
+
+  std::printf("service throughput: %zu series x %zu points, |Q|=%zu, "
+              "batch=%zu\n\n", kSeries, per_series, m, batch);
+
+  MemKvStore store;
+  std::vector<TimeSeries> references;
+  {
+    Catalog ingest_catalog(&store);
+    Stopwatch sw;
+    for (size_t i = 0; i < kSeries; ++i) {
+      Rng rng(flags.seed + i);
+      TimeSeries x = GenerateUcrLike(per_series, &rng);
+      references.push_back(x);
+      if (!ingest_catalog.Ingest("bench" + std::to_string(i), std::move(x))
+               .ok()) {
+        std::fprintf(stderr, "ingest failed\n");
+        return 1;
+      }
+    }
+    std::printf("ingested %zu series in %.2fs\n", kSeries, sw.Seconds());
+  }
+
+  // The workload: ε-matches alternating raw/normalized ED, drawn from the
+  // data with light noise so every query does real phase-1 + phase-2 work.
+  Rng rng(flags.seed + 100);
+  std::vector<QueryRequest> requests;
+  for (size_t i = 0; i < batch; ++i) {
+    const size_t series = i % kSeries;
+    QueryRequest req;
+    req.series = "bench" + std::to_string(series);
+    const size_t qoff = (1237 * i) % (per_series - m);
+    req.query = ExtractQuery(references[series], qoff, m, 0.05, &rng);
+    req.params.type = i % 2 == 0 ? QueryType::kRsmEd : QueryType::kCnsmEd;
+    req.params.epsilon = 3.0;
+    req.params.alpha = 1.5;
+    req.params.beta = 3.0;
+    requests.push_back(std::move(req));
+  }
+
+  TablePrinter table({"Threads", "Batch", "Wall (s)", "Agg QPS", "Speedup",
+                      "Mean (ms)", "p99 (ms)"});
+  double base_seconds = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    // A fresh catalog per pool size: cold sessions and row caches, so
+    // every run pays the same open + fetch costs.
+    Catalog catalog(&store);
+    QueryService::Options sopts;
+    sopts.num_threads = threads;
+    sopts.max_queue = 2 * batch;
+    QueryService service(&catalog, sopts);
+
+    Stopwatch sw;
+    auto futures = service.SubmitBatch(requests);
+    size_t failed = 0;
+    for (auto& f : futures) {
+      if (!f.get().status.ok()) ++failed;
+    }
+    const double seconds = sw.Seconds();
+    if (failed > 0) {
+      std::fprintf(stderr, "%zu queries failed\n", failed);
+      return 1;
+    }
+    if (threads == 1) base_seconds = seconds;
+
+    const ServiceStatsSnapshot snap = service.Stats();
+    table.AddRow({TablePrinter::FmtInt(threads),
+                  TablePrinter::FmtInt(batch),
+                  TablePrinter::Fmt(seconds, 2),
+                  TablePrinter::Fmt(static_cast<double>(batch) / seconds, 1),
+                  TablePrinter::Fmt(base_seconds / seconds, 2),
+                  TablePrinter::Fmt(snap.latency.mean_ms, 2),
+                  TablePrinter::Fmt(snap.latency.p99_ms, 2)});
+  }
+  table.Print();
+  std::printf("\nnote: speedup is bounded by available cores "
+              "(hardware_concurrency=%u)\n",
+              std::thread::hardware_concurrency());
+  return 0;
+}

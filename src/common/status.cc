@@ -13,6 +13,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kNotSupported: return "NotSupported";
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

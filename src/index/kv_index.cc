@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/coding.h"
@@ -32,29 +33,58 @@ bool DecodeRowValue(std::string_view in, double* up, IntervalList* value) {
 
 }  // namespace
 
-// FIFO cache of decoded rows, keyed by meta-row index.
+// FIFO cache of decoded rows, keyed by meta-row index. Shared by every
+// thread probing the same store-backed index, so all access goes through
+// one mutex; rows are held by shared_ptr so a reader can keep using a row
+// after another thread evicts it.
 struct KvIndex::RowCache {
   size_t max_rows = 0;
-  std::unordered_map<size_t, IntervalList> rows;
-  std::deque<size_t> order;  // insertion order for eviction
 
-  bool Get(size_t idx, const IntervalList** out) const {
+  std::shared_ptr<const IntervalList> Get(size_t idx) const {
+    std::lock_guard<std::mutex> lock(mu);
     auto it = rows.find(idx);
-    if (it == rows.end()) return false;
-    *out = &it->second;
-    return true;
+    if (it == rows.end()) return nullptr;
+    return it->second;
   }
 
   void Put(size_t idx, IntervalList value) {
-    if (max_rows == 0 || rows.count(idx) > 0) return;
+    if (max_rows == 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (rows.count(idx) > 0) return;
     while (rows.size() >= max_rows && !order.empty()) {
-      rows.erase(order.front());
+      auto victim = rows.find(order.front());
+      if (victim != rows.end()) {
+        bytes -= ApproxRowBytes(*victim->second);
+        rows.erase(victim);
+      }
       order.pop_front();
     }
-    rows.emplace(idx, std::move(value));
+    bytes += ApproxRowBytes(value);
+    rows.emplace(idx,
+                 std::make_shared<const IntervalList>(std::move(value)));
     order.push_back(idx);
   }
+
+  /// Approximate resident bytes of the cached rows.
+  uint64_t ApproxBytes() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return bytes;
+  }
+
+ private:
+  static uint64_t ApproxRowBytes(const IntervalList& row) {
+    return 16 * static_cast<uint64_t>(row.num_intervals()) + 64;
+  }
+
+  mutable std::mutex mu;
+  std::unordered_map<size_t, std::shared_ptr<const IntervalList>> rows;
+  std::deque<size_t> order;  // insertion order for eviction
+  uint64_t bytes = 0;
 };
+
+uint64_t KvIndex::RowCacheBytes() const {
+  return cache_ != nullptr ? cache_->ApproxBytes() : 0;
+}
 
 void KvIndex::EnableRowCache(size_t max_rows) const {
   if (max_rows == 0) {
@@ -152,8 +182,7 @@ Result<IntervalList> KvIndex::ProbeRange(double lr, double ur,
 
   size_t i = first;
   while (i <= last) {
-    const IntervalList* cached = nullptr;
-    if (cache_->Get(i, &cached)) {
+    if (auto cached = cache_->Get(i)) {
       is = IntervalList::Union(is, *cached);
       if (stats != nullptr) stats->cache_hits += 1;
       ++i;
@@ -161,8 +190,7 @@ Result<IntervalList> KvIndex::ProbeRange(double lr, double ur,
     }
     // Extend the missing run as far as it goes.
     size_t run_last = i;
-    const IntervalList* probe = nullptr;
-    while (run_last + 1 <= last && !cache_->Get(run_last + 1, &probe)) {
+    while (run_last + 1 <= last && cache_->Get(run_last + 1) == nullptr) {
       ++run_last;
     }
     if (stats != nullptr && i != first) stats->index_accesses += 1;

@@ -101,7 +101,17 @@ class KvIndex {
   /// probes, so overlapping RLists only fetch the missing tail. Caches at
   /// most `max_rows` rows (FIFO eviction); 0 disables. No effect on
   /// in-memory indexes.
+  ///
+  /// The cache itself is internally synchronized, so once enabled,
+  /// concurrent ProbeRange calls from many threads are safe (provided the
+  /// backing KvStore supports concurrent reads). Enabling/disabling is a
+  /// setup-time operation and must not race with in-flight probes.
   void EnableRowCache(size_t max_rows) const;
+
+  /// Approximate resident bytes currently held by the row cache (0 when
+  /// disabled). Grows as probes warm the cache; feeds Session memory
+  /// accounting.
+  uint64_t RowCacheBytes() const;
 
  private:
   void RebuildMeta();

@@ -59,6 +59,17 @@ struct MatchStats {
   uint64_t constraint_pruned = 0;    // cNSM candidates killed by α/β checks
   double phase1_ms = 0.0;
   double phase2_ms = 0.0;
+
+  void Add(const MatchStats& o) {
+    probe.Add(o.probe);
+    candidate_positions += o.candidate_positions;
+    candidate_intervals += o.candidate_intervals;
+    distance_calls += o.distance_calls;
+    lb_pruned += o.lb_pruned;
+    constraint_pruned += o.constraint_pruned;
+    phase1_ms += o.phase1_ms;
+    phase2_ms += o.phase2_ms;
+  }
 };
 
 }  // namespace kvmatch

@@ -3,7 +3,10 @@
 namespace kvmatch {
 
 namespace {
-std::string IndexNs(size_t w) { return "idx/w" + std::to_string(w) + "/"; }
+std::string IndexNs(const std::string& ns, size_t w) {
+  return ns + "idx/w" + std::to_string(w) + "/";
+}
+std::string DataNs(const std::string& ns) { return ns + "data/"; }
 }  // namespace
 
 Status Session::FinishInit(Options options) {
@@ -29,21 +32,23 @@ Result<std::unique_ptr<Session>> Session::FromSeries(TimeSeries series,
 }
 
 Result<std::unique_ptr<Session>> Session::Ingest(KvStore* store,
+                                                 const std::string& ns,
                                                  TimeSeries series,
                                                  Options options) {
   auto session = FromSeries(std::move(series), options);
   if (!session.ok()) return session.status();
   KVMATCH_RETURN_NOT_OK(SeriesStore::Write(store, (*session)->series_,
-                                           "data/", options.series_chunk));
+                                           DataNs(ns), options.series_chunk));
   for (const auto& index : (*session)->indexes_) {
-    KVMATCH_RETURN_NOT_OK(index.Persist(store, IndexNs(index.window())));
+    KVMATCH_RETURN_NOT_OK(index.Persist(store, IndexNs(ns, index.window())));
   }
   return session;
 }
 
 Result<std::unique_ptr<Session>> Session::Open(const KvStore* store,
+                                               const std::string& ns,
                                                Options options) {
-  auto series_store = SeriesStore::Open(store, "data/");
+  auto series_store = SeriesStore::Open(store, DataNs(ns));
   if (!series_store.ok()) return series_store.status();
   auto series = series_store->ReadAll();
   if (!series.ok()) return series.status();
@@ -52,7 +57,7 @@ Result<std::unique_ptr<Session>> Session::Open(const KvStore* store,
   session->series_ = std::move(series).value();
   size_t w = options.wu;
   for (size_t level = 0; level < options.levels; ++level, w *= 2) {
-    auto index = KvIndex::Open(store, IndexNs(w));
+    auto index = KvIndex::Open(store, IndexNs(ns, w));
     if (!index.ok()) return index.status();
     if (options.row_cache_rows > 0) {
       index->EnableRowCache(options.row_cache_rows);
@@ -83,6 +88,17 @@ Result<std::vector<MatchResult>> Session::QueryTopK(
 uint64_t Session::IndexBytes() const {
   uint64_t bytes = 0;
   for (const auto& index : indexes_) bytes += index.EncodedSizeBytes();
+  return bytes;
+}
+
+uint64_t Session::MemoryBytes() const {
+  // Series values + the two prefix-sum arrays (n + 1 doubles each).
+  uint64_t bytes = 8 * static_cast<uint64_t>(series_.size());
+  bytes += 16 * static_cast<uint64_t>(series_.size() + 1);
+  bytes += IndexBytes();
+  // For store-backed indexes IndexBytes is meta-only; the warmed row
+  // caches are the dominant resident state, so count them too.
+  for (const auto& index : indexes_) bytes += index.RowCacheBytes();
   return bytes;
 }
 

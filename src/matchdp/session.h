@@ -5,6 +5,10 @@
 //
 // Owns everything: the series, its prefix-stat oracle, the KV-index stack
 // and (optionally) the backing KvStore. Cheap to query repeatedly.
+//
+// Once constructed, queries are const and touch only immutable state plus
+// the internally synchronized index row caches, so a session can serve any
+// number of threads concurrently (the QueryService relies on this).
 #ifndef KVMATCH_MATCHDP_SESSION_H_
 #define KVMATCH_MATCHDP_SESSION_H_
 
@@ -40,23 +44,35 @@ class Session {
   }
 
   /// Ingests a series into `store` (chunked data + persisted index stack
-  /// under "data/" and "idx/w<w>/") and returns a session over it. The
-  /// store must outlive the session.
+  /// under ns + "data/" and ns + "idx/w<w>/") and returns a session over
+  /// it. The namespace prefix lets many series share one store (the
+  /// Catalog uses "series/<name>/"). The store must outlive the session.
   static Result<std::unique_ptr<Session>> Ingest(KvStore* store,
+                                                 const std::string& ns,
                                                  TimeSeries series,
                                                  Options options);
   static Result<std::unique_ptr<Session>> Ingest(KvStore* store,
+                                                 TimeSeries series,
+                                                 Options options) {
+    return Ingest(store, "", std::move(series), options);
+  }
+  static Result<std::unique_ptr<Session>> Ingest(KvStore* store,
                                                  TimeSeries series) {
-    return Ingest(store, std::move(series), Options());
+    return Ingest(store, "", std::move(series), Options());
   }
 
-  /// Reopens a session previously written by Ingest: data and indexes are
-  /// read back from the store (indexes stay store-backed with the row
-  /// cache enabled).
+  /// Reopens a session previously written by Ingest under the same
+  /// namespace: data and indexes are read back from the store (indexes
+  /// stay store-backed with the row cache enabled).
   static Result<std::unique_ptr<Session>> Open(const KvStore* store,
+                                               const std::string& ns,
                                                Options options);
+  static Result<std::unique_ptr<Session>> Open(const KvStore* store,
+                                               Options options) {
+    return Open(store, "", options);
+  }
   static Result<std::unique_ptr<Session>> Open(const KvStore* store) {
-    return Open(store, Options());
+    return Open(store, "", Options());
   }
 
   /// ε-match with any of the four query types. |Q| must be >= wu.
@@ -74,6 +90,10 @@ class Session {
   size_t num_indexes() const { return indexes_.size(); }
   /// Total encoded bytes across the index stack (in-memory form only).
   uint64_t IndexBytes() const;
+  /// Approximate resident bytes of this session: series values, prefix
+  /// sums, and the index stack (meta only for store-backed indexes).
+  /// Drives the Catalog's eviction budget.
+  uint64_t MemoryBytes() const;
 
  private:
   Session() = default;

@@ -1,0 +1,172 @@
+#include "service/catalog.h"
+
+#include <cstdio>
+
+namespace kvmatch {
+
+namespace {
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string EncodeLayout(const Session::Options& o) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%zu %zu %.17g %zu %zu", o.wu, o.levels,
+                o.width, o.row_cache_rows, o.series_chunk);
+  return buf;
+}
+
+bool DecodeLayout(const std::string& in, Session::Options* o) {
+  return std::sscanf(in.c_str(), "%zu %zu %lf %zu %zu", &o->wu, &o->levels,
+                     &o->width, &o->row_cache_rows, &o->series_chunk) == 5;
+}
+
+}  // namespace
+
+Catalog::Catalog(KvStore* store) : Catalog(store, Options()) {}
+
+Catalog::Catalog(KvStore* store, Options options)
+    : store_(store), options_(options) {
+  // Directory rows live under "catalog/"; '0' is '/' + 1, so this scan
+  // covers exactly the "catalog/<name>" range.
+  for (auto it = store_->Scan("catalog/", "catalog0"); it->Valid();
+       it->Next()) {
+    const std::string name(it->key().substr(std::string("catalog/").size()));
+    Session::Options layout = options_.session;
+    if (!DecodeLayout(std::string(it->value()), &layout)) continue;
+    directory_.emplace(name, layout);
+  }
+}
+
+Status Catalog::Ingest(const std::string& name, TimeSeries series) {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("bad series name: " + name);
+  }
+  // Whole-call serialization: two ingests must never write the store
+  // concurrently (see the contract in the header).
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (directory_.count(name) > 0) {
+      return Status::InvalidArgument("series already registered: " + name);
+    }
+  }
+
+  // Build + persist outside mu_: ingest is slow and must not stall
+  // queries against already-open sessions.
+  auto session =
+      Session::Ingest(store_, SeriesNs(name), std::move(series),
+                      options_.session);
+  if (!session.ok()) return session.status();
+  KVMATCH_RETURN_NOT_OK(
+      store_->Put(DirectoryKey(name), EncodeLayout(options_.session)));
+  KVMATCH_RETURN_NOT_OK(store_->Flush());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!directory_.emplace(name, options_.session).second) {
+    return Status::InvalidArgument("series already registered: " + name);
+  }
+  CacheLocked(name, std::shared_ptr<const Session>(
+                        std::move(session).value().release()));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Session>> Catalog::Acquire(
+    const std::string& name) {
+  Session::Options layout;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (open_.count(name) > 0) return TouchLocked(name);
+    auto dir = directory_.find(name);
+    if (dir == directory_.end()) {
+      return Status::NotFound("unknown series: " + name);
+    }
+    layout = dir->second;
+  }
+
+  // Open outside the lock; a racing thread may open the same series
+  // concurrently — the loser's copy is discarded below, which only wastes
+  // work, never correctness.
+  auto session = Session::Open(store_, SeriesNs(name), layout);
+  if (!session.ok()) return session.status();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_.count(name) > 0) return TouchLocked(name);
+  return CacheLocked(name, std::shared_ptr<const Session>(
+                               std::move(session).value().release()));
+}
+
+std::shared_ptr<const Session> Catalog::TouchLocked(const std::string& name) {
+  Entry& entry = open_.at(name);
+  entry.last_used = ++tick_;
+  // Re-measure: store-backed sessions grow as probes warm the row caches,
+  // and the budget should see that growth.
+  const uint64_t now_bytes = entry.session->MemoryBytes();
+  open_bytes_ = open_bytes_ - entry.bytes + now_bytes;
+  entry.bytes = now_bytes;
+  std::shared_ptr<const Session> session = entry.session;
+  EvictOverBudgetLocked(name);
+  return session;
+}
+
+std::shared_ptr<const Session> Catalog::CacheLocked(
+    const std::string& name, std::shared_ptr<const Session> session) {
+  Entry entry;
+  entry.session = session;
+  entry.bytes = session->MemoryBytes();
+  entry.last_used = ++tick_;
+  open_bytes_ += entry.bytes;
+  open_.emplace(name, std::move(entry));
+  EvictOverBudgetLocked(name);
+  return session;
+}
+
+void Catalog::EvictOverBudgetLocked(const std::string& protect) {
+  if (options_.memory_budget_bytes == 0) return;
+  while (open_bytes_ > options_.memory_budget_bytes && open_.size() > 1) {
+    auto victim = open_.end();
+    for (auto it = open_.begin(); it != open_.end(); ++it) {
+      if (it->first == protect) continue;  // keep the entry just touched
+      if (victim == open_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == open_.end()) break;
+    open_bytes_ -= victim->second.bytes;
+    open_.erase(victim);
+  }
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directory_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::ListSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(directory_.size());
+  for (const auto& [name, layout] : directory_) names.push_back(name);
+  return names;
+}
+
+size_t Catalog::cached_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_.size();
+}
+
+uint64_t Catalog::cached_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_bytes_;
+}
+
+}  // namespace kvmatch

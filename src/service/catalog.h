@@ -1,0 +1,104 @@
+// Catalog: many named series multiplexed over one shared KvStore.
+//
+// Each series lives under the key namespace "series/<name>/" (chunked data
+// at ".../data/", the index stack at ".../idx/w<w>/"), with a directory row
+// "catalog/<name>" recording its index layout. Sessions are opened lazily
+// on first query and cached; when the cached sessions' resident footprint
+// exceeds the memory budget, the least-recently-used ones are dropped.
+// In-flight queries keep evicted sessions alive through their shared_ptr,
+// so eviction is always safe under concurrency.
+#ifndef KVMATCH_SERVICE_CATALOG_H_
+#define KVMATCH_SERVICE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "matchdp/session.h"
+#include "storage/kvstore.h"
+
+namespace kvmatch {
+
+class Catalog {
+ public:
+  struct Options {
+    Session::Options session;
+    /// Budget for cached sessions' MemoryBytes(); the most recently used
+    /// session is always retained. 0 means unlimited.
+    uint64_t memory_budget_bytes = 256ull << 20;
+  };
+
+  /// Opens a catalog over `store` (which must outlive the catalog). Any
+  /// series previously ingested into the store are discovered from their
+  /// directory rows and become queryable immediately.
+  Catalog(KvStore* store, Options options);
+  explicit Catalog(KvStore* store);
+
+  /// Ingests `series` under `name` (letters/digits/._- only) and registers
+  /// it in the directory. The freshly built session is cached, so the
+  /// first queries need not reopen from the store. Fails with
+  /// InvalidArgument if the name is taken or malformed.
+  ///
+  /// Ingests are serialized with each other, but writing into the store
+  /// follows the backing KvStore's write/read contract — FileKvStore
+  /// rewrites the file at Flush and MemKvStore mutates its map, so treat
+  /// Ingest as an administrative operation: do not run it while queries
+  /// are in flight against the same store. (Online ingest needs an MVCC
+  /// store; see ROADMAP.)
+  Status Ingest(const std::string& name, TimeSeries series);
+
+  /// Returns the (shared, immutable) session for `name`, opening it from
+  /// the store if it is not cached. Safe from any number of threads.
+  Result<std::shared_ptr<const Session>> Acquire(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> ListSeries() const;
+
+  /// Cache introspection (for tests and stats).
+  size_t cached_sessions() const;
+  uint64_t cached_bytes() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Session> session;
+    uint64_t bytes = 0;
+    uint64_t last_used = 0;  // LRU tick
+  };
+
+  static std::string SeriesNs(const std::string& name) {
+    return "series/" + name + "/";
+  }
+  static std::string DirectoryKey(const std::string& name) {
+    return "catalog/" + name;
+  }
+
+  /// Caches `session` for `name` and evicts LRU entries over budget.
+  /// Returns the cached pointer. Caller must hold mu_.
+  std::shared_ptr<const Session> CacheLocked(
+      const std::string& name, std::shared_ptr<const Session> session);
+
+  /// Bumps `name`'s LRU tick, re-measures its MemoryBytes (row caches
+  /// warm over time) and evicts over budget. Caller must hold mu_.
+  std::shared_ptr<const Session> TouchLocked(const std::string& name);
+
+  /// Drops LRU entries (never `protect`) until within budget. Caller
+  /// must hold mu_.
+  void EvictOverBudgetLocked(const std::string& protect);
+
+  KvStore* store_;
+  Options options_;
+
+  std::mutex ingest_mu_;  // serializes whole Ingest calls
+  mutable std::mutex mu_;
+  std::map<std::string, Session::Options> directory_;  // registered series
+  std::map<std::string, Entry> open_;
+  uint64_t open_bytes_ = 0;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_SERVICE_CATALOG_H_

@@ -1,0 +1,108 @@
+#include "service/query_service.h"
+
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace kvmatch {
+
+namespace {
+
+size_t DefaultThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 4;
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+QueryService::QueryService(Catalog* catalog)
+    : QueryService(catalog, Options()) {}
+
+QueryService::QueryService(Catalog* catalog, Options options)
+    : catalog_(catalog),
+      pool_(DefaultThreads(options.num_threads), options.max_queue) {}
+
+std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
+  const auto enqueued = std::chrono::steady_clock::now();
+  const auto deadline =
+      request.timeout_ms > 0.0
+          ? enqueued + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               request.timeout_ms))
+          : std::chrono::steady_clock::time_point::max();
+
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+
+  // The request is moved into the task; shared_ptr keeps the lambda
+  // copyable for std::function.
+  auto shared_request = std::make_shared<QueryRequest>(std::move(request));
+  Status submitted = pool_.Submit([this, promise, shared_request, enqueued,
+                                   deadline] {
+    promise->set_value(Execute(*shared_request, enqueued, deadline));
+  });
+  if (!submitted.ok()) {
+    stats_.RecordRejected();
+    QueryResponse response;
+    response.status = submitted;
+    response.latency_ms = MsSince(enqueued);
+    promise->set_value(std::move(response));
+  }
+  return future;
+}
+
+std::vector<std::future<QueryResponse>> QueryService::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) futures.push_back(Submit(std::move(request)));
+  return futures;
+}
+
+QueryResponse QueryService::Execute(
+    const QueryRequest& request,
+    std::chrono::steady_clock::time_point enqueued,
+    std::chrono::steady_clock::time_point deadline) {
+  QueryResponse response;
+  if (std::chrono::steady_clock::now() > deadline) {
+    stats_.RecordDeadlineExceeded(request.series);
+    response.status = Status::DeadlineExceeded(
+        "request expired after waiting in queue");
+    response.latency_ms = MsSince(enqueued);
+    return response;
+  }
+
+  auto session = catalog_->Acquire(request.series);
+  if (!session.ok()) {
+    response.status = session.status();
+    response.latency_ms = MsSince(enqueued);
+    stats_.RecordLookupFailure();
+    return response;
+  }
+
+  Result<std::vector<MatchResult>> matches =
+      request.top_k > 0
+          ? (*session)->QueryTopK(request.query, request.params,
+                                  request.top_k, request.topk_options)
+          : (*session)->Query(request.query, request.params,
+                              &response.stats);
+  if (matches.ok()) {
+    response.matches = std::move(matches).value();
+  } else {
+    response.status = matches.status();
+  }
+  response.latency_ms = MsSince(enqueued);
+  stats_.RecordQuery(request.series, response.latency_ms, response.stats,
+                     response.status.ok());
+  return response;
+}
+
+}  // namespace kvmatch

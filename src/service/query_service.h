@@ -1,0 +1,87 @@
+// QueryService: the concurrent front door of the engine.
+//
+// N independent requests — any of the five QueryTypes, ε-threshold or
+// top-k — are executed on a fixed-size worker pool against the Catalog's
+// shared immutable sessions. Submission is future-based and never blocks:
+// a full queue sheds load with ResourceExhausted, and a request whose
+// deadline passes while it waits in the queue is answered with
+// DeadlineExceeded instead of burning a worker. Per-series QPS, latency
+// percentiles and aggregated MatchStats are collected in a StatsRegistry.
+#ifndef KVMATCH_SERVICE_QUERY_SERVICE_H_
+#define KVMATCH_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "match/top_k.h"
+#include "service/catalog.h"
+#include "service/service_stats.h"
+#include "service/thread_pool.h"
+
+namespace kvmatch {
+
+struct QueryRequest {
+  std::string series;         // catalog name to query
+  std::vector<double> query;  // Q, |Q| >= wu
+  QueryParams params;
+  /// 0 → ε-match with params.epsilon; > 0 → best-k search (params.epsilon
+  /// ignored, ε expands internally).
+  size_t top_k = 0;
+  TopKOptions topk_options;
+  /// Wall-clock budget from submission; 0 disables. A request still
+  /// queued when the budget expires is failed without executing.
+  double timeout_ms = 0.0;
+};
+
+struct QueryResponse {
+  Status status = Status::OK();
+  std::vector<MatchResult> matches;
+  MatchStats stats;
+  /// Submission → completion, including queue wait.
+  double latency_ms = 0.0;
+};
+
+class QueryService {
+ public:
+  struct Options {
+    size_t num_threads = 0;   // 0 → hardware_concurrency
+    size_t max_queue = 1024;  // pending requests before load shedding
+  };
+
+  /// `catalog` must outlive the service.
+  QueryService(Catalog* catalog, Options options);
+  explicit QueryService(Catalog* catalog);
+
+  /// Destruction drains: every submitted request's future is fulfilled.
+  ~QueryService() = default;
+
+  /// Enqueues one request. The returned future is always fulfilled —
+  /// with matches, or with a non-OK status (NotFound for unknown series,
+  /// ResourceExhausted when shedding, DeadlineExceeded on timeout).
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Enqueues a batch; futures are index-aligned with `requests`.
+  std::vector<std::future<QueryResponse>> SubmitBatch(
+      std::vector<QueryRequest> requests);
+
+  ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
+
+  size_t num_threads() const { return pool_.num_threads(); }
+  size_t QueueDepth() const { return pool_.QueueDepth(); }
+
+ private:
+  QueryResponse Execute(const QueryRequest& request,
+                        std::chrono::steady_clock::time_point enqueued,
+                        std::chrono::steady_clock::time_point deadline);
+
+  Catalog* catalog_;
+  StatsRegistry stats_;
+  ThreadPool pool_;  // last member: workers stop before the rest tears down
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,127 @@
+#include "service/service_stats.h"
+
+#include <algorithm>
+
+namespace kvmatch {
+
+namespace {
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(p * (samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+}  // namespace
+
+StatsRegistry::StatsRegistry() : start_(std::chrono::steady_clock::now()) {}
+
+void StatsRegistry::RecordQuery(const std::string& series, double latency_ms,
+                                const MatchStats& stats, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PerSeries& s = series_[series];
+  if (s.queries == 0) {
+    s.lat_min = s.lat_max = latency_ms;
+  } else {
+    s.lat_min = std::min(s.lat_min, latency_ms);
+    s.lat_max = std::max(s.lat_max, latency_ms);
+  }
+  s.queries += 1;
+  s.lat_sum += latency_ms;
+  if (!ok) s.errors += 1;
+  s.match.Add(stats);
+  if (s.latencies_ms.size() < kMaxSamples) {
+    s.latencies_ms.push_back(latency_ms);
+  } else {
+    s.latencies_ms[s.next_sample] = latency_ms;
+    s.next_sample = (s.next_sample + 1) % kMaxSamples;
+  }
+}
+
+void StatsRegistry::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rejected_ += 1;
+}
+
+void StatsRegistry::RecordLookupFailure() {
+  // Deliberately not per-series: arbitrary unknown names must not grow
+  // the series map without bound.
+  std::lock_guard<std::mutex> lock(mu_);
+  not_found_ += 1;
+}
+
+void StatsRegistry::RecordDeadlineExceeded(const std::string& series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deadline_exceeded_ += 1;
+  (void)series;  // deadline misses never ran, so no per-series latency
+}
+
+LatencySummary StatsRegistry::Summarize(const PerSeries& s) {
+  LatencySummary out;
+  out.count = s.queries;
+  if (s.queries == 0) return out;
+  out.min_ms = s.lat_min;
+  out.max_ms = s.lat_max;
+  out.mean_ms = s.lat_sum / static_cast<double>(s.queries);
+  out.p99_ms = Percentile(s.latencies_ms, 0.99);
+  return out;
+}
+
+ServiceStatsSnapshot StatsRegistry::Snapshot() const {
+  // Copy the raw state under the lock, then sort/summarize outside it so a
+  // monitoring poll never stalls workers mid-RecordQuery.
+  std::map<std::string, PerSeries> series_copy;
+  ServiceStatsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.elapsed_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    snap.rejected = rejected_;
+    snap.deadline_exceeded = deadline_exceeded_;
+    snap.not_found = not_found_;
+    series_copy = series_;
+  }
+
+  PerSeries all;  // merged view for the service-wide latency summary
+  for (const auto& [name, s] : series_copy) {
+    SeriesStatsSnapshot out;
+    out.series = name;
+    out.queries = s.queries;
+    out.errors = s.errors;
+    out.qps = snap.elapsed_seconds > 0.0
+                  ? static_cast<double>(s.queries) / snap.elapsed_seconds
+                  : 0.0;
+    out.latency = Summarize(s);
+    out.match = s.match;
+    snap.total_queries += s.queries;
+    snap.total_errors += s.errors;
+
+    if (all.queries == 0) {
+      all.lat_min = s.lat_min;
+      all.lat_max = s.lat_max;
+    } else if (s.queries > 0) {
+      all.lat_min = std::min(all.lat_min, s.lat_min);
+      all.lat_max = std::max(all.lat_max, s.lat_max);
+    }
+    all.queries += s.queries;
+    all.lat_sum += s.lat_sum;
+    all.latencies_ms.insert(all.latencies_ms.end(), s.latencies_ms.begin(),
+                            s.latencies_ms.end());
+    snap.series.push_back(std::move(out));
+  }
+  snap.latency = Summarize(all);
+  return snap;
+}
+
+void StatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+  rejected_ = 0;
+  deadline_exceeded_ = 0;
+  not_found_ = 0;
+  start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,92 @@
+// Service-level observability: per-series throughput and latency plus the
+// paper's per-query MatchStats/ProbeStats, aggregated across every request
+// the QueryService executes. Feeds the bench harness and the CLI's
+// batch-query / serve-bench tables.
+#ifndef KVMATCH_SERVICE_SERVICE_STATS_H_
+#define KVMATCH_SERVICE_SERVICE_STATS_H_
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "match/query_types.h"
+
+namespace kvmatch {
+
+/// Latency distribution of a set of queries, in milliseconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Snapshot of one series' service-side counters.
+struct SeriesStatsSnapshot {
+  std::string series;
+  uint64_t queries = 0;   // completed (ok or error), excludes rejections
+  uint64_t errors = 0;
+  double qps = 0.0;       // queries / seconds since the registry started
+  LatencySummary latency;
+  MatchStats match;       // aggregated over completed queries
+};
+
+/// Snapshot of the whole service.
+struct ServiceStatsSnapshot {
+  double elapsed_seconds = 0.0;
+  uint64_t total_queries = 0;
+  uint64_t total_errors = 0;
+  uint64_t rejected = 0;           // queue-full load sheds
+  uint64_t deadline_exceeded = 0;  // expired before execution
+  uint64_t not_found = 0;          // requests for unregistered series
+  LatencySummary latency;          // across all series
+  std::vector<SeriesStatsSnapshot> series;  // sorted by name
+};
+
+/// Thread-safe sink for per-request measurements. Latencies are kept in a
+/// bounded per-series reservoir (most recent kMaxSamples) for the
+/// percentile estimate; counters and MatchStats aggregation are exact.
+class StatsRegistry {
+ public:
+  StatsRegistry();
+
+  void RecordQuery(const std::string& series, double latency_ms,
+                   const MatchStats& stats, bool ok);
+  void RecordRejected();
+  void RecordDeadlineExceeded(const std::string& series);
+  /// Unknown-series request; counted service-wide, never per-series.
+  void RecordLookupFailure();
+
+  ServiceStatsSnapshot Snapshot() const;
+
+  /// Resets every counter and restarts the QPS clock (bench warm-up).
+  void Reset();
+
+ private:
+  static constexpr size_t kMaxSamples = 1 << 16;
+
+  struct PerSeries {
+    uint64_t queries = 0;
+    uint64_t errors = 0;
+    MatchStats match;
+    std::vector<double> latencies_ms;  // ring buffer of recent samples
+    size_t next_sample = 0;
+    double lat_min = 0.0, lat_max = 0.0, lat_sum = 0.0;
+  };
+
+  static LatencySummary Summarize(const PerSeries& s);
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point start_;
+  std::map<std::string, PerSeries> series_;
+  uint64_t rejected_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t not_found_ = 0;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_SERVICE_SERVICE_STATS_H_

@@ -1,0 +1,62 @@
+#include "service/thread_pool.h"
+
+namespace kvmatch {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::ResourceExhausted("pool is shut down");
+    }
+    if (max_queue_ > 0 && queue_.size() >= max_queue_) {
+      return Status::ResourceExhausted("request queue full");
+    }
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,57 @@
+// Fixed-size worker pool with a bounded FIFO task queue — the execution
+// engine behind QueryService. Submission never blocks: when the queue is
+// full the task is rejected with ResourceExhausted, pushing backpressure
+// to the caller instead of letting an unbounded backlog grow (the
+// load-shedding discipline a service fronting millions of users needs).
+#ifndef KVMATCH_SERVICE_THREAD_POOL_H_
+#define KVMATCH_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kvmatch {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1). `max_queue` bounds the
+  /// number of tasks waiting to run (not counting the ones executing);
+  /// 0 means unbounded.
+  explicit ThreadPool(size_t num_threads, size_t max_queue = 0);
+
+  /// Drains: waits for all queued and running tasks to finish.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`. Returns ResourceExhausted (without running or storing
+  /// `fn`) when the queue is at capacity or the pool is shutting down.
+  Status Submit(std::function<void()> fn);
+
+  /// Stops accepting work, runs everything already queued, joins workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t max_queue_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_SERVICE_THREAD_POOL_H_

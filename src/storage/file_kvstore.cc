@@ -1,6 +1,11 @@
 #include "storage/file_kvstore.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "common/coding.h"
@@ -38,16 +43,7 @@ class FileScanIterator : public ScanIterator {
     if (idx_ >= end_) return;
     const auto& me = store_->meta_[idx_];
     value_.resize(me.value_len);
-    if (std::fseek(store_->file_, static_cast<long>(me.offset), SEEK_SET) !=
-        0) {
-      status_ = Status::IOError("seek failed");
-      return;
-    }
-    if (me.value_len > 0 &&
-        std::fread(value_.data(), 1, me.value_len, store_->file_) !=
-            me.value_len) {
-      status_ = Status::IOError("short value read");
-    }
+    status_ = store_->ReadAt(me.offset, me.value_len, value_.data());
   }
 
   const FileKvStore* store_;
@@ -60,9 +56,9 @@ class FileScanIterator : public ScanIterator {
 Result<std::unique_ptr<FileKvStore>> FileKvStore::Open(
     const std::string& path) {
   auto store = std::unique_ptr<FileKvStore>(new FileKvStore(path));
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f != nullptr) {
-    store->file_ = f;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    store->fd_ = fd;
     Status st = store->LoadMeta();
     if (!st.ok()) return st;
   }
@@ -70,19 +66,33 @@ Result<std::unique_ptr<FileKvStore>> FileKvStore::Open(
 }
 
 FileKvStore::~FileKvStore() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileKvStore::ReadAt(uint64_t offset, size_t len, char* buf) const {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd_, buf + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) return Status::IOError(path_ + ": pread failed");
+    if (n == 0) return Status::IOError(path_ + ": short value read");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
 }
 
 Status FileKvStore::LoadMeta() {
-  std::fseek(file_, 0, SEEK_END);
-  const long size = std::ftell(file_);
-  if (size < static_cast<long>(kFooterSize)) {
+  struct stat st_buf;
+  if (::fstat(fd_, &st_buf) != 0) {
+    return Status::IOError(path_ + ": fstat failed");
+  }
+  const uint64_t size = static_cast<uint64_t>(st_buf.st_size);
+  if (size < kFooterSize) {
     return Status::Corruption(path_ + ": too small for footer");
   }
   char footer[kFooterSize];
-  std::fseek(file_, size - static_cast<long>(kFooterSize), SEEK_SET);
-  if (std::fread(footer, 1, kFooterSize, file_) != kFooterSize) {
-    return Status::IOError("footer read failed");
+  if (Status st = ReadAt(size - kFooterSize, kFooterSize, footer); !st.ok()) {
+    return st;
   }
   const uint64_t magic = DecodeFixed64(footer + 20);
   if (magic != kFooterMagic) {
@@ -93,9 +103,10 @@ Status FileKvStore::LoadMeta() {
   const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(footer + 16));
 
   std::string meta(meta_len, '\0');
-  std::fseek(file_, static_cast<long>(meta_off), SEEK_SET);
-  if (meta_len > 0 && std::fread(meta.data(), 1, meta_len, file_) != meta_len) {
-    return Status::IOError("meta read failed");
+  if (meta_len > 0) {
+    if (Status st = ReadAt(meta_off, meta_len, meta.data()); !st.ok()) {
+      return st;
+    }
   }
   if (crc32c::Value(meta.data(), meta.size()) != expected_crc) {
     return Status::Corruption(path_ + ": meta checksum mismatch");
@@ -135,12 +146,7 @@ Status FileKvStore::Get(std::string_view key, std::string* value) const {
       [](const MetaEntry& e, std::string_view k) { return e.key < k; });
   if (it == meta_.end() || it->key != key) return Status::NotFound();
   value->resize(it->value_len);
-  std::fseek(file_, static_cast<long>(it->offset), SEEK_SET);
-  if (it->value_len > 0 &&
-      std::fread(value->data(), 1, it->value_len, file_) != it->value_len) {
-    return Status::IOError("value read failed");
-  }
-  return Status::OK();
+  return ReadAt(it->offset, it->value_len, value->data());
 }
 
 std::unique_ptr<ScanIterator> FileKvStore::Scan(std::string_view start_key,
@@ -177,9 +183,9 @@ Status FileKvStore::Flush() {
   for (auto& [k, v] : pending_) all[k] = std::move(v);
   pending_.clear();
 
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
   }
   std::FILE* out = std::fopen(path_.c_str(), "wb");
   if (out == nullptr) return Status::IOError("cannot create " + path_);
@@ -230,15 +236,16 @@ Status FileKvStore::Flush() {
   }
   if (std::fclose(out) != 0) return Status::IOError("close failed");
 
-  file_ = std::fopen(path_.c_str(), "rb");
-  if (file_ == nullptr) return Status::IOError("reopen failed");
+  fd_ = ::open(path_.c_str(), O_RDONLY);
+  if (fd_ < 0) return Status::IOError("reopen failed");
   return Status::OK();
 }
 
 uint64_t FileKvStore::FileBytes() const {
-  if (file_ == nullptr) return 0;
-  std::fseek(file_, 0, SEEK_END);
-  return static_cast<uint64_t>(std::ftell(file_));
+  if (fd_ < 0) return 0;
+  struct stat st_buf;
+  if (::fstat(fd_, &st_buf) != 0) return 0;
+  return static_cast<uint64_t>(st_buf.st_size);
 }
 
 }  // namespace kvmatch

@@ -10,10 +10,14 @@
 //
 // Writes are staged in memory and sorted at Flush; the store is
 // write-once / read-many, matching index building.
+//
+// Thread-safety: reads (Get/Scan/FileBytes) are safe from any number of
+// threads concurrently — values are fetched with positional pread, so no
+// file-position state is shared. Writes (Put/Flush) require external
+// synchronization and must not overlap with reads.
 #ifndef KVMATCH_STORAGE_FILE_KVSTORE_H_
 #define KVMATCH_STORAGE_FILE_KVSTORE_H_
 
-#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -45,6 +49,9 @@ class FileKvStore : public KvStore {
   explicit FileKvStore(std::string path) : path_(std::move(path)) {}
 
   Status LoadMeta();
+  /// Positional read of `len` bytes at `offset` (thread-safe; no shared
+  /// file position).
+  Status ReadAt(uint64_t offset, size_t len, char* buf) const;
 
   struct MetaEntry {
     std::string key;
@@ -55,7 +62,7 @@ class FileKvStore : public KvStore {
   std::string path_;
   std::map<std::string, std::string> pending_;  // staged writes
   std::vector<MetaEntry> meta_;                 // sorted by key
-  mutable std::FILE* file_ = nullptr;           // open read handle
+  int fd_ = -1;                                 // open read descriptor
 
   friend class FileScanIterator;
 };

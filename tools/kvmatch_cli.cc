@@ -11,16 +11,39 @@
 //                        --qoffset 1000 --qlen 512 --epsilon 3.0
 //                        [--type rsm-ed|rsm-dtw|cnsm-ed|cnsm-dtw]
 //                        [--alpha 1.5] [--beta 2.0] [--rho 25] [--limit 10]
+//
+// Multi-series service front-end (Catalog + QueryService):
+//   kvmatch_cli catalog-ingest --store catalog.kvm --data data.bin
+//                              --name sensor1 [--wu 25] [--levels 5]
+//                              [--width 0.5]
+//   kvmatch_cli catalog-info   --store catalog.kvm
+//   kvmatch_cli batch-query    --store catalog.kvm --queries queries.txt
+//                              [--threads N] [--queue 1024]
+//     queries.txt: one request per line of key=value tokens, e.g.
+//       series=sensor1 type=cnsm-ed qoffset=1000 qlen=256 epsilon=3.0
+//       series=sensor2 type=rsm-ed qoffset=0 qlen=128 k=10
+//     ('#' starts a comment; k>0 switches to top-k search; timeout-ms
+//     bounds the request's time in the queue.)
+//   kvmatch_cli serve-bench    [--series 8] [--n 1000000] [--threads 4]
+//                              [--batch 256] [--qlen 256] [--seed 42]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <future>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "bench_util/table_printer.h"
+#include "bench_util/workload.h"
 #include "index/index_builder.h"
 #include "match/kv_match.h"
 #include "matchdp/kv_match_dp.h"
+#include "service/catalog.h"
+#include "service/query_service.h"
 #include "storage/file_kvstore.h"
+#include "storage/mem_kvstore.h"
 #include "ts/generator.h"
 #include "ts/io.h"
 
@@ -63,9 +86,21 @@ Args ParseArgs(int argc, char** argv, int start) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: kvmatch_cli <generate|build|info|query> [--flags]\n"
+               "usage: kvmatch_cli <generate|build|info|query|"
+               "catalog-ingest|catalog-info|batch-query|serve-bench> "
+               "[--flags]\n"
                "see the header of tools/kvmatch_cli.cc for details\n");
   return 2;
+}
+
+bool ParseQueryType(const std::string& name, QueryType* type) {
+  if (name == "rsm-ed") *type = QueryType::kRsmEd;
+  else if (name == "rsm-dtw") *type = QueryType::kRsmDtw;
+  else if (name == "cnsm-ed") *type = QueryType::kCnsmEd;
+  else if (name == "cnsm-dtw") *type = QueryType::kCnsmDtw;
+  else if (name == "rsm-l1") *type = QueryType::kRsmL1;
+  else return false;
+  return true;
 }
 
 int Fail(const Status& st) {
@@ -192,7 +227,7 @@ int CmdQuery(const Args& args) {
 
   const size_t q_off = args.GetU64("qoffset", 0);
   const size_t q_len = args.GetU64("qlen", 512);
-  if (q_off + q_len > data->size()) {
+  if (q_off > data->size() || q_len > data->size() - q_off) {
     return Fail(Status::InvalidArgument("query range past end of data"));
   }
   Rng rng(7);
@@ -200,13 +235,9 @@ int CmdQuery(const Args& args) {
                               args.GetF("qnoise", 0.0), &rng);
 
   QueryParams params;
-  const std::string type = args.Get("type", "cnsm-ed");
-  if (type == "rsm-ed") params.type = QueryType::kRsmEd;
-  else if (type == "rsm-dtw") params.type = QueryType::kRsmDtw;
-  else if (type == "cnsm-ed") params.type = QueryType::kCnsmEd;
-  else if (type == "cnsm-dtw") params.type = QueryType::kCnsmDtw;
-  else if (type == "rsm-l1") params.type = QueryType::kRsmL1;
-  else return Usage();
+  if (!ParseQueryType(args.Get("type", "cnsm-ed"), &params.type)) {
+    return Usage();
+  }
   params.epsilon = args.GetF("epsilon", 1.0);
   params.alpha = args.GetF("alpha", 1.5);
   params.beta = args.GetF("beta", 2.0);
@@ -234,6 +265,242 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+// ------------------------------------------------------------------------
+// Multi-series service commands.
+
+int CmdCatalogIngest(const Args& args) {
+  const std::string store_path = args.Get("store");
+  const std::string data_path = args.Get("data");
+  const std::string name = args.Get("name");
+  if (store_path.empty() || data_path.empty() || name.empty()) return Usage();
+  auto data = ReadBinary(data_path);
+  if (!data.ok()) return Fail(data.status());
+
+  auto store = FileKvStore::Open(store_path);
+  if (!store.ok()) return Fail(store.status());
+
+  Catalog::Options copts;
+  copts.session.wu = args.GetU64("wu", 25);
+  copts.session.levels = args.GetU64("levels", 5);
+  copts.session.width = args.GetF("width", 0.5);
+  Catalog catalog(store->get(), copts);
+  const size_t points = data->size();
+  if (Status st = catalog.Ingest(name, std::move(data).value()); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("ingested '%s' (%zu points, wu=%zu levels=%zu) into %s "
+              "(%llu bytes, %zu series)\n",
+              name.c_str(), points, copts.session.wu, copts.session.levels,
+              store_path.c_str(),
+              static_cast<unsigned long long>((*store)->FileBytes()),
+              catalog.ListSeries().size());
+  return 0;
+}
+
+int CmdCatalogInfo(const Args& args) {
+  const std::string store_path = args.Get("store");
+  if (store_path.empty()) return Usage();
+  auto store = FileKvStore::Open(store_path);
+  if (!store.ok()) return Fail(store.status());
+  Catalog catalog(store->get());
+  TablePrinter table({"Series", "Points", "Indexes", "Memory (MB)"});
+  for (const auto& name : catalog.ListSeries()) {
+    auto session = catalog.Acquire(name);
+    if (!session.ok()) return Fail(session.status());
+    table.AddRow({name, TablePrinter::FmtInt((*session)->series().size()),
+                  TablePrinter::FmtInt((*session)->num_indexes()),
+                  TablePrinter::Fmt(
+                      static_cast<double>((*session)->MemoryBytes()) / 1e6,
+                      1)});
+  }
+  table.Print();
+  return 0;
+}
+
+/// Parses one query-file line of key=value tokens into a request. Query
+/// values are extracted from the named series itself (qoffset/qlen), the
+/// same convention as the single-series `query` command.
+Result<QueryRequest> ParseRequestLine(const std::string& line,
+                                      Catalog* catalog) {
+  QueryRequest req;
+  size_t qoffset = 0, qlen = 0;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad token: " + token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "series") req.series = value;
+    else if (key == "type") {
+      if (!ParseQueryType(value, &req.params.type)) {
+        return Status::InvalidArgument("bad query type: " + value);
+      }
+    }
+    else if (key == "qoffset") qoffset = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "qlen") qlen = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "epsilon") req.params.epsilon = std::strtod(value.c_str(), nullptr);
+    else if (key == "alpha") req.params.alpha = std::strtod(value.c_str(), nullptr);
+    else if (key == "beta") req.params.beta = std::strtod(value.c_str(), nullptr);
+    else if (key == "rho") req.params.rho = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "k") req.top_k = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "timeout-ms") req.timeout_ms = std::strtod(value.c_str(), nullptr);
+    else return Status::InvalidArgument("unknown key: " + key);
+  }
+  if (req.series.empty() || qlen == 0) {
+    return Status::InvalidArgument("line needs series=... and qlen=...");
+  }
+  auto session = catalog->Acquire(req.series);
+  if (!session.ok()) return session.status();
+  const size_t series_len = (*session)->series().size();
+  if (qoffset > series_len || qlen > series_len - qoffset) {
+    return Status::InvalidArgument("query range past end of " + req.series);
+  }
+  const auto span = (*session)->series().Subsequence(qoffset, qlen);
+  req.query.assign(span.begin(), span.end());
+  return req;
+}
+
+void PrintServiceStats(const ServiceStatsSnapshot& snap) {
+  TablePrinter table({"Series", "Queries", "Errors", "QPS", "Min (ms)",
+                      "Mean (ms)", "p99 (ms)", "Candidates", "Scans"});
+  for (const auto& s : snap.series) {
+    table.AddRow({s.series, TablePrinter::FmtInt(s.queries),
+                  TablePrinter::FmtInt(s.errors),
+                  TablePrinter::Fmt(s.qps, 1),
+                  TablePrinter::Fmt(s.latency.min_ms, 2),
+                  TablePrinter::Fmt(s.latency.mean_ms, 2),
+                  TablePrinter::Fmt(s.latency.p99_ms, 2),
+                  TablePrinter::FmtInt(s.match.candidate_positions),
+                  TablePrinter::FmtInt(s.match.probe.index_accesses)});
+  }
+  table.Print();
+  std::printf("total: %llu queries (%llu errors, %llu shed, %llu expired, "
+              "%llu unknown) in %.2fs | mean=%.2fms p99=%.2fms\n",
+              static_cast<unsigned long long>(snap.total_queries),
+              static_cast<unsigned long long>(snap.total_errors),
+              static_cast<unsigned long long>(snap.rejected),
+              static_cast<unsigned long long>(snap.deadline_exceeded),
+              static_cast<unsigned long long>(snap.not_found),
+              snap.elapsed_seconds, snap.latency.mean_ms,
+              snap.latency.p99_ms);
+}
+
+int CmdBatchQuery(const Args& args) {
+  const std::string store_path = args.Get("store");
+  const std::string queries_path = args.Get("queries");
+  if (store_path.empty() || queries_path.empty()) return Usage();
+  auto store = FileKvStore::Open(store_path);
+  if (!store.ok()) return Fail(store.status());
+  Catalog catalog(store->get());
+
+  std::ifstream in(queries_path);
+  if (!in) {
+    return Fail(Status::IOError("cannot open " + queries_path));
+  }
+  std::vector<QueryRequest> requests;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    auto req = ParseRequestLine(line, &catalog);
+    if (!req.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", queries_path.c_str(), lineno,
+                   req.status().ToString().c_str());
+      return 1;
+    }
+    requests.push_back(std::move(req).value());
+  }
+  if (requests.empty()) {
+    return Fail(Status::InvalidArgument("no queries in " + queries_path));
+  }
+
+  QueryService::Options sopts;
+  sopts.num_threads = args.GetU64("threads", 4);
+  sopts.max_queue = args.GetU64("queue", 1024);
+  QueryService service(&catalog, sopts);
+
+  auto futures = service.SubmitBatch(requests);
+  const size_t limit = args.GetU64("limit", 3);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const QueryResponse response = futures[i].get();
+    if (!response.status.ok()) {
+      std::printf("[%zu] %s: %s\n", i, requests[i].series.c_str(),
+                  response.status.ToString().c_str());
+      continue;
+    }
+    std::printf("[%zu] %s: %zu matches in %.2fms\n", i,
+                requests[i].series.c_str(), response.matches.size(),
+                response.latency_ms);
+    for (size_t j = 0; j < response.matches.size() && j < limit; ++j) {
+      std::printf("      offset=%-10zu dist=%.4f\n",
+                  response.matches[j].offset, response.matches[j].distance);
+    }
+  }
+  std::printf("\n");
+  PrintServiceStats(service.Stats());
+  return 0;
+}
+
+int CmdServeBench(const Args& args) {
+  const size_t num_series = args.GetU64("series", 8);
+  const size_t total_points = args.GetU64("n", 1'000'000);
+  const size_t qlen = args.GetU64("qlen", 256);
+  const size_t batch = args.GetU64("batch", 256);
+  const uint64_t seed = args.GetU64("seed", 42);
+  const size_t per_series = std::max<size_t>(total_points / num_series,
+                                             4 * qlen);
+
+  MemKvStore store;
+  Catalog catalog(&store);
+  for (size_t i = 0; i < num_series; ++i) {
+    Rng rng(seed + i);
+    if (Status st = catalog.Ingest("bench" + std::to_string(i),
+                                   GenerateUcrLike(per_series, &rng));
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+  std::printf("catalog: %zu series x %zu points\n", num_series, per_series);
+
+  Rng rng(seed + 1000);
+  std::vector<QueryRequest> requests;
+  for (size_t i = 0; i < batch; ++i) {
+    const std::string name = "bench" + std::to_string(i % num_series);
+    auto session = catalog.Acquire(name);
+    if (!session.ok()) return Fail(session.status());
+    QueryRequest req;
+    req.series = name;
+    const size_t qoff = (1237 * i) % (per_series - qlen);
+    req.query = ExtractQuery((*session)->series(), qoff, qlen, 0.05, &rng);
+    req.params.type = i % 2 == 0 ? QueryType::kRsmEd : QueryType::kCnsmEd;
+    req.params.epsilon = 3.0;
+    req.params.alpha = 1.5;
+    req.params.beta = 3.0;
+    requests.push_back(std::move(req));
+  }
+
+  QueryService::Options sopts;
+  sopts.num_threads = args.GetU64("threads", 4);
+  sopts.max_queue = 2 * batch;
+  QueryService service(&catalog, sopts);
+  service.ResetStats();
+
+  Stopwatch sw;
+  auto futures = service.SubmitBatch(requests);
+  for (auto& f : futures) f.wait();
+  const double seconds = sw.Seconds();
+
+  std::printf("%zu queries on %zu threads: %.2fs (%.1f QPS aggregate)\n\n",
+              batch, service.num_threads(), seconds,
+              static_cast<double>(batch) / seconds);
+  PrintServiceStats(service.Stats());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,5 +511,9 @@ int main(int argc, char** argv) {
   if (cmd == "build") return CmdBuild(args);
   if (cmd == "info") return CmdInfo(args);
   if (cmd == "query") return CmdQuery(args);
+  if (cmd == "catalog-ingest") return CmdCatalogIngest(args);
+  if (cmd == "catalog-info") return CmdCatalogInfo(args);
+  if (cmd == "batch-query") return CmdBatchQuery(args);
+  if (cmd == "serve-bench") return CmdServeBench(args);
   return Usage();
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification pipeline: Release build + the whole ctest suite, then a
+# ThreadSanitizer build of the concurrent service test. Mirrors what CI
+# runs; use it locally before sending a PR.
+#
+#   tools/run_checks.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== Release build + ctest ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "=== ThreadSanitizer: service_test ==="
+cmake -B build-tsan -S . -DKVMATCH_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS" --target service_test
+./build-tsan/service_test
+
+echo
+echo "All checks passed."
