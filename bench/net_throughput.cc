@@ -1,0 +1,138 @@
+// Network front-end scaling: aggregate QPS through the TCP server as the
+// number of concurrent remote clients grows from 1 to N, against an
+// 8-series catalog over loopback.
+//
+// Each simulated client is one TCP connection pipelining `batch`
+// by-reference queries (the remote-bench shape): requests are a few bytes
+// on the wire and the server extracts the query window from the series it
+// already holds. The same total work is replayed at every client count,
+// so the table isolates connection fan-in + response streaming overhead
+// from query execution cost (compare bench_service_throughput, which
+// drives the QueryService in-process).
+//
+//   ./bench_net_throughput [--n <total points>] [--runs <batch mult>]
+//                          [--seed <s>] [--quick]
+#include "bench_common.h"
+
+#include <thread>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "service/catalog.h"
+#include "service/query_service.h"
+#include "storage/mem_kvstore.h"
+
+using namespace kvmatch;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const size_t kSeries = 8;
+  size_t total_points = flags.n == 2'000'000 ? 400'000 : flags.n;
+  size_t batch = 32 * static_cast<size_t>(std::max(1, flags.runs));
+  if (flags.quick) {
+    total_points = 100'000;
+    batch = 16;
+  }
+  const size_t per_series = total_points / kSeries;
+  const size_t m = 256;
+
+  std::printf("net throughput: %zu series x %zu points, |Q|=%zu, "
+              "batch=%zu per client, loopback TCP\n\n",
+              kSeries, per_series, m, batch);
+
+  MemKvStore store;
+  {
+    Catalog ingest_catalog(&store);
+    Stopwatch sw;
+    for (size_t i = 0; i < kSeries; ++i) {
+      Rng rng(flags.seed + i);
+      if (!ingest_catalog
+               .Ingest("bench" + std::to_string(i),
+                       GenerateUcrLike(per_series, &rng))
+               .ok()) {
+        std::fprintf(stderr, "ingest failed\n");
+        return 1;
+      }
+    }
+    std::printf("ingest: %.2fs\n\n", sw.Seconds());
+  }
+
+  Catalog catalog(&store);
+  QueryService service(&catalog, {.num_threads = 4, .max_queue = 4096});
+  net::Server::Options nopts;
+  nopts.port = 0;
+  net::Server server(&catalog, &service, nopts);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table(
+      {"Clients", "Queries", "Seconds", "QPS", "Speedup", "p99 (ms)"});
+  double baseline_seconds = 0.0;
+  for (size_t clients : {1u, 2u, 4u, 8u}) {
+    service.ResetStats();
+    std::vector<std::thread> threads;
+    std::vector<size_t> errors(clients, 0);
+    Stopwatch sw;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = net::Client::Connect("127.0.0.1", server.port());
+        if (!client.ok()) {
+          errors[c] = batch;
+          return;
+        }
+        std::vector<uint64_t> ids;
+        for (size_t i = 0; i < batch; ++i) {
+          net::WireQueryRequest wire;
+          wire.request.series =
+              "bench" + std::to_string((c * batch + i) % kSeries);
+          wire.request.params.type =
+              i % 2 == 0 ? QueryType::kRsmEd : QueryType::kCnsmEd;
+          wire.request.params.epsilon = 3.0;
+          wire.request.params.alpha = 1.5;
+          wire.request.params.beta = 3.0;
+          wire.by_reference = true;
+          wire.ref_length = m;
+          wire.ref_offset =
+              (flags.seed + 1237 * (c * batch + i)) % (per_series - m);
+          auto id = (*client)->SendRequest(wire);
+          if (!id.ok()) {
+            errors[c] += 1;
+            return;
+          }
+          ids.push_back(*id);
+        }
+        for (uint64_t id : ids) {
+          auto response = (*client)->WaitResponse(id);
+          if (!response.ok() || !response->status.ok()) errors[c] += 1;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds = sw.Seconds();
+    if (clients == 1) baseline_seconds = seconds;
+
+    size_t failed = 0;
+    for (size_t e : errors) failed += e;
+    const size_t total = clients * batch - failed;
+    const ServiceStatsSnapshot snap = service.Stats();
+    table.AddRow({TablePrinter::FmtInt(clients), TablePrinter::FmtInt(total),
+                  TablePrinter::Fmt(seconds, 2),
+                  TablePrinter::Fmt(static_cast<double>(total) / seconds, 1),
+                  TablePrinter::Fmt(
+                      baseline_seconds > 0.0
+                          ? (baseline_seconds * static_cast<double>(clients)) /
+                                seconds
+                          : 0.0,
+                      2),
+                  TablePrinter::Fmt(snap.latency.p99_ms, 2)});
+    if (failed > 0) {
+      std::fprintf(stderr, "warning: %zu queries failed at %zu clients\n",
+                   failed, clients);
+    }
+  }
+  table.Print();
+  server.Stop();
+  return 0;
+}

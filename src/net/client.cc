@@ -1,0 +1,201 @@
+#include "net/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace kvmatch {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+/// Unwraps a kError frame into the Status it carries, normalizing the
+/// ill-formed cases (undecodable body, carried OK) to non-OK errors.
+Status CarriedError(const Frame& frame) {
+  Status carried;
+  if (Status st = DecodeErrorBody(frame.body, &carried); !st.ok()) return st;
+  if (carried.ok()) return Status::Internal("server sent an OK error frame");
+  return carried;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* resolved = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &resolved) != 0 ||
+      resolved == nullptr) {
+    return Status::InvalidArgument("cannot resolve " + host);
+  }
+  int fd = -1;
+  Status last = Status::IOError("no addresses for " + host);
+  for (struct addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, 0);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) return last;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::Client(int fd) : fd_(fd) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> Client::SendFrame(FrameType type, std::string body) {
+  Frame frame;
+  frame.type = type;
+  frame.request_id = next_id_++;
+  frame.body = std::move(body);
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  KVMATCH_RETURN_NOT_OK(WriteAll(fd_, wire));
+  return frame.request_id;
+}
+
+Result<uint64_t> Client::SendRequest(const QueryRequest& request) {
+  WireQueryRequest wire_request;
+  wire_request.request = request;
+  return SendRequest(wire_request);
+}
+
+Result<uint64_t> Client::SendRequest(const WireQueryRequest& request) {
+  std::string body;
+  EncodeQueryRequestBody(request, &body);
+  return SendFrame(FrameType::kQueryRequest, std::move(body));
+}
+
+Result<Frame> Client::WaitFrame(uint64_t id) {
+  if (auto it = parked_.find(id); it != parked_.end()) {
+    Frame frame = std::move(it->second);
+    parked_.erase(it);
+    return frame;
+  }
+  char buf[64 * 1024];
+  for (;;) {
+    Frame frame;
+    Status error;
+    const FrameDecoder::Event event = decoder_.Next(&frame, &error);
+    if (event == FrameDecoder::Event::kBadFrame ||
+        event == FrameDecoder::Event::kFatal) {
+      return Status::Corruption("response stream: " + error.message());
+    }
+    if (event == FrameDecoder::Event::kFrame) {
+      if (frame.type == FrameType::kError && frame.request_id == 0) {
+        // Stream-level error from the server (it could not attribute the
+        // failure to a request we could match).
+        return CarriedError(frame);
+      }
+      if (frame.request_id == id) return frame;
+      parked_[frame.request_id] = std::move(frame);
+      continue;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+Result<QueryResponse> Client::WaitResponse(uint64_t id) {
+  auto frame = WaitFrame(id);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kError) {
+    QueryResponse response;
+    response.status = CarriedError(*frame);
+    return response;
+  }
+  if (frame->type != FrameType::kQueryResponse) {
+    return Status::Corruption("unexpected frame type answering a query");
+  }
+  QueryResponse response;
+  KVMATCH_RETURN_NOT_OK(DecodeQueryResponseBody(frame->body, &response));
+  return response;
+}
+
+Result<QueryResponse> Client::Query(const QueryRequest& request) {
+  auto id = SendRequest(request);
+  if (!id.ok()) return id.status();
+  return WaitResponse(*id);
+}
+
+Result<std::string> Client::StatsText() {
+  auto id = SendFrame(FrameType::kStatsRequest, "");
+  if (!id.ok()) return id.status();
+  auto frame = WaitFrame(*id);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kError) return CarriedError(*frame);
+  if (frame->type != FrameType::kStatsResponse) {
+    return Status::Corruption("unexpected frame type answering STATS");
+  }
+  return std::move(frame->body);
+}
+
+Result<std::vector<SeriesInfo>> Client::ListSeries() {
+  auto id = SendFrame(FrameType::kListRequest, "");
+  if (!id.ok()) return id.status();
+  auto frame = WaitFrame(*id);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kError) return CarriedError(*frame);
+  if (frame->type != FrameType::kListResponse) {
+    return Status::Corruption("unexpected frame type answering LIST");
+  }
+  std::vector<SeriesInfo> series;
+  KVMATCH_RETURN_NOT_OK(DecodeListResponseBody(frame->body, &series));
+  return series;
+}
+
+Status Client::Ping() {
+  auto id = SendFrame(FrameType::kPing, "");
+  if (!id.ok()) return id.status();
+  auto frame = WaitFrame(*id);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kError) return CarriedError(*frame);
+  if (frame->type != FrameType::kPong) {
+    return Status::Corruption("unexpected frame type answering PING");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace kvmatch

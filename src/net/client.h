@@ -1,0 +1,72 @@
+// Blocking client for the kvmatch wire protocol, with request pipelining:
+// SendRequest() pushes a frame and returns its request id immediately, so
+// a client can keep many queries in flight on one connection and collect
+// the responses with WaitResponse() in any order (responses that arrive
+// while waiting for a different id are parked).
+//
+// A Client is NOT thread-safe: use one per thread (the remote-bench tool
+// and bench/net_throughput.cc open one connection per simulated client,
+// which is also how the server's per-connection stats stay meaningful).
+#ifndef KVMATCH_NET_CLIENT_H_
+#define KVMATCH_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace kvmatch {
+namespace net {
+
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 int port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one query frame (literal values, or by-reference for the
+  /// overload taking a WireQueryRequest) and returns its request id.
+  Result<uint64_t> SendRequest(const QueryRequest& request);
+  Result<uint64_t> SendRequest(const WireQueryRequest& request);
+
+  /// Blocks until the response for `id` arrives. A kError answer is
+  /// surfaced as an OK Result whose response.status carries the decoded
+  /// Status — exactly what the in-process Submit().get() would return.
+  /// Transport-level failures (connection lost, stream corruption) are
+  /// non-OK Results; after one, the connection is unusable.
+  Result<QueryResponse> WaitResponse(uint64_t id);
+
+  /// SendRequest + WaitResponse.
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// Server-side Prometheus-style stats dump (STATS frame).
+  Result<std::string> StatsText();
+
+  /// Catalog directory: every registered series and its length.
+  Result<std::vector<SeriesInfo>> ListSeries();
+
+  Status Ping();
+
+ private:
+  explicit Client(int fd);
+
+  Result<uint64_t> SendFrame(FrameType type, std::string body);
+  /// Reads frames until the one answering `id` shows up; parks others.
+  Result<Frame> WaitFrame(uint64_t id);
+
+  int fd_;
+  uint64_t next_id_ = 1;
+  FrameDecoder decoder_;
+  std::map<uint64_t, Frame> parked_;
+};
+
+}  // namespace net
+}  // namespace kvmatch
+
+#endif  // KVMATCH_NET_CLIENT_H_

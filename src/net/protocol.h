@@ -1,0 +1,141 @@
+// Wire protocol for the network front-end: length-prefixed, CRC-guarded
+// binary frames carrying QueryService requests and responses over a byte
+// stream.
+//
+// Frame layout (all integers little-endian, via common/coding):
+//
+//   [4B payload length] [4B masked CRC32C of payload] [payload]
+//   payload = [1B frame type] [8B request id] [type-specific body]
+//
+// Request ids are chosen by the client and echoed by the server, so a
+// client may pipeline many requests on one connection and match the
+// responses as they stream back out of order. Non-OK Status results
+// travel as typed kError frames carrying the StatusCode (NotFound,
+// ResourceExhausted, DeadlineExceeded, ...) so the client reconstructs
+// the same Status the in-process API would have returned.
+//
+// A query may carry its values literally, or reference a subsequence
+// (offset, length) of the target series that the server extracts — the
+// remote equivalent of the CLI's qoffset/qlen convention, which keeps
+// "query by example" requests a few bytes instead of shipping the data
+// both ways.
+#ifndef KVMATCH_NET_PROTOCOL_H_
+#define KVMATCH_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "service/query_service.h"
+
+namespace kvmatch {
+namespace net {
+
+/// Hard cap on one frame's payload. A declared length beyond this is
+/// unrecoverable (the stream offset can no longer be trusted), so the
+/// decoder reports it as fatal rather than skipping the frame.
+constexpr size_t kMaxPayloadBytes = 64ull << 20;
+
+/// Frame header: 4B length + 4B CRC.
+constexpr size_t kFrameHeaderBytes = 8;
+/// Payload prologue: 1B type + 8B request id.
+constexpr size_t kPayloadPrologueBytes = 9;
+
+enum class FrameType : uint8_t {
+  kQueryRequest = 1,   // WireQueryRequest body
+  kQueryResponse = 2,  // QueryResponse body (status always OK)
+  kError = 3,          // StatusCode + message; answers any request
+  kStatsRequest = 4,   // empty body
+  kStatsResponse = 5,  // plaintext stats dump
+  kListRequest = 6,    // empty body
+  kListResponse = 7,   // catalog directory: (name, length) pairs
+  kPing = 8,           // empty body
+  kPong = 9,           // empty body
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  uint64_t request_id = 0;
+  std::string body;
+};
+
+/// A QueryRequest as it travels on the wire: either the literal query
+/// values (request.query) or a by-reference (offset, length) window into
+/// the named series, resolved server-side.
+struct WireQueryRequest {
+  QueryRequest request;
+  bool by_reference = false;
+  uint64_t ref_offset = 0;
+  uint64_t ref_length = 0;
+};
+
+/// One row of a kListResponse.
+struct SeriesInfo {
+  std::string name;
+  uint64_t length = 0;
+
+  bool operator==(const SeriesInfo&) const = default;
+};
+
+// ---- Frame framing ----
+
+/// Appends the complete wire encoding of `frame` to `wire`.
+void EncodeFrame(const Frame& frame, std::string* wire);
+
+/// Incremental decoder over a received byte stream. Feed() arbitrary
+/// chunks, then poll Next() until it stops producing frames.
+class FrameDecoder {
+ public:
+  enum class Event {
+    kFrame,     // *out is a complete, CRC-verified frame
+    kNeedMore,  // no complete frame buffered yet
+    kBadFrame,  // one frame was corrupt (CRC/prologue); it has been
+                // consumed and *error set — the stream stays decodable
+    kFatal,     // framing is unrecoverable (oversized declared length)
+  };
+
+  explicit FrameDecoder(size_t max_payload_bytes = kMaxPayloadBytes);
+
+  void Feed(std::string_view data);
+  Event Next(Frame* out, Status* error);
+
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  size_t max_payload_bytes_;
+  std::string buffer_;
+  size_t pos_ = 0;  // consumed prefix of buffer_
+  bool fatal_ = false;
+};
+
+// ---- Frame bodies ----
+
+void EncodeQueryRequestBody(const WireQueryRequest& request,
+                            std::string* body);
+Status DecodeQueryRequestBody(std::string_view body, WireQueryRequest* out);
+
+void EncodeQueryResponseBody(const QueryResponse& response,
+                             std::string* body);
+Status DecodeQueryResponseBody(std::string_view body, QueryResponse* out);
+
+void EncodeErrorBody(const Status& status, std::string* body);
+/// Reconstructs the Status an error frame carries. Returns non-OK only
+/// when `body` itself is malformed; the carried status lands in *out.
+Status DecodeErrorBody(std::string_view body, Status* out);
+
+void EncodeListResponseBody(const std::vector<SeriesInfo>& series,
+                            std::string* body);
+Status DecodeListResponseBody(std::string_view body,
+                              std::vector<SeriesInfo>* out);
+
+/// Stable StatusCode <-> wire mapping (independent of the enum's in-memory
+/// values, so old clients survive StatusCode reorderings).
+uint32_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(uint32_t wire);
+
+}  // namespace net
+}  // namespace kvmatch
+
+#endif  // KVMATCH_NET_PROTOCOL_H_

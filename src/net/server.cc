@@ -1,0 +1,463 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace kvmatch {
+namespace net {
+
+namespace {
+
+constexpr int kPollIntervalMs = 100;   // stop_-flag latency for idle loops
+constexpr int kStopWriteGraceMs = 5000;  // give up on a dead peer at Stop()
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Writes all of `data`, polling for writability so a stalled peer can be
+/// abandoned once `stopping` has been requested for a while.
+Status WriteAll(int fd, std::string_view data,
+                const std::atomic<bool>& stopping) {
+  int stalled_ms = 0;
+  while (!data.empty()) {
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (ready == 0) {
+      stalled_ms += kPollIntervalMs;
+      if (stopping.load(std::memory_order_relaxed) &&
+          stalled_ms >= kStopWriteGraceMs) {
+        return Status::IOError("peer not reading during shutdown");
+      }
+      continue;
+    }
+    stalled_ms = 0;
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Server::Server(Catalog* catalog, QueryService* service, Options options)
+    : catalog_(catalog), service_(service), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* resolved = nullptr;
+  const std::string port_str = std::to_string(options_.port);
+  if (::getaddrinfo(options_.bind_address.c_str(), port_str.c_str(), &hints,
+                    &resolved) != 0 ||
+      resolved == nullptr) {
+    return Status::InvalidArgument("cannot resolve bind address " +
+                                   options_.bind_address);
+  }
+
+  listen_fd_ = ::socket(resolved->ai_family, resolved->ai_socktype, 0);
+  if (listen_fd_ < 0) {
+    ::freeaddrinfo(resolved);
+    return Errno("socket");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, resolved->ai_addr, resolved->ai_addrlen) < 0) {
+    ::freeaddrinfo(resolved);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Errno("bind " + options_.bind_address + ":" + port_str);
+  }
+  ::freeaddrinfo(resolved);
+  if (::listen(listen_fd_, 128) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Errno("listen");
+  }
+
+  struct sockaddr_in bound = {};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  started_ = true;
+  stop_.store(false);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  stop_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  Reap(/*all=*/true);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+size_t Server::ActiveConnections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+std::string Server::StatsText() const {
+  std::string out = service_->stats_registry()->ToText();
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const auto& [id, conn] : conns_) {
+    uint64_t requests = 0;
+    {
+      std::lock_guard<std::mutex> conn_lock(conn->mu);
+      requests = conn->requests;
+    }
+    const double age =
+        std::chrono::duration<double>(now - conn->opened).count();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "kvmatch_connection_requests_total{conn=\"%llu\"} %llu\n"
+                  "kvmatch_connection_qps{conn=\"%llu\"} %.6g\n"
+                  "kvmatch_connection_age_seconds{conn=\"%llu\"} %.6g\n",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(requests),
+                  static_cast<unsigned long long>(id),
+                  age > 0.0 ? static_cast<double>(requests) / age : 0.0,
+                  static_cast<unsigned long long>(id), age);
+    out.append(buf);
+  }
+  return out;
+}
+
+void Server::AcceptLoop() {
+  StatsRegistry* registry = service_->stats_registry();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    // Reap on every tick, not just after an accept: otherwise dead
+    // connections would hold their fds and distort the connection
+    // gauges until the next client happens to show up.
+    Reap(/*all=*/false);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    bool over_limit = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      over_limit = conns_.size() >= options_.max_connections;
+    }
+    if (over_limit) {
+      registry->RecordConnectionRejected();
+      Frame refusal;
+      refusal.type = FrameType::kError;
+      std::string body;
+      EncodeErrorBody(
+          Status::ResourceExhausted("connection limit reached"), &body);
+      refusal.body = std::move(body);
+      std::string wire;
+      EncodeFrame(refusal, &wire);
+      (void)WriteAll(fd, wire, stop_);  // best-effort courtesy
+      ::close(fd);
+      continue;
+    }
+
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->opened = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn->id = next_conn_id_++;
+      conns_[conn->id] = conn;
+    }
+    registry->RecordConnectionOpened();
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+    conn->writer = std::thread([this, conn] { WriterLoop(conn); });
+  }
+}
+
+void Server::Reap(bool all) {
+  std::vector<std::shared_ptr<Connection>> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      bool finished = false;
+      {
+        std::lock_guard<std::mutex> conn_lock(it->second->mu);
+        finished = it->second->finished;
+      }
+      if (all || finished) {
+        done.push_back(it->second);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : done) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    ::close(conn->fd);
+    service_->stats_registry()->RecordConnectionClosed();
+  }
+}
+
+void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  FrameDecoder decoder(options_.max_frame_bytes);
+  char buf[64 * 1024];
+  auto last_activity = std::chrono::steady_clock::now();
+  bool open = true;
+
+  while (open && !stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {conn->fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      if (options_.idle_timeout_ms > 0.0) {
+        bool quiescent = false;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          quiescent = conn->pending == 0 && conn->outbox.empty();
+        }
+        const double idle_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() -
+                                   last_activity)
+                                   .count();
+        if (quiescent && idle_ms >= options_.idle_timeout_ms) break;
+      }
+      continue;
+    }
+
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // peer closed its write side
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    last_activity = std::chrono::steady_clock::now();
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+
+    for (;;) {
+      Frame frame;
+      Status error;
+      const FrameDecoder::Event event = decoder.Next(&frame, &error);
+      if (event == FrameDecoder::Event::kNeedMore) break;
+      if (event == FrameDecoder::Event::kFrame) {
+        HandleFrame(conn, std::move(frame));
+        continue;
+      }
+      // kBadFrame / kFatal: answer with a typed error; the request id is
+      // unrecoverable from a corrupt payload, so 0 means "stream-level".
+      service_->stats_registry()->RecordProtocolError();
+      SendError(conn, 0, error);
+      if (event == FrameDecoder::Event::kFatal) {
+        open = false;  // framing offset lost: this connection is done
+        break;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->reader_done = true;
+  conn->cv.notify_all();
+}
+
+void Server::WriterLoop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    std::string next;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [&] {
+        return conn->aborted || !conn->outbox.empty() ||
+               (conn->reader_done && conn->pending == 0);
+      });
+      if (conn->aborted) break;
+      if (conn->outbox.empty()) {
+        if (conn->reader_done && conn->pending == 0) break;  // drained
+        continue;
+      }
+      next = std::move(conn->outbox.front());
+      conn->outbox.pop_front();
+    }
+    if (!WriteAll(conn->fd, next, stop_).ok()) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->aborted = true;
+      break;
+    }
+  }
+  // Wake the reader out of poll() so it observes the closed stream, then
+  // hand the connection to the reaper. The fd stays open until both
+  // threads are joined — shutdown() only disables I/O on it.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->finished = true;
+  }
+}
+
+void Server::Enqueue(const std::shared_ptr<Connection>& conn,
+                     const Frame& frame) {
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (!conn->aborted) conn->outbox.push_back(std::move(wire));
+  conn->cv.notify_all();
+}
+
+void Server::SendError(const std::shared_ptr<Connection>& conn, uint64_t id,
+                       const Status& status) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.request_id = id;
+  EncodeErrorBody(status, &frame.body);
+  Enqueue(conn, frame);
+}
+
+void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                         Frame frame) {
+  switch (frame.type) {
+    case FrameType::kQueryRequest:
+      HandleQuery(conn, frame.request_id, frame.body);
+      return;
+    case FrameType::kStatsRequest: {
+      Frame response;
+      response.type = FrameType::kStatsResponse;
+      response.request_id = frame.request_id;
+      response.body = StatsText();
+      Enqueue(conn, response);
+      return;
+    }
+    case FrameType::kListRequest: {
+      std::vector<SeriesInfo> series;
+      for (const auto& name : catalog_->ListSeries()) {
+        SeriesInfo info;
+        info.name = name;
+        if (auto session = catalog_->Acquire(name); session.ok()) {
+          info.length = (*session)->series().size();
+        }
+        series.push_back(std::move(info));
+      }
+      Frame response;
+      response.type = FrameType::kListResponse;
+      response.request_id = frame.request_id;
+      EncodeListResponseBody(series, &response.body);
+      Enqueue(conn, response);
+      return;
+    }
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      pong.request_id = frame.request_id;
+      Enqueue(conn, pong);
+      return;
+    }
+    case FrameType::kQueryResponse:
+    case FrameType::kStatsResponse:
+    case FrameType::kListResponse:
+    case FrameType::kError:
+    case FrameType::kPong:
+      SendError(conn, frame.request_id,
+                Status::InvalidArgument("response frame sent to server"));
+      return;
+  }
+  service_->stats_registry()->RecordProtocolError();
+  SendError(conn, frame.request_id,
+            Status::NotSupported(
+                "unknown frame type " +
+                std::to_string(static_cast<unsigned>(frame.type))));
+}
+
+void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
+                         uint64_t id, std::string_view body) {
+  WireQueryRequest wire_request;
+  if (Status st = DecodeQueryRequestBody(body, &wire_request); !st.ok()) {
+    service_->stats_registry()->RecordProtocolError();
+    SendError(conn, id, st);
+    return;
+  }
+  QueryRequest request = std::move(wire_request.request);
+  if (wire_request.by_reference) {
+    auto session = catalog_->Acquire(request.series);
+    if (!session.ok()) {
+      SendError(conn, id, session.status());
+      return;
+    }
+    const size_t series_len = (*session)->series().size();
+    const uint64_t offset = wire_request.ref_offset;
+    const uint64_t length = wire_request.ref_length;
+    if (length == 0 || offset > series_len ||
+        length > series_len - offset) {
+      SendError(conn, id,
+                Status::InvalidArgument(
+                    "query reference [" + std::to_string(offset) + ", +" +
+                    std::to_string(length) + ") is outside '" +
+                    request.series + "'"));
+      return;
+    }
+    const auto span = (*session)->series().Subsequence(
+        static_cast<size_t>(offset), static_cast<size_t>(length));
+    request.query.assign(span.begin(), span.end());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->pending += 1;
+    conn->requests += 1;
+  }
+  service_->SubmitWithCallback(
+      std::move(request), [conn, id](QueryResponse response) {
+        Frame frame;
+        frame.request_id = id;
+        if (response.status.ok()) {
+          frame.type = FrameType::kQueryResponse;
+          EncodeQueryResponseBody(response, &frame.body);
+        } else {
+          // Typed error on the wire: the client reconstructs the exact
+          // Status (ResourceExhausted, DeadlineExceeded, NotFound, ...).
+          frame.type = FrameType::kError;
+          EncodeErrorBody(response.status, &frame.body);
+        }
+        std::string wire;
+        EncodeFrame(frame, &wire);
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->pending -= 1;
+        if (!conn->aborted) conn->outbox.push_back(std::move(wire));
+        conn->cv.notify_all();
+      });
+}
+
+}  // namespace net
+}  // namespace kvmatch

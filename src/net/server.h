@@ -1,0 +1,128 @@
+// Multi-client TCP front-end over the QueryService (pazpar2-style session
+// multiplexing: one server process, many concurrent connections, each
+// pipelining independent queries over the shared catalog).
+//
+// Threading model: one acceptor thread plus a reader and a writer thread
+// per connection. The reader decodes frames and submits queries through
+// QueryService::SubmitWithCallback; completions enqueue encoded response
+// frames onto the connection's outbox, which the writer drains — so
+// responses stream back in completion order, not submission order, and a
+// slow query never blocks the answers behind it.
+//
+// Robustness: a CRC-corrupted or malformed frame is answered with a typed
+// kError frame and the connection keeps serving; only an oversized
+// declared payload (framing no longer trustworthy) closes that one
+// connection. Connections over the limit are refused with
+// ResourceExhausted. Stop() is graceful: it stops accepting, lets every
+// submitted query finish, flushes the responses, then joins all threads.
+#ifndef KVMATCH_NET_SERVER_H_
+#define KVMATCH_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "service/catalog.h"
+#include "service/query_service.h"
+
+namespace kvmatch {
+namespace net {
+
+class Server {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    int port = 0;                  // 0 → kernel-assigned; see port()
+    size_t max_connections = 64;   // beyond this, refuse with an error frame
+    double idle_timeout_ms = 0.0;  // close idle connections; 0 disables
+    size_t max_frame_bytes = kMaxPayloadBytes;
+  };
+
+  /// `catalog` resolves by-reference queries and LIST requests; `service`
+  /// executes. Both must outlive the server.
+  Server(Catalog* catalog, QueryService* service, Options options);
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the acceptor thread.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, drain in-flight queries, flush
+  /// their responses, join every thread. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start); useful with Options::port == 0.
+  int port() const { return port_; }
+
+  size_t ActiveConnections() const;
+
+  /// The service's Prometheus-style dump plus one block per live
+  /// connection (requests, QPS, connection age) — what a STATS frame
+  /// returns.
+  std::string StatsText() const;
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    std::thread reader;
+    std::thread writer;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::string> outbox;  // encoded frames awaiting write
+    size_t pending = 0;              // submitted queries not yet enqueued
+    bool reader_done = false;        // no more frames will be submitted
+    bool aborted = false;            // write error: drop outbox, exit now
+    bool finished = false;           // writer exited; joinable by reaper
+
+    uint64_t requests = 0;  // guarded by mu (stats)
+    std::chrono::steady_clock::time_point opened;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  void WriterLoop(const std::shared_ptr<Connection>& conn);
+
+  void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void HandleQuery(const std::shared_ptr<Connection>& conn, uint64_t id,
+                   std::string_view body);
+
+  static void Enqueue(const std::shared_ptr<Connection>& conn,
+                      const Frame& frame);
+  void SendError(const std::shared_ptr<Connection>& conn, uint64_t id,
+                 const Status& status);
+
+  /// Joins finished connections; with `all`, joins every connection.
+  void Reap(bool all);
+
+  Catalog* catalog_;
+  QueryService* service_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread acceptor_;
+
+  mutable std::mutex conns_mu_;
+  std::map<uint64_t, std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace kvmatch
+
+#endif  // KVMATCH_NET_SERVER_H_

@@ -20,6 +20,22 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Absolute deadline for a request submitted at `enqueued`; the clock's
+/// max() means "no deadline". A non-positive budget maps to the enqueue
+/// instant itself, i.e. already expired.
+std::chrono::steady_clock::time_point ComputeDeadline(
+    std::chrono::steady_clock::time_point enqueued, double timeout_ms) {
+  if (timeout_ms == 0.0) return std::chrono::steady_clock::time_point::max();
+  if (timeout_ms < 0.0) return enqueued;
+  return enqueued + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(timeout_ms));
+}
+
+bool HasDeadline(std::chrono::steady_clock::time_point deadline) {
+  return deadline != std::chrono::steady_clock::time_point::max();
+}
+
 }  // namespace
 
 QueryService::QueryService(Catalog* catalog)
@@ -30,33 +46,46 @@ QueryService::QueryService(Catalog* catalog, Options options)
       pool_(DefaultThreads(options.num_threads), options.max_queue) {}
 
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
-  const auto enqueued = std::chrono::steady_clock::now();
-  const auto deadline =
-      request.timeout_ms > 0.0
-          ? enqueued + std::chrono::duration_cast<
-                           std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double, std::milli>(
-                               request.timeout_ms))
-          : std::chrono::steady_clock::time_point::max();
-
   auto promise = std::make_shared<std::promise<QueryResponse>>();
   std::future<QueryResponse> future = promise->get_future();
+  SubmitWithCallback(std::move(request), [promise](QueryResponse response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
 
-  // The request is moved into the task; shared_ptr keeps the lambda
-  // copyable for std::function.
+void QueryService::SubmitWithCallback(
+    QueryRequest request, std::function<void(QueryResponse)> done) {
+  const auto enqueued = std::chrono::steady_clock::now();
+  const auto deadline = ComputeDeadline(enqueued, request.timeout_ms);
+
+  // A budget that is already spent never deserves a queue slot: answer
+  // right away instead of displacing a request that could still make it.
+  if (HasDeadline(deadline) && deadline <= enqueued) {
+    stats_.RecordDeadlineExceeded(request.series);
+    QueryResponse response;
+    response.status =
+        Status::DeadlineExceeded("request budget spent before submission");
+    done(std::move(response));
+    return;
+  }
+
+  // The request and callback are moved into the task; shared_ptr keeps
+  // the lambda copyable for std::function.
   auto shared_request = std::make_shared<QueryRequest>(std::move(request));
-  Status submitted = pool_.Submit([this, promise, shared_request, enqueued,
-                                   deadline] {
-    promise->set_value(Execute(*shared_request, enqueued, deadline));
+  auto shared_done =
+      std::make_shared<std::function<void(QueryResponse)>>(std::move(done));
+  Status submitted = pool_.Submit([this, shared_request, shared_done,
+                                   enqueued, deadline] {
+    (*shared_done)(Execute(*shared_request, enqueued, deadline));
   });
   if (!submitted.ok()) {
     stats_.RecordRejected();
     QueryResponse response;
     response.status = submitted;
     response.latency_ms = MsSince(enqueued);
-    promise->set_value(std::move(response));
+    (*shared_done)(std::move(response));
   }
-  return future;
 }
 
 std::vector<std::future<QueryResponse>> QueryService::SubmitBatch(
@@ -72,7 +101,11 @@ QueryResponse QueryService::Execute(
     std::chrono::steady_clock::time_point enqueued,
     std::chrono::steady_clock::time_point deadline) {
   QueryResponse response;
-  if (std::chrono::steady_clock::now() > deadline) {
+  // Checked at dequeue, before any work: a request that outlived its
+  // budget in the queue is answered immediately, not run to completion.
+  // `>=` (not `>`) so a zero-length budget can never slip through on a
+  // coarse clock tick.
+  if (HasDeadline(deadline) && std::chrono::steady_clock::now() >= deadline) {
     stats_.RecordDeadlineExceeded(request.series);
     response.status = Status::DeadlineExceeded(
         "request expired after waiting in queue");

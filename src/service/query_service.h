@@ -11,6 +11,7 @@
 #define KVMATCH_SERVICE_QUERY_SERVICE_H_
 
 #include <chrono>
+#include <functional>
 #include <future>
 #include <string>
 #include <vector>
@@ -30,8 +31,10 @@ struct QueryRequest {
   /// ignored, ε expands internally).
   size_t top_k = 0;
   TopKOptions topk_options;
-  /// Wall-clock budget from submission; 0 disables. A request still
-  /// queued when the budget expires is failed without executing.
+  /// Wall-clock budget from submission; 0 disables. A request whose
+  /// budget is already spent at submission, or still queued when it
+  /// expires, is failed with DeadlineExceeded without executing. A
+  /// negative budget counts as already spent.
   double timeout_ms = 0.0;
 };
 
@@ -66,8 +69,23 @@ class QueryService {
   std::vector<std::future<QueryResponse>> SubmitBatch(
       std::vector<QueryRequest> requests);
 
+  /// Like Submit, but delivers the response through `done` instead of a
+  /// future — the hook the network server uses to stream responses back
+  /// out of order as they complete. `done` is called exactly once: on a
+  /// worker thread after execution, or inline on the submitting thread
+  /// when the request is shed (queue full) or its deadline is already
+  /// spent. It must not block for long and must not call back into
+  /// Submit* (a worker thread would deadlock against a full queue).
+  void SubmitWithCallback(QueryRequest request,
+                          std::function<void(QueryResponse)> done);
+
   ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
+
+  /// The live registry, for front-ends (e.g. the TCP server) that record
+  /// their own gauges — connection counts, protocol errors — alongside
+  /// the query metrics.
+  StatsRegistry* stats_registry() { return &stats_; }
 
   size_t num_threads() const { return pool_.num_threads(); }
   size_t QueueDepth() const { return pool_.QueueDepth(); }

@@ -1,6 +1,7 @@
 #include "service/service_stats.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace kvmatch {
 
@@ -57,6 +58,27 @@ void StatsRegistry::RecordDeadlineExceeded(const std::string& series) {
   (void)series;  // deadline misses never ran, so no per-series latency
 }
 
+void StatsRegistry::RecordConnectionOpened() {
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_open_ += 1;
+  connections_accepted_ += 1;
+}
+
+void StatsRegistry::RecordConnectionClosed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (connections_open_ > 0) connections_open_ -= 1;
+}
+
+void StatsRegistry::RecordConnectionRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_rejected_ += 1;
+}
+
+void StatsRegistry::RecordProtocolError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  protocol_errors_ += 1;
+}
+
 LatencySummary StatsRegistry::Summarize(const PerSeries& s) {
   LatencySummary out;
   out.count = s.queries;
@@ -81,6 +103,10 @@ ServiceStatsSnapshot StatsRegistry::Snapshot() const {
     snap.rejected = rejected_;
     snap.deadline_exceeded = deadline_exceeded_;
     snap.not_found = not_found_;
+    snap.connections_open = connections_open_;
+    snap.connections_accepted = connections_accepted_;
+    snap.connections_rejected = connections_rejected_;
+    snap.protocol_errors = protocol_errors_;
     series_copy = series_;
   }
 
@@ -121,7 +147,89 @@ void StatsRegistry::Reset() {
   rejected_ = 0;
   deadline_exceeded_ = 0;
   not_found_ = 0;
+  // connections_open_ is a live gauge owned by the server's accept loop;
+  // resetting it would desync the open/close pairing. Re-base the
+  // lifetime counter so accepted >= open still holds.
+  connections_accepted_ = connections_open_;
+  connections_rejected_ = 0;
+  protocol_errors_ = 0;
   start_ = std::chrono::steady_clock::now();
+}
+
+std::string StatsRegistry::ToText() const { return StatsToText(Snapshot()); }
+
+namespace {
+
+void EmitCounter(std::string* out, const char* name, uint64_t value) {
+  out->append(name);
+  out->append(" ");
+  out->append(std::to_string(value));
+  out->append("\n");
+}
+
+void EmitGauge(std::string* out, const std::string& name, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out->append(name);
+  out->append(" ");
+  out->append(buf);
+  out->append("\n");
+}
+
+// `extra_labels` is either empty or a "key=\"value\"," prefix for the
+// stat label, e.g. "series=\"s0\",".
+void EmitLatency(std::string* out, const std::string& name,
+                 const std::string& extra_labels,
+                 const LatencySummary& latency) {
+  const auto emit = [&](const char* stat, double value) {
+    EmitGauge(out,
+              name + "{" + extra_labels + "stat=\"" + stat + "\"}", value);
+  };
+  emit("min", latency.min_ms);
+  emit("mean", latency.mean_ms);
+  emit("p99", latency.p99_ms);
+  emit("max", latency.max_ms);
+}
+
+}  // namespace
+
+std::string StatsToText(const ServiceStatsSnapshot& snap) {
+  std::string out;
+  out.reserve(1024 + 512 * snap.series.size());
+  EmitGauge(&out, "kvmatch_uptime_seconds", snap.elapsed_seconds);
+  EmitCounter(&out, "kvmatch_queries_total", snap.total_queries);
+  EmitCounter(&out, "kvmatch_query_errors_total", snap.total_errors);
+  EmitCounter(&out, "kvmatch_rejected_total", snap.rejected);
+  EmitCounter(&out, "kvmatch_deadline_exceeded_total",
+              snap.deadline_exceeded);
+  EmitCounter(&out, "kvmatch_not_found_total", snap.not_found);
+  EmitCounter(&out, "kvmatch_connections_open", snap.connections_open);
+  EmitCounter(&out, "kvmatch_connections_accepted_total",
+              snap.connections_accepted);
+  EmitCounter(&out, "kvmatch_connections_rejected_total",
+              snap.connections_rejected);
+  EmitCounter(&out, "kvmatch_protocol_errors_total", snap.protocol_errors);
+  EmitLatency(&out, "kvmatch_latency_ms", "", snap.latency);
+  for (const auto& s : snap.series) {
+    const std::string label = "{series=\"" + s.series + "\"}";
+    EmitCounter(&out, ("kvmatch_series_queries_total" + label).c_str(),
+                s.queries);
+    EmitCounter(&out, ("kvmatch_series_errors_total" + label).c_str(),
+                s.errors);
+    EmitGauge(&out, "kvmatch_series_qps" + label, s.qps);
+    EmitLatency(&out, "kvmatch_series_latency_ms",
+                "series=\"" + s.series + "\",", s.latency);
+    EmitCounter(&out,
+                ("kvmatch_series_candidates_total" + label).c_str(),
+                s.match.candidate_positions);
+    EmitCounter(&out,
+                ("kvmatch_series_index_accesses_total" + label).c_str(),
+                s.match.probe.index_accesses);
+    EmitCounter(&out,
+                ("kvmatch_series_distance_calls_total" + label).c_str(),
+                s.match.distance_calls);
+  }
+  return out;
 }
 
 }  // namespace kvmatch

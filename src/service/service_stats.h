@@ -42,9 +42,20 @@ struct ServiceStatsSnapshot {
   uint64_t rejected = 0;           // queue-full load sheds
   uint64_t deadline_exceeded = 0;  // expired before execution
   uint64_t not_found = 0;          // requests for unregistered series
+  // Network front-end gauges; all zero when no server is attached.
+  uint64_t connections_open = 0;
+  uint64_t connections_accepted = 0;  // lifetime, includes open ones
+  uint64_t connections_rejected = 0;  // over the connection limit
+  uint64_t protocol_errors = 0;       // corrupt/malformed frames received
   LatencySummary latency;          // across all series
   std::vector<SeriesStatsSnapshot> series;  // sorted by name
 };
+
+/// Renders a snapshot as a Prometheus-style plaintext exposition:
+/// service-wide counters, connection gauges, and per-series metrics with
+/// a `series="<name>"` label (series names are [A-Za-z0-9._-] so no label
+/// escaping is needed). Served over the wire as a STATS response.
+std::string StatsToText(const ServiceStatsSnapshot& snapshot);
 
 /// Thread-safe sink for per-request measurements. Latencies are kept in a
 /// bounded per-series reservoir (most recent kMaxSamples) for the
@@ -60,7 +71,16 @@ class StatsRegistry {
   /// Unknown-series request; counted service-wide, never per-series.
   void RecordLookupFailure();
 
+  // Network front-end gauges, recorded by the TCP server.
+  void RecordConnectionOpened();
+  void RecordConnectionClosed();
+  void RecordConnectionRejected();
+  void RecordProtocolError();
+
   ServiceStatsSnapshot Snapshot() const;
+
+  /// StatsToText(Snapshot()).
+  std::string ToText() const;
 
   /// Resets every counter and restarts the QPS clock (bench warm-up).
   void Reset();
@@ -85,6 +105,10 @@ class StatsRegistry {
   uint64_t rejected_ = 0;
   uint64_t deadline_exceeded_ = 0;
   uint64_t not_found_ = 0;
+  uint64_t connections_open_ = 0;
+  uint64_t connections_accepted_ = 0;
+  uint64_t connections_rejected_ = 0;
+  uint64_t protocol_errors_ = 0;
 };
 
 }  // namespace kvmatch

@@ -1,0 +1,711 @@
+// Tests for the network front-end: protocol framing round-trips and
+// rejection of damaged frames, and a loopback server driven by concurrent
+// pipelined clients that must return exactly the serial in-process
+// results. The damaged-frame tests speak raw bytes on purpose — they
+// assert the server survives input no well-behaved client would send.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/rng.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "service/catalog.h"
+#include "service/query_service.h"
+#include "storage/mem_kvstore.h"
+#include "ts/generator.h"
+
+namespace kvmatch {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------- protocol
+
+Frame RoundTrip(const Frame& in) {
+  std::string wire;
+  EncodeFrame(in, &wire);
+  FrameDecoder decoder;
+  // Feed byte-by-byte: a complete frame must assemble from any chunking.
+  Frame out;
+  Status error;
+  for (char c : wire) {
+    EXPECT_EQ(decoder.Next(&out, &error), FrameDecoder::Event::kNeedMore);
+    decoder.Feed(std::string_view(&c, 1));
+  }
+  EXPECT_EQ(decoder.Next(&out, &error), FrameDecoder::Event::kFrame)
+      << error.ToString();
+  return out;
+}
+
+TEST(ProtocolTest, FrameRoundTripsForEveryType) {
+  for (FrameType type :
+       {FrameType::kQueryRequest, FrameType::kQueryResponse,
+        FrameType::kError, FrameType::kStatsRequest,
+        FrameType::kStatsResponse, FrameType::kListRequest,
+        FrameType::kListResponse, FrameType::kPing, FrameType::kPong}) {
+    Frame in;
+    in.type = type;
+    in.request_id = 0xdeadbeefcafeull + static_cast<uint64_t>(type);
+    in.body = "body-" + std::to_string(static_cast<int>(type));
+    const Frame out = RoundTrip(in);
+    EXPECT_EQ(out.type, in.type);
+    EXPECT_EQ(out.request_id, in.request_id);
+    EXPECT_EQ(out.body, in.body);
+  }
+}
+
+TEST(ProtocolTest, QueryRequestRoundTripsLiteralAndReference) {
+  const QueryType kTypes[] = {QueryType::kRsmEd, QueryType::kRsmDtw,
+                              QueryType::kCnsmEd, QueryType::kCnsmDtw,
+                              QueryType::kRsmL1};
+  for (QueryType type : kTypes) {
+    WireQueryRequest in;
+    in.request.series = "sensor-7";
+    in.request.params.type = type;
+    in.request.params.epsilon = 2.25;
+    in.request.params.alpha = 1.5;
+    in.request.params.beta = 3.0;
+    in.request.params.rho = 11;
+    in.request.top_k = 5;
+    in.request.topk_options.initial_epsilon = 0.75;
+    in.request.topk_options.growth = 1.5;
+    in.request.topk_options.max_rounds = 17;
+    in.request.topk_options.exclusion_zone = 32;
+    in.request.timeout_ms = 125.5;
+    in.request.query = {1.0, -2.5, 3.75, 0.0, 1e-9};
+
+    std::string body;
+    EncodeQueryRequestBody(in, &body);
+    WireQueryRequest out;
+    ASSERT_TRUE(DecodeQueryRequestBody(body, &out).ok());
+    EXPECT_EQ(out.request.series, in.request.series);
+    EXPECT_EQ(out.request.params.type, type);
+    EXPECT_EQ(out.request.params.epsilon, in.request.params.epsilon);
+    EXPECT_EQ(out.request.params.alpha, in.request.params.alpha);
+    EXPECT_EQ(out.request.params.beta, in.request.params.beta);
+    EXPECT_EQ(out.request.params.rho, in.request.params.rho);
+    EXPECT_EQ(out.request.top_k, in.request.top_k);
+    EXPECT_EQ(out.request.topk_options.initial_epsilon,
+              in.request.topk_options.initial_epsilon);
+    EXPECT_EQ(out.request.topk_options.growth,
+              in.request.topk_options.growth);
+    EXPECT_EQ(out.request.topk_options.max_rounds,
+              in.request.topk_options.max_rounds);
+    EXPECT_EQ(out.request.topk_options.exclusion_zone,
+              in.request.topk_options.exclusion_zone);
+    EXPECT_EQ(out.request.timeout_ms, in.request.timeout_ms);
+    EXPECT_EQ(out.request.query, in.request.query);
+    EXPECT_FALSE(out.by_reference);
+
+    in.by_reference = true;
+    in.ref_offset = 12345;
+    in.ref_length = 256;
+    in.request.query.clear();
+    body.clear();
+    EncodeQueryRequestBody(in, &body);
+    ASSERT_TRUE(DecodeQueryRequestBody(body, &out).ok());
+    EXPECT_TRUE(out.by_reference);
+    EXPECT_EQ(out.ref_offset, 12345u);
+    EXPECT_EQ(out.ref_length, 256u);
+  }
+}
+
+TEST(ProtocolTest, QueryResponseRoundTrips) {
+  QueryResponse in;
+  in.status = Status::OK();
+  in.latency_ms = 12.75;
+  in.matches = {{100, 1.5}, {2048, 2.25}, {999999, 0.0}};
+  in.stats.probe.index_accesses = 7;
+  in.stats.probe.rows_fetched = 21;
+  in.stats.probe.cache_hits = 4;
+  in.stats.candidate_positions = 900;
+  in.stats.candidate_intervals = 33;
+  in.stats.distance_calls = 12;
+  in.stats.lb_pruned = 888;
+  in.stats.constraint_pruned = 5;
+  in.stats.phase1_ms = 1.25;
+  in.stats.phase2_ms = 11.5;
+
+  std::string body;
+  EncodeQueryResponseBody(in, &body);
+  QueryResponse out;
+  ASSERT_TRUE(DecodeQueryResponseBody(body, &out).ok());
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.latency_ms, in.latency_ms);
+  EXPECT_EQ(out.matches, in.matches);
+  EXPECT_EQ(out.stats.probe.index_accesses, 7u);
+  EXPECT_EQ(out.stats.probe.rows_fetched, 21u);
+  EXPECT_EQ(out.stats.probe.cache_hits, 4u);
+  EXPECT_EQ(out.stats.candidate_positions, 900u);
+  EXPECT_EQ(out.stats.candidate_intervals, 33u);
+  EXPECT_EQ(out.stats.distance_calls, 12u);
+  EXPECT_EQ(out.stats.lb_pruned, 888u);
+  EXPECT_EQ(out.stats.constraint_pruned, 5u);
+  EXPECT_EQ(out.stats.phase1_ms, 1.25);
+  EXPECT_EQ(out.stats.phase2_ms, 11.5);
+}
+
+TEST(ProtocolTest, ErrorBodyCarriesEveryStatusCode) {
+  const Status statuses[] = {
+      Status::NotFound("x"),          Status::InvalidArgument("y"),
+      Status::IOError("z"),           Status::Corruption("c"),
+      Status::NotSupported("n"),      Status::OutOfRange("o"),
+      Status::Internal("i"),          Status::ResourceExhausted("shed"),
+      Status::DeadlineExceeded("late")};
+  for (const Status& in : statuses) {
+    std::string body;
+    EncodeErrorBody(in, &body);
+    Status out;
+    ASSERT_TRUE(DecodeErrorBody(body, &out).ok());
+    EXPECT_EQ(out.code(), in.code());
+    EXPECT_EQ(out.message(), in.message());
+  }
+}
+
+TEST(ProtocolTest, ListResponseRoundTrips) {
+  const std::vector<SeriesInfo> in = {{"a", 100}, {"bench3", 1u << 20}};
+  std::string body;
+  EncodeListResponseBody(in, &body);
+  std::vector<SeriesInfo> out;
+  ASSERT_TRUE(DecodeListResponseBody(body, &out).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(ProtocolTest, OversizedDeclaredLengthIsFatal) {
+  std::string wire;
+  PutFixed32(&wire, static_cast<uint32_t>(kMaxPayloadBytes + 1));
+  PutFixed32(&wire, 0);  // CRC never inspected: length check comes first
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Event::kFatal);
+  EXPECT_TRUE(error.IsInvalidArgument()) << error.ToString();
+  // The stream stays dead even if more valid bytes arrive.
+  Frame good;
+  good.type = FrameType::kPing;
+  std::string more;
+  EncodeFrame(good, &more);
+  decoder.Feed(more);
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Event::kFatal);
+}
+
+TEST(ProtocolTest, CorruptCrcConsumesFrameAndStreamRecovers) {
+  Frame first;
+  first.type = FrameType::kPing;
+  first.request_id = 1;
+  Frame second;
+  second.type = FrameType::kPong;
+  second.request_id = 2;
+
+  std::string wire;
+  EncodeFrame(first, &wire);
+  wire[kFrameHeaderBytes + 3] ^= 0x40;  // flip a payload bit in frame 1
+  EncodeFrame(second, &wire);
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Event::kBadFrame);
+  EXPECT_TRUE(error.IsCorruption()) << error.ToString();
+  // The damaged frame was consumed; the next one decodes normally.
+  ASSERT_EQ(decoder.Next(&frame, &error), FrameDecoder::Event::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kPong);
+  EXPECT_EQ(frame.request_id, 2u);
+}
+
+TEST(ProtocolTest, PayloadShorterThanPrologueIsBadFrame) {
+  const std::string payload = "abc";  // valid CRC, but < type + request id
+  std::string wire;
+  PutFixed32(&wire, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&wire, crc32c::Mask(crc32c::Value(payload)));
+  wire += payload;
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Event::kBadFrame);
+  EXPECT_TRUE(error.IsCorruption());
+}
+
+TEST(ProtocolTest, MalformedBodiesAreRejected) {
+  WireQueryRequest request_out;
+  EXPECT_FALSE(DecodeQueryRequestBody("garbage", &request_out).ok());
+  QueryResponse response_out;
+  EXPECT_FALSE(DecodeQueryResponseBody("\x01\x02", &response_out).ok());
+  // A match count promising more entries than the body can hold must be
+  // rejected before any allocation happens.
+  std::string body;
+  EncodeErrorBody(Status::OK(), &body);  // code 0 + empty message
+  PutDouble(&body, 0.0);                 // latency
+  PutVarint64(&body, 1u << 30);          // absurd match count
+  EXPECT_FALSE(DecodeQueryResponseBody(body, &response_out).ok());
+}
+
+TEST(ProtocolTest, QueryValueCountOverflowIsRejected) {
+  // count * 8 wraps back onto the actual body size for count = 2^61 + 1
+  // with 8 trailing bytes; the decoder must reject it instead of
+  // attempting a multi-exabyte allocation.
+  WireQueryRequest req;
+  req.request.series = "s";
+  std::string body;
+  EncodeQueryRequestBody(req, &body);  // empty literal query: count byte 0
+  body.pop_back();                     // strip the zero-count varint
+  PutVarint64(&body, (1ull << 61) + 1);
+  body.append(8, '\0');
+  WireQueryRequest out;
+  EXPECT_FALSE(DecodeQueryRequestBody(body, &out).ok());
+}
+
+// ----------------------------------------------------------------- server
+
+constexpr size_t kNumSeries = 4;
+constexpr size_t kSeriesLen = 3000;
+
+Session::Options SmallOptions() {
+  Session::Options options;
+  options.wu = 25;
+  options.levels = 3;
+  return options;
+}
+
+std::string SeriesName(size_t i) { return "s" + std::to_string(i); }
+
+std::vector<TimeSeries> IngestFixture(KvStore* store) {
+  Catalog::Options copts;
+  copts.session = SmallOptions();
+  Catalog ingest_catalog(store, copts);
+  std::vector<TimeSeries> references;
+  for (size_t i = 0; i < kNumSeries; ++i) {
+    Rng rng(2000 + i);
+    TimeSeries x = GenerateSynthetic(kSeriesLen, &rng);
+    references.push_back(x);
+    EXPECT_TRUE(ingest_catalog.Ingest(SeriesName(i), std::move(x)).ok());
+  }
+  return references;
+}
+
+std::vector<QueryRequest> MakeWorkload(const std::vector<TimeSeries>& refs,
+                                       size_t count) {
+  const QueryType kTypes[] = {QueryType::kRsmEd, QueryType::kRsmDtw,
+                              QueryType::kCnsmEd, QueryType::kCnsmDtw,
+                              QueryType::kRsmL1};
+  Rng rng(55);
+  std::vector<QueryRequest> requests;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t series = i % refs.size();
+    QueryRequest req;
+    req.series = SeriesName(series);
+    const size_t qlen = 100 + 25 * (i % 4);
+    const size_t qoff = (211 * i) % (kSeriesLen - qlen);
+    req.query = ExtractQuery(refs[series], qoff, qlen, 0.1, &rng);
+    req.params.type = kTypes[i % 5];
+    req.params.epsilon = 2.0 + static_cast<double>(i % 3);
+    req.params.alpha = 1.5;
+    req.params.beta = 3.0;
+    req.params.rho = 5;
+    if (i % 6 == 2) req.top_k = 4;
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+std::vector<std::vector<MatchResult>> RunSerial(
+    Catalog* catalog, const std::vector<QueryRequest>& requests) {
+  std::vector<std::vector<MatchResult>> results;
+  for (const auto& req : requests) {
+    auto session = catalog->Acquire(req.series);
+    EXPECT_TRUE(session.ok());
+    auto matches = req.top_k > 0
+                       ? (*session)->QueryTopK(req.query, req.params,
+                                               req.top_k, req.topk_options)
+                       : (*session)->Query(req.query, req.params);
+    EXPECT_TRUE(matches.ok());
+    results.push_back(std::move(matches).value());
+  }
+  return results;
+}
+
+struct ServerFixture {
+  MemKvStore store;
+  std::vector<TimeSeries> refs;
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<Server> server;
+
+  explicit ServerFixture(size_t threads = 4, size_t max_conns = 64,
+                         size_t max_queue = 1024) {
+    refs = IngestFixture(&store);
+    Catalog::Options copts;
+    copts.session = SmallOptions();
+    catalog = std::make_unique<Catalog>(&store, copts);
+    QueryService::Options sopts;
+    sopts.num_threads = threads;
+    sopts.max_queue = max_queue;
+    service = std::make_unique<QueryService>(catalog.get(), sopts);
+    Server::Options nopts;
+    nopts.port = 0;  // ephemeral
+    nopts.max_connections = max_conns;
+    server = std::make_unique<Server>(catalog.get(), service.get(), nopts);
+    Status st = server->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+};
+
+TEST(NetServerTest, ConcurrentPipelinedClientsMatchSerialExecution) {
+  ServerFixture fx(/*threads=*/4);
+  const auto requests = MakeWorkload(fx.refs, 32);
+
+  Catalog::Options copts;
+  copts.session = SmallOptions();
+  Catalog serial_catalog(&fx.store, copts);
+  const auto expected = RunSerial(&serial_catalog, requests);
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", fx.server->port());
+      if (!client.ok()) {
+        failures[c] = client.status().ToString();
+        return;
+      }
+      // Pipeline the whole workload, then collect in submission order
+      // even though the server streams responses in completion order.
+      std::vector<uint64_t> ids;
+      for (const auto& req : requests) {
+        auto id = (*client)->SendRequest(req);
+        if (!id.ok()) {
+          failures[c] = id.status().ToString();
+          return;
+        }
+        ids.push_back(*id);
+      }
+      for (size_t i = 0; i < ids.size(); ++i) {
+        auto response = (*client)->WaitResponse(ids[i]);
+        if (!response.ok()) {
+          failures[c] = response.status().ToString();
+          return;
+        }
+        if (!response->status.ok()) {
+          failures[c] = response->status.ToString();
+          return;
+        }
+        if (response->matches != expected[i]) {
+          failures[c] = "client " + std::to_string(c) + " request " +
+                        std::to_string(i) + ": wrong matches";
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& failure : failures) EXPECT_EQ(failure, "");
+
+  const ServiceStatsSnapshot snap = fx.service->Stats();
+  EXPECT_EQ(snap.total_queries, kClients * requests.size());
+  EXPECT_EQ(snap.total_errors, 0u);
+  EXPECT_EQ(snap.connections_accepted, static_cast<uint64_t>(kClients));
+}
+
+TEST(NetServerTest, ByReferenceQueryEqualsLiteralQuery) {
+  ServerFixture fx;
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // The same window sent literally (extracted client-side, no noise) and
+  // by reference must produce identical matches.
+  auto session = fx.catalog->Acquire("s1");
+  ASSERT_TRUE(session.ok());
+  WireQueryRequest by_ref;
+  by_ref.request.series = "s1";
+  by_ref.request.params.epsilon = 3.0;
+  by_ref.by_reference = true;
+  by_ref.ref_offset = 500;
+  by_ref.ref_length = 128;
+  auto ref_id = (*client)->SendRequest(by_ref);
+  ASSERT_TRUE(ref_id.ok());
+
+  QueryRequest literal;
+  literal.series = "s1";
+  literal.params.epsilon = 3.0;
+  const auto span = (*session)->series().Subsequence(500, 128);
+  literal.query.assign(span.begin(), span.end());
+  auto lit_id = (*client)->SendRequest(literal);
+  ASSERT_TRUE(lit_id.ok());
+
+  auto ref_response = (*client)->WaitResponse(*ref_id);
+  auto lit_response = (*client)->WaitResponse(*lit_id);
+  ASSERT_TRUE(ref_response.ok());
+  ASSERT_TRUE(lit_response.ok());
+  ASSERT_TRUE(ref_response->status.ok()) << ref_response->status.ToString();
+  EXPECT_FALSE(ref_response->matches.empty());  // the window matches itself
+  EXPECT_EQ(ref_response->matches, lit_response->matches);
+
+  // Out-of-range references come back as typed InvalidArgument.
+  by_ref.ref_offset = kSeriesLen;
+  by_ref.ref_length = 128;
+  auto bad = (*client)->SendRequest(by_ref);
+  ASSERT_TRUE(bad.ok());
+  auto bad_response = (*client)->WaitResponse(*bad);
+  ASSERT_TRUE(bad_response.ok());
+  EXPECT_TRUE(bad_response->status.IsInvalidArgument())
+      << bad_response->status.ToString();
+}
+
+TEST(NetServerTest, TypedErrorsTravelTheWire) {
+  ServerFixture fx;
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  QueryRequest unknown;
+  unknown.series = "no-such-series";
+  unknown.query.assign(100, 0.0);
+  unknown.params.epsilon = 1.0;
+  auto response = (*client)->Query(unknown);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.IsNotFound()) << response->status.ToString();
+}
+
+TEST(NetServerTest, WireDeadlineExpiresInQueueAsDeadlineExceeded) {
+  ServerFixture fx(/*threads=*/1);
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  // Occupy the single worker, then pipeline a request whose budget is a
+  // nanosecond: it must be shed at dequeue via the QueryService deadline
+  // path and come back as a typed DeadlineExceeded, not execute.
+  auto requests = MakeWorkload(fx.refs, 2);
+  auto busy_id = (*client)->SendRequest(requests[0]);
+  ASSERT_TRUE(busy_id.ok());
+  requests[1].timeout_ms = 1e-6;
+  auto doomed_id = (*client)->SendRequest(requests[1]);
+  ASSERT_TRUE(doomed_id.ok());
+
+  auto busy = (*client)->WaitResponse(*busy_id);
+  ASSERT_TRUE(busy.ok());
+  EXPECT_TRUE(busy->status.ok()) << busy->status.ToString();
+  auto doomed = (*client)->WaitResponse(*doomed_id);
+  ASSERT_TRUE(doomed.ok());
+  EXPECT_TRUE(doomed->status.IsDeadlineExceeded())
+      << doomed->status.ToString();
+  EXPECT_EQ(fx.service->Stats().deadline_exceeded, 1u);
+}
+
+TEST(NetServerTest, ListStatsAndPing) {
+  ServerFixture fx;
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+
+  auto series = (*client)->ListSeries();
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_EQ(series->size(), kNumSeries);
+  for (size_t i = 0; i < kNumSeries; ++i) {
+    EXPECT_EQ((*series)[i].length, kSeriesLen);
+  }
+
+  // Run one query so the dump has a series section, then fetch STATS.
+  auto requests = MakeWorkload(fx.refs, 1);
+  auto response = (*client)->Query(requests[0]);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok());
+
+  auto text = (*client)->StatsText();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("kvmatch_queries_total 1"), std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("kvmatch_connections_open 1"), std::string::npos);
+  EXPECT_NE(text->find("kvmatch_series_queries_total{series=\"s0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text->find("kvmatch_connection_requests_total{conn=\"1\"} 1"),
+            std::string::npos)
+      << *text;
+}
+
+// A raw socket speaking deliberately damaged bytes; Client would never
+// produce these.
+class RawConnection {
+ public:
+  explicit RawConnection(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(std::string_view data) {
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+  }
+
+  /// Blocks until one full frame arrives (or the peer closes).
+  bool ReadFrame(Frame* out) {
+    char buf[4096];
+    for (;;) {
+      Status error;
+      switch (decoder_.Next(out, &error)) {
+        case FrameDecoder::Event::kFrame: return true;
+        case FrameDecoder::Event::kNeedMore: break;
+        default: return false;
+      }
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return false;
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+TEST(NetServerTest, CorruptFrameYieldsErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  RawConnection raw(fx.server->port());
+
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 42;
+  std::string corrupt;
+  EncodeFrame(ping, &corrupt);
+  corrupt[kFrameHeaderBytes + 2] ^= 0x10;  // damage the payload
+  raw.Send(corrupt);
+
+  Frame frame;
+  ASSERT_TRUE(raw.ReadFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(frame.request_id, 0u);  // not attributable to a request
+  Status carried;
+  ASSERT_TRUE(DecodeErrorBody(frame.body, &carried).ok());
+  EXPECT_TRUE(carried.IsCorruption()) << carried.ToString();
+
+  // Same connection, next frame is healthy: it must still be served.
+  std::string good;
+  EncodeFrame(ping, &good);
+  raw.Send(good);
+  ASSERT_TRUE(raw.ReadFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kPong);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(fx.service->Stats().protocol_errors, 1u);
+}
+
+TEST(NetServerTest, MalformedQueryBodyYieldsErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  RawConnection raw(fx.server->port());
+
+  Frame bogus;
+  bogus.type = FrameType::kQueryRequest;
+  bogus.request_id = 7;
+  bogus.body = "not a query";  // valid CRC, undecodable body
+  std::string wire;
+  EncodeFrame(bogus, &wire);
+  raw.Send(wire);
+
+  Frame frame;
+  ASSERT_TRUE(raw.ReadFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(frame.request_id, 7u);  // attributable: CRC was valid
+  Status carried;
+  ASSERT_TRUE(DecodeErrorBody(frame.body, &carried).ok());
+  EXPECT_FALSE(carried.ok());
+
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 8;
+  wire.clear();
+  EncodeFrame(ping, &wire);
+  raw.Send(wire);
+  ASSERT_TRUE(raw.ReadFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kPong);
+}
+
+TEST(NetServerTest, OversizedFrameYieldsErrorThenClose) {
+  ServerFixture fx;
+  RawConnection raw(fx.server->port());
+
+  std::string wire;
+  PutFixed32(&wire, static_cast<uint32_t>(kMaxPayloadBytes + 1));
+  PutFixed32(&wire, 0);
+  raw.Send(wire);
+
+  Frame frame;
+  ASSERT_TRUE(raw.ReadFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  // The framing offset is untrustworthy, so the server closes this
+  // connection — but keeps accepting and serving new ones.
+  EXPECT_FALSE(raw.ReadFrame(&frame));
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+}
+
+TEST(NetServerTest, RefusesConnectionsOverTheLimit) {
+  ServerFixture fx(/*threads=*/2, /*max_conns=*/1);
+  auto first = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE((*first)->Ping().ok());  // fully established and registered
+
+  auto second = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(second.ok());  // TCP connects; refusal arrives as a frame
+  const Status refused = (*second)->Ping();
+  EXPECT_TRUE(refused.IsResourceExhausted()) << refused.ToString();
+  EXPECT_EQ(fx.service->Stats().connections_rejected, 1u);
+
+  // The first connection is unaffected.
+  EXPECT_TRUE((*first)->Ping().ok());
+}
+
+TEST(NetServerTest, GracefulStopDrainsPipelinedWork) {
+  ServerFixture fx(/*threads=*/2);
+  const auto requests = MakeWorkload(fx.refs, 8);
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  std::vector<uint64_t> ids;
+  for (const auto& req : requests) {
+    auto id = (*client)->SendRequest(req);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // The pong proves the server has read (and submitted) every query frame
+  // ahead of it in the stream, so none can be lost to the shutdown below.
+  ASSERT_TRUE((*client)->Ping().ok());
+  // Stop concurrently with the in-flight pipeline: every accepted request
+  // must still be answered before the connection closes.
+  std::thread stopper([&] { fx.server->Stop(); });
+  size_t answered = 0;
+  for (uint64_t id : ids) {
+    auto response = (*client)->WaitResponse(id);
+    if (!response.ok()) break;  // connection closed after the drain
+    ++answered;
+  }
+  stopper.join();
+  EXPECT_EQ(answered, ids.size());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace kvmatch

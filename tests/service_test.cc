@@ -4,8 +4,10 @@
 // results of serial execution.
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -258,6 +260,61 @@ TEST(QueryServiceTest, ExpiredRequestsFailWithDeadlineExceeded) {
       << response.status.ToString();
   EXPECT_TRUE(response.matches.empty());
   EXPECT_EQ(service.Stats().deadline_exceeded, 1u);
+}
+
+TEST(QueryServiceTest, SpentBudgetFailsFastWithoutQueueing) {
+  MemKvStore store;
+  const auto refs = IngestFixture(&store);
+  Catalog::Options copts;
+  copts.session = SmallOptions();
+  Catalog catalog(&store, copts);
+  QueryService service(&catalog, {.num_threads = 1, .max_queue = 4});
+
+  // A negative budget is spent by definition: the request must be
+  // answered inline with DeadlineExceeded, never occupying a queue slot
+  // or executing.
+  auto requests = MakeWorkload(refs, 1);
+  requests[0].timeout_ms = -1.0;
+  const QueryResponse response = service.Submit(requests[0]).get();
+  EXPECT_TRUE(response.status.IsDeadlineExceeded())
+      << response.status.ToString();
+  EXPECT_TRUE(response.matches.empty());
+
+  const ServiceStatsSnapshot snap = service.Stats();
+  EXPECT_EQ(snap.deadline_exceeded, 1u);
+  EXPECT_EQ(snap.total_queries, 0u);  // it never ran
+}
+
+TEST(QueryServiceTest, CallbackSubmissionDeliversOutOfOrder) {
+  MemKvStore store;
+  const auto refs = IngestFixture(&store);
+  Catalog::Options copts;
+  copts.session = SmallOptions();
+  Catalog catalog(&store, copts);
+  QueryService service(&catalog, {.num_threads = 4});
+
+  const auto requests = MakeWorkload(refs, 24);
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t delivered = 0;
+  std::vector<QueryResponse> responses(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    service.SubmitWithCallback(requests[i], [&, i](QueryResponse response) {
+      std::lock_guard<std::mutex> lock(mu);
+      responses[i] = std::move(response);
+      delivered += 1;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return delivered == requests.size(); });
+
+  Catalog serial_catalog(&store, copts);
+  const auto expected = RunSerial(&serial_catalog, requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status.ToString();
+    EXPECT_EQ(responses[i].matches, expected[i]) << "request " << i;
+  }
 }
 
 TEST(QueryServiceTest, UnknownSeriesReportsNotFound) {

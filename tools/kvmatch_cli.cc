@@ -26,16 +26,38 @@
 //     bounds the request's time in the queue.)
 //   kvmatch_cli serve-bench    [--series 8] [--n 1000000] [--threads 4]
 //                              [--batch 256] [--qlen 256] [--seed 42]
+//
+// Network front-end (src/net: wire protocol + TCP server):
+//   kvmatch_cli serve        --store catalog.kvm [--port 7777] [--bind ADDR]
+//                            [--threads N] [--queue 1024] [--max-conns 64]
+//                            [--idle-ms 0]
+//     Serves the catalog until SIGINT/SIGTERM; shutdown drains in-flight
+//     queries. --port 0 picks an ephemeral port (printed on stdout).
+//   kvmatch_cli remote-query --host 127.0.0.1 --port 7777 --queries q.txt
+//     Same query-file syntax as batch-query; qoffset/qlen windows are
+//     resolved by the server (queries travel by reference, not by value).
+//   kvmatch_cli remote-bench --host 127.0.0.1 --port 7777 [--clients 4]
+//                            [--batch 64] [--qlen 256] [--seed 42]
+//     Pipelined load from N concurrent client connections; reports QPS.
+//   kvmatch_cli stats        --host 127.0.0.1 --port 7777
+//     Prints the server's Prometheus-style stats dump.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <future>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util/table_printer.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "bench_util/workload.h"
 #include "index/index_builder.h"
 #include "match/kv_match.h"
@@ -87,7 +109,8 @@ Args ParseArgs(int argc, char** argv, int start) {
 int Usage() {
   std::fprintf(stderr,
                "usage: kvmatch_cli <generate|build|info|query|"
-               "catalog-ingest|catalog-info|batch-query|serve-bench> "
+               "catalog-ingest|catalog-info|batch-query|serve-bench|"
+               "serve|remote-query|remote-bench|stats> "
                "[--flags]\n"
                "see the header of tools/kvmatch_cli.cc for details\n");
   return 2;
@@ -317,11 +340,12 @@ int CmdCatalogInfo(const Args& args) {
   return 0;
 }
 
-/// Parses one query-file line of key=value tokens into a request. Query
-/// values are extracted from the named series itself (qoffset/qlen), the
-/// same convention as the single-series `query` command.
-Result<QueryRequest> ParseRequestLine(const std::string& line,
-                                      Catalog* catalog) {
+/// Parses one query-file line of key=value tokens into a request plus the
+/// qoffset/qlen window the query values come from. Shared by the local
+/// batch-query path (which extracts the window itself) and remote-query
+/// (which ships the window by reference for the server to extract).
+Status ParseRequestTokens(const std::string& line, QueryRequest* out,
+                          size_t* qoffset_out, size_t* qlen_out) {
   QueryRequest req;
   size_t qoffset = 0, qlen = 0;
   std::istringstream in(line);
@@ -352,6 +376,18 @@ Result<QueryRequest> ParseRequestLine(const std::string& line,
   if (req.series.empty() || qlen == 0) {
     return Status::InvalidArgument("line needs series=... and qlen=...");
   }
+  *out = std::move(req);
+  *qoffset_out = qoffset;
+  *qlen_out = qlen;
+  return Status::OK();
+}
+
+/// batch-query form: resolves the window against the local catalog.
+Result<QueryRequest> ParseRequestLine(const std::string& line,
+                                      Catalog* catalog) {
+  QueryRequest req;
+  size_t qoffset = 0, qlen = 0;
+  KVMATCH_RETURN_NOT_OK(ParseRequestTokens(line, &req, &qoffset, &qlen));
   auto session = catalog->Acquire(req.series);
   if (!session.ok()) return session.status();
   const size_t series_len = (*session)->series().size();
@@ -361,6 +397,19 @@ Result<QueryRequest> ParseRequestLine(const std::string& line,
   const auto span = (*session)->series().Subsequence(qoffset, qlen);
   req.query.assign(span.begin(), span.end());
   return req;
+}
+
+/// remote-query form: the window stays a by-reference (offset, length)
+/// pair that the server resolves.
+Result<net::WireQueryRequest> ParseWireRequestLine(const std::string& line) {
+  net::WireQueryRequest wire;
+  size_t qoffset = 0, qlen = 0;
+  KVMATCH_RETURN_NOT_OK(
+      ParseRequestTokens(line, &wire.request, &qoffset, &qlen));
+  wire.by_reference = true;
+  wire.ref_offset = qoffset;
+  wire.ref_length = qlen;
+  return wire;
 }
 
 void PrintServiceStats(const ServiceStatsSnapshot& snap) {
@@ -501,6 +550,198 @@ int CmdServeBench(const Args& args) {
   return 0;
 }
 
+// ------------------------------------------------------------------------
+// Network front-end commands.
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true); }
+
+int CmdServe(const Args& args) {
+  const std::string store_path = args.Get("store");
+  if (store_path.empty()) return Usage();
+  auto store = FileKvStore::Open(store_path);
+  if (!store.ok()) return Fail(store.status());
+  Catalog catalog(store->get());
+
+  QueryService::Options sopts;
+  sopts.num_threads = args.GetU64("threads", 4);
+  sopts.max_queue = args.GetU64("queue", 1024);
+  QueryService service(&catalog, sopts);
+
+  net::Server::Options nopts;
+  nopts.bind_address = args.Get("bind", "127.0.0.1");
+  nopts.port = static_cast<int>(args.GetU64("port", 7777));
+  nopts.max_connections = args.GetU64("max-conns", 64);
+  nopts.idle_timeout_ms = args.GetF("idle-ms", 0.0);
+  net::Server server(&catalog, &service, nopts);
+  if (Status st = server.Start(); !st.ok()) return Fail(st);
+
+  std::printf("serving %zu series on %s:%d (%zu workers, queue %zu); "
+              "Ctrl-C to stop\n",
+              catalog.ListSeries().size(), nopts.bind_address.c_str(),
+              server.port(), service.num_threads(), sopts.max_queue);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining %zu connection(s)...\n", server.ActiveConnections());
+  server.Stop();
+  PrintServiceStats(service.Stats());
+  return 0;
+}
+
+int CmdRemoteQuery(const Args& args) {
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int port = static_cast<int>(args.GetU64("port", 7777));
+  const std::string queries_path = args.Get("queries");
+  if (queries_path.empty()) return Usage();
+
+  std::ifstream in(queries_path);
+  if (!in) return Fail(Status::IOError("cannot open " + queries_path));
+  std::vector<net::WireQueryRequest> requests;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    auto req = ParseWireRequestLine(line);
+    if (!req.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", queries_path.c_str(), lineno,
+                   req.status().ToString().c_str());
+      return 1;
+    }
+    requests.push_back(std::move(req).value());
+  }
+  if (requests.empty()) {
+    return Fail(Status::InvalidArgument("no queries in " + queries_path));
+  }
+
+  auto client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  // Pipeline every request, then collect; the server streams responses in
+  // completion order and the client re-sorts by request id.
+  std::vector<uint64_t> ids;
+  for (const auto& req : requests) {
+    auto id = (*client)->SendRequest(req);
+    if (!id.ok()) return Fail(id.status());
+    ids.push_back(*id);
+  }
+  const size_t limit = args.GetU64("limit", 3);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto response = (*client)->WaitResponse(ids[i]);
+    if (!response.ok()) return Fail(response.status());
+    if (!response->status.ok()) {
+      std::printf("[%zu] %s: %s\n", i, requests[i].request.series.c_str(),
+                  response->status.ToString().c_str());
+      continue;
+    }
+    std::printf("[%zu] %s: %zu matches in %.2fms\n", i,
+                requests[i].request.series.c_str(),
+                response->matches.size(), response->latency_ms);
+    for (size_t j = 0; j < response->matches.size() && j < limit; ++j) {
+      std::printf("      offset=%-10zu dist=%.4f\n",
+                  response->matches[j].offset,
+                  response->matches[j].distance);
+    }
+  }
+  return 0;
+}
+
+int CmdRemoteBench(const Args& args) {
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int port = static_cast<int>(args.GetU64("port", 7777));
+  const size_t clients = std::max<uint64_t>(args.GetU64("clients", 4), 1);
+  const size_t batch = std::max<uint64_t>(args.GetU64("batch", 64), 1);
+  const size_t qlen = args.GetU64("qlen", 256);
+  const uint64_t seed = args.GetU64("seed", 42);
+
+  auto probe = net::Client::Connect(host, port);
+  if (!probe.ok()) return Fail(probe.status());
+  auto series = (*probe)->ListSeries();
+  if (!series.ok()) return Fail(series.status());
+  std::vector<net::SeriesInfo> usable;
+  for (const auto& s : *series) {
+    if (s.length > qlen) usable.push_back(s);
+  }
+  if (usable.empty()) {
+    return Fail(Status::InvalidArgument(
+        "no series on the server is longer than qlen=" +
+        std::to_string(qlen)));
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<size_t> completed(clients, 0);
+  std::vector<Status> failures(clients);
+  Stopwatch sw;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::Client::Connect(host, port);
+      if (!client.ok()) {
+        failures[c] = client.status();
+        return;
+      }
+      std::vector<uint64_t> ids;
+      for (size_t i = 0; i < batch; ++i) {
+        const auto& target = usable[(c + i) % usable.size()];
+        net::WireQueryRequest wire;
+        wire.request.series = target.name;
+        wire.request.params.type =
+            i % 2 == 0 ? QueryType::kRsmEd : QueryType::kCnsmEd;
+        wire.request.params.epsilon = 3.0;
+        wire.request.params.alpha = 1.5;
+        wire.request.params.beta = 3.0;
+        wire.by_reference = true;
+        wire.ref_length = qlen;
+        wire.ref_offset =
+            (seed + 1237 * (c * batch + i)) % (target.length - qlen);
+        auto id = (*client)->SendRequest(wire);
+        if (!id.ok()) {
+          failures[c] = id.status();
+          return;
+        }
+        ids.push_back(*id);
+      }
+      for (uint64_t id : ids) {
+        auto response = (*client)->WaitResponse(id);
+        if (!response.ok()) {
+          failures[c] = response.status();
+          return;
+        }
+        if (response->status.ok()) completed[c] += 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = sw.Seconds();
+
+  size_t total = 0;
+  for (size_t c = 0; c < clients; ++c) {
+    if (!failures[c].ok()) return Fail(failures[c]);
+    total += completed[c];
+  }
+  std::printf("%zu clients x %zu pipelined queries: %zu ok in %.2fs "
+              "(%.1f QPS aggregate)\n",
+              clients, batch, total, seconds,
+              static_cast<double>(total) / seconds);
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int port = static_cast<int>(args.GetU64("port", 7777));
+  auto client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  auto text = (*client)->StatsText();
+  if (!text.ok()) return Fail(text.status());
+  std::fputs(text->c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -515,5 +756,9 @@ int main(int argc, char** argv) {
   if (cmd == "catalog-info") return CmdCatalogInfo(args);
   if (cmd == "batch-query") return CmdBatchQuery(args);
   if (cmd == "serve-bench") return CmdServeBench(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "remote-query") return CmdRemoteQuery(args);
+  if (cmd == "remote-bench") return CmdRemoteBench(args);
+  if (cmd == "stats") return CmdStats(args);
   return Usage();
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full verification pipeline: Release build + the whole ctest suite, then a
-# ThreadSanitizer build of the concurrent service test. Mirrors what CI
+# ThreadSanitizer build of the concurrent service and network tests. Mirrors what CI
 # runs; use it locally before sending a PR.
 #
 #   tools/run_checks.sh [jobs]
@@ -15,10 +15,11 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "=== ThreadSanitizer: service_test ==="
+echo "=== ThreadSanitizer: service_test + net_test ==="
 cmake -B build-tsan -S . -DKVMATCH_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "$JOBS" --target service_test
+cmake --build build-tsan -j "$JOBS" --target service_test net_test
 ./build-tsan/service_test
+./build-tsan/net_test
 
 echo
 echo "All checks passed."
