@@ -141,6 +141,14 @@ void IncrementalIndexBuilder::AppendChunk(std::span<const double> values) {
   for (double v : values) Append(v);
 }
 
+uint64_t IncrementalIndexBuilder::ApproxMemoryBytes() const {
+  uint64_t bytes = 8 * static_cast<uint64_t>(tail_.size());
+  for (const auto& [bucket, value] : buckets_) {
+    bytes += 48 + 16 * static_cast<uint64_t>(value.num_intervals());
+  }
+  return bytes;
+}
+
 KvIndex IncrementalIndexBuilder::Snapshot() const {
   return KvIndex(opts_.window, count_,
                  MergeRows(buckets_, opts_.width, opts_.merge_threshold,

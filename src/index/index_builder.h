@@ -56,6 +56,10 @@ class IncrementalIndexBuilder {
   /// usable (more appends allowed after a snapshot).
   KvIndex Snapshot() const;
 
+  /// Approximate resident bytes of the builder state (fixed-width rows +
+  /// the w-point tail) — feeds ingest-state memory accounting.
+  uint64_t ApproxMemoryBytes() const;
+
  private:
   IndexBuildOptions opts_;
   size_t count_ = 0;

@@ -218,23 +218,41 @@ uint64_t KvIndex::EstimatePositions(double lr, double ur) const {
   return n;
 }
 
-Status KvIndex::Persist(KvStore* store, const std::string& ns) const {
-  for (const auto& row : rows_) {
-    KVMATCH_RETURN_NOT_OK(store->Put(RowKey(ns, row.low),
-                                     EncodeRowValue(row)));
-  }
+namespace {
+
+std::string EncodeIndexMeta(size_t window, size_t series_length,
+                            const std::vector<RowMeta>& meta_rows) {
   std::string meta;
-  PutVarint64(&meta, window_);
-  PutVarint64(&meta, series_length_);
-  PutVarint64(&meta, meta_.size());
-  for (const auto& m : meta_) {
+  PutVarint64(&meta, window);
+  PutVarint64(&meta, series_length);
+  PutVarint64(&meta, meta_rows.size());
+  for (const auto& m : meta_rows) {
     PutDouble(&meta, m.low);
     PutDouble(&meta, m.up);
     PutVarint64(&meta, m.num_intervals);
     PutVarint64(&meta, m.num_positions);
   }
-  KVMATCH_RETURN_NOT_OK(store->Put(MetaKey(ns), meta));
+  return meta;
+}
+
+}  // namespace
+
+Status KvIndex::Persist(KvStore* store, const std::string& ns) const {
+  for (const auto& row : rows_) {
+    KVMATCH_RETURN_NOT_OK(store->Put(RowKey(ns, row.low),
+                                     EncodeRowValue(row)));
+  }
+  KVMATCH_RETURN_NOT_OK(
+      store->Put(MetaKey(ns), EncodeIndexMeta(window_, series_length_,
+                                              meta_)));
   return store->Flush();
+}
+
+void KvIndex::Persist(WriteBatch* batch, const std::string& ns) const {
+  for (const auto& row : rows_) {
+    batch->Put(RowKey(ns, row.low), EncodeRowValue(row));
+  }
+  batch->Put(MetaKey(ns), EncodeIndexMeta(window_, series_length_, meta_));
 }
 
 Result<KvIndex> KvIndex::Open(const KvStore* store, const std::string& ns) {

@@ -89,6 +89,11 @@ class KvIndex {
   /// meta under ns + "m".
   Status Persist(KvStore* store, const std::string& ns = "") const;
 
+  /// Stages the same rows + meta into `batch` instead of writing them
+  /// directly — the ingest pipeline's way to commit an index atomically
+  /// alongside the data chunks it covers.
+  void Persist(WriteBatch* batch, const std::string& ns = "") const;
+
   /// Opens a store-backed index persisted by Persist. Row data stays in
   /// the store; only meta is loaded.
   static Result<KvIndex> Open(const KvStore* store, const std::string& ns = "");

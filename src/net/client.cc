@@ -159,6 +159,42 @@ Result<QueryResponse> Client::Query(const QueryRequest& request) {
   return WaitResponse(*id);
 }
 
+Result<IngestAck> Client::IngestRoundTrip(FrameType type,
+                                          const std::string& name,
+                                          std::span<const double> values) {
+  WireIngestRequest request;
+  request.series = name;
+  request.values.assign(values.begin(), values.end());
+  std::string body;
+  EncodeIngestRequestBody(request, &body);
+  auto id = SendFrame(type, std::move(body));
+  if (!id.ok()) return id.status();
+  auto frame = WaitFrame(*id);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kError) return CarriedError(*frame);
+  if (frame->type != FrameType::kIngestResponse) {
+    return Status::Corruption("unexpected frame type answering ingest");
+  }
+  IngestAck ack;
+  KVMATCH_RETURN_NOT_OK(DecodeIngestResponseBody(frame->body, &ack));
+  return ack;
+}
+
+Result<IngestAck> Client::CreateSeries(const std::string& name,
+                                       std::span<const double> values) {
+  return IngestRoundTrip(FrameType::kCreateRequest, name, values);
+}
+
+Result<IngestAck> Client::AppendSeries(const std::string& name,
+                                       std::span<const double> values) {
+  return IngestRoundTrip(FrameType::kAppendRequest, name, values);
+}
+
+Status Client::DropSeries(const std::string& name) {
+  auto ack = IngestRoundTrip(FrameType::kDropRequest, name, {});
+  return ack.status();
+}
+
 Result<std::string> Client::StatsText() {
   auto id = SendFrame(FrameType::kStatsRequest, "");
   if (!id.ok()) return id.status();

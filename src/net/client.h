@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,20 @@ class Client {
   /// SendRequest + WaitResponse.
   Result<QueryResponse> Query(const QueryRequest& request);
 
+  /// Remote ingest: registers `name` with `values` as its initial points
+  /// (CREATE frame). The ack carries the installed epoch and length.
+  Result<IngestAck> CreateSeries(const std::string& name,
+                                 std::span<const double> values);
+
+  /// Extends a registered series (APPEND frame). Chunk large appends:
+  /// one frame must stay under the server's payload cap (~8M points).
+  Result<IngestAck> AppendSeries(const std::string& name,
+                                 std::span<const double> values);
+
+  /// Unregisters a series (DROP frame); in-flight remote queries against
+  /// it complete on their pinned epoch.
+  Status DropSeries(const std::string& name);
+
   /// Server-side Prometheus-style stats dump (STATS frame).
   Result<std::string> StatsText();
 
@@ -59,6 +74,9 @@ class Client {
   Result<uint64_t> SendFrame(FrameType type, std::string body);
   /// Reads frames until the one answering `id` shows up; parks others.
   Result<Frame> WaitFrame(uint64_t id);
+  /// CREATE/APPEND round-trip body shared by the ingest methods.
+  Result<IngestAck> IngestRoundTrip(FrameType type, const std::string& name,
+                                    std::span<const double> values);
 
   int fd_;
   uint64_t next_id_ = 1;

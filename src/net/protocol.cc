@@ -353,5 +353,46 @@ Status DecodeListResponseBody(std::string_view body,
   return Status::OK();
 }
 
+// ---- Remote ingest ----
+
+void EncodeIngestRequestBody(const WireIngestRequest& request,
+                             std::string* body) {
+  PutLengthPrefixed(body, request.series);
+  PutVarint64(body, request.values.size());
+  for (double v : request.values) PutDouble(body, v);
+}
+
+Status DecodeIngestRequestBody(std::string_view body,
+                               WireIngestRequest* out) {
+  *out = WireIngestRequest();
+  std::string_view series;
+  if (!GetLengthPrefixed(&body, &series)) return Malformed("series name");
+  out->series.assign(series);
+  uint64_t count = 0;
+  if (!GetVarint64(&body, &count)) return Malformed("value count");
+  // Divide, don't multiply: count is attacker-controlled and count * 8
+  // can wrap back onto the actual body size.
+  if (count != body.size() / 8 || body.size() % 8 != 0) {
+    return Malformed("ingest values");
+  }
+  out->values.resize(static_cast<size_t>(count));
+  for (auto& v : out->values) ReadDouble(&body, &v);
+  if (!body.empty()) return Malformed("trailing bytes");
+  return Status::OK();
+}
+
+void EncodeIngestResponseBody(const IngestAck& ack, std::string* body) {
+  PutVarint64(body, ack.epoch);
+  PutVarint64(body, ack.length);
+}
+
+Status DecodeIngestResponseBody(std::string_view body, IngestAck* out) {
+  *out = IngestAck();
+  if (!GetVarint64(&body, &out->epoch)) return Malformed("epoch");
+  if (!GetVarint64(&body, &out->length)) return Malformed("series length");
+  if (!body.empty()) return Malformed("trailing bytes");
+  return Status::OK();
+}
+
 }  // namespace net
 }  // namespace kvmatch

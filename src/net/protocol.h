@@ -53,6 +53,12 @@ enum class FrameType : uint8_t {
   kListResponse = 7,   // catalog directory: (name, length) pairs
   kPing = 8,           // empty body
   kPong = 9,           // empty body
+  // Remote ingest (catalog write path over the wire). All three answer
+  // with kIngestResponse on success and kError on failure.
+  kCreateRequest = 10,  // WireIngestRequest body: register a new series
+  kAppendRequest = 11,  // WireIngestRequest body: extend an existing series
+  kDropRequest = 12,    // WireIngestRequest body (values ignored)
+  kIngestResponse = 13, // IngestAck body
 };
 
 struct Frame {
@@ -77,6 +83,26 @@ struct SeriesInfo {
   uint64_t length = 0;
 
   bool operator==(const SeriesInfo&) const = default;
+};
+
+/// A catalog write as it travels on the wire: the target series plus the
+/// points to create it with / append to it (empty for kDropRequest).
+/// Large series ship as a kCreateRequest followed by chunked
+/// kAppendRequests, keeping every frame under the payload cap.
+struct WireIngestRequest {
+  std::string series;
+  std::vector<double> values;
+
+  bool operator==(const WireIngestRequest&) const = default;
+};
+
+/// Body of a kIngestResponse: the installed epoch and resulting length
+/// (both zero for a drop).
+struct IngestAck {
+  uint64_t epoch = 0;
+  uint64_t length = 0;
+
+  bool operator==(const IngestAck&) const = default;
 };
 
 // ---- Frame framing ----
@@ -129,6 +155,14 @@ void EncodeListResponseBody(const std::vector<SeriesInfo>& series,
                             std::string* body);
 Status DecodeListResponseBody(std::string_view body,
                               std::vector<SeriesInfo>* out);
+
+void EncodeIngestRequestBody(const WireIngestRequest& request,
+                             std::string* body);
+Status DecodeIngestRequestBody(std::string_view body,
+                               WireIngestRequest* out);
+
+void EncodeIngestResponseBody(const IngestAck& ack, std::string* body);
+Status DecodeIngestResponseBody(std::string_view body, IngestAck* out);
 
 /// Stable StatusCode <-> wire mapping (independent of the enum's in-memory
 /// values, so old clients survive StatusCode reorderings).

@@ -384,11 +384,17 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       Enqueue(conn, pong);
       return;
     }
+    case FrameType::kCreateRequest:
+    case FrameType::kAppendRequest:
+    case FrameType::kDropRequest:
+      HandleIngest(conn, frame.type, frame.request_id, frame.body);
+      return;
     case FrameType::kQueryResponse:
     case FrameType::kStatsResponse:
     case FrameType::kListResponse:
     case FrameType::kError:
     case FrameType::kPong:
+    case FrameType::kIngestResponse:
       SendError(conn, frame.request_id,
                 Status::InvalidArgument("response frame sent to server"));
       return;
@@ -398,6 +404,52 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
             Status::NotSupported(
                 "unknown frame type " +
                 std::to_string(static_cast<unsigned>(frame.type))));
+}
+
+void Server::HandleIngest(const std::shared_ptr<Connection>& conn,
+                          FrameType type, uint64_t id,
+                          std::string_view body) {
+  WireIngestRequest request;
+  if (Status st = DecodeIngestRequestBody(body, &request); !st.ok()) {
+    service_->stats_registry()->RecordProtocolError();
+    SendError(conn, id, st);
+    return;
+  }
+  // Ingest runs inline on this connection's reader thread: catalog writes
+  // are serialized anyway, and pipelined queries on *other* connections
+  // keep flowing. A client that wants queries to overlap its own ingest
+  // uses a second connection.
+  Status st;
+  IngestAck ack;
+  switch (type) {
+    case FrameType::kCreateRequest:
+      st = catalog_->CreateSeries(request.series,
+                                  TimeSeries(std::move(request.values)));
+      break;
+    case FrameType::kAppendRequest:
+      st = catalog_->AppendSeries(request.series, request.values);
+      break;
+    default:
+      st = catalog_->DropSeries(request.series);
+      break;
+  }
+  if (st.ok() && type != FrameType::kDropRequest) {
+    if (auto epoch = catalog_->SeriesEpoch(request.series); epoch.ok()) {
+      ack.epoch = *epoch;
+    }
+    if (auto session = catalog_->Acquire(request.series); session.ok()) {
+      ack.length = (*session)->series().size();
+    }
+  }
+  if (!st.ok()) {
+    SendError(conn, id, st);
+    return;
+  }
+  Frame response;
+  response.type = FrameType::kIngestResponse;
+  response.request_id = id;
+  EncodeIngestResponseBody(ack, &response.body);
+  Enqueue(conn, response);
 }
 
 void Server::HandleQuery(const std::shared_ptr<Connection>& conn,

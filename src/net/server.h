@@ -98,6 +98,11 @@ class Server {
   void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
   void HandleQuery(const std::shared_ptr<Connection>& conn, uint64_t id,
                    std::string_view body);
+  /// kCreate/kAppend/kDrop: runs the catalog write inline on the reader
+  /// thread (catalog writes are serialized; other connections' queries
+  /// keep flowing) and answers with kIngestResponse or kError.
+  void HandleIngest(const std::shared_ptr<Connection>& conn, FrameType type,
+                    uint64_t id, std::string_view body);
 
   static void Enqueue(const std::shared_ptr<Connection>& conn,
                       const Frame& frame);

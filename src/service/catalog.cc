@@ -1,10 +1,17 @@
 #include "service/catalog.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+
+#include "service/service_stats.h"
 
 namespace kvmatch {
 
 namespace {
+
+/// Sorts before "catalog/" ('!' < '/'), so directory scans never see it.
+constexpr const char* kNextEpochKey = "catalog!next-epoch";
 
 bool ValidName(const std::string& name) {
   if (name.empty()) return false;
@@ -17,16 +24,23 @@ bool ValidName(const std::string& name) {
   return true;
 }
 
-std::string EncodeLayout(const Session::Options& o) {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "%zu %zu %.17g %zu %zu", o.wu, o.levels,
-                o.width, o.row_cache_rows, o.series_chunk);
+std::string EncodeLayout(const Session::Options& o, uint64_t epoch) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%zu %zu %.17g %zu %zu %llu", o.wu,
+                o.levels, o.width, o.row_cache_rows, o.series_chunk,
+                static_cast<unsigned long long>(epoch));
   return buf;
 }
 
-bool DecodeLayout(const std::string& in, Session::Options* o) {
-  return std::sscanf(in.c_str(), "%zu %zu %lf %zu %zu", &o->wu, &o->levels,
-                     &o->width, &o->row_cache_rows, &o->series_chunk) == 5;
+bool DecodeLayout(const std::string& in, Session::Options* o,
+                  uint64_t* epoch) {
+  unsigned long long e = 0;
+  const int fields =
+      std::sscanf(in.c_str(), "%zu %zu %lf %zu %zu %llu", &o->wu, &o->levels,
+                  &o->width, &o->row_cache_rows, &o->series_chunk, &e);
+  if (fields < 5) return false;
+  *epoch = e;  // 5-field rows (pre-epoch format) read as epoch 0
+  return true;
 }
 
 }  // namespace
@@ -34,24 +48,187 @@ bool DecodeLayout(const std::string& in, Session::Options* o) {
 Catalog::Catalog(KvStore* store) : Catalog(store, Options()) {}
 
 Catalog::Catalog(KvStore* store, Options options)
-    : store_(store), options_(options) {
+    : store_(store),
+      options_(options),
+      store_write_mu_(std::make_shared<std::mutex>()) {
   // Directory rows live under "catalog/"; '0' is '/' + 1, so this scan
   // covers exactly the "catalog/<name>" range.
   for (auto it = store_->Scan("catalog/", "catalog0"); it->Valid();
        it->Next()) {
     const std::string name(it->key().substr(std::string("catalog/").size()));
-    Session::Options layout = options_.session;
-    if (!DecodeLayout(std::string(it->value()), &layout)) continue;
-    directory_.emplace(name, layout);
+    DirEntry entry;
+    entry.layout = options_.session;
+    if (!DecodeLayout(std::string(it->value()), &entry.layout,
+                      &entry.epoch)) {
+      continue;
+    }
+    next_epoch_ = std::max(next_epoch_, entry.epoch + 1);
+    auto handle = std::make_shared<EpochHandle>();
+    handle->store = store_;
+    handle->write_mu = store_write_mu_;
+    handle->prefix = SeriesNs(name, entry.epoch);
+    handles_.emplace(name, std::move(handle));
+    directory_.emplace(name, std::move(entry));
+  }
+  // Never reuse an epoch number, even across drops and process restarts:
+  // a recreated series must not collide with keys of a dying generation.
+  std::string next;
+  if (store_->Get(kNextEpochKey, &next).ok()) {
+    next_epoch_ = std::max(
+        next_epoch_,
+        static_cast<uint64_t>(std::strtoull(next.c_str(), nullptr, 10)));
   }
 }
 
-Status Catalog::Ingest(const std::string& name, TimeSeries series) {
+void Catalog::SetStatsRegistry(StatsRegistry* stats) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  stats_ = stats;
+}
+
+// ---- Epoch lifecycle ----
+
+void Catalog::PurgeEpoch(const std::shared_ptr<EpochHandle>& handle) {
+  // Serialized against ingest commits: purges run on whichever thread
+  // drops the last session ref, and the store requires one writer at a
+  // time. Best-effort — a failed purge only leaks dead keys.
+  std::lock_guard<std::mutex> write_lock(*handle->write_mu);
+  (void)handle->store->DeleteRange(handle->prefix,
+                                   PrefixUpperBound(handle->prefix));
+  (void)handle->store->Flush();
+}
+
+std::shared_ptr<const Session> Catalog::WrapSession(
+    std::shared_ptr<EpochHandle> handle, std::unique_ptr<Session> session) {
+  {
+    std::lock_guard<std::mutex> lock(handle->mu);
+    handle->sessions += 1;
+  }
+  return std::shared_ptr<const Session>(
+      session.release(), [handle](const Session* s) {
+        delete s;
+        bool purge = false;
+        {
+          std::lock_guard<std::mutex> lock(handle->mu);
+          handle->sessions -= 1;
+          purge = handle->retired && handle->sessions == 0 &&
+                  !handle->purged;
+          if (purge) handle->purged = true;
+        }
+        if (purge) PurgeEpoch(handle);
+      });
+}
+
+bool Catalog::RetireHandle(const std::shared_ptr<EpochHandle>& handle) {
+  std::lock_guard<std::mutex> lock(handle->mu);
+  handle->retired = true;
+  if (handle->sessions == 0 && !handle->purged) {
+    handle->purged = true;
+    return true;  // caller purges, outside any catalog lock
+  }
+  return false;  // the last session's deleter will purge
+}
+
+void Catalog::RetireOpenEntryLocked(const std::string& name) {
+  auto it = open_.find(name);
+  if (it == open_.end()) return;
+  retired_.push_back({it->second.session, it->second.bytes});
+  open_bytes_ -= it->second.bytes;
+  open_.erase(it);
+}
+
+// ---- Write path ----
+
+Status Catalog::CommitEpochLocked(const std::string& name,
+                                  const SeriesIngestor& ingestor,
+                                  uint64_t appended_points) {
+  Session::Options layout;
+  bool existed = false;
+  uint64_t prior_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto dir = directory_.find(name);
+    existed = dir != directory_.end();
+    layout = existed ? dir->second.layout : options_.session;
+    if (existed) prior_epoch = dir->second.epoch;
+  }
+
+  const uint64_t epoch = next_epoch_++;
+  const std::string ns = SeriesNs(name, epoch);
+  uint64_t batches = 0;
+  {
+    std::lock_guard<std::mutex> write_lock(*store_write_mu_);
+    Status st = ingestor.Commit(store_, ns, &batches);
+    if (st.ok()) {
+      // The flip: one atomic batch makes the new epoch the durable truth.
+      WriteBatch flip;
+      flip.Put(DirectoryKey(name), EncodeLayout(layout, epoch));
+      flip.Put(kNextEpochKey, std::to_string(next_epoch_));
+      st = store_->Apply(flip);
+    }
+    if (st.ok()) st = store_->Flush();
+    if (!st.ok()) {
+      // Abandon the half-written epoch. The rollback must also unwind the
+      // flip: on stores that stage writes until Flush, the directory row
+      // may still be pending and would otherwise ride out on a later
+      // successful Flush, durably pointing at the purged namespace.
+      WriteBatch rollback;
+      rollback.DeleteRange(ns, PrefixUpperBound(ns));
+      if (existed) {
+        rollback.Put(DirectoryKey(name),
+                     EncodeLayout(layout, prior_epoch));
+      } else {
+        rollback.Delete(DirectoryKey(name));
+      }
+      // Never roll the epoch counter back: burning epoch numbers is safe,
+      // reusing them is not.
+      rollback.Put(kNextEpochKey, std::to_string(next_epoch_));
+      (void)store_->Apply(rollback);
+      (void)store_->Flush();
+      return st;
+    }
+  }
+
+  auto session = Session::Open(store_, ns, layout);
+  if (!session.ok()) return session.status();
+
+  std::shared_ptr<EpochHandle> old_handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto hit = handles_.find(name);
+    if (hit != handles_.end()) old_handle = hit->second;
+
+    auto handle = std::make_shared<EpochHandle>();
+    handle->store = store_;
+    handle->write_mu = store_write_mu_;
+    handle->prefix = ns;
+    handles_[name] = handle;
+    directory_[name] = {layout, epoch};
+
+    // The previous generation leaves the open cache but stays accounted
+    // (and alive) until its pinned readers finish.
+    RetireOpenEntryLocked(name);
+    CacheLocked(name,
+                WrapSession(std::move(handle), std::move(session).value()));
+  }
+  const bool purge_now =
+      old_handle != nullptr && RetireHandle(old_handle);
+  if (purge_now) PurgeEpoch(old_handle);
+
+  if (stats_ != nullptr) {
+    stats_->RecordIngest(name, appended_points, batches);
+    stats_->RecordEpochInstalled(name, epoch);
+    if (old_handle != nullptr) stats_->RecordEpochRetired();
+  }
+  return Status::OK();
+}
+
+Status Catalog::CreateSeries(const std::string& name, TimeSeries series) {
   if (!ValidName(name)) {
     return Status::InvalidArgument("bad series name: " + name);
   }
-  // Whole-call serialization: two ingests must never write the store
-  // concurrently (see the contract in the header).
+  if (series.size() < options_.session.wu) {
+    return Status::InvalidArgument("series shorter than smallest window");
+  }
   std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -59,49 +236,139 @@ Status Catalog::Ingest(const std::string& name, TimeSeries series) {
       return Status::InvalidArgument("series already registered: " + name);
     }
   }
-
-  // Build + persist outside mu_: ingest is slow and must not stall
-  // queries against already-open sessions.
-  auto session =
-      Session::Ingest(store_, SeriesNs(name), std::move(series),
-                      options_.session);
-  if (!session.ok()) return session.status();
-  KVMATCH_RETURN_NOT_OK(
-      store_->Put(DirectoryKey(name), EncodeLayout(options_.session)));
-  KVMATCH_RETURN_NOT_OK(store_->Flush());
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!directory_.emplace(name, options_.session).second) {
-    return Status::InvalidArgument("series already registered: " + name);
-  }
-  CacheLocked(name, std::shared_ptr<const Session>(
-                        std::move(session).value().release()));
+  auto ingestor = std::make_unique<SeriesIngestor>(options_.session);
+  ingestor->Append(series.values());
+  KVMATCH_RETURN_NOT_OK(CommitEpochLocked(name, *ingestor, series.size()));
+  ingestors_[name] = std::move(ingestor);
   return Status::OK();
 }
 
-Result<std::shared_ptr<const Session>> Catalog::Acquire(
-    const std::string& name) {
-  Session::Options layout;
+Status Catalog::AppendSeries(const std::string& name,
+                             std::span<const double> values) {
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+  DirEntry dir;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (open_.count(name) > 0) return TouchLocked(name);
-    auto dir = directory_.find(name);
-    if (dir == directory_.end()) {
+    auto it = directory_.find(name);
+    if (it == directory_.end()) {
       return Status::NotFound("unknown series: " + name);
     }
-    layout = dir->second;
+    dir = it->second;
   }
+  if (values.empty()) return Status::OK();
 
-  // Open outside the lock; a racing thread may open the same series
-  // concurrently — the loser's copy is discarded below, which only wastes
-  // work, never correctness.
-  auto session = Session::Open(store_, SeriesNs(name), layout);
-  if (!session.ok()) return session.status();
+  auto iit = ingestors_.find(name);
+  if (iit == ingestors_.end()) {
+    // Ingest state was never built in this process (or was dropped after
+    // a failed commit): reseed it from the current epoch.
+    auto session = Acquire(name);
+    if (!session.ok()) return session.status();
+    auto ingestor = std::make_unique<SeriesIngestor>(dir.layout);
+    ingestor->Append((*session)->series().values());
+    iit = ingestors_.emplace(name, std::move(ingestor)).first;
+  }
+  iit->second->Append(values);
+  Status st = CommitEpochLocked(name, *iit->second, values.size());
+  // On failure the ingestor holds points the store never saw; drop it so
+  // the next append reseeds from the last committed epoch.
+  if (!st.ok()) ingestors_.erase(name);
+  return st;
+}
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (open_.count(name) > 0) return TouchLocked(name);
-  return CacheLocked(name, std::shared_ptr<const Session>(
-                               std::move(session).value().release()));
+Status Catalog::ReplaceSeries(const std::string& name, TimeSeries series) {
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+  DirEntry dir;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = directory_.find(name);
+    if (it == directory_.end()) {
+      return Status::NotFound("unknown series: " + name);
+    }
+    dir = it->second;
+  }
+  if (series.size() < dir.layout.wu) {
+    return Status::InvalidArgument("series shorter than smallest window");
+  }
+  auto ingestor = std::make_unique<SeriesIngestor>(dir.layout);
+  ingestor->Append(series.values());
+  Status st = CommitEpochLocked(name, *ingestor, series.size());
+  if (st.ok()) {
+    ingestors_[name] = std::move(ingestor);
+  } else {
+    ingestors_.erase(name);
+  }
+  return st;
+}
+
+Status Catalog::DropSeries(const std::string& name) {
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+  std::shared_ptr<EpochHandle> old_handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = directory_.find(name);
+    if (it == directory_.end()) {
+      return Status::NotFound("unknown series: " + name);
+    }
+    directory_.erase(it);
+    auto hit = handles_.find(name);
+    if (hit != handles_.end()) {
+      old_handle = hit->second;
+      handles_.erase(hit);
+    }
+    RetireOpenEntryLocked(name);
+  }
+  ingestors_.erase(name);
+  {
+    std::lock_guard<std::mutex> write_lock(*store_write_mu_);
+    WriteBatch batch;
+    batch.Delete(DirectoryKey(name));
+    KVMATCH_RETURN_NOT_OK(store_->Apply(batch));
+    KVMATCH_RETURN_NOT_OK(store_->Flush());
+  }
+  if (old_handle != nullptr && RetireHandle(old_handle)) {
+    PurgeEpoch(old_handle);
+  }
+  if (stats_ != nullptr) {
+    stats_->RecordEpochRetired();
+    stats_->RecordSeriesDropped(name);
+  }
+  return Status::OK();
+}
+
+// ---- Read path ----
+
+Result<std::shared_ptr<const Session>> Catalog::Acquire(
+    const std::string& name) {
+  for (;;) {
+    Session::Options layout;
+    uint64_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (open_.count(name) > 0) return TouchLocked(name);
+      auto dir = directory_.find(name);
+      if (dir == directory_.end()) {
+        return Status::NotFound("unknown series: " + name);
+      }
+      layout = dir->second.layout;
+      epoch = dir->second.epoch;
+    }
+
+    // Open outside the lock; a racing thread may open the same series
+    // concurrently — the loser's copy is discarded below, which only
+    // wastes work, never correctness.
+    auto session = Session::Open(store_, SeriesNs(name, epoch), layout);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto dir = directory_.find(name);
+    if (dir == directory_.end()) {
+      return Status::NotFound("unknown series: " + name);  // dropped
+    }
+    if (dir->second.epoch != epoch) continue;  // superseded: reopen fresh
+    if (!session.ok()) return session.status();
+    if (open_.count(name) > 0) return TouchLocked(name);
+    return CacheLocked(name, WrapSession(handles_.at(name),
+                                         std::move(session).value()));
+  }
 }
 
 std::shared_ptr<const Session> Catalog::TouchLocked(const std::string& name) {
@@ -129,9 +396,24 @@ std::shared_ptr<const Session> Catalog::CacheLocked(
   return session;
 }
 
+uint64_t Catalog::RetiredBytesLocked() const {
+  retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                [](const RetiredEntry& r) {
+                                  return r.session.expired();
+                                }),
+                 retired_.end());
+  uint64_t bytes = 0;
+  for (const auto& r : retired_) bytes += r.bytes;
+  return bytes;
+}
+
 void Catalog::EvictOverBudgetLocked(const std::string& protect) {
   if (options_.memory_budget_bytes == 0) return;
-  while (open_bytes_ > options_.memory_budget_bytes && open_.size() > 1) {
+  // Retired-but-pinned generations count against the budget but cannot be
+  // evicted (their readers hold them); the pressure lands on open entries.
+  const uint64_t retired_bytes = RetiredBytesLocked();
+  while (open_bytes_ + retired_bytes > options_.memory_budget_bytes &&
+         open_.size() > 1) {
     auto victim = open_.end();
     for (auto it = open_.begin(); it != open_.end(); ++it) {
       if (it->first == protect) continue;  // keep the entry just touched
@@ -155,8 +437,17 @@ std::vector<std::string> Catalog::ListSeries() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(directory_.size());
-  for (const auto& [name, layout] : directory_) names.push_back(name);
+  for (const auto& [name, entry] : directory_) names.push_back(name);
   return names;
+}
+
+Result<uint64_t> Catalog::SeriesEpoch(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = directory_.find(name);
+  if (it == directory_.end()) {
+    return Status::NotFound("unknown series: " + name);
+  }
+  return it->second.epoch;
 }
 
 size_t Catalog::cached_sessions() const {
@@ -167,6 +458,26 @@ size_t Catalog::cached_sessions() const {
 uint64_t Catalog::cached_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return open_bytes_;
+}
+
+size_t Catalog::retired_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)RetiredBytesLocked();  // prune expired entries
+  return retired_.size();
+}
+
+uint64_t Catalog::retired_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RetiredBytesLocked();
+}
+
+uint64_t Catalog::ingest_state_bytes() const {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  uint64_t bytes = 0;
+  for (const auto& [name, ingestor] : ingestors_) {
+    bytes += ingestor->MemoryBytes();
+  }
+  return bytes;
 }
 
 }  // namespace kvmatch

@@ -1,79 +1,184 @@
-// Catalog: many named series multiplexed over one shared KvStore.
+// Catalog: many named series multiplexed over one shared KvStore, mutable
+// while queries are running.
 //
-// Each series lives under the key namespace "series/<name>/" (chunked data
-// at ".../data/", the index stack at ".../idx/w<w>/"), with a directory row
-// "catalog/<name>" recording its index layout. Sessions are opened lazily
-// on first query and cached; when the cached sessions' resident footprint
-// exceeds the memory budget, the least-recently-used ones are dropped.
-// In-flight queries keep evicted sessions alive through their shared_ptr,
-// so eviction is always safe under concurrency.
+// Every generation of a series lives under its own epoch-versioned key
+// namespace "series/<name>/e<epoch>/" (chunked data at ".../data/", the
+// index stack at ".../idx/w<w>/"); a directory row "catalog/<name>"
+// records the index layout plus the current epoch. Epoch namespaces are
+// written once and never mutated, which is the MVCC story: a query pins a
+// shared_ptr snapshot (the Session opened on some epoch) at Acquire time
+// and runs against it to completion, while CreateSeries / AppendSeries /
+// ReplaceSeries / DropSeries build the next epoch beside it, flip the
+// directory row, and retire the old epoch. A retired epoch's keys are
+// range-deleted from the store the moment its last pinned Session is
+// released — queries never observe torn or mixed-epoch state.
+//
+// Appends are incremental: a per-series SeriesIngestor keeps the
+// IncrementalIndexBuilder state warm across appends, so extending a series
+// by k points updates the index rows for the affected windows instead of
+// rebuilding from scratch (the builder state is rebuilt lazily from the
+// current session if it was dropped).
+//
+// Sessions opened on first query are cached; when the cached sessions'
+// resident footprint — including retired generations still pinned by
+// in-flight queries — exceeds the memory budget, the least-recently-used
+// open sessions are dropped. In-flight queries keep evicted or retired
+// sessions alive through their shared_ptr, so eviction is always safe
+// under concurrency.
+//
+// Write operations are serialized with each other (and with retired-epoch
+// cleanup) internally; they never block readers beyond the storage
+// layer's brief write locks.
 #ifndef KVMATCH_SERVICE_CATALOG_H_
 #define KVMATCH_SERVICE_CATALOG_H_
 
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "matchdp/session.h"
+#include "service/ingest.h"
 #include "storage/kvstore.h"
 
 namespace kvmatch {
+
+class StatsRegistry;
 
 class Catalog {
  public:
   struct Options {
     Session::Options session;
-    /// Budget for cached sessions' MemoryBytes(); the most recently used
-    /// session is always retained. 0 means unlimited.
+    /// Budget for cached sessions' MemoryBytes() across both generations
+    /// (open + retired-but-pinned); the most recently used session is
+    /// always retained. 0 means unlimited.
     uint64_t memory_budget_bytes = 256ull << 20;
   };
 
-  /// Opens a catalog over `store` (which must outlive the catalog). Any
-  /// series previously ingested into the store are discovered from their
-  /// directory rows and become queryable immediately.
+  /// Opens a catalog over `store` (which must outlive the catalog — and
+  /// every Session handed out by Acquire). Any series previously ingested
+  /// into the store are discovered from their directory rows and become
+  /// queryable immediately.
   Catalog(KvStore* store, Options options);
   explicit Catalog(KvStore* store);
 
-  /// Ingests `series` under `name` (letters/digits/._- only) and registers
-  /// it in the directory. The freshly built session is cached, so the
-  /// first queries need not reopen from the store. Fails with
-  /// InvalidArgument if the name is taken or malformed.
-  ///
-  /// Ingests are serialized with each other, but writing into the store
-  /// follows the backing KvStore's write/read contract — FileKvStore
-  /// rewrites the file at Flush and MemKvStore mutates its map, so treat
-  /// Ingest as an administrative operation: do not run it while queries
-  /// are in flight against the same store. (Online ingest needs an MVCC
-  /// store; see ROADMAP.)
-  Status Ingest(const std::string& name, TimeSeries series);
+  // ---- Write path. Safe while queries are in flight; individual calls
+  // ---- serialize against each other.
 
-  /// Returns the (shared, immutable) session for `name`, opening it from
-  /// the store if it is not cached. Safe from any number of threads.
+  /// Registers `series` under `name` (letters/digits/._- only) as epoch 0
+  /// of a new series. Fails with InvalidArgument if the name is taken,
+  /// malformed, or the series is shorter than the smallest index window.
+  Status CreateSeries(const std::string& name, TimeSeries series);
+
+  /// Legacy name for CreateSeries.
+  Status Ingest(const std::string& name, TimeSeries series) {
+    return CreateSeries(name, std::move(series));
+  }
+
+  /// Extends `name` with `values`, installing a new epoch. Queries already
+  /// running (or holding a previously Acquired session) keep their epoch;
+  /// new Acquires see the extended series. NotFound if unregistered.
+  Status AppendSeries(const std::string& name, std::span<const double> values);
+
+  /// Replaces `name`'s values wholesale with `series` (new epoch, fresh
+  /// ingest state). NotFound if unregistered.
+  Status ReplaceSeries(const std::string& name, TimeSeries series);
+
+  /// Unregisters `name`: new Acquires fail with NotFound immediately,
+  /// in-flight queries complete on their pinned epoch, and the series'
+  /// keys are deleted once the last pinned session is released.
+  Status DropSeries(const std::string& name);
+
+  // ---- Read path.
+
+  /// Returns the (shared, immutable) session for `name`'s current epoch,
+  /// opening it from the store if it is not cached. Safe from any number
+  /// of threads, including concurrently with the write path.
   Result<std::shared_ptr<const Session>> Acquire(const std::string& name);
 
   bool Contains(const std::string& name) const;
   std::vector<std::string> ListSeries() const;
 
-  /// Cache introspection (for tests and stats).
+  /// Current epoch of `name` (NotFound if unregistered).
+  Result<uint64_t> SeriesEpoch(const std::string& name) const;
+
+  /// Optional sink for ingest metrics (points appended, batches
+  /// committed, epochs installed/retired). Call before serving traffic;
+  /// the registry must outlive the catalog's write-path use.
+  void SetStatsRegistry(StatsRegistry* stats);
+
+  // ---- Cache introspection (for tests and stats).
+
   size_t cached_sessions() const;
   uint64_t cached_bytes() const;
+  /// Superseded generations still pinned by in-flight readers.
+  size_t retired_sessions() const;
+  uint64_t retired_bytes() const;
+  /// Resident bytes of the per-series incremental ingest state.
+  uint64_t ingest_state_bytes() const;
 
  private:
+  /// Cleanup token for one epoch namespace, shared between the catalog
+  /// and the deleters of every Session opened on that epoch. The epoch's
+  /// keys are purged when it has been retired AND its last session died —
+  /// whichever happens second.
+  struct EpochHandle {
+    KvStore* store = nullptr;
+    std::shared_ptr<std::mutex> write_mu;  // serializes all store writes
+    std::string prefix;  // "series/<name>/e<epoch>/"
+
+    std::mutex mu;
+    int sessions = 0;     // live Session objects on this epoch
+    bool retired = false; // a newer epoch was installed (or series dropped)
+    bool purged = false;
+  };
+
+  struct DirEntry {
+    Session::Options layout;
+    uint64_t epoch = 0;
+  };
+
   struct Entry {
     std::shared_ptr<const Session> session;
     uint64_t bytes = 0;
     uint64_t last_used = 0;  // LRU tick
   };
 
-  static std::string SeriesNs(const std::string& name) {
-    return "series/" + name + "/";
+  /// A superseded generation, tracked until its readers finish so the
+  /// memory budget sees both generations.
+  struct RetiredEntry {
+    std::weak_ptr<const Session> session;
+    uint64_t bytes = 0;
+  };
+
+  static std::string SeriesNs(const std::string& name, uint64_t epoch) {
+    return "series/" + name + "/e" + std::to_string(epoch) + "/";
   }
   static std::string DirectoryKey(const std::string& name) {
     return "catalog/" + name;
   }
+
+  /// Purges `handle`'s keys from the store (under the shared write lock).
+  static void PurgeEpoch(const std::shared_ptr<EpochHandle>& handle);
+
+  /// Wraps a freshly opened session so its destruction participates in
+  /// `handle`'s retire-and-purge protocol.
+  static std::shared_ptr<const Session> WrapSession(
+      std::shared_ptr<EpochHandle> handle, std::unique_ptr<Session> session);
+
+  /// Builds the next epoch from `ingestor`, flips the directory row and
+  /// installs the session, retiring `name`'s previous epoch (if any).
+  /// Caller must hold ingest_mu_. `appended_points` is for stats only.
+  Status CommitEpochLocked(const std::string& name,
+                           const SeriesIngestor& ingestor,
+                           uint64_t appended_points);
+
+  /// Marks `handle` retired; returns true if the caller must purge it now
+  /// (no live sessions remain). Never purges inline — callers run
+  /// PurgeEpoch outside mu_.
+  static bool RetireHandle(const std::shared_ptr<EpochHandle>& handle);
 
   /// Caches `session` for `name` and evicts LRU entries over budget.
   /// Returns the cached pointer. Caller must hold mu_.
@@ -84,17 +189,37 @@ class Catalog {
   /// warm over time) and evicts over budget. Caller must hold mu_.
   std::shared_ptr<const Session> TouchLocked(const std::string& name);
 
-  /// Drops LRU entries (never `protect`) until within budget. Caller
-  /// must hold mu_.
+  /// Drops LRU entries (never `protect`) until open + retired bytes fit
+  /// the budget. Caller must hold mu_.
   void EvictOverBudgetLocked(const std::string& protect);
+
+  /// Prunes expired retired entries and returns the still-pinned bytes.
+  /// Caller must hold mu_.
+  uint64_t RetiredBytesLocked() const;
+
+  /// Moves `name`'s open entry (if any) to the retired list. Caller must
+  /// hold mu_.
+  void RetireOpenEntryLocked(const std::string& name);
 
   KvStore* store_;
   Options options_;
+  StatsRegistry* stats_ = nullptr;  // set once before traffic; see setter
 
-  std::mutex ingest_mu_;  // serializes whole Ingest calls
+  /// Serializes whole write-path calls (create/append/replace/drop) and
+  /// guards ingestors_ / next_epoch_ / stats_.
+  mutable std::mutex ingest_mu_;
+  /// Serializes raw store writes between ingest commits and retired-epoch
+  /// purges (which run on whichever thread drops the last session ref).
+  /// shared_ptr so purges stay safe if they outlive the catalog.
+  std::shared_ptr<std::mutex> store_write_mu_;
+  std::map<std::string, std::unique_ptr<SeriesIngestor>> ingestors_;
+  uint64_t next_epoch_ = 0;
+
   mutable std::mutex mu_;
-  std::map<std::string, Session::Options> directory_;  // registered series
+  std::map<std::string, DirEntry> directory_;  // registered series
+  std::map<std::string, std::shared_ptr<EpochHandle>> handles_;  // current
   std::map<std::string, Entry> open_;
+  mutable std::vector<RetiredEntry> retired_;
   uint64_t open_bytes_ = 0;
   uint64_t tick_ = 0;
 };

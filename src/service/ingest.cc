@@ -1,0 +1,75 @@
+#include "service/ingest.h"
+
+#include <algorithm>
+
+#include "ts/series_store.h"
+
+namespace kvmatch {
+
+SeriesIngestor::SeriesIngestor(Session::Options options)
+    : options_(options) {
+  builders_.reserve(options_.levels);
+  size_t w = options_.wu;
+  for (size_t level = 0; level < options_.levels; ++level, w *= 2) {
+    IndexBuildOptions opts;
+    opts.window = w;
+    opts.width = options_.width;
+    builders_.emplace_back(opts);
+  }
+}
+
+void SeriesIngestor::Append(std::span<const double> values) {
+  series_.Extend(values);
+  for (auto& builder : builders_) builder.AppendChunk(values);
+}
+
+uint64_t SeriesIngestor::MemoryBytes() const {
+  uint64_t bytes = 8 * static_cast<uint64_t>(series_.size());
+  for (const auto& builder : builders_) bytes += builder.ApproxMemoryBytes();
+  return bytes;
+}
+
+Status SeriesIngestor::Commit(KvStore* store, const std::string& ns,
+                              uint64_t* batches_committed) const {
+  uint64_t batches = 0;
+  WriteBatch batch;
+  auto flush_batch = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    KVMATCH_RETURN_NOT_OK(store->Apply(batch));
+    batch.Clear();
+    ++batches;
+    return Status::OK();
+  };
+
+  // Data: chunk rows, grouped into bounded batches.
+  const size_t chunk = options_.series_chunk;
+  const std::string data_ns = ns + "data/";
+  for (size_t offset = 0; offset < series_.size(); offset += chunk) {
+    const size_t len = std::min(chunk, series_.size() - offset);
+    SeriesStore::PutChunk(&batch, data_ns, offset,
+                          series_.Subsequence(offset, len));
+    if (batch.ApproximateBytes() >= kBatchTargetBytes) {
+      KVMATCH_RETURN_NOT_OK(flush_batch());
+    }
+  }
+  KVMATCH_RETURN_NOT_OK(flush_batch());
+
+  // Index stack: the γ-merge runs here, once per level per commit; each
+  // level's rows + meta land as one atomic batch.
+  for (const auto& builder : builders_) {
+    const KvIndex index = builder.Snapshot();
+    index.Persist(&batch,
+                  ns + "idx/w" + std::to_string(index.window()) + "/");
+    KVMATCH_RETURN_NOT_OK(flush_batch());
+  }
+
+  // Header last: SeriesStore::Open (and therefore Session::Open) only
+  // succeeds once every byte it will read exists.
+  SeriesStore::PutHeader(&batch, data_ns, series_.size(), chunk);
+  KVMATCH_RETURN_NOT_OK(flush_batch());
+
+  if (batches_committed != nullptr) *batches_committed = batches;
+  return Status::OK();
+}
+
+}  // namespace kvmatch

@@ -1,0 +1,68 @@
+// SeriesIngestor: the streaming write path of the catalog (ROADMAP's
+// "catalog ingest pipeline").
+//
+// Points are fed in chunks; each level of the KV-matchDP index stack is
+// maintained by an IncrementalIndexBuilder, so appending k points costs
+// O(k · levels) bucket updates — no O(n) rebuild — and the γ-merge runs
+// once per Commit. Commit persists the full current state (chunked data
+// rows + the index stack + the series header) under a caller-chosen key
+// namespace, grouping the writes into bounded WriteBatches so each chunk
+// of the series lands atomically and peak batch memory stays flat.
+//
+// The Catalog drives one SeriesIngestor per mutable series and commits
+// every generation under a fresh epoch namespace; the ingestor itself
+// knows nothing about epochs.
+//
+// Not thread-safe: the Catalog serializes all ingest work.
+#ifndef KVMATCH_SERVICE_INGEST_H_
+#define KVMATCH_SERVICE_INGEST_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "index/index_builder.h"
+#include "matchdp/session.h"
+#include "storage/kvstore.h"
+#include "ts/time_series.h"
+
+namespace kvmatch {
+
+class SeriesIngestor {
+ public:
+  /// `options` fixes the index layout (wu, levels, width) and the data
+  /// chunk size for every Commit of this ingestor.
+  explicit SeriesIngestor(Session::Options options);
+
+  /// Streams `values` into the logical series and every index level.
+  void Append(std::span<const double> values);
+
+  size_t size() const { return series_.size(); }
+  const TimeSeries& series() const { return series_; }
+
+  /// Approximate resident bytes of the ingest state (series values +
+  /// per-level builder rows).
+  uint64_t MemoryBytes() const;
+
+  /// Target encoded bytes per commit batch (data chunks are grouped up to
+  /// this size; each index level commits as its own batch).
+  static constexpr uint64_t kBatchTargetBytes = 1ull << 20;
+
+  /// Persists everything appended so far under `ns`: data chunks, the
+  /// index stack, and — in the final batch — the series header, so the
+  /// namespace only becomes openable once it is complete.
+  /// `batches_committed` (may be null) reports how many WriteBatches were
+  /// applied. On failure the namespace is left partially written; the
+  /// caller owns cleanup (the Catalog range-deletes abandoned epochs).
+  Status Commit(KvStore* store, const std::string& ns,
+                uint64_t* batches_committed) const;
+
+ private:
+  Session::Options options_;
+  TimeSeries series_;
+  std::vector<IncrementalIndexBuilder> builders_;  // one per index level
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_SERVICE_INGEST_H_

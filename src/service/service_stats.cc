@@ -79,6 +79,31 @@ void StatsRegistry::RecordProtocolError() {
   protocol_errors_ += 1;
 }
 
+void StatsRegistry::RecordIngest(const std::string& series, uint64_t points,
+                                 uint64_t batches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_appended_ += points;
+  ingest_batches_ += batches;
+  (void)series;  // per-series ingest volume can ride on the epoch gauge
+}
+
+void StatsRegistry::RecordEpochInstalled(const std::string& series,
+                                         uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_gauges_[series] = epoch;
+}
+
+void StatsRegistry::RecordEpochRetired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  epochs_retired_ += 1;
+}
+
+void StatsRegistry::RecordSeriesDropped(const std::string& series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_dropped_ += 1;
+  epoch_gauges_.erase(series);
+}
+
 LatencySummary StatsRegistry::Summarize(const PerSeries& s) {
   LatencySummary out;
   out.count = s.queries;
@@ -107,6 +132,11 @@ ServiceStatsSnapshot StatsRegistry::Snapshot() const {
     snap.connections_accepted = connections_accepted_;
     snap.connections_rejected = connections_rejected_;
     snap.protocol_errors = protocol_errors_;
+    snap.points_appended = points_appended_;
+    snap.ingest_batches = ingest_batches_;
+    snap.epochs_retired = epochs_retired_;
+    snap.series_dropped = series_dropped_;
+    snap.series_epochs.assign(epoch_gauges_.begin(), epoch_gauges_.end());
     series_copy = series_;
   }
 
@@ -153,6 +183,12 @@ void StatsRegistry::Reset() {
   connections_accepted_ = connections_open_;
   connections_rejected_ = 0;
   protocol_errors_ = 0;
+  points_appended_ = 0;
+  ingest_batches_ = 0;
+  epochs_retired_ = 0;
+  series_dropped_ = 0;
+  // epoch_gauges_ describes the catalog's current state, not this
+  // registry's history; a stats rebase must not forget it.
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -209,6 +245,15 @@ std::string StatsToText(const ServiceStatsSnapshot& snap) {
   EmitCounter(&out, "kvmatch_connections_rejected_total",
               snap.connections_rejected);
   EmitCounter(&out, "kvmatch_protocol_errors_total", snap.protocol_errors);
+  EmitCounter(&out, "kvmatch_ingest_points_total", snap.points_appended);
+  EmitCounter(&out, "kvmatch_ingest_batches_total", snap.ingest_batches);
+  EmitCounter(&out, "kvmatch_epochs_retired_total", snap.epochs_retired);
+  EmitCounter(&out, "kvmatch_series_dropped_total", snap.series_dropped);
+  for (const auto& [name, epoch] : snap.series_epochs) {
+    EmitCounter(&out, ("kvmatch_series_epoch{series=\"" + name + "\"}")
+                          .c_str(),
+                epoch);
+  }
   EmitLatency(&out, "kvmatch_latency_ms", "", snap.latency);
   for (const auto& s : snap.series) {
     const std::string label = "{series=\"" + s.series + "\"}";

@@ -9,6 +9,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "match/query_types.h"
@@ -47,6 +48,13 @@ struct ServiceStatsSnapshot {
   uint64_t connections_accepted = 0;  // lifetime, includes open ones
   uint64_t connections_rejected = 0;  // over the connection limit
   uint64_t protocol_errors = 0;       // corrupt/malformed frames received
+  // Ingest pipeline counters (catalog write path).
+  uint64_t points_appended = 0;    // across create/append/replace
+  uint64_t ingest_batches = 0;     // WriteBatches committed
+  uint64_t epochs_retired = 0;     // generations superseded or dropped
+  uint64_t series_dropped = 0;
+  /// Current epoch per live series (gauge), sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> series_epochs;
   LatencySummary latency;          // across all series
   std::vector<SeriesStatsSnapshot> series;  // sorted by name
 };
@@ -76,6 +84,15 @@ class StatsRegistry {
   void RecordConnectionClosed();
   void RecordConnectionRejected();
   void RecordProtocolError();
+
+  // Ingest pipeline metrics, recorded by the Catalog's write path.
+  void RecordIngest(const std::string& series, uint64_t points,
+                    uint64_t batches);
+  /// Updates the per-series epoch gauge.
+  void RecordEpochInstalled(const std::string& series, uint64_t epoch);
+  void RecordEpochRetired();
+  /// Drops the series' epoch gauge and counts the drop.
+  void RecordSeriesDropped(const std::string& series);
 
   ServiceStatsSnapshot Snapshot() const;
 
@@ -109,6 +126,11 @@ class StatsRegistry {
   uint64_t connections_accepted_ = 0;
   uint64_t connections_rejected_ = 0;
   uint64_t protocol_errors_ = 0;
+  uint64_t points_appended_ = 0;
+  uint64_t ingest_batches_ = 0;
+  uint64_t epochs_retired_ = 0;
+  uint64_t series_dropped_ = 0;
+  std::map<std::string, uint64_t> epoch_gauges_;
 };
 
 }  // namespace kvmatch

@@ -19,11 +19,30 @@ constexpr size_t kFooterSize = 8 /*meta offset*/ + 8 /*meta len*/ +
                                4 /*crc*/ + 8 /*magic*/;
 }  // namespace
 
-// Iterates meta_ entries in [start, end), reading values lazily from file.
+FileKvStore::FileState::~FileState() {
+  if (fd >= 0) ::close(fd);
+}
+
+Status FileKvStore::FileState::ReadAt(uint64_t offset, size_t len,
+                                      char* buf) const {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, buf + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) return Status::IOError(path + ": pread failed");
+    if (n == 0) return Status::IOError(path + ": short value read");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Iterates a pinned generation's meta entries in [start, end), reading
+// values lazily; the shared_ptr keeps the fd alive across Flushes.
 class FileScanIterator : public ScanIterator {
  public:
-  FileScanIterator(const FileKvStore* store, size_t begin, size_t end)
-      : store_(store), idx_(begin), end_(end) {
+  FileScanIterator(std::shared_ptr<const FileKvStore::FileState> state,
+                   size_t begin, size_t end)
+      : state_(std::move(state)), idx_(begin), end_(end) {
     ReadCurrent();
   }
 
@@ -32,21 +51,19 @@ class FileScanIterator : public ScanIterator {
     ++idx_;
     ReadCurrent();
   }
-  std::string_view key() const override {
-    return store_->meta_[idx_].key;
-  }
+  std::string_view key() const override { return state_->meta[idx_].key; }
   std::string_view value() const override { return value_; }
   Status status() const override { return status_; }
 
  private:
   void ReadCurrent() {
     if (idx_ >= end_) return;
-    const auto& me = store_->meta_[idx_];
+    const auto& me = state_->meta[idx_];
     value_.resize(me.value_len);
-    status_ = store_->ReadAt(me.offset, me.value_len, value_.data());
+    status_ = state_->ReadAt(me.offset, me.value_len, value_.data());
   }
 
-  const FileKvStore* store_;
+  std::shared_ptr<const FileKvStore::FileState> state_;
   size_t idx_;
   size_t end_;
   std::string value_;
@@ -56,47 +73,35 @@ class FileScanIterator : public ScanIterator {
 Result<std::unique_ptr<FileKvStore>> FileKvStore::Open(
     const std::string& path) {
   auto store = std::unique_ptr<FileKvStore>(new FileKvStore(path));
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    store->fd_ = fd;
-    Status st = store->LoadMeta();
+  auto state = std::make_shared<FileState>();
+  state->path = path;
+  state->fd = ::open(path.c_str(), O_RDONLY);
+  if (state->fd >= 0) {
+    Status st = LoadMeta(state.get());
     if (!st.ok()) return st;
   }
+  store->state_ = std::move(state);
   return store;
 }
 
-FileKvStore::~FileKvStore() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-Status FileKvStore::ReadAt(uint64_t offset, size_t len, char* buf) const {
-  size_t done = 0;
-  while (done < len) {
-    const ssize_t n = ::pread(fd_, buf + done, len - done,
-                              static_cast<off_t>(offset + done));
-    if (n < 0) return Status::IOError(path_ + ": pread failed");
-    if (n == 0) return Status::IOError(path_ + ": short value read");
-    done += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-Status FileKvStore::LoadMeta() {
+Status FileKvStore::LoadMeta(FileState* state) {
   struct stat st_buf;
-  if (::fstat(fd_, &st_buf) != 0) {
-    return Status::IOError(path_ + ": fstat failed");
+  if (::fstat(state->fd, &st_buf) != 0) {
+    return Status::IOError(state->path + ": fstat failed");
   }
   const uint64_t size = static_cast<uint64_t>(st_buf.st_size);
+  state->file_bytes = size;
   if (size < kFooterSize) {
-    return Status::Corruption(path_ + ": too small for footer");
+    return Status::Corruption(state->path + ": too small for footer");
   }
   char footer[kFooterSize];
-  if (Status st = ReadAt(size - kFooterSize, kFooterSize, footer); !st.ok()) {
+  if (Status st = state->ReadAt(size - kFooterSize, kFooterSize, footer);
+      !st.ok()) {
     return st;
   }
   const uint64_t magic = DecodeFixed64(footer + 20);
   if (magic != kFooterMagic) {
-    return Status::Corruption(path_ + ": bad magic");
+    return Status::Corruption(state->path + ": bad magic");
   }
   const uint64_t meta_off = DecodeFixed64(footer);
   const uint64_t meta_len = DecodeFixed64(footer + 8);
@@ -104,19 +109,20 @@ Status FileKvStore::LoadMeta() {
 
   std::string meta(meta_len, '\0');
   if (meta_len > 0) {
-    if (Status st = ReadAt(meta_off, meta_len, meta.data()); !st.ok()) {
+    if (Status st = state->ReadAt(meta_off, meta_len, meta.data());
+        !st.ok()) {
       return st;
     }
   }
   if (crc32c::Value(meta.data(), meta.size()) != expected_crc) {
-    return Status::Corruption(path_ + ": meta checksum mismatch");
+    return Status::Corruption(state->path + ": meta checksum mismatch");
   }
 
-  meta_.clear();
+  state->meta.clear();
   std::string_view in(meta);
   uint64_t count;
   if (!GetVarint64(&in, &count)) return Status::Corruption("meta count");
-  meta_.reserve(count);
+  state->meta.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     std::string_view key;
     uint64_t offset;
@@ -125,73 +131,160 @@ Status FileKvStore::LoadMeta() {
         !GetVarint32(&in, &vlen)) {
       return Status::Corruption("meta entry truncated");
     }
-    meta_.push_back({std::string(key), offset, vlen});
+    state->meta.push_back({std::string(key), offset, vlen});
   }
   return Status::OK();
 }
 
+std::shared_ptr<const FileKvStore::FileState> FileKvStore::CurrentState()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
 Status FileKvStore::Put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
   pending_[std::string(key)] = std::string(value);
   return Status::OK();
 }
 
+Status FileKvStore::Delete(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_[std::string(key)] = std::nullopt;
+  return Status::OK();
+}
+
+void FileKvStore::StageRangeTombstonesLocked(const FileState& state,
+                                             std::string_view start_key,
+                                             std::string_view end_key) {
+  auto lower = std::lower_bound(
+      state.meta.begin(), state.meta.end(), start_key,
+      [](const MetaEntry& e, std::string_view k) { return e.key < k; });
+  auto upper = end_key.empty()
+                   ? state.meta.end()
+                   : std::lower_bound(state.meta.begin(), state.meta.end(),
+                                      end_key,
+                                      [](const MetaEntry& e,
+                                         std::string_view k) {
+                                        return e.key < k;
+                                      });
+  for (auto it = lower; it != upper; ++it) pending_[it->key] = std::nullopt;
+  // Staged-but-unflushed keys in the range die too (they are visible to
+  // Get and would otherwise resurface at Flush).
+  auto pit = pending_.lower_bound(std::string(start_key));
+  auto pend = end_key.empty() ? pending_.end()
+                              : pending_.lower_bound(std::string(end_key));
+  for (; pit != pend; ++pit) pit->second = std::nullopt;
+}
+
+Status FileKvStore::DeleteRange(std::string_view start_key,
+                                std::string_view end_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageRangeTombstonesLocked(*state_, start_key, end_key);
+  return Status::OK();
+}
+
+Status FileKvStore::Apply(const WriteBatch& batch) {
+  // Stage the whole batch under one lock; visibility to scans happens
+  // atomically at Flush via the state swap.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& op : batch.ops()) {
+    switch (op.kind) {
+      case WriteBatch::Op::kPut:
+        pending_[op.key] = op.value;
+        break;
+      case WriteBatch::Op::kDelete:
+        pending_[op.key] = std::nullopt;
+        break;
+      case WriteBatch::Op::kDeleteRange:
+        StageRangeTombstonesLocked(*state_, op.key, op.value);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
 Status FileKvStore::Get(std::string_view key, std::string* value) const {
-  auto pit = pending_.find(std::string(key));
-  if (pit != pending_.end()) {
-    *value = pit->second;
-    return Status::OK();
+  std::shared_ptr<const FileState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto pit = pending_.find(std::string(key));
+    if (pit != pending_.end()) {
+      if (!pit->second.has_value()) return Status::NotFound();
+      *value = *pit->second;
+      return Status::OK();
+    }
+    state = state_;
   }
   auto it = std::lower_bound(
-      meta_.begin(), meta_.end(), key,
+      state->meta.begin(), state->meta.end(), key,
       [](const MetaEntry& e, std::string_view k) { return e.key < k; });
-  if (it == meta_.end() || it->key != key) return Status::NotFound();
+  if (it == state->meta.end() || it->key != key) return Status::NotFound();
   value->resize(it->value_len);
-  return ReadAt(it->offset, it->value_len, value->data());
+  return state->ReadAt(it->offset, it->value_len, value->data());
 }
 
 std::unique_ptr<ScanIterator> FileKvStore::Scan(std::string_view start_key,
                                                 std::string_view end_key)
     const {
+  std::shared_ptr<const FileState> state = CurrentState();
   auto lower = std::lower_bound(
-      meta_.begin(), meta_.end(), start_key,
+      state->meta.begin(), state->meta.end(), start_key,
       [](const MetaEntry& e, std::string_view k) { return e.key < k; });
   auto upper = end_key.empty()
-                   ? meta_.end()
-                   : std::lower_bound(meta_.begin(), meta_.end(), end_key,
+                   ? state->meta.end()
+                   : std::lower_bound(state->meta.begin(), state->meta.end(),
+                                      end_key,
                                       [](const MetaEntry& e,
                                          std::string_view k) {
                                         return e.key < k;
                                       });
-  return std::make_unique<FileScanIterator>(
-      this, static_cast<size_t>(lower - meta_.begin()),
-      static_cast<size_t>(upper - meta_.begin()));
+  const size_t begin_idx = static_cast<size_t>(lower - state->meta.begin());
+  const size_t end_idx = static_cast<size_t>(upper - state->meta.begin());
+  return std::make_unique<FileScanIterator>(std::move(state), begin_idx,
+                                            end_idx);
 }
 
 size_t FileKvStore::ApproximateCount() const {
-  return meta_.size() + pending_.size();
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_->meta.size() + pending_.size();
 }
 
 Status FileKvStore::Flush() {
-  if (pending_.empty()) return Status::OK();
-  // Merge existing on-disk entries with pending writes (pending wins).
+  // Writers are externally serialized, so pending_ cannot change while we
+  // merge; readers keep using the old generation until the swap below.
+  std::shared_ptr<const FileState> old_state;
+  std::map<std::string, std::optional<std::string>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) return Status::OK();
+    old_state = state_;
+    pending = pending_;
+  }
+
+  // Merge the old generation with staged writes (staging wins; tombstones
+  // drop the key entirely — nothing tombstoned leaks into the new file).
   std::map<std::string, std::string> all;
-  for (const auto& me : meta_) {
-    std::string v;
-    KVMATCH_RETURN_NOT_OK(Get(me.key, &v));
+  for (const auto& me : old_state->meta) {
+    if (pending.count(me.key) > 0) continue;  // overwritten or deleted
+    std::string v(me.value_len, '\0');
+    KVMATCH_RETURN_NOT_OK(old_state->ReadAt(me.offset, me.value_len,
+                                            v.data()));
     all[me.key] = std::move(v);
   }
-  for (auto& [k, v] : pending_) all[k] = std::move(v);
-  pending_.clear();
-
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  for (auto& [k, v] : pending) {
+    if (v.has_value()) all[k] = std::move(*v);
   }
-  std::FILE* out = std::fopen(path_.c_str(), "wb");
-  if (out == nullptr) return Status::IOError("cannot create " + path_);
 
-  meta_.clear();
-  meta_.reserve(all.size());
+  // Write the new generation beside the store and rename it into place, so
+  // pinned readers of the old file keep a valid fd.
+  const std::string tmp_path = path_ + ".tmp";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) return Status::IOError("cannot create " + tmp_path);
+
+  auto new_state = std::make_shared<FileState>();
+  new_state->path = path_;
+  new_state->meta.reserve(all.size());
   uint64_t offset = 0;
   for (const auto& [k, v] : all) {
     std::string entry;
@@ -209,13 +302,13 @@ Status FileKvStore::Flush() {
       std::fclose(out);
       return Status::IOError("entry write failed");
     }
-    meta_.push_back({k, value_off, static_cast<uint32_t>(v.size())});
+    new_state->meta.push_back({k, value_off, static_cast<uint32_t>(v.size())});
     offset += entry.size();
   }
 
   std::string meta;
-  PutVarint64(&meta, meta_.size());
-  for (const auto& me : meta_) {
+  PutVarint64(&meta, new_state->meta.size());
+  for (const auto& me : new_state->meta) {
     PutLengthPrefixed(&meta, me.key);
     PutVarint64(&meta, me.offset);
     PutVarint32(&meta, me.value_len);
@@ -235,17 +328,21 @@ Status FileKvStore::Flush() {
     return Status::IOError("footer write failed");
   }
   if (std::fclose(out) != 0) return Status::IOError("close failed");
+  new_state->file_bytes = meta_off + meta.size() + footer.size();
 
-  fd_ = ::open(path_.c_str(), O_RDONLY);
-  if (fd_ < 0) return Status::IOError("reopen failed");
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("rename " + tmp_path + " over " + path_ +
+                           " failed");
+  }
+  new_state->fd = ::open(path_.c_str(), O_RDONLY);
+  if (new_state->fd < 0) return Status::IOError("reopen failed");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = std::move(new_state);
+  pending_.clear();
   return Status::OK();
 }
 
-uint64_t FileKvStore::FileBytes() const {
-  if (fd_ < 0) return 0;
-  struct stat st_buf;
-  if (::fstat(fd_, &st_buf) != 0) return 0;
-  return static_cast<uint64_t>(st_buf.st_size);
-}
+uint64_t FileKvStore::FileBytes() const { return CurrentState()->file_bytes; }
 
 }  // namespace kvmatch

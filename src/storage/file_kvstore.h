@@ -8,17 +8,23 @@
 // meta block plays the paper's "meta table" role: it is loaded into memory
 // up front, and each Scan becomes one binary search + one sequential read.
 //
-// Writes are staged in memory and sorted at Flush; the store is
-// write-once / read-many, matching index building.
+// Writes (Put/Delete/DeleteRange) are staged in memory; Flush merges them
+// with the current file into a fresh file written beside the store and
+// atomically renamed over it. Readers pin the generation they started on
+// (an immutable FileState holding the fd and meta table), so Get and Scan
+// stay correct while a Flush replaces the file under them — the MVCC
+// ingredient online ingest needs. Gets see staged writes immediately;
+// Scans only see flushed state (write-once / read-many per generation).
 //
-// Thread-safety: reads (Get/Scan/FileBytes) are safe from any number of
-// threads concurrently — values are fetched with positional pread, so no
-// file-position state is shared. Writes (Put/Flush) require external
-// synchronization and must not overlap with reads.
+// Thread-safety: any number of concurrent readers, including across a
+// Flush. Writers require external serialization against each other.
 #ifndef KVMATCH_STORAGE_FILE_KVSTORE_H_
 #define KVMATCH_STORAGE_FILE_KVSTORE_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,10 +39,14 @@ class FileKvStore : public KvStore {
   /// becomes durable at Flush().
   static Result<std::unique_ptr<FileKvStore>> Open(const std::string& path);
 
-  ~FileKvStore() override;
+  ~FileKvStore() override = default;
 
   Status Put(std::string_view key, std::string_view value) override;
   Status Get(std::string_view key, std::string* value) const override;
+  Status Delete(std::string_view key) override;
+  Status DeleteRange(std::string_view start_key,
+                     std::string_view end_key) override;
+  Status Apply(const WriteBatch& batch) override;
   std::unique_ptr<ScanIterator> Scan(std::string_view start_key,
                                      std::string_view end_key) const override;
   size_t ApproximateCount() const override;
@@ -46,23 +56,41 @@ class FileKvStore : public KvStore {
   uint64_t FileBytes() const;
 
  private:
-  explicit FileKvStore(std::string path) : path_(std::move(path)) {}
-
-  Status LoadMeta();
-  /// Positional read of `len` bytes at `offset` (thread-safe; no shared
-  /// file position).
-  Status ReadAt(uint64_t offset, size_t len, char* buf) const;
-
   struct MetaEntry {
     std::string key;
     uint64_t offset;    // byte offset of the value within the file
     uint32_t value_len;
   };
 
+  /// One immutable on-disk generation. Readers hold it by shared_ptr; the
+  /// fd closes when the last reader of a replaced generation lets go.
+  struct FileState {
+    ~FileState();
+    /// Positional read of `len` bytes at `offset` (thread-safe; no shared
+    /// file position).
+    Status ReadAt(uint64_t offset, size_t len, char* buf) const;
+
+    std::string path;
+    int fd = -1;
+    std::vector<MetaEntry> meta;  // sorted by key
+    uint64_t file_bytes = 0;
+  };
+
+  explicit FileKvStore(std::string path) : path_(std::move(path)) {}
+
+  static Status LoadMeta(FileState* state);
+  std::shared_ptr<const FileState> CurrentState() const;
+  /// Stages tombstones for every key in [start_key, end_key) visible in
+  /// `state` or pending_. Caller must hold mu_.
+  void StageRangeTombstonesLocked(const FileState& state,
+                                  std::string_view start_key,
+                                  std::string_view end_key);
+
   std::string path_;
-  std::map<std::string, std::string> pending_;  // staged writes
-  std::vector<MetaEntry> meta_;                 // sorted by key
-  int fd_ = -1;                                 // open read descriptor
+  mutable std::mutex mu_;  // guards state_ (pointer swap) and pending_
+  std::shared_ptr<const FileState> state_;
+  // Staged writes: a value (Put) or a tombstone (Delete/DeleteRange).
+  std::map<std::string, std::optional<std::string>> pending_;
 
   friend class FileScanIterator;
 };

@@ -1,47 +1,82 @@
 #include "storage/mem_kvstore.h"
 
+#include <mutex>
+#include <utility>
+#include <vector>
+
 namespace kvmatch {
 
-namespace {
-
-class MemScanIterator : public ScanIterator {
- public:
-  MemScanIterator(std::map<std::string, std::string>::const_iterator begin,
-                  std::map<std::string, std::string>::const_iterator end)
-      : it_(begin), end_(end) {}
-
-  bool Valid() const override { return it_ != end_; }
-  void Next() override { ++it_; }
-  std::string_view key() const override { return it_->first; }
-  std::string_view value() const override { return it_->second; }
-  Status status() const override { return Status::OK(); }
-
- private:
-  std::map<std::string, std::string>::const_iterator it_;
-  std::map<std::string, std::string>::const_iterator end_;
-};
-
-}  // namespace
-
 Status MemKvStore::Put(std::string_view key, std::string_view value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   map_[std::string(key)] = std::string(value);
   return Status::OK();
 }
 
 Status MemKvStore::Get(std::string_view key, std::string* value) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = map_.find(std::string(key));
   if (it == map_.end()) return Status::NotFound();
   *value = it->second;
   return Status::OK();
 }
 
-std::unique_ptr<ScanIterator> MemKvStore::Scan(std::string_view start_key,
-                                               std::string_view end_key)
-    const {
+Status MemKvStore::Delete(std::string_view key) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  map_.erase(std::string(key));
+  return Status::OK();
+}
+
+void MemKvStore::DeleteRangeLocked(std::string_view start_key,
+                                   std::string_view end_key) {
   auto begin = map_.lower_bound(std::string(start_key));
   auto end = end_key.empty() ? map_.end()
                              : map_.lower_bound(std::string(end_key));
-  return std::make_unique<MemScanIterator>(begin, end);
+  map_.erase(begin, end);
+}
+
+Status MemKvStore::DeleteRange(std::string_view start_key,
+                               std::string_view end_key) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  DeleteRangeLocked(start_key, end_key);
+  return Status::OK();
+}
+
+Status MemKvStore::Apply(const WriteBatch& batch) {
+  // One exclusive lock across the whole batch: scans (which also lock)
+  // serialize against it, so they observe all of the batch or none of it.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const auto& op : batch.ops()) {
+    switch (op.kind) {
+      case WriteBatch::Op::kPut:
+        map_[op.key] = op.value;
+        break;
+      case WriteBatch::Op::kDelete:
+        map_.erase(op.key);
+        break;
+      case WriteBatch::Op::kDeleteRange:
+        DeleteRangeLocked(op.key, op.value);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<ScanIterator> MemKvStore::Scan(std::string_view start_key,
+                                               std::string_view end_key)
+    const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto begin = map_.lower_bound(std::string(start_key));
+  auto end = end_key.empty() ? map_.end()
+                             : map_.lower_bound(std::string(end_key));
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(static_cast<size_t>(std::distance(begin, end)));
+  for (auto it = begin; it != end; ++it) entries.emplace_back(*it);
+  return std::make_unique<VectorScanIterator>(std::move(entries));
+}
+
+size_t MemKvStore::ApproximateCount() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.size();
 }
 
 }  // namespace kvmatch

@@ -1,9 +1,15 @@
 // In-memory KvStore backed by a sorted map. Reference implementation used
 // in tests and as the build-side staging area for FileKvStore.
+//
+// Fully synchronized: reads take a shared lock, writes an exclusive one,
+// and Scan copies the requested range under the shared lock so iterators
+// are true snapshots — online ingest can rewrite a series' keys while
+// queries keep scanning the state they started from.
 #ifndef KVMATCH_STORAGE_MEM_KVSTORE_H_
 #define KVMATCH_STORAGE_MEM_KVSTORE_H_
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 
 #include "storage/kvstore.h"
@@ -16,13 +22,20 @@ class MemKvStore : public KvStore {
 
   Status Put(std::string_view key, std::string_view value) override;
   Status Get(std::string_view key, std::string* value) const override;
+  Status Delete(std::string_view key) override;
+  Status DeleteRange(std::string_view start_key,
+                     std::string_view end_key) override;
+  Status Apply(const WriteBatch& batch) override;
   std::unique_ptr<ScanIterator> Scan(std::string_view start_key,
                                      std::string_view end_key) const override;
-  size_t ApproximateCount() const override { return map_.size(); }
-
-  const std::map<std::string, std::string>& entries() const { return map_; }
+  size_t ApproximateCount() const override;
 
  private:
+  /// Caller must hold mu_ exclusively.
+  void DeleteRangeLocked(std::string_view start_key,
+                         std::string_view end_key);
+
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::string> map_;
 };
 

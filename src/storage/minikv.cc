@@ -5,10 +5,132 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
+#include <utility>
 
 namespace kvmatch {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Every stored value (memtable and SSTable alike) carries a one-byte tag;
+// the newest version of a key decides whether the key is live or deleted.
+constexpr char kTombstoneTag = '\x00';
+constexpr char kLiveTag = '\x01';
+
+std::string TagLive(std::string_view value) {
+  std::string tagged;
+  tagged.reserve(value.size() + 1);
+  tagged.push_back(kLiveTag);
+  tagged.append(value);
+  return tagged;
+}
+
+std::string Tombstone() { return std::string(1, kTombstoneTag); }
+
+bool IsTombstone(std::string_view tagged) {
+  return tagged.empty() || tagged[0] == kTombstoneTag;
+}
+
+std::string_view Untag(std::string_view tagged) {
+  tagged.remove_prefix(1);
+  return tagged;
+}
+
+// K-way merge over tagged sources; on duplicate keys the highest-priority
+// (newest) source wins. Tombstoned keys are skipped and tags stripped, so
+// consumers see only live, untagged entries.
+class MergingIterator : public ScanIterator {
+ public:
+  struct Source {
+    std::unique_ptr<ScanIterator> iter;
+    int priority = 0;  // higher wins on equal keys
+  };
+
+  MergingIterator(std::vector<Source> sources,
+                  std::vector<std::shared_ptr<SstableReader>> pinned_tables)
+      : sources_(std::move(sources)),
+        pinned_tables_(std::move(pinned_tables)) {
+    FindNextLive();
+  }
+
+  bool Valid() const override { return current_ >= 0 && status_.ok(); }
+  void Next() override {
+    AdvanceAllAt(CurrentKeyCopy());
+    FindNextLive();
+  }
+  std::string_view key() const override {
+    return sources_[static_cast<size_t>(current_)].iter->key();
+  }
+  std::string_view value() const override {
+    return Untag(sources_[static_cast<size_t>(current_)].iter->value());
+  }
+  Status status() const override { return status_; }
+
+ private:
+  std::string CurrentKeyCopy() const {
+    return std::string(sources_[static_cast<size_t>(current_)].iter->key());
+  }
+
+  // Pops every source positioned at `key` (shadowed duplicates advance too).
+  void AdvanceAllAt(const std::string& key) {
+    for (auto& s : sources_) {
+      if (s.iter->Valid() && s.iter->key() == key) s.iter->Next();
+    }
+  }
+
+  void FindNext() {
+    current_ = -1;
+    std::string_view best;
+    int best_priority = -1;
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      auto& s = sources_[i];
+      if (!s.iter->status().ok()) {
+        status_ = s.iter->status();
+        return;
+      }
+      if (!s.iter->Valid()) continue;
+      const std::string_view k = s.iter->key();
+      if (current_ < 0 || k < best ||
+          (k == best && s.priority > best_priority)) {
+        current_ = static_cast<int>(i);
+        best = k;
+        best_priority = s.priority;
+      }
+    }
+  }
+
+  /// FindNext, then keep consuming keys whose newest version is a
+  /// tombstone until a live key (or exhaustion).
+  void FindNextLive() {
+    FindNext();
+    while (current_ >= 0 && status_.ok() &&
+           IsTombstone(sources_[static_cast<size_t>(current_)]
+                           .iter->value())) {
+      AdvanceAllAt(CurrentKeyCopy());
+      FindNext();
+    }
+  }
+
+  std::vector<Source> sources_;
+  // Keeps the snapshotted tables' readers (and their fds) alive even if
+  // the store flushes or compacts them away mid-scan.
+  std::vector<std::shared_ptr<SstableReader>> pinned_tables_;
+  int current_ = -1;
+  Status status_;
+};
+
+}  // namespace
+
+namespace {
+// Store-format generation. v2 introduced the per-value tombstone tag; a
+// v1 store's untagged values would be silently mis-decoded (first byte
+// stripped, 0x00-leading values read as tombstones), so refuse to open
+// table files written before the marker existed.
+constexpr const char* kFormatMarkerName = "FORMAT";
+constexpr const char* kFormatVersion = "2\n";
+}  // namespace
 
 Result<std::unique_ptr<MiniKv>> MiniKv::Open(const std::string& dir,
                                              Options options) {
@@ -25,6 +147,21 @@ Result<std::unique_ptr<MiniKv>> MiniKv::Open(const std::string& dir,
     }
   }
   std::sort(seqs.begin(), seqs.end());
+
+  const std::string marker_path = dir + "/" + kFormatMarkerName;
+  if (!fs::exists(marker_path)) {
+    if (!seqs.empty()) {
+      return Status::Corruption(
+          dir + ": SSTables predate the tombstone-tagged value format "
+                "(no " + std::string(kFormatMarkerName) + " marker)");
+    }
+    std::FILE* marker = std::fopen(marker_path.c_str(), "wb");
+    if (marker == nullptr) {
+      return Status::IOError("cannot create " + marker_path);
+    }
+    std::fputs(kFormatVersion, marker);
+    std::fclose(marker);
+  }
   for (uint64_t seq : seqs) {
     auto reader = SstableReader::Open(kv->TablePath(seq));
     if (!reader.ok()) return reader.status();
@@ -42,32 +179,93 @@ std::string MiniKv::TablePath(uint64_t seq) const {
   return dir_ + "/" + buf;
 }
 
-Status MiniKv::Put(std::string_view key, std::string_view value) {
-  auto [it, inserted] = memtable_.insert_or_assign(std::string(key),
-                                                   std::string(value));
-  (void)it;
-  memtable_bytes_ += key.size() + value.size();
+Status MiniKv::PutTaggedLocked(std::string_view key, std::string tagged) {
+  const size_t bytes = key.size() + tagged.size();
+  memtable_.insert_or_assign(std::string(key), std::move(tagged));
+  memtable_bytes_ += bytes;
   if (memtable_bytes_ >= options_.memtable_limit_bytes) {
-    return Flush();
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+Status MiniKv::Put(std::string_view key, std::string_view value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return PutTaggedLocked(key, TagLive(value));
+}
+
+Status MiniKv::Delete(std::string_view key) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return PutTaggedLocked(key, Tombstone());
+}
+
+Status MiniKv::DeleteRangeLocked(std::string_view start_key,
+                                 std::string_view end_key) {
+  // Tombstone every currently-live key in the range. Collect first: the
+  // scan snapshots the memtable, but writing while walking the merged
+  // view would still shadow-copy confusingly.
+  std::vector<std::string> doomed;
+  {
+    auto it = ScanLocked(start_key, end_key);
+    for (; it->Valid(); it->Next()) {
+      KVMATCH_RETURN_NOT_OK(it->status());
+      doomed.emplace_back(it->key());
+    }
+  }
+  for (const auto& key : doomed) {
+    KVMATCH_RETURN_NOT_OK(PutTaggedLocked(key, Tombstone()));
+  }
+  return Status::OK();
+}
+
+Status MiniKv::DeleteRange(std::string_view start_key,
+                           std::string_view end_key) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return DeleteRangeLocked(start_key, end_key);
+}
+
+Status MiniKv::Apply(const WriteBatch& batch) {
+  // One exclusive lock across the whole batch: snapshot scans serialize
+  // against it, so they observe all of the batch or none of it.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const auto& op : batch.ops()) {
+    switch (op.kind) {
+      case WriteBatch::Op::kPut:
+        KVMATCH_RETURN_NOT_OK(PutTaggedLocked(op.key, TagLive(op.value)));
+        break;
+      case WriteBatch::Op::kDelete:
+        KVMATCH_RETURN_NOT_OK(PutTaggedLocked(op.key, Tombstone()));
+        break;
+      case WriteBatch::Op::kDeleteRange:
+        KVMATCH_RETURN_NOT_OK(DeleteRangeLocked(op.key, op.value));
+        break;
+    }
   }
   return Status::OK();
 }
 
 Status MiniKv::Get(std::string_view key, std::string* value) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto mit = memtable_.find(std::string(key));
   if (mit != memtable_.end()) {
-    *value = mit->second;
+    if (IsTombstone(mit->second)) return Status::NotFound();
+    value->assign(Untag(mit->second));
     return Status::OK();
   }
   for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
-    Status st = (*it)->Get(key, value);
-    if (st.ok()) return st;
+    std::string tagged;
+    Status st = (*it)->Get(key, &tagged);
+    if (st.ok()) {
+      if (IsTombstone(tagged)) return Status::NotFound();
+      value->assign(Untag(tagged));
+      return st;
+    }
     if (!st.IsNotFound()) return st;
   }
   return Status::NotFound();
 }
 
-Status MiniKv::Flush() {
+Status MiniKv::FlushLocked() {
   if (memtable_.empty()) return Status::OK();
   const uint64_t seq = next_seq_++;
   SstableBuilder builder(TablePath(seq), options_.sstable_block_size);
@@ -84,101 +282,14 @@ Status MiniKv::Flush() {
   return Status::OK();
 }
 
-namespace {
+Status MiniKv::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return FlushLocked();
+}
 
-// K-way merge over memtable + SSTables; on duplicate keys the newest source
-// wins (memtable > later tables > earlier tables).
-class MergingIterator : public ScanIterator {
- public:
-  // sources are ordered oldest..newest; the memtable slice (if any) is
-  // appended last and therefore has the highest priority.
-  struct Source {
-    std::unique_ptr<ScanIterator> iter;  // nullptr for the memtable source
-    std::map<std::string, std::string>::const_iterator mit, mend;
-    bool is_mem = false;
-    int priority = 0;  // higher wins on equal keys
-  };
-
-  MergingIterator(std::vector<Source> sources, std::string end_key)
-      : sources_(std::move(sources)), end_key_(std::move(end_key)) {
-    FindNext();
-  }
-
-  bool Valid() const override { return current_ >= 0 && status_.ok(); }
-  void Next() override {
-    AdvanceAllAt(CurrentKeyCopy());
-    FindNext();
-  }
-  std::string_view key() const override { return KeyOf(sources_[current_]); }
-  std::string_view value() const override {
-    const auto& s = sources_[static_cast<size_t>(current_)];
-    return s.is_mem ? std::string_view(s.mit->second) : s.iter->value();
-  }
-  Status status() const override { return status_; }
-
- private:
-  static std::string_view KeyOf(const Source& s) {
-    return s.is_mem ? std::string_view(s.mit->first) : s.iter->key();
-  }
-
-  bool SourceValid(const Source& s) const {
-    if (s.is_mem) {
-      return s.mit != s.mend &&
-             (end_key_.empty() || s.mit->first < end_key_);
-    }
-    return s.iter->Valid() &&
-           (end_key_.empty() || s.iter->key() < std::string_view(end_key_));
-  }
-
-  std::string CurrentKeyCopy() const {
-    return std::string(KeyOf(sources_[static_cast<size_t>(current_)]));
-  }
-
-  // Pops every source positioned at `key` (shadowed duplicates advance too).
-  void AdvanceAllAt(const std::string& key) {
-    for (auto& s : sources_) {
-      if (!SourceValid(s)) continue;
-      if (KeyOf(s) == key) {
-        if (s.is_mem) {
-          ++s.mit;
-        } else {
-          s.iter->Next();
-        }
-      }
-    }
-  }
-
-  void FindNext() {
-    current_ = -1;
-    std::string_view best;
-    int best_priority = -1;
-    for (size_t i = 0; i < sources_.size(); ++i) {
-      auto& s = sources_[i];
-      if (!s.is_mem && !s.iter->status().ok()) {
-        status_ = s.iter->status();
-        return;
-      }
-      if (!SourceValid(s)) continue;
-      const std::string_view k = KeyOf(s);
-      if (current_ < 0 || k < best ||
-          (k == best && s.priority > best_priority)) {
-        current_ = static_cast<int>(i);
-        best = k;
-        best_priority = s.priority;
-      }
-    }
-  }
-
-  std::vector<Source> sources_;
-  std::string end_key_;
-  int current_ = -1;
-  Status status_;
-};
-
-}  // namespace
-
-std::unique_ptr<ScanIterator> MiniKv::Scan(std::string_view start_key,
-                                           std::string_view end_key) const {
+std::unique_ptr<ScanIterator> MiniKv::ScanLocked(std::string_view start_key,
+                                                 std::string_view end_key)
+    const {
   std::vector<MergingIterator::Source> sources;
   int priority = 0;
   for (const auto& table : tables_) {
@@ -187,41 +298,61 @@ std::unique_ptr<ScanIterator> MiniKv::Scan(std::string_view start_key,
     s.priority = priority++;
     sources.push_back(std::move(s));
   }
+  // Snapshot-copy the memtable range; it has the highest priority.
+  std::vector<std::pair<std::string, std::string>> mem_entries;
+  auto mit = memtable_.lower_bound(std::string(start_key));
+  auto mend = end_key.empty() ? memtable_.end()
+                              : memtable_.lower_bound(std::string(end_key));
+  for (; mit != mend; ++mit) mem_entries.emplace_back(*mit);
   MergingIterator::Source mem;
-  mem.is_mem = true;
-  mem.mit = memtable_.lower_bound(std::string(start_key));
-  mem.mend = end_key.empty() ? memtable_.end()
-                             : memtable_.lower_bound(std::string(end_key));
+  mem.iter = std::make_unique<VectorScanIterator>(std::move(mem_entries));
   mem.priority = priority;
   sources.push_back(std::move(mem));
-  return std::make_unique<MergingIterator>(std::move(sources),
-                                           std::string(end_key));
+  return std::make_unique<MergingIterator>(std::move(sources), tables_);
+}
+
+std::unique_ptr<ScanIterator> MiniKv::Scan(std::string_view start_key,
+                                           std::string_view end_key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ScanLocked(start_key, end_key);
 }
 
 size_t MiniKv::ApproximateCount() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t n = memtable_.size();
   for (const auto& t : tables_) n += t->num_entries();
-  return n;  // upper bound: shadowed duplicates counted per table
+  return n;  // upper bound: shadowed duplicates and tombstones counted
 }
 
 Status MiniKv::Compact() {
-  KVMATCH_RETURN_NOT_OK(Flush());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  KVMATCH_RETURN_NOT_OK(FlushLocked());
   if (tables_.size() <= 1) return Status::OK();
   const uint64_t seq = next_seq_++;
+  uint64_t live_entries = 0;
   {
     SstableBuilder builder(TablePath(seq), options_.sstable_block_size);
-    auto it = Scan("", "");
+    // ScanLocked yields the live, untagged view: shadowed versions and
+    // tombstones drop out of the compacted table entirely.
+    auto it = ScanLocked("", "");
     for (; it->Valid(); it->Next()) {
-      KVMATCH_RETURN_NOT_OK(builder.Add(it->key(), it->value()));
+      KVMATCH_RETURN_NOT_OK(builder.Add(it->key(), TagLive(it->value())));
     }
     KVMATCH_RETURN_NOT_OK(it->status());
+    live_entries = builder.num_entries();
     KVMATCH_RETURN_NOT_OK(builder.Finish());
   }
-  // Drop the old tables and their files.
+  // Drop the old tables and their files; pinned snapshot scans keep the
+  // unlinked files readable through their open fds.
   std::vector<std::string> old_paths = std::move(table_paths_);
   tables_.clear();
   table_paths_.clear();
   for (const auto& p : old_paths) std::remove(p.c_str());
+  if (live_entries == 0) {
+    // Everything was deleted: no need to keep an empty table around.
+    std::remove(TablePath(seq).c_str());
+    return Status::OK();
+  }
   auto reader = SstableReader::Open(TablePath(seq));
   if (!reader.ok()) return reader.status();
   tables_.push_back(std::move(reader).value());
@@ -229,7 +360,13 @@ Status MiniKv::Compact() {
   return Status::OK();
 }
 
+size_t MiniKv::NumTables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tables_.size();
+}
+
 uint64_t MiniKv::TotalFileBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t n = 0;
   for (const auto& t : tables_) n += t->file_bytes();
   return n;

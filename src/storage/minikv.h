@@ -6,11 +6,22 @@
 // `memtable_limit_bytes`) turns the memtable into a new SSTable under the
 // store directory. Reads consult the memtable first, then SSTables newest
 // to oldest. Scans merge all sources with newest-wins semantics.
+//
+// Deletes are tombstones: each stored value carries a one-byte tag (live
+// or tombstone), the newest version of a key decides, and readers never
+// surface tombstoned keys. Compact() drops tombstones entirely (it merges
+// every table, so nothing older can resurface).
+//
+// Thread-safety: reads (Get/Scan/counts) take a shared lock and snapshot
+// the memtable range plus the current table set, so they stay correct
+// while writes, flushes and compactions proceed. Writers take the
+// exclusive lock and must be externally serialized against each other.
 #ifndef KVMATCH_STORAGE_MINIKV_H_
 #define KVMATCH_STORAGE_MINIKV_H_
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -36,16 +47,20 @@ class MiniKv : public KvStore {
 
   Status Put(std::string_view key, std::string_view value) override;
   Status Get(std::string_view key, std::string* value) const override;
+  Status Delete(std::string_view key) override;
+  Status DeleteRange(std::string_view start_key,
+                     std::string_view end_key) override;
+  Status Apply(const WriteBatch& batch) override;
   std::unique_ptr<ScanIterator> Scan(std::string_view start_key,
                                      std::string_view end_key) const override;
   size_t ApproximateCount() const override;
   Status Flush() override;
 
   /// Merges all SSTables + memtable into a single new SSTable (a full
-  /// compaction), dropping shadowed versions.
+  /// compaction), dropping shadowed versions and tombstones.
   Status Compact();
 
-  size_t NumTables() const { return tables_.size(); }
+  size_t NumTables() const;
   uint64_t TotalFileBytes() const;
 
  private:
@@ -54,13 +69,29 @@ class MiniKv : public KvStore {
 
   std::string TablePath(uint64_t seq) const;
 
+  // The following *Locked helpers assume the caller holds mu_ exclusively.
+  Status PutTaggedLocked(std::string_view key, std::string tagged);
+  Status DeleteRangeLocked(std::string_view start_key,
+                           std::string_view end_key);
+  Status FlushLocked();
+
+  /// Builds the newest-wins merged iterator (live view: tombstones skipped,
+  /// tags stripped) over a memtable-range copy and the current tables.
+  /// Caller must hold mu_ (shared suffices).
+  std::unique_ptr<ScanIterator> ScanLocked(std::string_view start_key,
+                                           std::string_view end_key) const;
+
   std::string dir_;
   Options options_;
+
+  mutable std::shared_mutex mu_;
+  // Values are tagged (see kLiveTag/kTombstoneTag in minikv.cc).
   std::map<std::string, std::string> memtable_;
   size_t memtable_bytes_ = 0;
   uint64_t next_seq_ = 1;
   // Newest last; lookups walk backwards. table_paths_ parallels tables_.
-  std::vector<std::unique_ptr<SstableReader>> tables_;
+  // shared_ptr: snapshot scans keep replaced/compacted tables alive.
+  std::vector<std::shared_ptr<SstableReader>> tables_;
   std::vector<std::string> table_paths_;
 };
 

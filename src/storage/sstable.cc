@@ -1,5 +1,9 @@
 #include "storage/sstable.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <optional>
 
@@ -103,19 +107,19 @@ Result<std::unique_ptr<SstableReader>> SstableReader::Open(
     const std::string& path) {
   auto reader = std::unique_ptr<SstableReader>(new SstableReader());
   reader->path_ = path;
-  reader->file_ = std::fopen(path.c_str(), "rb");
-  if (reader->file_ == nullptr) return Status::IOError("cannot open " + path);
-  std::fseek(reader->file_, 0, SEEK_END);
-  reader->file_bytes_ = static_cast<uint64_t>(std::ftell(reader->file_));
+  reader->fd_ = ::open(path.c_str(), O_RDONLY);
+  if (reader->fd_ < 0) return Status::IOError("cannot open " + path);
+  struct stat st_buf;
+  if (::fstat(reader->fd_, &st_buf) != 0) {
+    return Status::IOError(path + ": fstat failed");
+  }
+  reader->file_bytes_ = static_cast<uint64_t>(st_buf.st_size);
   if (reader->file_bytes_ < kFooterSize) {
     return Status::Corruption(path + ": too small");
   }
   char footer[kFooterSize];
-  std::fseek(reader->file_,
-             static_cast<long>(reader->file_bytes_ - kFooterSize), SEEK_SET);
-  if (std::fread(footer, 1, kFooterSize, reader->file_) != kFooterSize) {
-    return Status::IOError("footer read failed");
-  }
+  KVMATCH_RETURN_NOT_OK(reader->ReadAt(reader->file_bytes_ - kFooterSize,
+                                       kFooterSize, footer));
   if (DecodeFixed64(footer + 24) != kTableMagic) {
     return Status::Corruption(path + ": bad magic");
   }
@@ -139,20 +143,29 @@ Result<std::unique_ptr<SstableReader>> SstableReader::Open(
 }
 
 SstableReader::~SstableReader() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SstableReader::ReadAt(uint64_t offset, size_t len, char* buf) const {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd_, buf + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) return Status::IOError(path_ + ": pread failed");
+    if (n == 0) return Status::IOError(path_ + ": short block read");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
 }
 
 Result<BlockReader> SstableReader::ReadBlock(const BlockHandle& handle) const {
   std::string contents(handle.size, '\0');
-  std::fseek(file_, static_cast<long>(handle.offset), SEEK_SET);
-  if (handle.size > 0 &&
-      std::fread(contents.data(), 1, handle.size, file_) != handle.size) {
-    return Status::IOError("block read failed");
+  if (handle.size > 0) {
+    KVMATCH_RETURN_NOT_OK(ReadAt(handle.offset, handle.size,
+                                 contents.data()));
   }
   char crc_buf[4];
-  if (std::fread(crc_buf, 1, 4, file_) != 4) {
-    return Status::IOError("crc read failed");
-  }
+  KVMATCH_RETURN_NOT_OK(ReadAt(handle.offset + handle.size, 4, crc_buf));
   const uint32_t expected = crc32c::Unmask(DecodeFixed32(crc_buf));
   if (crc32c::Value(contents.data(), contents.size()) != expected) {
     return Status::Corruption(path_ + ": block checksum mismatch");

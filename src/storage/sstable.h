@@ -55,8 +55,9 @@ class SstableBuilder {
   Status io_status_;
 };
 
-/// Reads an SSTable. Thread-compatible (no interior mutability beyond the
-/// FILE*, which is only touched under the read methods).
+/// Reads an SSTable. Safe for any number of concurrent Get/Scan calls:
+/// blocks are fetched with positional pread, so no file-position state is
+/// shared between readers.
 class SstableReader {
  public:
   static Result<std::unique_ptr<SstableReader>> Open(const std::string& path);
@@ -75,9 +76,10 @@ class SstableReader {
   SstableReader() = default;
 
   Result<BlockReader> ReadBlock(const BlockHandle& handle) const;
+  Status ReadAt(uint64_t offset, size_t len, char* buf) const;
 
   std::string path_;
-  mutable std::FILE* file_ = nullptr;
+  int fd_ = -1;
   uint64_t file_bytes_ = 0;
   uint64_t num_entries_ = 0;
   // Decoded index: (last_key, handle) per data block, in key order.

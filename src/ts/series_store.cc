@@ -30,6 +30,22 @@ std::string HeaderKey(const std::string& ns) { return ns + "h"; }
 
 }  // namespace
 
+void SeriesStore::PutChunk(WriteBatch* batch, const std::string& ns,
+                           uint64_t chunk_offset,
+                           std::span<const double> values) {
+  std::string value(values.size() * sizeof(double), '\0');
+  std::memcpy(value.data(), values.data(), values.size() * sizeof(double));
+  batch->Put(ChunkKey(ns, chunk_offset), value);
+}
+
+void SeriesStore::PutHeader(WriteBatch* batch, const std::string& ns,
+                            uint64_t length, uint64_t chunk_size) {
+  std::string header;
+  PutVarint64(&header, length);
+  PutVarint64(&header, chunk_size);
+  batch->Put(HeaderKey(ns), header);
+}
+
 Status SeriesStore::Write(KvStore* store, const TimeSeries& series,
                           const std::string& ns, size_t chunk_size) {
   if (chunk_size == 0) return Status::InvalidArgument("chunk_size == 0");

@@ -8,6 +8,7 @@
 #ifndef KVMATCH_TS_SERIES_STORE_H_
 #define KVMATCH_TS_SERIES_STORE_H_
 
+#include <span>
 #include <string>
 
 #include "common/status.h"
@@ -23,6 +24,17 @@ class SeriesStore {
   static Status Write(KvStore* store, const TimeSeries& series,
                       const std::string& ns = "",
                       size_t chunk_size = 1024);
+
+  /// Stages the chunk row starting at `chunk_offset` (which must be a
+  /// multiple of the chunk size) into `batch`. `values` is that chunk's
+  /// payload: up to chunk_size points. Used by the ingest pipeline to
+  /// commit data chunk-by-chunk.
+  static void PutChunk(WriteBatch* batch, const std::string& ns,
+                       uint64_t chunk_offset, std::span<const double> values);
+
+  /// Stages the header row (series length + chunk size) into `batch`.
+  static void PutHeader(WriteBatch* batch, const std::string& ns,
+                        uint64_t length, uint64_t chunk_size);
 
   /// Opens a series previously written with Write. Only the header is
   /// read; values are fetched on demand.

@@ -34,7 +34,7 @@ class TimeSeries {
   }
 
   void Append(double v) { values_.push_back(v); }
-  void Extend(const std::vector<double>& vs) {
+  void Extend(std::span<const double> vs) {
     values_.insert(values_.end(), vs.begin(), vs.end());
   }
 

@@ -9,8 +9,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,7 +55,9 @@ TEST(ProtocolTest, FrameRoundTripsForEveryType) {
        {FrameType::kQueryRequest, FrameType::kQueryResponse,
         FrameType::kError, FrameType::kStatsRequest,
         FrameType::kStatsResponse, FrameType::kListRequest,
-        FrameType::kListResponse, FrameType::kPing, FrameType::kPong}) {
+        FrameType::kListResponse, FrameType::kPing, FrameType::kPong,
+        FrameType::kCreateRequest, FrameType::kAppendRequest,
+        FrameType::kDropRequest, FrameType::kIngestResponse}) {
     Frame in;
     in.type = type;
     in.request_id = 0xdeadbeefcafeull + static_cast<uint64_t>(type);
@@ -180,6 +184,40 @@ TEST(ProtocolTest, ListResponseRoundTrips) {
   std::vector<SeriesInfo> out;
   ASSERT_TRUE(DecodeListResponseBody(body, &out).ok());
   EXPECT_EQ(out, in);
+}
+
+TEST(ProtocolTest, IngestBodiesRoundTrip) {
+  WireIngestRequest in;
+  in.series = "sensor-9";
+  in.values = {0.5, -1.25, 3.0, 1e-12};
+  std::string body;
+  EncodeIngestRequestBody(in, &body);
+  WireIngestRequest out;
+  ASSERT_TRUE(DecodeIngestRequestBody(body, &out).ok());
+  EXPECT_EQ(out, in);
+
+  // Empty values (the DROP shape) round-trips too.
+  in.values.clear();
+  body.clear();
+  EncodeIngestRequestBody(in, &body);
+  ASSERT_TRUE(DecodeIngestRequestBody(body, &out).ok());
+  EXPECT_EQ(out, in);
+
+  IngestAck ack_in{42, 123456};
+  body.clear();
+  EncodeIngestResponseBody(ack_in, &body);
+  IngestAck ack_out;
+  ASSERT_TRUE(DecodeIngestResponseBody(body, &ack_out).ok());
+  EXPECT_EQ(ack_out, ack_in);
+
+  // A value count that disagrees with the body size is rejected before
+  // any allocation.
+  body.clear();
+  EncodeIngestRequestBody(in, &body);
+  body.back() = '\x7f';  // corrupt the count varint
+  EXPECT_FALSE(DecodeIngestRequestBody(body, &out).ok());
+  EXPECT_FALSE(DecodeIngestRequestBody("", &out).ok());
+  EXPECT_FALSE(DecodeIngestResponseBody("", &ack_out).ok());
 }
 
 TEST(ProtocolTest, OversizedDeclaredLengthIsFatal) {
@@ -355,6 +393,7 @@ struct ServerFixture {
     sopts.num_threads = threads;
     sopts.max_queue = max_queue;
     service = std::make_unique<QueryService>(catalog.get(), sopts);
+    catalog->SetStatsRegistry(service->stats_registry());
     Server::Options nopts;
     nopts.port = 0;  // ephemeral
     nopts.max_connections = max_conns;
@@ -582,6 +621,139 @@ class RawConnection {
   int fd_ = -1;
   FrameDecoder decoder_;
 };
+
+TEST(NetServerTest, RemoteIngestLifecycleOverTheWire) {
+  ServerFixture fx;
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Create + chunked appends, no filesystem access to the store.
+  Rng rng(321);
+  const TimeSeries full = GenerateSynthetic(2400, &rng);
+  const auto& values = full.values();
+  auto created = (*client)->CreateSeries(
+      "wire", std::span<const double>(values.data(), 1000));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ(created->length, 1000u);
+  for (size_t offset = 1000; offset < values.size(); offset += 700) {
+    const size_t len = std::min<size_t>(700, values.size() - offset);
+    auto appended = (*client)->AppendSeries(
+        "wire", std::span<const double>(values.data() + offset, len));
+    ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  }
+
+  // The series is listed, queryable by reference, and identical to the
+  // in-process view.
+  auto series = (*client)->ListSeries();
+  ASSERT_TRUE(series.ok());
+  bool listed = false;
+  for (const auto& s : *series) {
+    if (s.name == "wire") {
+      listed = true;
+      EXPECT_EQ(s.length, values.size());
+    }
+  }
+  EXPECT_TRUE(listed);
+
+  WireQueryRequest by_ref;
+  by_ref.request.series = "wire";
+  by_ref.request.params.epsilon = 2.0;
+  by_ref.by_reference = true;
+  by_ref.ref_offset = 1500;  // crosses the create/append boundary
+  by_ref.ref_length = 200;
+  auto id = (*client)->SendRequest(by_ref);
+  ASSERT_TRUE(id.ok());
+  auto response = (*client)->WaitResponse(*id);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  auto local = fx.catalog->Acquire("wire");
+  ASSERT_TRUE(local.ok());
+  auto expected = (*local)->Query(
+      (*local)->series().Subsequence(1500, 200), by_ref.request.params);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(response->matches, *expected);
+
+  // Ingest metrics flow through the STATS frame.
+  auto stats = (*client)->StatsText();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("kvmatch_ingest_points_total"), std::string::npos);
+  EXPECT_NE(stats->find("kvmatch_series_epoch{series=\"wire\"}"),
+            std::string::npos);
+
+  // Error shapes: duplicate create, append to unknown, drop unknown.
+  auto dup = (*client)->CreateSeries(
+      "wire", std::span<const double>(values.data(), 1000));
+  EXPECT_TRUE(dup.status().IsInvalidArgument()) << dup.status().ToString();
+  auto missing = (*client)->AppendSeries(
+      "nope", std::span<const double>(values.data(), 100));
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_TRUE((*client)->DropSeries("nope").IsNotFound());
+
+  // Drop: subsequent remote queries answer NotFound.
+  ASSERT_TRUE((*client)->DropSeries("wire").ok());
+  id = (*client)->SendRequest(by_ref);
+  ASSERT_TRUE(id.ok());
+  response = (*client)->WaitResponse(*id);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->status.IsNotFound())
+      << response->status.ToString();
+}
+
+TEST(NetServerTest, RemoteIngestRunsWhileAnotherConnectionQueries) {
+  ServerFixture fx;
+  std::atomic<bool> done{false};
+  std::string reader_failure;
+  // Connection A: a steady by-reference query stream over s0.
+  std::thread reader([&] {
+    auto client = Client::Connect("127.0.0.1", fx.server->port());
+    if (!client.ok()) {
+      reader_failure = client.status().ToString();
+      return;
+    }
+    WireQueryRequest req;
+    req.request.series = "s0";
+    req.request.params.epsilon = 3.0;
+    req.by_reference = true;
+    req.ref_offset = 100;
+    req.ref_length = 128;
+    while (!done.load(std::memory_order_relaxed)) {
+      auto id = (*client)->SendRequest(req);
+      if (!id.ok()) {
+        reader_failure = id.status().ToString();
+        return;
+      }
+      auto response = (*client)->WaitResponse(*id);
+      if (!response.ok() || !response->status.ok()) {
+        reader_failure = (response.ok() ? response->status
+                                        : response.status())
+                             .ToString();
+        return;
+      }
+    }
+  });
+  // Connection B: creates and repeatedly appends to a separate series.
+  auto writer = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(writer.ok());
+  Rng rng(555);
+  const TimeSeries base = GenerateSynthetic(1200, &rng);
+  auto created = (*writer)->CreateSeries("live", base.values());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  uint64_t last_epoch = created->epoch;
+  size_t expected_len = base.size();
+  for (int i = 0; i < 5; ++i) {
+    const TimeSeries ext = GenerateSynthetic(300, &rng);
+    auto ack = (*writer)->AppendSeries("live", ext.values());
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    // Epoch numbers are catalog-global; each append advances them.
+    EXPECT_GT(ack->epoch, last_epoch);
+    last_epoch = ack->epoch;
+    expected_len += ext.size();
+    EXPECT_EQ(ack->length, expected_len);
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(reader_failure, "");
+}
 
 TEST(NetServerTest, CorruptFrameYieldsErrorAndConnectionSurvives) {
   ServerFixture fx;

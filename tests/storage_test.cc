@@ -146,9 +146,202 @@ TEST_P(KvStoreContract, ScanEmptyRange) {
   EXPECT_FALSE(it->Valid());
 }
 
+TEST_P(KvStoreContract, DeleteRemovesKeyFromGetAndScan) {
+  auto f = MakeStore(GetParam(), "delete");
+  ASSERT_TRUE(f.store->Put("a", "1").ok());
+  ASSERT_TRUE(f.store->Put("b", "2").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  ASSERT_TRUE(f.store->Delete("a").ok());
+  ASSERT_TRUE(f.store->Delete("missing").ok());  // idempotent
+  ASSERT_TRUE(f.store->Flush().ok());
+  std::string v;
+  EXPECT_TRUE(f.store->Get("a", &v).IsNotFound());
+  ASSERT_TRUE(f.store->Get("b", &v).ok());
+  size_t count = 0;
+  for (auto it = f.store->Scan("", ""); it->Valid(); it->Next()) {
+    EXPECT_EQ(it->key(), "b");
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+  // A deleted key can be rewritten.
+  ASSERT_TRUE(f.store->Put("a", "3").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  ASSERT_TRUE(f.store->Get("a", &v).ok());
+  EXPECT_EQ(v, "3");
+}
+
+TEST_P(KvStoreContract, DeleteRangeRemovesExactlyTheRange) {
+  auto f = MakeStore(GetParam(), "delrange");
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(f.store->Put(Key(i), "v").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  ASSERT_TRUE(f.store->DeleteRange(Key(10), Key(40)).ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  std::vector<std::string> kept;
+  for (auto it = f.store->Scan("", ""); it->Valid(); it->Next()) {
+    kept.emplace_back(it->key());
+  }
+  ASSERT_EQ(kept.size(), 20u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(kept[static_cast<size_t>(i)], Key(i));
+  for (int i = 40; i < 50; ++i) {
+    EXPECT_EQ(kept[static_cast<size_t>(i - 30)], Key(i));
+  }
+}
+
+TEST_P(KvStoreContract, DeleteRangeByPrefixCoversUnflushedWrites) {
+  auto f = MakeStore(GetParam(), "delprefix");
+  ASSERT_TRUE(f.store->Put("series/a/data/1", "x").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  ASSERT_TRUE(f.store->Put("series/a/data/2", "y").ok());  // staged only
+  ASSERT_TRUE(f.store->Put("series/b/data/1", "z").ok());
+  const std::string prefix = "series/a/";
+  ASSERT_TRUE(f.store->DeleteRange(prefix, PrefixUpperBound(prefix)).ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  std::string v;
+  EXPECT_TRUE(f.store->Get("series/a/data/1", &v).IsNotFound());
+  EXPECT_TRUE(f.store->Get("series/a/data/2", &v).IsNotFound());
+  ASSERT_TRUE(f.store->Get("series/b/data/1", &v).ok());
+}
+
+TEST_P(KvStoreContract, WriteBatchRespectsOpOrder) {
+  auto f = MakeStore(GetParam(), "batch");
+  ASSERT_TRUE(f.store->Put("old", "1").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  WriteBatch batch;
+  batch.Put("k", "first");
+  batch.Delete("k");
+  batch.Put("k", "second");  // later op wins
+  batch.DeleteRange("old", "oldz");
+  batch.Put("old2", "kept");  // written after the range delete
+  ASSERT_TRUE(f.store->Apply(batch).ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  std::string v;
+  ASSERT_TRUE(f.store->Get("k", &v).ok());
+  EXPECT_EQ(v, "second");
+  EXPECT_TRUE(f.store->Get("old", &v).IsNotFound());
+  ASSERT_TRUE(f.store->Get("old2", &v).ok());
+  EXPECT_EQ(v, "kept");
+}
+
+TEST_P(KvStoreContract, ScanIsASnapshotAcrossLaterWrites) {
+  auto f = MakeStore(GetParam(), "snapshot");
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(f.store->Put(Key(i), "v0").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  auto it = f.store->Scan("", "");
+  // Mutate everything after the scan started.
+  ASSERT_TRUE(f.store->DeleteRange("", "").ok());
+  ASSERT_TRUE(f.store->Put(Key(99), "new").ok());
+  ASSERT_TRUE(f.store->Flush().ok());
+  size_t count = 0;
+  for (; it->Valid(); it->Next()) {
+    ASSERT_TRUE(it->status().ok());
+    EXPECT_EQ(it->value(), "v0");
+    ++count;
+  }
+  EXPECT_EQ(count, 10u);
+  // A fresh scan sees the new state.
+  count = 0;
+  for (auto it2 = f.store->Scan("", ""); it2->Valid(); it2->Next()) {
+    EXPECT_EQ(it2->key(), Key(99));
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStores, KvStoreContract,
                          ::testing::Values(StoreKind::kMem, StoreKind::kFile,
                                            StoreKind::kMini));
+
+// ---- Cross-backend parity: one op sequence, three implementations ----
+
+// The write path (Delete/DeleteRange/WriteBatch) relies on all backends
+// implementing identical overwrite and delete semantics. Drive the same
+// randomized op sequence into every backend plus a std::map oracle and
+// require byte-identical scan results at every Flush checkpoint.
+TEST(StorageParityTest, SameOpSequenceYieldsIdenticalScans) {
+  MiniKv::Options mini_opts;
+  mini_opts.memtable_limit_bytes = 2048;  // force frequent table turnover
+  const std::string mini_dir = TempPath("kvm_parity_mini");
+  const std::string file_path = TempPath("kvm_parity_file");
+  fs::remove_all(mini_dir);
+  std::remove(file_path.c_str());
+
+  std::vector<std::unique_ptr<KvStore>> stores;
+  stores.push_back(std::make_unique<MemKvStore>());
+  {
+    auto r = FileKvStore::Open(file_path);
+    ASSERT_TRUE(r.ok());
+    stores.push_back(std::move(r).value());
+  }
+  {
+    auto r = MiniKv::Open(mini_dir, mini_opts);
+    ASSERT_TRUE(r.ok());
+    stores.push_back(std::move(r).value());
+  }
+
+  std::map<std::string, std::string> oracle;
+  auto oracle_delete_range = [&oracle](const std::string& lo,
+                                       const std::string& hi) {
+    auto begin = oracle.lower_bound(lo);
+    auto end = hi.empty() ? oracle.end() : oracle.lower_bound(hi);
+    oracle.erase(begin, end);
+  };
+
+  Rng rng(20260730);
+  auto random_key = [&rng] {
+    return Key(static_cast<int>(rng.UniformInt(0, 149)));
+  };
+
+  for (int step = 0; step < 1200; ++step) {
+    const int64_t roll = rng.UniformInt(0, 99);
+    if (roll < 55) {
+      const std::string k = random_key();
+      const std::string v = "v" + std::to_string(rng.Next() % 1000);
+      oracle[k] = v;
+      for (auto& s : stores) ASSERT_TRUE(s->Put(k, v).ok());
+    } else if (roll < 75) {
+      const std::string k = random_key();
+      oracle.erase(k);
+      for (auto& s : stores) ASSERT_TRUE(s->Delete(k).ok());
+    } else if (roll < 85) {
+      std::string lo = random_key(), hi = random_key();
+      if (hi < lo) std::swap(lo, hi);
+      oracle_delete_range(lo, hi);
+      for (auto& s : stores) ASSERT_TRUE(s->DeleteRange(lo, hi).ok());
+    } else {
+      WriteBatch batch;
+      const int64_t ops = rng.UniformInt(2, 6);
+      for (int64_t i = 0; i < ops; ++i) {
+        const std::string k = random_key();
+        if (rng.UniformInt(0, 2) == 0) {
+          batch.Delete(k);
+          oracle.erase(k);
+        } else {
+          const std::string v = "b" + std::to_string(rng.Next() % 1000);
+          batch.Put(k, v);
+          oracle[k] = v;
+        }
+      }
+      for (auto& s : stores) ASSERT_TRUE(s->Apply(batch).ok());
+    }
+
+    if (step % 150 == 149) {
+      for (auto& s : stores) ASSERT_TRUE(s->Flush().ok());
+      for (size_t si = 0; si < stores.size(); ++si) {
+        std::map<std::string, std::string> got;
+        for (auto it = stores[si]->Scan("", ""); it->Valid(); it->Next()) {
+          ASSERT_TRUE(it->status().ok());
+          got[std::string(it->key())] = std::string(it->value());
+        }
+        ASSERT_EQ(got, oracle) << "store " << si << " diverged at step "
+                               << step;
+      }
+    }
+  }
+
+  stores.clear();
+  fs::remove_all(mini_dir);
+  std::remove(file_path.c_str());
+}
 
 // ---- FileKvStore specifics ----
 
@@ -414,6 +607,44 @@ TEST(MiniKvTest, AutoFlushOnMemtableLimit) {
     ASSERT_TRUE((*kv)->Put(Key(i), std::string(32, 'x')).ok());
   }
   EXPECT_GT((*kv)->NumTables(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(MiniKvTest, CompactDropsTombstonesAndShadowedVersions) {
+  const std::string dir = TempPath("kvm_mini_tombstone");
+  fs::remove_all(dir);
+  auto kv = MiniKv::Open(dir);
+  ASSERT_TRUE(kv.ok());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE((*kv)->Put(Key(i), "v").ok());
+  ASSERT_TRUE((*kv)->Flush().ok());
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE((*kv)->Delete(Key(i)).ok());
+  ASSERT_TRUE((*kv)->Flush().ok());
+  EXPECT_EQ((*kv)->NumTables(), 2u);
+  // Tombstones shadow across tables before compaction...
+  std::string v;
+  EXPECT_TRUE((*kv)->Get(Key(10), &v).IsNotFound());
+  ASSERT_TRUE((*kv)->Compact().ok());
+  EXPECT_EQ((*kv)->NumTables(), 1u);
+  // ...and are physically gone afterwards: the surviving table holds
+  // exactly the 50 live keys.
+  EXPECT_EQ((*kv)->ApproximateCount(), 50u);
+  EXPECT_TRUE((*kv)->Get(Key(10), &v).IsNotFound());
+  ASSERT_TRUE((*kv)->Get(Key(75), &v).ok());
+  fs::remove_all(dir);
+}
+
+TEST(MiniKvTest, CompactingEverythingAwayLeavesNoTables) {
+  const std::string dir = TempPath("kvm_mini_allgone");
+  fs::remove_all(dir);
+  auto kv = MiniKv::Open(dir);
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->Put("a", "1").ok());
+  ASSERT_TRUE((*kv)->Flush().ok());
+  ASSERT_TRUE((*kv)->Delete("a").ok());
+  ASSERT_TRUE((*kv)->Flush().ok());
+  ASSERT_TRUE((*kv)->Compact().ok());
+  EXPECT_EQ((*kv)->NumTables(), 0u);
+  EXPECT_FALSE((*kv)->Scan("", "")->Valid());
   fs::remove_all(dir);
 }
 

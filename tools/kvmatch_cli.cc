@@ -39,6 +39,16 @@
 //   kvmatch_cli remote-bench --host 127.0.0.1 --port 7777 [--clients 4]
 //                            [--batch 64] [--qlen 256] [--seed 42]
 //     Pipelined load from N concurrent client connections; reports QPS.
+//   kvmatch_cli remote-ingest --host 127.0.0.1 --port 7777 --name sensor1
+//                             --data data.bin [--chunk 262144] [--replace]
+//                             [--append]
+//     Registers (or, with --append, extends) a series on a running server
+//     without filesystem access to its store: a CREATE frame with the
+//     first chunk, then chunked APPEND frames. --replace drops an
+//     existing series of the same name first. Queries keep running
+//     throughout — each one completes on the epoch it pinned.
+//   kvmatch_cli remote-drop  --host 127.0.0.1 --port 7777 --name sensor1
+//     Unregisters a series; in-flight queries complete on their epoch.
 //   kvmatch_cli stats        --host 127.0.0.1 --port 7777
 //     Prints the server's Prometheus-style stats dump.
 #include <csignal>
@@ -110,8 +120,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: kvmatch_cli <generate|build|info|query|"
                "catalog-ingest|catalog-info|batch-query|serve-bench|"
-               "serve|remote-query|remote-bench|stats> "
-               "[--flags]\n"
+               "serve|remote-query|remote-bench|remote-ingest|remote-drop|"
+               "stats> [--flags]\n"
                "see the header of tools/kvmatch_cli.cc for details\n");
   return 2;
 }
@@ -568,6 +578,7 @@ int CmdServe(const Args& args) {
   sopts.num_threads = args.GetU64("threads", 4);
   sopts.max_queue = args.GetU64("queue", 1024);
   QueryService service(&catalog, sopts);
+  catalog.SetStatsRegistry(service.stats_registry());
 
   net::Server::Options nopts;
   nopts.bind_address = args.Get("bind", "127.0.0.1");
@@ -731,6 +742,67 @@ int CmdRemoteBench(const Args& args) {
   return 0;
 }
 
+int CmdRemoteIngest(const Args& args) {
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int port = static_cast<int>(args.GetU64("port", 7777));
+  const std::string name = args.Get("name");
+  const std::string data_path = args.Get("data");
+  if (name.empty() || data_path.empty()) return Usage();
+  const size_t chunk = std::max<uint64_t>(args.GetU64("chunk", 262'144), 1);
+
+  auto data = ReadBinary(data_path);
+  if (!data.ok()) return Fail(data.status());
+  auto client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  if (args.Has("replace")) {
+    if (Status st = (*client)->DropSeries(name);
+        !st.ok() && !st.IsNotFound()) {
+      return Fail(st);
+    }
+  }
+
+  const auto& values = data->values();
+  size_t offset = 0;
+  net::IngestAck ack;
+  if (!args.Has("append")) {
+    const size_t first = std::min(chunk, values.size());
+    auto created = (*client)->CreateSeries(
+        name, std::span<const double>(values.data(), first));
+    if (!created.ok()) return Fail(created.status());
+    ack = *created;
+    offset = first;
+  }
+  size_t frames = args.Has("append") ? 0 : 1;
+  while (offset < values.size()) {
+    const size_t len = std::min(chunk, values.size() - offset);
+    auto appended = (*client)->AppendSeries(
+        name, std::span<const double>(values.data() + offset, len));
+    if (!appended.ok()) return Fail(appended.status());
+    ack = *appended;
+    offset += len;
+    ++frames;
+  }
+  std::printf("ingested %zu points into '%s' over %zu frame(s); now at "
+              "epoch %llu, %llu points\n",
+              values.size(), name.c_str(), frames,
+              static_cast<unsigned long long>(ack.epoch),
+              static_cast<unsigned long long>(ack.length));
+  return 0;
+}
+
+int CmdRemoteDrop(const Args& args) {
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int port = static_cast<int>(args.GetU64("port", 7777));
+  const std::string name = args.Get("name");
+  if (name.empty()) return Usage();
+  auto client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  if (Status st = (*client)->DropSeries(name); !st.ok()) return Fail(st);
+  std::printf("dropped '%s'\n", name.c_str());
+  return 0;
+}
+
 int CmdStats(const Args& args) {
   const std::string host = args.Get("host", "127.0.0.1");
   const int port = static_cast<int>(args.GetU64("port", 7777));
@@ -759,6 +831,8 @@ int main(int argc, char** argv) {
   if (cmd == "serve") return CmdServe(args);
   if (cmd == "remote-query") return CmdRemoteQuery(args);
   if (cmd == "remote-bench") return CmdRemoteBench(args);
+  if (cmd == "remote-ingest") return CmdRemoteIngest(args);
+  if (cmd == "remote-drop") return CmdRemoteDrop(args);
   if (cmd == "stats") return CmdStats(args);
   return Usage();
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full verification pipeline: Release build + the whole ctest suite, then a
-# ThreadSanitizer build of the concurrent service and network tests. Mirrors what CI
-# runs; use it locally before sending a PR.
+# ThreadSanitizer build of the concurrent service/network/ingest tests and
+# an ASan+UBSan build of the storage/service/net/ingest tests. Mirrors
+# what CI runs; use it locally before sending a PR.
 #
 #   tools/run_checks.sh [jobs]
 set -euo pipefail
@@ -15,11 +16,22 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "=== ThreadSanitizer: service_test + net_test ==="
+echo "=== ThreadSanitizer: service_test + net_test + ingest_test ==="
 cmake -B build-tsan -S . -DKVMATCH_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "$JOBS" --target service_test net_test
+cmake --build build-tsan -j "$JOBS" --target service_test net_test ingest_test
 ./build-tsan/service_test
 ./build-tsan/net_test
+./build-tsan/ingest_test
+
+echo
+echo "=== ASan+UBSan: storage_test + service_test + net_test + ingest_test ==="
+cmake -B build-asan -S . -DKVMATCH_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS" \
+  --target storage_test service_test net_test ingest_test
+./build-asan/storage_test
+./build-asan/service_test
+./build-asan/net_test
+./build-asan/ingest_test
 
 echo
 echo "All checks passed."
