@@ -8,8 +8,12 @@
 //      AppendSeries calls into one series (each append installs a new
 //      epoch) and periodically ReplaceSeries to force full rebuilds.
 // Reported per phase: aggregate QPS and mean/p99 latency, plus the
-// ingest-side throughput (points/s, epochs installed). The interesting
-// number is the p99 delta — how much an epoch flip costs a reader.
+// ingest-side throughput (points/s, epochs installed) and the mean commit
+// latency of appends vs replaces. The interesting numbers are the p99
+// delta — how much an epoch flip costs a reader — and the append/replace
+// latency gap: with epoch delta-commits an append writes only the grown
+// tail chunks (O(appended)), so it should stay flat as the series grows
+// while a replace pays the full O(n) rewrite.
 //
 //   ./bench_ingest_while_query [--n <points per series>] [--runs <mult>]
 //                              [--seed <s>] [--quick]
@@ -127,6 +131,10 @@ int main(int argc, char** argv) {
   std::atomic<bool> stop{false};
   std::atomic<size_t> points_ingested{0};
   std::atomic<size_t> epochs{0};
+  std::atomic<double> append_ms_total{0.0};
+  std::atomic<size_t> append_count{0};
+  std::atomic<double> replace_ms_total{0.0};
+  std::atomic<size_t> replace_count{0};
   std::thread writer([&] {
     Rng wrng(flags.seed + 900);
     size_t appends = 0;
@@ -134,13 +142,28 @@ int main(int argc, char** argv) {
       const TimeSeries chunk = GenerateUcrLike(append_chunk, &wrng);
       Status st;
       if (++appends % 8 == 0) {
-        // Periodic wholesale replace: the worst-case write (full rebuild).
-        st = catalog.ReplaceSeries("hot", GenerateUcrLike(per_series,
-                                                          &wrng));
-        if (st.ok()) points_ingested += per_series;
+        // Periodic wholesale replace: the worst-case write (full rebuild
+        // into a fresh data generation). Generated outside the timer so
+        // the commit latencies compare writes, not data generation.
+        TimeSeries fresh = GenerateUcrLike(per_series, &wrng);
+        Stopwatch commit_sw;
+        st = catalog.ReplaceSeries("hot", std::move(fresh));
+        if (st.ok()) {
+          points_ingested += per_series;
+          replace_ms_total.store(replace_ms_total.load() +
+                                 commit_sw.Seconds() * 1e3);
+          replace_count += 1;
+        }
       } else {
+        // Delta commit: only the grown tail chunks + header + index.
+        Stopwatch commit_sw;
         st = catalog.AppendSeries("hot", chunk.values());
-        if (st.ok()) points_ingested += append_chunk;
+        if (st.ok()) {
+          points_ingested += append_chunk;
+          append_ms_total.store(append_ms_total.load() +
+                                commit_sw.Seconds() * 1e3);
+          append_count += 1;
+        }
       }
       if (!st.ok()) {
         std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
@@ -177,5 +200,19 @@ int main(int argc, char** argv) {
                   ? 100.0 * (contended.p99_ms - baseline.p99_ms) /
                         baseline.p99_ms
                   : 0.0);
+  if (append_count.load() > 0) {
+    const double append_mean =
+        append_ms_total.load() / static_cast<double>(append_count.load());
+    std::printf("delta commits: %zu appends, mean %.2f ms "
+                "(%zu-point tail into a %zu+-point series)",
+                append_count.load(), append_mean, append_chunk, per_series);
+    if (replace_count.load() > 0) {
+      std::printf("; %zu replaces, mean %.2f ms (full rewrite)",
+                  replace_count.load(),
+                  replace_ms_total.load() /
+                      static_cast<double>(replace_count.load()));
+    }
+    std::printf("\n");
+  }
   return 0;
 }

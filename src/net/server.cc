@@ -365,8 +365,10 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       for (const auto& name : catalog_->ListSeries()) {
         SeriesInfo info;
         info.name = name;
-        if (auto session = catalog_->Acquire(name); session.ok()) {
-          info.length = (*session)->series().size();
+        // Directory metadata, not a session open: listing must stay cheap
+        // even when the catalog holds many cold series.
+        if (auto length = catalog_->SeriesLength(name); length.ok()) {
+          info.length = *length;
         }
         series.push_back(std::move(info));
       }
@@ -437,8 +439,8 @@ void Server::HandleIngest(const std::shared_ptr<Connection>& conn,
     if (auto epoch = catalog_->SeriesEpoch(request.series); epoch.ok()) {
       ack.epoch = *epoch;
     }
-    if (auto session = catalog_->Acquire(request.series); session.ok()) {
-      ack.length = (*session)->series().size();
+    if (auto length = catalog_->SeriesLength(request.series); length.ok()) {
+      ack.length = *length;
     }
   }
   if (!st.ok()) {

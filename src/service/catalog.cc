@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/coding.h"
 #include "service/service_stats.h"
+#include "ts/series_store.h"
 
 namespace kvmatch {
 
@@ -43,6 +45,50 @@ bool DecodeLayout(const std::string& in, Session::Options* o,
   return true;
 }
 
+/// The commit journal's intent record: everything recovery needs to roll
+/// the commit back (delete the new epoch, trim appended tail chunks) or
+/// forward (purge the superseded generation).
+struct JournalRecord {
+  uint64_t epoch = 0;        // the epoch being committed
+  std::string data_ns;       // shared chunk namespace the epoch writes
+  bool has_prior = false;    // false for CreateSeries
+  uint64_t prior_epoch = 0;
+  std::string prior_data_ns;
+  uint64_t prior_length = 0;  // committed points before this commit
+};
+
+constexpr uint32_t kJournalVersion = 1;
+
+std::string EncodeJournal(const JournalRecord& rec) {
+  std::string out;
+  PutVarint32(&out, kJournalVersion);
+  PutVarint64(&out, rec.epoch);
+  PutLengthPrefixed(&out, rec.data_ns);
+  PutVarint32(&out, rec.has_prior ? 1 : 0);
+  PutVarint64(&out, rec.prior_epoch);
+  PutLengthPrefixed(&out, rec.prior_data_ns);
+  PutVarint64(&out, rec.prior_length);
+  return out;
+}
+
+bool DecodeJournal(std::string_view in, JournalRecord* rec) {
+  uint32_t version = 0, has_prior = 0;
+  std::string_view data_ns, prior_data_ns;
+  if (!GetVarint32(&in, &version) || version != kJournalVersion ||
+      !GetVarint64(&in, &rec->epoch) ||
+      !GetLengthPrefixed(&in, &data_ns) ||
+      !GetVarint32(&in, &has_prior) ||
+      !GetVarint64(&in, &rec->prior_epoch) ||
+      !GetLengthPrefixed(&in, &prior_data_ns) ||
+      !GetVarint64(&in, &rec->prior_length)) {
+    return false;
+  }
+  rec->data_ns = std::string(data_ns);
+  rec->has_prior = has_prior != 0;
+  rec->prior_data_ns = std::string(prior_data_ns);
+  return true;
+}
+
 }  // namespace
 
 Catalog::Catalog(KvStore* store) : Catalog(store, Options()) {}
@@ -51,6 +97,19 @@ Catalog::Catalog(KvStore* store, Options options)
     : store_(store),
       options_(options),
       store_write_mu_(std::make_shared<std::mutex>()) {
+  // Never reuse an epoch or data-generation number, even across drops and
+  // process restarts: a recreated series must not collide with keys of a
+  // dying generation.
+  std::string next;
+  if (store_->Get(kNextEpochKey, &next).ok()) {
+    next_epoch_ =
+        static_cast<uint64_t>(std::strtoull(next.c_str(), nullptr, 10));
+  }
+
+  // Crash recovery first: journaled half-commits are rolled back or
+  // forward before any directory row is trusted.
+  RecoverJournals();
+
   // Directory rows live under "catalog/"; '0' is '/' + 1, so this scan
   // covers exactly the "catalog/<name>" range.
   for (auto it = store_->Scan("catalog/", "catalog0"); it->Valid();
@@ -63,21 +122,40 @@ Catalog::Catalog(KvStore* store, Options options)
       continue;
     }
     next_epoch_ = std::max(next_epoch_, entry.epoch + 1);
-    auto handle = std::make_shared<EpochHandle>();
+    // The epoch header tells us the committed length and which shared
+    // data generation the epoch reads (legacy epochs keep their chunks
+    // under the epoch namespace itself and read back the same way).
+    const std::string epoch_data = SeriesNs(name, entry.epoch) + "data/";
+    if (auto header = SeriesStore::Open(store_, epoch_data); header.ok()) {
+      entry.length = header->size();
+      entry.data_ns = header->data_ns();
+    } else {
+      entry.data_ns = epoch_data;
+    }
+
+    auto data_handle = std::make_shared<NsHandle>();
+    data_handle->store = store_;
+    data_handle->write_mu = store_write_mu_;
+    data_handle->prefix = entry.data_ns;
+    data_handle->refs = 1;  // the current epoch
+    auto handle = std::make_shared<NsHandle>();
     handle->store = store_;
     handle->write_mu = store_write_mu_;
     handle->prefix = SeriesNs(name, entry.epoch);
+    handle->parent = data_handle;
+    data_handles_.emplace(name, std::move(data_handle));
     handles_.emplace(name, std::move(handle));
     directory_.emplace(name, std::move(entry));
   }
-  // Never reuse an epoch number, even across drops and process restarts:
-  // a recreated series must not collide with keys of a dying generation.
-  std::string next;
-  if (store_->Get(kNextEpochKey, &next).ok()) {
-    next_epoch_ = std::max(
-        next_epoch_,
-        static_cast<uint64_t>(std::strtoull(next.c_str(), nullptr, 10)));
-  }
+
+  // With the directory restored, anything else under series/ is debris
+  // from a crashed drop or a pre-journal failure.
+  SweepOrphans();
+}
+
+Catalog::~Catalog() {
+  std::lock_guard<std::mutex> write_lock(*store_write_mu_);
+  (void)store_->Flush();
 }
 
 void Catalog::SetStatsRegistry(StatsRegistry* stats) {
@@ -85,47 +163,174 @@ void Catalog::SetStatsRegistry(StatsRegistry* stats) {
   stats_ = stats;
 }
 
-// ---- Epoch lifecycle ----
+// ---- Crash recovery (constructor only; no concurrency yet) ----
 
-void Catalog::PurgeEpoch(const std::shared_ptr<EpochHandle>& handle) {
+void Catalog::RecoverJournals() {
+  std::vector<std::pair<std::string, std::string>> journals;
+  for (auto it = store_->Scan("journal/", "journal0"); it->Valid();
+       it->Next()) {
+    journals.emplace_back(
+        std::string(it->key().substr(std::string("journal/").size())),
+        std::string(it->value()));
+  }
+  if (journals.empty()) return;
+
+  for (const auto& [name, raw] : journals) {
+    WriteBatch fix;
+    JournalRecord rec;
+    if (!DecodeJournal(raw, &rec)) {
+      // Undecodable intent record: drop it and let the orphan sweep
+      // reconcile the namespaces against the directory.
+      fix.Delete(JournalKey(name));
+      (void)store_->Apply(fix);
+      continue;
+    }
+    next_epoch_ = std::max(next_epoch_, rec.epoch + 1);
+
+    // The directory row is the commit point: if it names the journaled
+    // epoch, the flip became durable and we finish the commit; otherwise
+    // the epoch never happened and we unwind it.
+    std::string dir_raw;
+    Session::Options layout = options_.session;
+    uint64_t dir_epoch = 0;
+    const bool committed =
+        store_->Get(DirectoryKey(name), &dir_raw).ok() &&
+        DecodeLayout(dir_raw, &layout, &dir_epoch) &&
+        dir_epoch == rec.epoch;
+
+    if (committed) {
+      // Roll forward: the retire-and-purge the crashed process never ran.
+      if (rec.has_prior) {
+        const std::string prior_ns = SeriesNs(name, rec.prior_epoch);
+        fix.DeleteRange(prior_ns, PrefixUpperBound(prior_ns));
+        if (rec.prior_data_ns != rec.data_ns) {
+          fix.DeleteRange(rec.prior_data_ns,
+                          PrefixUpperBound(rec.prior_data_ns));
+        }
+      }
+      ++recovery_.epochs_rolled_forward;
+    } else {
+      // Roll back: delete the half-written epoch; for an in-place append,
+      // trim the tail chunks past the previously committed length (the
+      // grown partial chunk is harmless — readers stop at their length).
+      const std::string epoch_ns = SeriesNs(name, rec.epoch);
+      fix.DeleteRange(epoch_ns, PrefixUpperBound(epoch_ns));
+      if (!rec.has_prior || rec.prior_data_ns != rec.data_ns) {
+        fix.DeleteRange(rec.data_ns, PrefixUpperBound(rec.data_ns));
+      } else {
+        fix.DeleteRange(
+            SeriesStore::ChunkKey(rec.data_ns, rec.prior_length),
+            PrefixUpperBound(rec.data_ns + "c"));
+      }
+      ++recovery_.epochs_rolled_back;
+    }
+    // Burn the journaled epoch number durably, even on rollback.
+    fix.Put(kNextEpochKey, std::to_string(next_epoch_));
+    fix.Delete(JournalKey(name));
+    (void)store_->Apply(fix);
+  }
+  (void)store_->Flush();
+}
+
+void Catalog::SweepOrphans() {
+  constexpr std::string_view kSeriesPrefix = "series/";
+  std::vector<std::string> doomed;
+  std::string last_child;
+  for (auto it = store_->Scan(kSeriesPrefix,
+                              PrefixUpperBound(kSeriesPrefix));
+       it->Valid(); it->Next()) {
+    const std::string key(it->key());
+    const size_t name_end = key.find('/', kSeriesPrefix.size());
+    if (name_end == std::string::npos) continue;
+    const size_t child_end = key.find('/', name_end + 1);
+    if (child_end == std::string::npos) continue;
+    std::string child_prefix = key.substr(0, child_end + 1);
+    if (child_prefix == last_child) continue;  // scan is ordered
+    last_child = child_prefix;
+
+    const std::string name =
+        key.substr(kSeriesPrefix.size(), name_end - kSeriesPrefix.size());
+    const std::string child =
+        key.substr(name_end + 1, child_end - name_end - 1);
+    // Epoch-counter safety net: never hand out a number that could
+    // collide with keys we are about to (or failed to) delete.
+    if (child.size() > 1 && (child[0] == 'e' || child[0] == 'd')) {
+      next_epoch_ = std::max(
+          next_epoch_,
+          static_cast<uint64_t>(
+              std::strtoull(child.c_str() + 1, nullptr, 10)) + 1);
+    }
+
+    bool valid = false;
+    auto dit = directory_.find(name);
+    if (dit != directory_.end()) {
+      valid = child_prefix == SeriesNs(name, dit->second.epoch) ||
+              child_prefix == dit->second.data_ns;
+    }
+    if (!valid) doomed.push_back(std::move(child_prefix));
+  }
+  for (const auto& prefix : doomed) {
+    (void)store_->DeleteRange(prefix, PrefixUpperBound(prefix));
+    ++recovery_.orphans_swept;
+  }
+  if (!doomed.empty()) (void)store_->Flush();
+}
+
+// ---- Namespace lifecycle ----
+
+void Catalog::PurgeNs(const std::shared_ptr<NsHandle>& handle) {
   // Serialized against ingest commits: purges run on whichever thread
-  // drops the last session ref, and the store requires one writer at a
-  // time. Best-effort — a failed purge only leaks dead keys.
+  // drops the last reference, and the store requires one writer at a
+  // time. Best-effort — a failed purge only leaks dead keys (which the
+  // next open's orphan sweep reclaims).
   std::lock_guard<std::mutex> write_lock(*handle->write_mu);
   (void)handle->store->DeleteRange(handle->prefix,
                                    PrefixUpperBound(handle->prefix));
   (void)handle->store->Flush();
 }
 
-std::shared_ptr<const Session> Catalog::WrapSession(
-    std::shared_ptr<EpochHandle> handle, std::unique_ptr<Session> session) {
+void Catalog::ReleaseNs(std::shared_ptr<NsHandle> handle) {
+  while (handle != nullptr) {
+    bool purge = false;
+    {
+      std::lock_guard<std::mutex> lock(handle->mu);
+      handle->refs -= 1;
+      purge = handle->retired && handle->refs == 0 && !handle->purged;
+      if (purge) handle->purged = true;
+    }
+    if (!purge) return;
+    PurgeNs(handle);
+    // A purged epoch can no longer reach its data generation: release it.
+    handle = handle->parent;
+  }
+}
+
+void Catalog::RetireNs(const std::shared_ptr<NsHandle>& handle) {
+  bool purge = false;
   {
     std::lock_guard<std::mutex> lock(handle->mu);
-    handle->sessions += 1;
+    handle->retired = true;
+    purge = handle->refs == 0 && !handle->purged;
+    if (purge) handle->purged = true;
   }
+  if (!purge) return;  // the last reference's release will purge
+  PurgeNs(handle);
+  if (handle->parent != nullptr) ReleaseNs(handle->parent);
+}
+
+void Catalog::AddNsRef(const std::shared_ptr<NsHandle>& handle) {
+  std::lock_guard<std::mutex> lock(handle->mu);
+  handle->refs += 1;
+}
+
+std::shared_ptr<const Session> Catalog::WrapSession(
+    std::shared_ptr<NsHandle> handle, std::unique_ptr<Session> session) {
+  AddNsRef(handle);
   return std::shared_ptr<const Session>(
       session.release(), [handle](const Session* s) {
         delete s;
-        bool purge = false;
-        {
-          std::lock_guard<std::mutex> lock(handle->mu);
-          handle->sessions -= 1;
-          purge = handle->retired && handle->sessions == 0 &&
-                  !handle->purged;
-          if (purge) handle->purged = true;
-        }
-        if (purge) PurgeEpoch(handle);
+        ReleaseNs(handle);
       });
-}
-
-bool Catalog::RetireHandle(const std::shared_ptr<EpochHandle>& handle) {
-  std::lock_guard<std::mutex> lock(handle->mu);
-  handle->retired = true;
-  if (handle->sessions == 0 && !handle->purged) {
-    handle->purged = true;
-    return true;  // caller purges, outside any catalog lock
-  }
-  return false;  // the last session's deleter will purge
 }
 
 void Catalog::RetireOpenEntryLocked(const std::string& name) {
@@ -140,24 +345,56 @@ void Catalog::RetireOpenEntryLocked(const std::string& name) {
 
 Status Catalog::CommitEpochLocked(const std::string& name,
                                   const SeriesIngestor& ingestor,
+                                  CommitKind kind,
                                   uint64_t appended_points) {
   Session::Options layout;
   bool existed = false;
   uint64_t prior_epoch = 0;
+  uint64_t prior_length = 0;
+  std::string prior_data_ns;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto dir = directory_.find(name);
     existed = dir != directory_.end();
     layout = existed ? dir->second.layout : options_.session;
-    if (existed) prior_epoch = dir->second.epoch;
+    if (existed) {
+      prior_epoch = dir->second.epoch;
+      prior_length = dir->second.length;
+      prior_data_ns = dir->second.data_ns;
+    }
   }
 
   const uint64_t epoch = next_epoch_++;
   const std::string ns = SeriesNs(name, epoch);
+  // Appends extend the existing data generation in place; creates and
+  // replaces start a fresh one. Legacy (pre-delta-commit) epochs keep
+  // their chunks inside the epoch namespace, which the next epoch must
+  // not share — migrate them to a shared generation on first append.
+  bool new_datagen = kind != CommitKind::kAppend;
+  if (!new_datagen && prior_data_ns == SeriesNs(name, prior_epoch) + "data/") {
+    new_datagen = true;
+  }
+  const std::string data_ns =
+      new_datagen ? DataGenNs(name, epoch) : prior_data_ns;
+  const uint64_t from_offset = new_datagen ? 0 : prior_length;
+
+  JournalRecord rec;
+  rec.epoch = epoch;
+  rec.data_ns = data_ns;
+  rec.has_prior = existed;
+  rec.prior_epoch = prior_epoch;
+  rec.prior_data_ns = prior_data_ns;
+  rec.prior_length = prior_length;
+
   uint64_t batches = 0;
   {
     std::lock_guard<std::mutex> write_lock(*store_write_mu_);
-    Status st = ingestor.Commit(store_, ns, &batches);
+    // Intent first: every backend persists staged writes in order, so the
+    // journal row is durable no later than any byte of the epoch it
+    // describes — a crash mid-commit always leaves the intent behind.
+    Status st = store_->Put(JournalKey(name), EncodeJournal(rec));
+    if (st.ok()) st = ingestor.Commit(store_, ns, data_ns, from_offset,
+                                      &batches);
     if (st.ok()) {
       // The flip: one atomic batch makes the new epoch the durable truth.
       WriteBatch flip;
@@ -173,6 +410,15 @@ Status Catalog::CommitEpochLocked(const std::string& name,
       // successful Flush, durably pointing at the purged namespace.
       WriteBatch rollback;
       rollback.DeleteRange(ns, PrefixUpperBound(ns));
+      if (new_datagen) {
+        rollback.DeleteRange(data_ns, PrefixUpperBound(data_ns));
+      } else {
+        // In-place append: trim the tail chunks past the committed
+        // length; the grown partial chunk stays (readers stop at their
+        // header's length, and the next append rewrites it).
+        rollback.DeleteRange(SeriesStore::ChunkKey(data_ns, prior_length),
+                             PrefixUpperBound(data_ns + "c"));
+      }
       if (existed) {
         rollback.Put(DirectoryKey(name),
                      EncodeLayout(layout, prior_epoch));
@@ -182,27 +428,49 @@ Status Catalog::CommitEpochLocked(const std::string& name,
       // Never roll the epoch counter back: burning epoch numbers is safe,
       // reusing them is not.
       rollback.Put(kNextEpochKey, std::to_string(next_epoch_));
+      rollback.Delete(JournalKey(name));
       (void)store_->Apply(rollback);
       (void)store_->Flush();
       return st;
     }
+    // Commit is durable: clear the intent. Best-effort — a lingering
+    // journal is re-processed at the next open as an idempotent
+    // roll-forward.
+    (void)store_->Delete(JournalKey(name));
   }
 
   auto session = Session::Open(store_, ns, layout);
   if (!session.ok()) return session.status();
 
-  std::shared_ptr<EpochHandle> old_handle;
+  std::shared_ptr<NsHandle> old_handle;
+  std::shared_ptr<NsHandle> old_data_handle;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto hit = handles_.find(name);
     if (hit != handles_.end()) old_handle = hit->second;
 
-    auto handle = std::make_shared<EpochHandle>();
+    std::shared_ptr<NsHandle> data_handle;
+    if (new_datagen) {
+      auto dhit = data_handles_.find(name);
+      if (dhit != data_handles_.end()) old_data_handle = dhit->second;
+      data_handle = std::make_shared<NsHandle>();
+      data_handle->store = store_;
+      data_handle->write_mu = store_write_mu_;
+      data_handle->prefix = data_ns;
+      data_handle->refs = 1;  // this epoch
+      data_handles_[name] = data_handle;
+    } else {
+      data_handle = data_handles_.at(name);
+      AddNsRef(data_handle);  // the new epoch's reference
+    }
+
+    auto handle = std::make_shared<NsHandle>();
     handle->store = store_;
     handle->write_mu = store_write_mu_;
     handle->prefix = ns;
+    handle->parent = std::move(data_handle);
     handles_[name] = handle;
-    directory_[name] = {layout, epoch};
+    directory_[name] = {layout, epoch, ingestor.size(), data_ns};
 
     // The previous generation leaves the open cache but stays accounted
     // (and alive) until its pinned readers finish.
@@ -210,9 +478,11 @@ Status Catalog::CommitEpochLocked(const std::string& name,
     CacheLocked(name,
                 WrapSession(std::move(handle), std::move(session).value()));
   }
-  const bool purge_now =
-      old_handle != nullptr && RetireHandle(old_handle);
-  if (purge_now) PurgeEpoch(old_handle);
+  // Outside mu_: retiring may purge inline. The superseded data
+  // generation is retired first — the old epoch still holds a reference,
+  // so its keys survive until that epoch (and its readers) are gone.
+  if (old_data_handle != nullptr) RetireNs(old_data_handle);
+  if (old_handle != nullptr) RetireNs(old_handle);
 
   if (stats_ != nullptr) {
     stats_->RecordIngest(name, appended_points, batches);
@@ -238,7 +508,9 @@ Status Catalog::CreateSeries(const std::string& name, TimeSeries series) {
   }
   auto ingestor = std::make_unique<SeriesIngestor>(options_.session);
   ingestor->Append(series.values());
-  KVMATCH_RETURN_NOT_OK(CommitEpochLocked(name, *ingestor, series.size()));
+  KVMATCH_RETURN_NOT_OK(CommitEpochLocked(name, *ingestor,
+                                          CommitKind::kCreate,
+                                          series.size()));
   ingestors_[name] = std::move(ingestor);
   return Status::OK();
 }
@@ -268,7 +540,8 @@ Status Catalog::AppendSeries(const std::string& name,
     iit = ingestors_.emplace(name, std::move(ingestor)).first;
   }
   iit->second->Append(values);
-  Status st = CommitEpochLocked(name, *iit->second, values.size());
+  Status st = CommitEpochLocked(name, *iit->second, CommitKind::kAppend,
+                                values.size());
   // On failure the ingestor holds points the store never saw; drop it so
   // the next append reseeds from the last committed epoch.
   if (!st.ok()) ingestors_.erase(name);
@@ -291,7 +564,8 @@ Status Catalog::ReplaceSeries(const std::string& name, TimeSeries series) {
   }
   auto ingestor = std::make_unique<SeriesIngestor>(dir.layout);
   ingestor->Append(series.values());
-  Status st = CommitEpochLocked(name, *ingestor, series.size());
+  Status st = CommitEpochLocked(name, *ingestor, CommitKind::kReplace,
+                                series.size());
   if (st.ok()) {
     ingestors_[name] = std::move(ingestor);
   } else {
@@ -302,7 +576,8 @@ Status Catalog::ReplaceSeries(const std::string& name, TimeSeries series) {
 
 Status Catalog::DropSeries(const std::string& name) {
   std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
-  std::shared_ptr<EpochHandle> old_handle;
+  std::shared_ptr<NsHandle> old_handle;
+  std::shared_ptr<NsHandle> old_data_handle;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = directory_.find(name);
@@ -315,6 +590,11 @@ Status Catalog::DropSeries(const std::string& name) {
       old_handle = hit->second;
       handles_.erase(hit);
     }
+    auto dhit = data_handles_.find(name);
+    if (dhit != data_handles_.end()) {
+      old_data_handle = dhit->second;
+      data_handles_.erase(dhit);
+    }
     RetireOpenEntryLocked(name);
   }
   ingestors_.erase(name);
@@ -325,9 +605,10 @@ Status Catalog::DropSeries(const std::string& name) {
     KVMATCH_RETURN_NOT_OK(store_->Apply(batch));
     KVMATCH_RETURN_NOT_OK(store_->Flush());
   }
-  if (old_handle != nullptr && RetireHandle(old_handle)) {
-    PurgeEpoch(old_handle);
-  }
+  // Data generation first: the epoch still references it, so its keys
+  // outlive every reader that can still reach them.
+  if (old_data_handle != nullptr) RetireNs(old_data_handle);
+  if (old_handle != nullptr) RetireNs(old_handle);
   if (stats_ != nullptr) {
     stats_->RecordEpochRetired();
     stats_->RecordSeriesDropped(name);
@@ -448,6 +729,15 @@ Result<uint64_t> Catalog::SeriesEpoch(const std::string& name) const {
     return Status::NotFound("unknown series: " + name);
   }
   return it->second.epoch;
+}
+
+Result<uint64_t> Catalog::SeriesLength(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = directory_.find(name);
+  if (it == directory_.end()) {
+    return Status::NotFound("unknown series: " + name);
+  }
+  return it->second.length;
 }
 
 size_t Catalog::cached_sessions() const {

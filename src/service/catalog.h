@@ -1,17 +1,41 @@
 // Catalog: many named series multiplexed over one shared KvStore, mutable
 // while queries are running.
 //
-// Every generation of a series lives under its own epoch-versioned key
-// namespace "series/<name>/e<epoch>/" (chunked data at ".../data/", the
-// index stack at ".../idx/w<w>/"); a directory row "catalog/<name>"
-// records the index layout plus the current epoch. Epoch namespaces are
-// written once and never mutated, which is the MVCC story: a query pins a
-// shared_ptr snapshot (the Session opened on some epoch) at Acquire time
-// and runs against it to completion, while CreateSeries / AppendSeries /
-// ReplaceSeries / DropSeries build the next epoch beside it, flip the
-// directory row, and retire the old epoch. A retired epoch's keys are
-// range-deleted from the store the moment its last pinned Session is
-// released — queries never observe torn or mixed-epoch state.
+// Key layout (the epoch delta-commit scheme):
+//
+//   series/<name>/d<G>/c...   shared, append-only data-chunk rows
+//   series/<name>/e<N>/data/h per-epoch header (length + redirect to d<G>)
+//   series/<name>/e<N>/idx/   per-epoch index stack
+//   catalog/<name>            directory row: index layout + current epoch
+//   journal/<name>            commit journal (present only mid-commit)
+//
+// Data-chunk rows live in a per-series *data generation* namespace that is
+// written once per offset and never rewritten: an append adds the grown
+// tail chunks and leaves every previously committed chunk untouched, so
+// extending a series by k points costs O(k + index) writes regardless of
+// how long the series already is. Only the header and the index levels are
+// versioned per epoch. A new data generation is allocated when the values
+// actually change wholesale (CreateSeries / ReplaceSeries); the old one
+// stays alive until the last epoch referencing it is purged.
+//
+// Epoch namespaces are written once and never mutated, which is the MVCC
+// story: a query pins a shared_ptr snapshot (the Session opened on some
+// epoch) at Acquire time and runs against it to completion, while
+// CreateSeries / AppendSeries / ReplaceSeries / DropSeries build the next
+// epoch beside it, flip the directory row, and retire the old epoch. A
+// retired epoch's keys are range-deleted from the store the moment its
+// last pinned Session is released — queries never observe torn or
+// mixed-epoch state. (Shared data rows are safe to read concurrently with
+// an append because appends only add chunks or grow the final partial one;
+// a reader pinned on an older header stops at its own length.)
+//
+// Crash safety: every commit writes an intent record to journal/<name>
+// first and clears it last. If the process dies mid-commit, the next
+// Catalog opened over the store rolls the commit back (epoch keys deleted,
+// appended tail chunks trimmed) or forward (the directory flip landed:
+// the superseded epoch is purged) and then sweeps any orphaned
+// series/<name>/ child namespaces that no directory row references. See
+// recovery_report() for what a given open had to repair.
 //
 // Appends are incremental: a per-series SeriesIngestor keeps the
 // IncrementalIndexBuilder state warm across appends, so extending a series
@@ -57,19 +81,45 @@ class Catalog {
     uint64_t memory_budget_bytes = 256ull << 20;
   };
 
+  /// What crash recovery had to repair while opening the catalog. All
+  /// zeros after a clean shutdown.
+  struct RecoveryReport {
+    /// Journaled commits whose directory flip never became durable: the
+    /// half-written epoch was deleted and appended tail chunks trimmed.
+    uint64_t epochs_rolled_back = 0;
+    /// Journaled commits that were durable but whose crashed process never
+    /// retired the superseded epoch: the old generation was purged.
+    uint64_t epochs_rolled_forward = 0;
+    /// series/<name>/ child namespaces no directory row referenced
+    /// (crashed drops, pre-journal debris) that were range-deleted.
+    uint64_t orphans_swept = 0;
+
+    bool clean() const {
+      return epochs_rolled_back == 0 && epochs_rolled_forward == 0 &&
+             orphans_swept == 0;
+    }
+  };
+
   /// Opens a catalog over `store` (which must outlive the catalog — and
   /// every Session handed out by Acquire). Any series previously ingested
   /// into the store are discovered from their directory rows and become
-  /// queryable immediately.
+  /// queryable immediately; half-committed epochs left by a crashed
+  /// process are rolled back or forward and orphaned namespaces swept
+  /// before the first query can run.
   Catalog(KvStore* store, Options options);
   explicit Catalog(KvStore* store);
+
+  /// Flushes staged store writes (journal clears ride later flushes) so a
+  /// clean shutdown reopens with a clean recovery report. A crash skips
+  /// this; the lingering intent replays as an idempotent roll-forward.
+  ~Catalog();
 
   // ---- Write path. Safe while queries are in flight; individual calls
   // ---- serialize against each other.
 
-  /// Registers `series` under `name` (letters/digits/._- only) as epoch 0
-  /// of a new series. Fails with InvalidArgument if the name is taken,
-  /// malformed, or the series is shorter than the smallest index window.
+  /// Registers `series` under `name` (letters/digits/._- only) as a new
+  /// series. Fails with InvalidArgument if the name is taken, malformed,
+  /// or the series is shorter than the smallest index window.
   Status CreateSeries(const std::string& name, TimeSeries series);
 
   /// Legacy name for CreateSeries.
@@ -77,13 +127,15 @@ class Catalog {
     return CreateSeries(name, std::move(series));
   }
 
-  /// Extends `name` with `values`, installing a new epoch. Queries already
+  /// Extends `name` with `values`, installing a new epoch. Writes only
+  /// the appended tail chunks plus the new epoch's header and index rows
+  /// — never the data rows previous commits wrote. Queries already
   /// running (or holding a previously Acquired session) keep their epoch;
   /// new Acquires see the extended series. NotFound if unregistered.
   Status AppendSeries(const std::string& name, std::span<const double> values);
 
-  /// Replaces `name`'s values wholesale with `series` (new epoch, fresh
-  /// ingest state). NotFound if unregistered.
+  /// Replaces `name`'s values wholesale with `series` (new epoch, new
+  /// data generation, fresh ingest state). NotFound if unregistered.
   Status ReplaceSeries(const std::string& name, TimeSeries series);
 
   /// Unregisters `name`: new Acquires fail with NotFound immediately,
@@ -104,6 +156,13 @@ class Catalog {
   /// Current epoch of `name` (NotFound if unregistered).
   Result<uint64_t> SeriesEpoch(const std::string& name) const;
 
+  /// Committed length of `name` in points (NotFound if unregistered).
+  /// Cheaper than Acquire for directory-style listings: no session open.
+  Result<uint64_t> SeriesLength(const std::string& name) const;
+
+  /// What crash recovery repaired when this catalog was opened.
+  const RecoveryReport& recovery_report() const { return recovery_; }
+
   /// Optional sink for ingest metrics (points appended, batches
   /// committed, epochs installed/retired). Call before serving traffic;
   /// the registry must outlive the catalog's write-path use.
@@ -120,24 +179,33 @@ class Catalog {
   uint64_t ingest_state_bytes() const;
 
  private:
-  /// Cleanup token for one epoch namespace, shared between the catalog
-  /// and the deleters of every Session opened on that epoch. The epoch's
-  /// keys are purged when it has been retired AND its last session died —
-  /// whichever happens second.
-  struct EpochHandle {
+  /// Refcounted cleanup token for one key namespace. An epoch handle's
+  /// refs count live Session objects; a data-generation handle's refs
+  /// count the (unpurged) epoch handles whose headers redirect into it —
+  /// each epoch handle points at its data generation through `parent` and
+  /// releases that reference when the epoch itself is purged. A
+  /// namespace's keys are range-deleted when it has been retired AND its
+  /// last reference died — whichever happens second — so shared data rows
+  /// outlive every epoch that can still reach them.
+  struct NsHandle {
     KvStore* store = nullptr;
     std::shared_ptr<std::mutex> write_mu;  // serializes all store writes
-    std::string prefix;  // "series/<name>/e<epoch>/"
+    std::string prefix;  // "series/<name>/e<N>/" or "series/<name>/d<G>/"
+    std::shared_ptr<NsHandle> parent;  // data generation; null for data
 
     std::mutex mu;
-    int sessions = 0;     // live Session objects on this epoch
-    bool retired = false; // a newer epoch was installed (or series dropped)
+    int refs = 0;
+    bool retired = false;  // superseded (or series dropped)
     bool purged = false;
   };
+
+  enum class CommitKind { kCreate, kAppend, kReplace };
 
   struct DirEntry {
     Session::Options layout;
     uint64_t epoch = 0;
+    uint64_t length = 0;   // committed points (epoch header's length)
+    std::string data_ns;   // shared chunk namespace the epoch reads
   };
 
   struct Entry {
@@ -156,29 +224,52 @@ class Catalog {
   static std::string SeriesNs(const std::string& name, uint64_t epoch) {
     return "series/" + name + "/e" + std::to_string(epoch) + "/";
   }
+  static std::string DataGenNs(const std::string& name, uint64_t gen) {
+    return "series/" + name + "/d" + std::to_string(gen) + "/";
+  }
   static std::string DirectoryKey(const std::string& name) {
     return "catalog/" + name;
   }
+  static std::string JournalKey(const std::string& name) {
+    return "journal/" + name;
+  }
 
-  /// Purges `handle`'s keys from the store (under the shared write lock).
-  static void PurgeEpoch(const std::shared_ptr<EpochHandle>& handle);
+  /// Range-deletes `handle`'s keys (under the shared write lock).
+  static void PurgeNs(const std::shared_ptr<NsHandle>& handle);
+
+  /// Drops one reference; if the handle is retired and this was the last
+  /// reference, purges its keys and releases the parent chain.
+  static void ReleaseNs(std::shared_ptr<NsHandle> handle);
+
+  /// Marks `handle` retired; purges immediately (and releases the parent
+  /// chain) if no references remain. Must not be called under mu_.
+  static void RetireNs(const std::shared_ptr<NsHandle>& handle);
+
+  /// Adds one reference (a new epoch sharing a data generation).
+  static void AddNsRef(const std::shared_ptr<NsHandle>& handle);
 
   /// Wraps a freshly opened session so its destruction participates in
   /// `handle`'s retire-and-purge protocol.
   static std::shared_ptr<const Session> WrapSession(
-      std::shared_ptr<EpochHandle> handle, std::unique_ptr<Session> session);
+      std::shared_ptr<NsHandle> handle, std::unique_ptr<Session> session);
 
-  /// Builds the next epoch from `ingestor`, flips the directory row and
-  /// installs the session, retiring `name`'s previous epoch (if any).
-  /// Caller must hold ingest_mu_. `appended_points` is for stats only.
+  /// Builds the next epoch from `ingestor` under the commit journal,
+  /// flips the directory row and installs the session, retiring `name`'s
+  /// previous epoch (and, for kReplace, its data generation). Caller must
+  /// hold ingest_mu_. `appended_points` is for stats only.
   Status CommitEpochLocked(const std::string& name,
-                           const SeriesIngestor& ingestor,
+                           const SeriesIngestor& ingestor, CommitKind kind,
                            uint64_t appended_points);
 
-  /// Marks `handle` retired; returns true if the caller must purge it now
-  /// (no live sessions remain). Never purges inline — callers run
-  /// PurgeEpoch outside mu_.
-  static bool RetireHandle(const std::shared_ptr<EpochHandle>& handle);
+  // ---- Recovery at open (constructor only; no concurrency yet). ----
+
+  /// Replays every journal/<name> intent record: rolls the commit back or
+  /// forward depending on whether the directory flip became durable.
+  void RecoverJournals();
+  /// Range-deletes series/<name>/ child namespaces that the directory
+  /// does not reference (run after RecoverJournals, which may have
+  /// restored or removed directory rows' targets).
+  void SweepOrphans();
 
   /// Caches `session` for `name` and evicts LRU entries over budget.
   /// Returns the cached pointer. Caller must hold mu_.
@@ -204,6 +295,7 @@ class Catalog {
   KvStore* store_;
   Options options_;
   StatsRegistry* stats_ = nullptr;  // set once before traffic; see setter
+  RecoveryReport recovery_;        // written by the constructor only
 
   /// Serializes whole write-path calls (create/append/replace/drop) and
   /// guards ingestors_ / next_epoch_ / stats_.
@@ -213,11 +305,14 @@ class Catalog {
   /// shared_ptr so purges stay safe if they outlive the catalog.
   std::shared_ptr<std::mutex> store_write_mu_;
   std::map<std::string, std::unique_ptr<SeriesIngestor>> ingestors_;
+  /// Allocates both epoch numbers and data generation numbers; never
+  /// reused, even across drops and restarts.
   uint64_t next_epoch_ = 0;
 
   mutable std::mutex mu_;
   std::map<std::string, DirEntry> directory_;  // registered series
-  std::map<std::string, std::shared_ptr<EpochHandle>> handles_;  // current
+  std::map<std::string, std::shared_ptr<NsHandle>> handles_;       // epoch
+  std::map<std::string, std::shared_ptr<NsHandle>> data_handles_;  // d<G>
   std::map<std::string, Entry> open_;
   mutable std::vector<RetiredEntry> retired_;
   uint64_t open_bytes_ = 0;

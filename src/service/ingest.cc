@@ -29,7 +29,9 @@ uint64_t SeriesIngestor::MemoryBytes() const {
   return bytes;
 }
 
-Status SeriesIngestor::Commit(KvStore* store, const std::string& ns,
+Status SeriesIngestor::Commit(KvStore* store, const std::string& epoch_ns,
+                              const std::string& data_ns,
+                              uint64_t from_offset,
                               uint64_t* batches_committed) const {
   uint64_t batches = 0;
   WriteBatch batch;
@@ -41,10 +43,16 @@ Status SeriesIngestor::Commit(KvStore* store, const std::string& ns,
     return Status::OK();
   };
 
-  // Data: chunk rows, grouped into bounded batches.
+  // Data: only the chunk rows from `from_offset`'s chunk on — everything
+  // before it was written by an earlier commit into the same shared
+  // namespace and is byte-identical (appends never change old values).
+  // Rewriting the partial last chunk only grows it, which readers pinned
+  // on an older header never notice (they stop at their own length).
   const size_t chunk = options_.series_chunk;
-  const std::string data_ns = ns + "data/";
-  for (size_t offset = 0; offset < series_.size(); offset += chunk) {
+  const size_t first_chunk =
+      (std::min<size_t>(from_offset, series_.size()) / chunk) * chunk;
+  for (size_t offset = first_chunk; offset < series_.size();
+       offset += chunk) {
     const size_t len = std::min(chunk, series_.size() - offset);
     SeriesStore::PutChunk(&batch, data_ns, offset,
                           series_.Subsequence(offset, len));
@@ -55,17 +63,19 @@ Status SeriesIngestor::Commit(KvStore* store, const std::string& ns,
   KVMATCH_RETURN_NOT_OK(flush_batch());
 
   // Index stack: the γ-merge runs here, once per level per commit; each
-  // level's rows + meta land as one atomic batch.
+  // level's rows + meta land as one atomic batch, versioned per epoch.
   for (const auto& builder : builders_) {
     const KvIndex index = builder.Snapshot();
     index.Persist(&batch,
-                  ns + "idx/w" + std::to_string(index.window()) + "/");
+                  epoch_ns + "idx/w" + std::to_string(index.window()) + "/");
     KVMATCH_RETURN_NOT_OK(flush_batch());
   }
 
   // Header last: SeriesStore::Open (and therefore Session::Open) only
-  // succeeds once every byte it will read exists.
-  SeriesStore::PutHeader(&batch, data_ns, series_.size(), chunk);
+  // succeeds once every byte it will read exists. The header lives in the
+  // epoch namespace but redirects chunk reads to the shared data rows.
+  SeriesStore::PutHeaderRedirect(&batch, epoch_ns + "data/", series_.size(),
+                                 chunk, data_ns);
   KVMATCH_RETURN_NOT_OK(flush_batch());
 
   if (batches_committed != nullptr) *batches_committed = batches;

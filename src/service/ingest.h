@@ -4,14 +4,17 @@
 // Points are fed in chunks; each level of the KV-matchDP index stack is
 // maintained by an IncrementalIndexBuilder, so appending k points costs
 // O(k · levels) bucket updates — no O(n) rebuild — and the γ-merge runs
-// once per Commit. Commit persists the full current state (chunked data
-// rows + the index stack + the series header) under a caller-chosen key
-// namespace, grouping the writes into bounded WriteBatches so each chunk
-// of the series lands atomically and peak batch memory stays flat.
+// once per Commit. Commit persists into two caller-chosen namespaces: the
+// chunked data rows land in a shared data namespace starting at a caller
+// supplied offset (so an append writes only the grown tail, never the
+// chunks a previous commit already wrote), while the index stack and the
+// series header are written fresh under the per-epoch namespace. Writes
+// are grouped into bounded WriteBatches so each chunk of the series lands
+// atomically and peak batch memory stays flat.
 //
 // The Catalog drives one SeriesIngestor per mutable series and commits
 // every generation under a fresh epoch namespace; the ingestor itself
-// knows nothing about epochs.
+// knows nothing about epochs or the commit journal.
 //
 // Not thread-safe: the Catalog serializes all ingest work.
 #ifndef KVMATCH_SERVICE_INGEST_H_
@@ -48,13 +51,19 @@ class SeriesIngestor {
   /// this size; each index level commits as its own batch).
   static constexpr uint64_t kBatchTargetBytes = 1ull << 20;
 
-  /// Persists everything appended so far under `ns`: data chunks, the
-  /// index stack, and — in the final batch — the series header, so the
-  /// namespace only becomes openable once it is complete.
-  /// `batches_committed` (may be null) reports how many WriteBatches were
-  /// applied. On failure the namespace is left partially written; the
-  /// caller owns cleanup (the Catalog range-deletes abandoned epochs).
-  Status Commit(KvStore* store, const std::string& ns,
+  /// Persists the current state: chunk rows into `data_ns` starting at
+  /// the chunk containing `from_offset` (pass 0 to write the whole
+  /// series, or the previously committed length to write only the grown
+  /// tail — the partial last chunk is rewritten, full older chunks are
+  /// not), then the index stack under epoch_ns + "idx/", and — in the
+  /// final batch — the series header under epoch_ns + "data/" with a
+  /// redirect to `data_ns`, so the epoch only becomes openable once it is
+  /// complete. `batches_committed` (may be null) reports how many
+  /// WriteBatches were applied. On failure the namespaces are left
+  /// partially written; the caller owns cleanup (the Catalog's journal
+  /// rolls abandoned commits back).
+  Status Commit(KvStore* store, const std::string& epoch_ns,
+                const std::string& data_ns, uint64_t from_offset,
                 uint64_t* batches_committed) const;
 
  private:

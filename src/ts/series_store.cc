@@ -8,16 +8,6 @@ namespace kvmatch {
 
 namespace {
 
-// Chunk keys: ns + "c" + fixed64 big-endian offset (so lexicographic order
-// equals numeric order). Header: ns + "h".
-std::string ChunkKey(const std::string& ns, uint64_t offset) {
-  std::string key = ns + "c";
-  for (int i = 7; i >= 0; --i) {
-    key.push_back(static_cast<char>((offset >> (i * 8)) & 0xff));
-  }
-  return key;
-}
-
 uint64_t ChunkOffsetOf(std::string_view key, size_t ns_len) {
   uint64_t offset = 0;
   for (size_t i = ns_len + 1; i < ns_len + 9; ++i) {
@@ -29,6 +19,16 @@ uint64_t ChunkOffsetOf(std::string_view key, size_t ns_len) {
 std::string HeaderKey(const std::string& ns) { return ns + "h"; }
 
 }  // namespace
+
+// Chunk keys: ns + "c" + fixed64 big-endian offset (so lexicographic order
+// equals numeric order). Header: ns + "h".
+std::string SeriesStore::ChunkKey(const std::string& ns, uint64_t offset) {
+  std::string key = ns + "c";
+  for (int i = 7; i >= 0; --i) {
+    key.push_back(static_cast<char>((offset >> (i * 8)) & 0xff));
+  }
+  return key;
+}
 
 void SeriesStore::PutChunk(WriteBatch* batch, const std::string& ns,
                            uint64_t chunk_offset,
@@ -44,6 +44,17 @@ void SeriesStore::PutHeader(WriteBatch* batch, const std::string& ns,
   PutVarint64(&header, length);
   PutVarint64(&header, chunk_size);
   batch->Put(HeaderKey(ns), header);
+}
+
+void SeriesStore::PutHeaderRedirect(WriteBatch* batch,
+                                    const std::string& header_ns,
+                                    uint64_t length, uint64_t chunk_size,
+                                    const std::string& data_ns) {
+  std::string header;
+  PutVarint64(&header, length);
+  PutVarint64(&header, chunk_size);
+  header.append(data_ns);  // trailing bytes = the redirect target
+  batch->Put(HeaderKey(header_ns), header);
 }
 
 Status SeriesStore::Write(KvStore* store, const TimeSeries& series,
@@ -74,7 +85,9 @@ Result<SeriesStore> SeriesStore::Open(const KvStore* store,
     return Status::Corruption("bad series header");
   }
   out.store_ = store;
-  out.ns_ = ns;
+  // Headers written by PutHeaderRedirect carry the chunk namespace after
+  // the two varints; classic headers end there and read their own ns.
+  out.ns_ = in.empty() ? ns : std::string(in);
   out.length_ = n;
   out.chunk_size_ = chunk;
   return out;

@@ -5,6 +5,13 @@
 // value = the packed values. Phase 2 of KV-match then fetches candidate
 // subsequences with ranged reads instead of holding the series in memory.
 // This mirrors that layout over any KvStore.
+//
+// The header row may redirect chunk reads to a *different* namespace than
+// the one it lives in (PutHeaderRedirect): the catalog's epoch delta-commit
+// stores one shared, append-only chunk namespace per series and a tiny
+// per-epoch header pointing at it, so appends never rewrite old chunk rows.
+// Open follows the redirect transparently; headers without the field read
+// chunks from their own namespace (the classic layout).
 #ifndef KVMATCH_TS_SERIES_STORE_H_
 #define KVMATCH_TS_SERIES_STORE_H_
 
@@ -36,6 +43,20 @@ class SeriesStore {
   static void PutHeader(WriteBatch* batch, const std::string& ns,
                         uint64_t length, uint64_t chunk_size);
 
+  /// Stages a header row into `header_ns` whose chunk rows live in
+  /// `data_ns` instead (the epoch delta-commit layout). Open on
+  /// `header_ns` will read chunks from `data_ns`.
+  static void PutHeaderRedirect(WriteBatch* batch,
+                                const std::string& header_ns,
+                                uint64_t length, uint64_t chunk_size,
+                                const std::string& data_ns);
+
+  /// The key of the chunk row covering offsets [chunk_offset,
+  /// chunk_offset + chunk_size). Exposed so the catalog's recovery path
+  /// can trim chunk rows past a rolled-back length, and so tests can
+  /// count per-chunk write traffic.
+  static std::string ChunkKey(const std::string& ns, uint64_t chunk_offset);
+
   /// Opens a series previously written with Write. Only the header is
   /// read; values are fetched on demand.
   static Result<SeriesStore> Open(const KvStore* store,
@@ -43,6 +64,9 @@ class SeriesStore {
 
   size_t size() const { return length_; }
   size_t chunk_size() const { return chunk_size_; }
+  /// Namespace the chunk rows are read from (== the header's namespace
+  /// unless the header redirects).
+  const std::string& data_ns() const { return ns_; }
 
   /// Reads values [offset, offset + len) with one ranged scan over the
   /// covering chunks. Fails with OutOfRange past the end.

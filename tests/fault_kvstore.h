@@ -1,0 +1,194 @@
+// FaultInjectingKvStore: a KvStore decorator for crash and fault testing.
+//
+// Wraps any backend and counts every write-path call (Put, Delete,
+// DeleteRange, Apply, Flush — one "write op" each; reads always pass
+// through). Two armed failure modes:
+//
+//   FailAfter(n)  — the next n write ops reach the backend, every later
+//                   one returns IOError without touching it. Exercises
+//                   the in-process rollback paths.
+//   CrashAfter(n) — the next n write ops reach the backend, every later
+//                   one is silently dropped (returns OK). The backend is
+//                   left holding exactly the prefix of writes a process
+//                   that died at that point would have issued; reopening
+//                   the catalog over it exercises crash recovery. For
+//                   disk backends, destroy and reopen the backend too so
+//                   staged-but-unflushed writes are genuinely lost.
+//
+// The wrapper also keeps a key log of every Put that reached the backend
+// (batch ops included), so tests can measure write amplification — e.g.
+// assert that appending to a long series never rewrites old chunk rows.
+//
+// Thread-safe (the catalog's purge callbacks may run on reader threads).
+#ifndef KVMATCH_TESTS_FAULT_KVSTORE_H_
+#define KVMATCH_TESTS_FAULT_KVSTORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/kvstore.h"
+
+namespace kvmatch {
+
+class FaultInjectingKvStore : public KvStore {
+ public:
+  explicit FaultInjectingKvStore(KvStore* base) : base_(base) {}
+
+  /// Arms the fault: `ops` more write ops succeed, then every write
+  /// returns IOError.
+  void FailAfter(uint64_t ops) { Arm(Mode::kFail, ops); }
+
+  /// Arms the crash: `ops` more write ops succeed, then every write is
+  /// silently dropped.
+  void CrashAfter(uint64_t ops) { Arm(Mode::kCrash, ops); }
+
+  /// Disarms; writes pass through again.
+  void Heal() { Arm(Mode::kNone, 0); }
+
+  /// Write ops that reached the backend since construction / ResetLog.
+  uint64_t write_ops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_done_;
+  }
+
+  /// Has the armed fault fired at least once?
+  bool tripped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tripped_;
+  }
+
+  /// Puts that reached the backend whose key starts with `prefix`.
+  uint64_t puts_with_prefix(std::string_view prefix) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t n = 0;
+    for (const auto& key : put_log_) {
+      if (key.size() >= prefix.size() &&
+          std::string_view(key).substr(0, prefix.size()) == prefix) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// Keys of every Put that reached the backend, in order.
+  std::vector<std::string> put_log() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return put_log_;
+  }
+
+  void ResetLog() {
+    std::lock_guard<std::mutex> lock(mu_);
+    put_log_.clear();
+    ops_done_ = 0;
+  }
+
+  // ---- KvStore ----
+
+  Status Put(std::string_view key, std::string_view value) override {
+    switch (BeginWrite()) {
+      case Verdict::kDrop: return Status::OK();
+      case Verdict::kFail: return Injected();
+      case Verdict::kPass: break;
+    }
+    LogPut(key);
+    return base_->Put(key, value);
+  }
+
+  Status Delete(std::string_view key) override {
+    switch (BeginWrite()) {
+      case Verdict::kDrop: return Status::OK();
+      case Verdict::kFail: return Injected();
+      case Verdict::kPass: break;
+    }
+    return base_->Delete(key);
+  }
+
+  Status DeleteRange(std::string_view start_key,
+                     std::string_view end_key) override {
+    switch (BeginWrite()) {
+      case Verdict::kDrop: return Status::OK();
+      case Verdict::kFail: return Injected();
+      case Verdict::kPass: break;
+    }
+    return base_->DeleteRange(start_key, end_key);
+  }
+
+  Status Apply(const WriteBatch& batch) override {
+    switch (BeginWrite()) {
+      case Verdict::kDrop: return Status::OK();
+      case Verdict::kFail: return Injected();
+      case Verdict::kPass: break;
+    }
+    for (const auto& op : batch.ops()) {
+      if (op.kind == WriteBatch::Op::kPut) LogPut(op.key);
+    }
+    return base_->Apply(batch);
+  }
+
+  Status Flush() override {
+    switch (BeginWrite()) {
+      case Verdict::kDrop: return Status::OK();
+      case Verdict::kFail: return Injected();
+      case Verdict::kPass: break;
+    }
+    return base_->Flush();
+  }
+
+  Status Get(std::string_view key, std::string* value) const override {
+    return base_->Get(key, value);
+  }
+
+  std::unique_ptr<ScanIterator> Scan(std::string_view start_key,
+                                     std::string_view end_key)
+      const override {
+    return base_->Scan(start_key, end_key);
+  }
+
+  size_t ApproximateCount() const override {
+    return base_->ApproximateCount();
+  }
+
+ private:
+  enum class Mode { kNone, kFail, kCrash };
+  enum class Verdict { kPass, kFail, kDrop };
+
+  static Status Injected() { return Status::IOError("injected fault"); }
+
+  void Arm(Mode mode, uint64_t ops) {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode_ = mode;
+    budget_ = ops;
+    tripped_ = false;
+  }
+
+  Verdict BeginWrite() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (mode_ != Mode::kNone && budget_ == 0) {
+      tripped_ = true;
+      return mode_ == Mode::kFail ? Verdict::kFail : Verdict::kDrop;
+    }
+    if (mode_ != Mode::kNone) --budget_;
+    ++ops_done_;
+    return Verdict::kPass;
+  }
+
+  void LogPut(std::string_view key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    put_log_.emplace_back(key);
+  }
+
+  KvStore* base_;
+  mutable std::mutex mu_;
+  Mode mode_ = Mode::kNone;
+  uint64_t budget_ = 0;
+  uint64_t ops_done_ = 0;
+  bool tripped_ = false;
+  std::vector<std::string> put_log_;
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_TESTS_FAULT_KVSTORE_H_

@@ -20,11 +20,13 @@
 
 #include "baseline/brute_force.h"
 #include "common/rng.h"
+#include "fault_kvstore.h"
 #include "service/catalog.h"
 #include "service/query_service.h"
 #include "storage/mem_kvstore.h"
 #include "storage/minikv.h"
 #include "ts/generator.h"
+#include "ts/series_store.h"
 
 namespace kvmatch {
 namespace {
@@ -250,6 +252,69 @@ TEST(IngestTest, IngestWorksOverMiniKvBackend) {
   ASSERT_TRUE(catalog.DropSeries("s").ok());
   EXPECT_EQ(CountKeys(kv->get(), "series/s/"), 0u);
   std::filesystem::remove_all(dir);
+}
+
+// ---- Delta-commit write amplification: appends are O(appended) ----
+
+TEST(IngestTest, AppendWritesOnlyTheGrownTailChunks) {
+  // Counts the actual KvStore chunk-row writes through the fault wrapper:
+  // appending k points to a long series must write ~k/chunk rows into the
+  // shared data namespace and must never rewrite a chunk row a previous
+  // commit already wrote.
+  MemKvStore base;
+  FaultInjectingKvStore store(&base);
+  Catalog::Options copts = SmallCatalogOptions();
+  copts.session.series_chunk = 128;
+  Catalog catalog(&store, copts);
+
+  constexpr size_t kBase = 20000;
+  constexpr size_t kAppend = 200;
+  constexpr size_t kChunk = 128;
+  Rng rng(31);
+  TimeSeries big = GenerateSynthetic(kBase, &rng);
+  ASSERT_TRUE(catalog.CreateSeries("s", big).ok());
+  // The first epoch of a fresh catalog is 0, so its data generation is
+  // "d0" — and appends keep extending it.
+  const std::string data_ns = "series/s/d0/";
+  EXPECT_EQ(store.puts_with_prefix(data_ns),
+            (kBase + kChunk - 1) / kChunk);
+
+  store.ResetLog();
+  TimeSeries ext = GenerateSynthetic(kAppend, &rng);
+  ASSERT_TRUE(catalog.AppendSeries("s", ext.values()).ok());
+
+  // O(appended): the grown partial chunk plus the new tail chunks — not
+  // the ~156 rows the series already has.
+  const uint64_t append_chunk_puts = store.puts_with_prefix(data_ns);
+  EXPECT_GT(append_chunk_puts, 0u);
+  EXPECT_LE(append_chunk_puts, kAppend / kChunk + 2);
+
+  // No write touched a chunk row before the grown tail, and the new
+  // epoch's namespace holds no chunk rows at all (header + index only).
+  const uint64_t tail_floor = (kBase / kChunk) * kChunk;
+  const std::string tail_key = SeriesStore::ChunkKey(data_ns, tail_floor);
+  for (const auto& key : store.put_log()) {
+    if (key.size() >= data_ns.size() &&
+        key.compare(0, data_ns.size(), data_ns) == 0) {
+      EXPECT_GE(key, tail_key) << "append rewrote an old chunk row";
+    }
+  }
+  EXPECT_EQ(store.puts_with_prefix("series/s/e1/data/c"), 0u);
+
+  // The appended series still reads back exactly (delta commits must not
+  // trade correctness for write savings).
+  TimeSeries full = big;
+  full.Extend(ext.values());
+  auto session = catalog.Acquire("s");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->series().values(), full.values());
+
+  // A replace starts a fresh data generation and leaves nothing shared.
+  store.ResetLog();
+  ASSERT_TRUE(
+      catalog.ReplaceSeries("s", GenerateSynthetic(1000, &rng)).ok());
+  EXPECT_EQ(store.puts_with_prefix(data_ns), 0u);
+  EXPECT_EQ(store.puts_with_prefix("series/s/d2/"), (1000 + 127) / 128);
 }
 
 // ---- The acceptance scenario: mutations racing an 8-thread query load ----

@@ -307,6 +307,156 @@ TEST(ProtocolTest, QueryValueCountOverflowIsRejected) {
   EXPECT_FALSE(DecodeQueryRequestBody(body, &out).ok());
 }
 
+// Seeded byte-level fuzzing of the incremental decoder: random flips,
+// truncations, garbage insertions and splices of valid frames, fed in
+// random-sized chunks, must never crash, hang, or surface a frame whose
+// canonical encoding is not one of the originals (the CRC must catch
+// every mutation that reaches a frame boundary). Runs under ASan in CI;
+// ctest label: fuzzish.
+TEST(ProtocolTest, DecoderSurvivesRandomMutationsWithoutAcceptingGarbage) {
+  // A pool of valid frames of every shape and a few sizes.
+  std::vector<std::string> pool;
+  {
+    Rng rng(20260701);
+    for (int i = 0; i < 12; ++i) {
+      Frame frame;
+      frame.request_id = rng.Next();
+      switch (i % 4) {
+        case 0: {
+          frame.type = FrameType::kQueryRequest;
+          WireQueryRequest req;
+          req.request.series = "series" + std::to_string(i);
+          for (int k = 0; k < 8 * (i + 1); ++k) {
+            req.request.query.push_back(static_cast<double>(rng.Next()) /
+                                        1e9);
+          }
+          EncodeQueryRequestBody(req, &frame.body);
+          break;
+        }
+        case 1: {
+          frame.type = FrameType::kError;
+          EncodeErrorBody(Status::NotFound("nope"), &frame.body);
+          break;
+        }
+        case 2: {
+          frame.type = FrameType::kAppendRequest;
+          WireIngestRequest req;
+          req.series = "s";
+          for (int k = 0; k < 16 * (i + 1); ++k) {
+            req.values.push_back(static_cast<double>(k));
+          }
+          EncodeIngestRequestBody(req, &frame.body);
+          break;
+        }
+        default:
+          frame.type = FrameType::kPing;
+          break;
+      }
+      std::string wire;
+      EncodeFrame(frame, &wire);
+      pool.push_back(std::move(wire));
+    }
+  }
+
+  Rng rng(987654321);
+  auto random_byte = [&rng] {
+    return static_cast<char>(rng.UniformInt(0, 255));
+  };
+  size_t frames_accepted = 0, frames_rejected = 0;
+
+  for (int trial = 0; trial < 400; ++trial) {
+    // A stream of 1-4 frames from the pool...
+    std::string stream;
+    const int64_t count = rng.UniformInt(1, 4);
+    for (int64_t i = 0; i < count; ++i) {
+      stream += pool[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+    }
+    // ...damaged by 1-4 random mutations.
+    const int64_t mutations = rng.UniformInt(1, 4);
+    for (int64_t m = 0; m < mutations && !stream.empty(); ++m) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(stream.size()) - 1));
+      switch (rng.UniformInt(0, 3)) {
+        case 0:  // flip one byte
+          stream[pos] = static_cast<char>(stream[pos] ^
+                                          (1 << rng.UniformInt(0, 7)));
+          break;
+        case 1:  // truncate
+          stream.resize(pos);
+          break;
+        case 2: {  // insert garbage
+          std::string junk;
+          for (int64_t k = rng.UniformInt(1, 24); k > 0; --k) {
+            junk.push_back(random_byte());
+          }
+          stream.insert(pos, junk);
+          break;
+        }
+        default: {  // splice: overwrite with a slice of another frame
+          const std::string& donor = pool[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+          const size_t n = std::min<size_t>(
+              donor.size(), static_cast<size_t>(rng.UniformInt(1, 32)));
+          stream.replace(pos, std::min(n, stream.size() - pos),
+                         donor.substr(0, n));
+          break;
+        }
+      }
+    }
+
+    // Feed in random-sized chunks, draining after each feed. Cap the
+    // event count: the decoder must always make progress (consume bytes
+    // or report kNeedMore/kFatal), so a spin here is a hang bug.
+    FrameDecoder decoder;
+    size_t fed = 0;
+    size_t events = 0;
+    const size_t event_cap = 16 * (stream.size() + 16);
+    bool fatal = false;
+    while (fed < stream.size() && !fatal) {
+      const size_t n = std::min<size_t>(
+          stream.size() - fed, static_cast<size_t>(rng.UniformInt(1, 64)));
+      decoder.Feed(std::string_view(stream).substr(fed, n));
+      fed += n;
+      for (;;) {
+        ASSERT_LT(++events, event_cap) << "decoder spun without progress";
+        Frame out;
+        Status error;
+        const FrameDecoder::Event event = decoder.Next(&out, &error);
+        if (event == FrameDecoder::Event::kNeedMore) break;
+        if (event == FrameDecoder::Event::kFatal) {
+          fatal = true;
+          break;
+        }
+        if (event == FrameDecoder::Event::kBadFrame) {
+          ++frames_rejected;
+          EXPECT_FALSE(error.ok());
+          continue;
+        }
+        ASSERT_EQ(event, FrameDecoder::Event::kFrame);
+        // Anything the decoder accepts must be byte-identical to a frame
+        // we actually encoded — a corrupt frame slipping through means
+        // the CRC or length checks have a hole.
+        std::string reencoded;
+        EncodeFrame(out, &reencoded);
+        bool known = false;
+        for (const auto& valid : pool) {
+          if (valid == reencoded) {
+            known = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(known) << "decoder accepted a mutated frame (trial "
+                           << trial << ")";
+        ++frames_accepted;
+      }
+    }
+  }
+  // The fuzz must actually exercise both paths to mean anything.
+  EXPECT_GT(frames_accepted, 0u);
+  EXPECT_GT(frames_rejected, 0u);
+}
+
 // ----------------------------------------------------------------- server
 
 constexpr size_t kNumSeries = 4;

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "storage/block.h"
+#include "ts/series_store.h"
 #include "storage/file_kvstore.h"
 #include "storage/mem_kvstore.h"
 #include "storage/minikv.h"
@@ -325,6 +326,138 @@ TEST(StorageParityTest, SameOpSequenceYieldsIdenticalScans) {
     }
 
     if (step % 150 == 149) {
+      for (auto& s : stores) ASSERT_TRUE(s->Flush().ok());
+      for (size_t si = 0; si < stores.size(); ++si) {
+        std::map<std::string, std::string> got;
+        for (auto it = stores[si]->Scan("", ""); it->Valid(); it->Next()) {
+          ASSERT_TRUE(it->status().ok());
+          got[std::string(it->key())] = std::string(it->value());
+        }
+        ASSERT_EQ(got, oracle) << "store " << si << " diverged at step "
+                               << step;
+      }
+    }
+  }
+
+  stores.clear();
+  fs::remove_all(mini_dir);
+  std::remove(file_path.c_str());
+}
+
+// The epoch delta-commit layout leans on namespace-wide DeleteRange
+// (epoch purges, data-generation purges, appended-tail trims) interleaved
+// with chunk/index writes across "series/<s>/d<G>/" and "series/<s>/e<N>/"
+// prefixes. Drive that exact op shape into every backend plus the oracle.
+TEST(StorageParityTest, SharedDataAndEpochNamespaceOpsStayInParity) {
+  MiniKv::Options mini_opts;
+  mini_opts.memtable_limit_bytes = 2048;
+  const std::string mini_dir = TempPath("kvm_parity_ns_mini");
+  const std::string file_path = TempPath("kvm_parity_ns_file");
+  fs::remove_all(mini_dir);
+  std::remove(file_path.c_str());
+
+  std::vector<std::unique_ptr<KvStore>> stores;
+  stores.push_back(std::make_unique<MemKvStore>());
+  {
+    auto r = FileKvStore::Open(file_path);
+    ASSERT_TRUE(r.ok());
+    stores.push_back(std::move(r).value());
+  }
+  {
+    auto r = MiniKv::Open(mini_dir, mini_opts);
+    ASSERT_TRUE(r.ok());
+    stores.push_back(std::move(r).value());
+  }
+
+  std::map<std::string, std::string> oracle;
+  auto oracle_delete_range = [&oracle](const std::string& lo,
+                                       const std::string& hi) {
+    auto begin = oracle.lower_bound(lo);
+    auto end = hi.empty() ? oracle.end() : oracle.lower_bound(hi);
+    oracle.erase(begin, end);
+  };
+
+  Rng rng(20260731);
+  const std::vector<std::string> names = {"a", "bb"};
+  // The real chunk-row key encoding, so the test tracks the layout.
+  const auto chunk_key = SeriesStore::ChunkKey;
+  auto data_ns = [&](const std::string& name) {
+    return "series/" + name + "/d" +
+           std::to_string(rng.UniformInt(0, 3)) + "/";
+  };
+  auto epoch_ns = [&](const std::string& name) {
+    return "series/" + name + "/e" +
+           std::to_string(rng.UniformInt(0, 5)) + "/";
+  };
+  auto apply_all = [&](const WriteBatch& batch) {
+    for (auto& s : stores) ASSERT_TRUE(s->Apply(batch).ok());
+  };
+
+  for (int step = 0; step < 900; ++step) {
+    const std::string name = names[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(names.size()) - 1))];
+    const int64_t roll = rng.UniformInt(0, 99);
+    if (roll < 35) {
+      // Chunk row into a shared data generation.
+      const std::string k = chunk_key(
+          data_ns(name), 64 * static_cast<uint64_t>(rng.UniformInt(0, 15)));
+      const std::string v = "chunk" + std::to_string(rng.Next() % 100);
+      oracle[k] = v;
+      for (auto& s : stores) ASSERT_TRUE(s->Put(k, v).ok());
+    } else if (roll < 55) {
+      // Epoch rows: header + an index row, as one atomic batch.
+      const std::string ns = epoch_ns(name);
+      WriteBatch batch;
+      const std::string hk = ns + "data/h";
+      const std::string rk =
+          ns + "idx/w25/r" + std::to_string(rng.UniformInt(0, 9));
+      const std::string hv = "hdr" + std::to_string(rng.Next() % 100);
+      const std::string rv = "row" + std::to_string(rng.Next() % 100);
+      batch.Put(hk, hv);
+      batch.Put(rk, rv);
+      oracle[hk] = hv;
+      oracle[rk] = rv;
+      apply_all(batch);
+    } else if (roll < 70) {
+      // Namespace purge (epoch retire or data-generation death).
+      const std::string ns =
+          rng.UniformInt(0, 1) == 0 ? data_ns(name) : epoch_ns(name);
+      oracle_delete_range(ns, PrefixUpperBound(ns));
+      for (auto& s : stores) {
+        ASSERT_TRUE(s->DeleteRange(ns, PrefixUpperBound(ns)).ok());
+      }
+    } else if (roll < 85) {
+      // Appended-tail trim: every chunk at or past a rollback length.
+      const std::string ns = data_ns(name);
+      const std::string lo = chunk_key(
+          ns, 64 * static_cast<uint64_t>(rng.UniformInt(0, 15)));
+      const std::string hi = PrefixUpperBound(ns + "c");
+      oracle_delete_range(lo, hi);
+      for (auto& s : stores) ASSERT_TRUE(s->DeleteRange(lo, hi).ok());
+    } else {
+      // Rollback-shaped batch: delete a namespace, rewrite a directory
+      // row, drop a journal row — all atomically.
+      const std::string ns = epoch_ns(name);
+      WriteBatch batch;
+      batch.DeleteRange(ns, PrefixUpperBound(ns));
+      const std::string dk = "catalog/" + name;
+      const std::string dv = "dir" + std::to_string(rng.Next() % 100);
+      batch.Put(dk, dv);
+      batch.Delete("journal/" + name);
+      oracle_delete_range(ns, PrefixUpperBound(ns));
+      oracle[dk] = dv;
+      oracle.erase("journal/" + name);
+      apply_all(batch);
+      // Occasionally re-stage a journal row for later deletes to hit.
+      if (rng.UniformInt(0, 1) == 0) {
+        const std::string jk = "journal/" + name;
+        const std::string jv = "intent" + std::to_string(rng.Next() % 10);
+        oracle[jk] = jv;
+        for (auto& s : stores) ASSERT_TRUE(s->Put(jk, jv).ok());
+      }
+    }
+
+    if (step % 100 == 99) {
       for (auto& s : stores) ASSERT_TRUE(s->Flush().ok());
       for (size_t si = 0; si < stores.size(); ++si) {
         std::map<std::string, std::string> got;

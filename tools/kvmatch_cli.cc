@@ -336,11 +336,22 @@ int CmdCatalogInfo(const Args& args) {
   auto store = FileKvStore::Open(store_path);
   if (!store.ok()) return Fail(store.status());
   Catalog catalog(store->get());
-  TablePrinter table({"Series", "Points", "Indexes", "Memory (MB)"});
+  if (const auto& rec = catalog.recovery_report(); !rec.clean()) {
+    std::printf("crash recovery: %llu epoch(s) rolled back, %llu rolled "
+                "forward, %llu orphaned namespace(s) swept\n",
+                static_cast<unsigned long long>(rec.epochs_rolled_back),
+                static_cast<unsigned long long>(rec.epochs_rolled_forward),
+                static_cast<unsigned long long>(rec.orphans_swept));
+  }
+  TablePrinter table({"Series", "Points", "Epoch", "Indexes",
+                      "Memory (MB)"});
   for (const auto& name : catalog.ListSeries()) {
     auto session = catalog.Acquire(name);
     if (!session.ok()) return Fail(session.status());
+    uint64_t epoch = 0;
+    if (auto e = catalog.SeriesEpoch(name); e.ok()) epoch = *e;
     table.AddRow({name, TablePrinter::FmtInt((*session)->series().size()),
+                  TablePrinter::FmtInt(epoch),
                   TablePrinter::FmtInt((*session)->num_indexes()),
                   TablePrinter::Fmt(
                       static_cast<double>((*session)->MemoryBytes()) / 1e6,
@@ -573,6 +584,13 @@ int CmdServe(const Args& args) {
   auto store = FileKvStore::Open(store_path);
   if (!store.ok()) return Fail(store.status());
   Catalog catalog(store->get());
+  if (const auto& rec = catalog.recovery_report(); !rec.clean()) {
+    std::printf("crash recovery: %llu epoch(s) rolled back, %llu rolled "
+                "forward, %llu orphaned namespace(s) swept\n",
+                static_cast<unsigned long long>(rec.epochs_rolled_back),
+                static_cast<unsigned long long>(rec.epochs_rolled_forward),
+                static_cast<unsigned long long>(rec.orphans_swept));
+  }
 
   QueryService::Options sopts;
   sopts.num_threads = args.GetU64("threads", 4);

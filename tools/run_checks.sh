@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification pipeline: Release build + the whole ctest suite, then a
 # ThreadSanitizer build of the concurrent service/network/ingest tests and
-# an ASan+UBSan build of the storage/service/net/ingest tests. Mirrors
-# what CI runs; use it locally before sending a PR.
+# an ASan+UBSan build of the storage/service/net/ingest tests plus the
+# crash-point-replay suite (fault_kvstore_test). Mirrors what CI runs; use
+# it locally before sending a PR.
 #
 #   tools/run_checks.sh [jobs]
 set -euo pipefail
@@ -24,14 +25,16 @@ cmake --build build-tsan -j "$JOBS" --target service_test net_test ingest_test
 ./build-tsan/ingest_test
 
 echo
-echo "=== ASan+UBSan: storage_test + service_test + net_test + ingest_test ==="
+echo "=== ASan+UBSan: storage/service/net/ingest + crash-point replay ==="
 cmake -B build-asan -S . -DKVMATCH_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS" \
-  --target storage_test service_test net_test ingest_test
+  --target storage_test service_test net_test ingest_test \
+           fault_kvstore_test
 ./build-asan/storage_test
 ./build-asan/service_test
 ./build-asan/net_test
 ./build-asan/ingest_test
+./build-asan/fault_kvstore_test
 
 echo
 echo "All checks passed."
