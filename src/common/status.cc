@@ -15,6 +15,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

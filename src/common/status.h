@@ -25,6 +25,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Lightweight error-carrying return type.
@@ -63,6 +64,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg = "") {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg = "") {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -77,6 +81,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -1,0 +1,62 @@
+// Cooperative execution context threaded through the two-phase match
+// pipeline: a cancellation token plus an absolute deadline, checked at
+// every phase-1 window probe and every phase-2 verify slice. A query that
+// observes either condition stops at the next checkpoint and returns
+// Cancelled / DeadlineExceeded with whatever stats it accumulated, instead
+// of running a 100M-point scan to completion.
+#ifndef KVMATCH_MATCH_EXEC_CONTEXT_H_
+#define KVMATCH_MATCH_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace kvmatch {
+
+/// One-shot cancellation flag shared between a submitter (or the service's
+/// Cancel entry point) and the worker executing the query. Cancel() may be
+/// called from any thread, any number of times, before/during/after the
+/// query runs.
+class CancelToken {
+ public:
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-execution context. Both members are optional: a default ExecContext
+/// never aborts, so wrapper APIs that predate the executor keep their
+/// run-to-completion semantics.
+struct ExecContext {
+  /// Borrowed; must outlive the execution. Null disables cancellation.
+  const CancelToken* cancel = nullptr;
+  /// Absolute deadline; time_point::max() disables it.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+
+  /// The checkpoint test: OK to continue, or the abort reason. Cancellation
+  /// wins over an expired deadline when both hold (the explicit request is
+  /// the stronger signal).
+  Status Check() const {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (has_deadline() && std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("query deadline expired mid-flight");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_MATCH_EXEC_CONTEXT_H_

@@ -1,132 +1,44 @@
 #include "match/kv_match.h"
 
-#include <algorithm>
-#include <chrono>
-#include <numeric>
+#include "match/executor.h"
 
 namespace kvmatch {
 
-namespace {
-
-double MsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-Status ValidateSegments(std::span<const double> q,
-                        const std::vector<QuerySegment>& segments) {
-  if (segments.empty()) {
-    return Status::InvalidArgument("empty query segmentation");
-  }
-  size_t expect = 0;
-  for (const auto& seg : segments) {
-    if (seg.index == nullptr) {
-      return Status::InvalidArgument("segment has no index");
-    }
-    if (seg.length != seg.index->window()) {
-      return Status::InvalidArgument("segment length != index window");
-    }
-    if (seg.offset != expect) {
-      return Status::InvalidArgument("segments must tile a prefix of Q");
-    }
-    expect += seg.length;
-  }
-  if (expect > q.size()) {
-    return Status::InvalidArgument("segmentation longer than Q");
-  }
-  return Status::OK();
-}
-
-}  // namespace
+// The two-phase pipeline lives in QueryExecutor; these single-shot entry
+// points exist so baselines, benches and tests keep their original
+// shapes (and so a default ExecContext preserves the old
+// run-to-completion semantics exactly).
 
 Result<IntervalList> ComputeCandidateSet(
     const TimeSeries& series, std::span<const double> q,
     const QueryParams& params, const std::vector<QuerySegment>& segments,
-    MatchStats* stats, const MatchOptions& options) {
-  KVMATCH_RETURN_NOT_OK(ValidateSegments(q, segments));
-  const auto t0 = std::chrono::steady_clock::now();
-
-  std::vector<size_t> lengths;
-  lengths.reserve(segments.size());
-  for (const auto& seg : segments) lengths.push_back(seg.length);
-  const std::vector<QueryWindow> windows =
-      ComputeQueryWindowsSegmented(q, lengths, params);
-
-  // Choose processing order (§VI-C: smaller estimated RList first).
-  std::vector<size_t> order(segments.size());
-  std::iota(order.begin(), order.end(), 0);
-  if (options.reorder_windows) {
-    std::vector<uint64_t> est(segments.size());
-    for (size_t i = 0; i < segments.size(); ++i) {
-      est[i] = segments[i].index->EstimateIntervals(windows[i].lr,
-                                                    windows[i].ur);
-    }
-    std::stable_sort(order.begin(), order.end(),
-                     [&](size_t a, size_t b) { return est[a] < est[b]; });
-  }
-  size_t limit = options.max_windows == 0
-                     ? order.size()
-                     : std::min(order.size(), options.max_windows);
-
-  IntervalList cs;
-  bool first = true;
-  for (size_t k = 0; k < limit; ++k) {
-    const size_t i = order[k];
-    auto is = segments[i].index->ProbeRange(
-        windows[i].lr, windows[i].ur,
-        stats == nullptr ? nullptr : &stats->probe);
-    if (!is.ok()) return is.status();
-    const IntervalList cs_i =
-        is.value().ShiftLeft(static_cast<int64_t>(windows[i].offset));
-    if (first) {
-      cs = cs_i;
-      first = false;
-    } else {
-      cs = IntervalList::Intersect(cs, cs_i);
-    }
-    if (cs.empty()) break;
-  }
-
-  // A candidate must host a full |Q| subsequence.
-  const size_t m = q.size();
-  if (series.size() < m) {
-    cs = IntervalList();
-  } else {
-    IntervalList full_range;
-    full_range.AppendInterval({0, static_cast<int64_t>(series.size() - m)});
-    cs = IntervalList::Intersect(cs, full_range);
-  }
-
-  if (stats != nullptr) {
-    stats->candidate_intervals = cs.num_intervals();
-    stats->candidate_positions = static_cast<uint64_t>(cs.num_positions());
-    stats->phase1_ms = MsSince(t0);
-  }
-  return cs;
+    MatchStats* stats, const MatchOptions& options, const ExecContext& ctx) {
+  // Phase 1 never touches the prefix oracle; an empty one outliving the
+  // executor keeps the reference valid without building O(n) sums.
+  const PrefixStats no_prefix;
+  auto executor = QueryExecutor::Create(series, no_prefix, q, params,
+                                        segments, options);
+  if (!executor.ok()) return executor.status();
+  Status st = (*executor)->RunPhase1(ctx);
+  if (stats != nullptr) stats->Add((*executor)->stats());
+  KVMATCH_RETURN_NOT_OK(st);
+  return (*executor)->candidates();
 }
 
 Result<std::vector<MatchResult>> MatchWithSegments(
     const TimeSeries& series, const PrefixStats& prefix,
     std::span<const double> q, const QueryParams& params,
     const std::vector<QuerySegment>& segments, MatchStats* stats,
-    const MatchOptions& options) {
-  auto cs = ComputeCandidateSet(series, q, params, segments, stats, options);
-  if (!cs.ok()) return cs.status();
-
-  const auto t1 = std::chrono::steady_clock::now();
-  Verifier verifier(series, prefix);
-  std::vector<MatchResult> results =
-      verifier.Verify(q, params, cs.value(), stats, options.verify);
-  if (stats != nullptr) {
-    stats->phase2_ms = MsSince(t1);
-  }
-  return results;
+    const MatchOptions& options, const ExecContext& ctx) {
+  auto executor =
+      QueryExecutor::Create(series, prefix, q, params, segments, options);
+  if (!executor.ok()) return executor.status();
+  return (*executor)->Run(ctx, stats);
 }
 
 Result<std::vector<MatchResult>> KvMatcher::Match(
     std::span<const double> q, const QueryParams& params, MatchStats* stats,
-    const MatchOptions& options) const {
+    const MatchOptions& options, const ExecContext& ctx) const {
   const size_t w = index_.window();
   if (w == 0 || q.size() < w) {
     return Status::InvalidArgument("query shorter than index window");
@@ -137,7 +49,7 @@ Result<std::vector<MatchResult>> KvMatcher::Match(
     segments[i] = {&index_, i * w, w};
   }
   return MatchWithSegments(series_, prefix_, q, params, segments, stats,
-                           options);
+                           options, ctx);
 }
 
 }  // namespace kvmatch

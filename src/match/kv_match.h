@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "index/kv_index.h"
+#include "match/exec_context.h"
 #include "match/query_ranges.h"
 #include "match/query_types.h"
 #include "match/verifier.h"
@@ -40,20 +41,24 @@ struct QuerySegment {
   size_t length = 0;  // must equal index->window()
 };
 
-/// Runs Algorithm 1 over the given segmentation. Returns matches ordered
-/// by offset. Fails with InvalidArgument on an empty/invalid segmentation.
+/// Runs Algorithm 1 over the given segmentation (a thin wrapper over
+/// QueryExecutor — see match/executor.h for the resumable form). Returns
+/// matches ordered by offset. Fails with InvalidArgument on an
+/// empty/invalid segmentation, and with Cancelled/DeadlineExceeded when
+/// `ctx` aborts the run at a phase-1 probe or phase-2 slice boundary.
 Result<std::vector<MatchResult>> MatchWithSegments(
     const TimeSeries& series, const PrefixStats& prefix,
     std::span<const double> q, const QueryParams& params,
     const std::vector<QuerySegment>& segments, MatchStats* stats = nullptr,
-    const MatchOptions& options = {});
+    const MatchOptions& options = {}, const ExecContext& ctx = {});
 
 /// Computes only the final candidate set CS (phase 1), for experiments
 /// that count candidates without verification (Table VII).
 Result<IntervalList> ComputeCandidateSet(
     const TimeSeries& series, std::span<const double> q,
     const QueryParams& params, const std::vector<QuerySegment>& segments,
-    MatchStats* stats = nullptr, const MatchOptions& options = {});
+    MatchStats* stats = nullptr, const MatchOptions& options = {},
+    const ExecContext& ctx = {});
 
 /// The basic KV-match: one fixed-w index.
 class KvMatcher {
@@ -68,8 +73,8 @@ class KvMatcher {
   Result<std::vector<MatchResult>> Match(std::span<const double> q,
                                          const QueryParams& params,
                                          MatchStats* stats = nullptr,
-                                         const MatchOptions& options = {})
-      const;
+                                         const MatchOptions& options = {},
+                                         const ExecContext& ctx = {}) const;
 
  private:
   const TimeSeries& series_;

@@ -2,8 +2,8 @@
 
 namespace kvmatch {
 
-Result<std::vector<MatchResult>> KvMatchDp::Match(
-    std::span<const double> q, const QueryParams& params, MatchStats* stats,
+Result<std::unique_ptr<QueryExecutor>> KvMatchDp::MakeExecutor(
+    std::span<const double> q, const QueryParams& params,
     const MatchOptions& options) const {
   auto sg = SegmentQuery(q, params, indexes_);
   if (!sg.ok()) return sg.status();
@@ -20,8 +20,16 @@ Result<std::vector<MatchResult>> KvMatchDp::Match(
     segments.push_back({index, offset, len});
     offset += len;
   }
-  return MatchWithSegments(series_, prefix_, q, params, segments, stats,
-                           options);
+  return QueryExecutor::Create(series_, prefix_, q, params,
+                               std::move(segments), options);
+}
+
+Result<std::vector<MatchResult>> KvMatchDp::Match(
+    std::span<const double> q, const QueryParams& params, MatchStats* stats,
+    const MatchOptions& options, const ExecContext& ctx) const {
+  auto executor = MakeExecutor(q, params, options);
+  if (!executor.ok()) return executor.status();
+  return (*executor)->Run(ctx, stats);
 }
 
 }  // namespace kvmatch

@@ -6,9 +6,11 @@
 #ifndef KVMATCH_MATCHDP_KV_MATCH_DP_H_
 #define KVMATCH_MATCHDP_KV_MATCH_DP_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "match/executor.h"
 #include "match/kv_match.h"
 #include "matchdp/segmenter.h"
 
@@ -26,8 +28,16 @@ class KvMatchDp {
   Result<std::vector<MatchResult>> Match(std::span<const double> q,
                                          const QueryParams& params,
                                          MatchStats* stats = nullptr,
-                                         const MatchOptions& options = {})
-      const;
+                                         const MatchOptions& options = {},
+                                         const ExecContext& ctx = {}) const;
+
+  /// The resumable form: segments Q and returns an executor positioned
+  /// before the first probe step, for orchestrators that need stepwise
+  /// control (mid-query cancellation, parallel verify slices). The
+  /// matcher must outlive the executor.
+  Result<std::unique_ptr<QueryExecutor>> MakeExecutor(
+      std::span<const double> q, const QueryParams& params,
+      const MatchOptions& options = {}) const;
 
   /// The segmentation that Match would use (exposed for Fig. 10 analysis).
   Result<Segmentation> Segment(std::span<const double> q,

@@ -70,19 +70,26 @@ Result<std::unique_ptr<Session>> Session::Open(const KvStore* store,
 
 Result<std::vector<MatchResult>> Session::Query(std::span<const double> q,
                                                 const QueryParams& params,
-                                                MatchStats* stats) const {
-  return matcher_->Match(q, params, stats);
+                                                MatchStats* stats,
+                                                const ExecContext& ctx) const {
+  return matcher_->Match(q, params, stats, MatchOptions(), ctx);
 }
 
 Result<std::vector<MatchResult>> Session::QueryTopK(
     std::span<const double> q, QueryParams params, size_t k,
-    const TopKOptions& options) const {
+    const TopKOptions& options, const ExecContext& ctx) const {
   return TopKMatch(
       [&](double epsilon) {
         params.epsilon = epsilon;
-        return matcher_->Match(q, params);
+        return matcher_->Match(q, params, nullptr, MatchOptions(), ctx);
       },
       k, options);
+}
+
+Result<std::unique_ptr<QueryExecutor>> Session::MakeExecutor(
+    std::span<const double> q, const QueryParams& params,
+    const MatchOptions& options) const {
+  return matcher_->MakeExecutor(q, params, options);
 }
 
 uint64_t Session::IndexBytes() const {

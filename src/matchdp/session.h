@@ -75,16 +75,27 @@ class Session {
     return Open(store, "", Options());
   }
 
-  /// ε-match with any of the four query types. |Q| must be >= wu.
+  /// ε-match with any of the four query types. |Q| must be >= wu. `ctx`
+  /// makes the run abortable (Cancelled / DeadlineExceeded) at phase-1
+  /// probe and phase-2 slice boundaries.
   Result<std::vector<MatchResult>> Query(std::span<const double> q,
                                          const QueryParams& params,
-                                         MatchStats* stats = nullptr) const;
+                                         MatchStats* stats = nullptr,
+                                         const ExecContext& ctx = {}) const;
 
   /// Top-k best matches under the given query type (ε in `params` is
-  /// ignored; the search expands ε internally).
+  /// ignored; the search expands ε internally). `ctx` is checked inside
+  /// every ε-round's probe/verify steps.
   Result<std::vector<MatchResult>> QueryTopK(
       std::span<const double> q, QueryParams params, size_t k,
-      const TopKOptions& options = {}) const;
+      const TopKOptions& options = {}, const ExecContext& ctx = {}) const;
+
+  /// The resumable executor for one query (DP segmentation included) —
+  /// what the QueryService uses to cancel mid-flight and fan verify
+  /// slices across workers. The session must outlive the executor.
+  Result<std::unique_ptr<QueryExecutor>> MakeExecutor(
+      std::span<const double> q, const QueryParams& params,
+      const MatchOptions& options = {}) const;
 
   const TimeSeries& series() const { return series_; }
   size_t num_indexes() const { return indexes_.size(); }

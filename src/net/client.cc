@@ -123,6 +123,17 @@ Result<Frame> Client::WaitFrame(uint64_t id) {
         // failure to a request we could match).
         return CarriedError(frame);
       }
+      if (frame.type == FrameType::kMatchResponsePart) {
+        // A streamed chunk, never a "final" frame: accumulate it for its
+        // request (whether or not that is the id being waited on) and
+        // keep reading.
+        if (Status st = DecodeMatchPartBody(
+                frame.body, &parked_parts_[frame.request_id]);
+            !st.ok()) {
+          return Status::Corruption("response stream: " + st.message());
+        }
+        continue;
+      }
       if (frame.request_id == id) return frame;
       parked_[frame.request_id] = std::move(frame);
       continue;
@@ -139,6 +150,14 @@ Result<Frame> Client::WaitFrame(uint64_t id) {
 
 Result<QueryResponse> Client::WaitResponse(uint64_t id) {
   auto frame = WaitFrame(id);
+  // Any accumulated stream chunks for this id are consumed here — on the
+  // error paths they are dropped (the server never streams before an
+  // error, so this is purely defensive).
+  std::vector<MatchResult> parts;
+  if (auto it = parked_parts_.find(id); it != parked_parts_.end()) {
+    parts = std::move(it->second);
+    parked_parts_.erase(it);
+  }
   if (!frame.ok()) return frame.status();
   if (frame->type == FrameType::kError) {
     QueryResponse response;
@@ -150,7 +169,23 @@ Result<QueryResponse> Client::WaitResponse(uint64_t id) {
   }
   QueryResponse response;
   KVMATCH_RETURN_NOT_OK(DecodeQueryResponseBody(frame->body, &response));
+  if (!parts.empty()) {
+    // Streamed: the final frame is matchless; the chunks, concatenated in
+    // arrival order, are the full offset-ordered match list.
+    parts.insert(parts.end(), response.matches.begin(),
+                 response.matches.end());
+    response.matches = std::move(parts);
+  }
   return response;
+}
+
+Status Client::Cancel(uint64_t id) {
+  Frame frame;
+  frame.type = FrameType::kCancel;
+  frame.request_id = id;  // targets the query with this id, not a new one
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  return WriteAll(fd_, wire);
 }
 
 Result<QueryResponse> Client::Query(const QueryRequest& request) {

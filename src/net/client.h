@@ -39,9 +39,18 @@ class Client {
   /// Blocks until the response for `id` arrives. A kError answer is
   /// surfaced as an OK Result whose response.status carries the decoded
   /// Status — exactly what the in-process Submit().get() would return.
-  /// Transport-level failures (connection lost, stream corruption) are
-  /// non-OK Results; after one, the connection is unusable.
+  /// Streamed responses (kMatchResponsePart chunks + final frame) are
+  /// reassembled transparently: the returned matches are identical to
+  /// the single-frame encoding. Transport-level failures (connection
+  /// lost, stream corruption) are non-OK Results; after one, the
+  /// connection is unusable.
   Result<QueryResponse> WaitResponse(uint64_t id);
+
+  /// Requests cancellation of the in-flight query `id` (fire-and-forget:
+  /// no ack frame). The query's own response then arrives as Cancelled —
+  /// or as its normal result if it completed first; callers must still
+  /// WaitResponse(id).
+  Status Cancel(uint64_t id);
 
   /// SendRequest + WaitResponse.
   Result<QueryResponse> Query(const QueryRequest& request);
@@ -82,6 +91,9 @@ class Client {
   uint64_t next_id_ = 1;
   FrameDecoder decoder_;
   std::map<uint64_t, Frame> parked_;
+  /// Streamed match chunks accumulated per request id until the final
+  /// frame for that id is consumed by WaitResponse.
+  std::map<uint64_t, std::vector<MatchResult>> parked_parts_;
 };
 
 }  // namespace net

@@ -42,6 +42,7 @@ uint32_t StatusCodeToWire(StatusCode code) {
     case StatusCode::kInternal: return 7;
     case StatusCode::kResourceExhausted: return 8;
     case StatusCode::kDeadlineExceeded: return 9;
+    case StatusCode::kCancelled: return 10;
   }
   return 7;  // unknown codes degrade to Internal
 }
@@ -58,6 +59,7 @@ StatusCode StatusCodeFromWire(uint32_t wire) {
     case 7: return StatusCode::kInternal;
     case 8: return StatusCode::kResourceExhausted;
     case 9: return StatusCode::kDeadlineExceeded;
+    case 10: return StatusCode::kCancelled;
   }
   return StatusCode::kInternal;
 }
@@ -80,6 +82,8 @@ Status MakeStatus(StatusCode code, std::string msg) {
       return Status::ResourceExhausted(std::move(msg));
     case StatusCode::kDeadlineExceeded:
       return Status::DeadlineExceeded(std::move(msg));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(msg));
   }
   return Status::Internal(std::move(msg));
 }
@@ -306,6 +310,39 @@ Status DecodeQueryResponseBody(std::string_view body, QueryResponse* out) {
   }
   if (!ReadDouble(&body, &s.phase1_ms)) return Malformed("phase1 time");
   if (!ReadDouble(&body, &s.phase2_ms)) return Malformed("phase2 time");
+  if (!body.empty()) return Malformed("trailing bytes");
+  return Status::OK();
+}
+
+// ---- Streamed match parts ----
+
+void EncodeMatchPartBody(std::span<const MatchResult> matches,
+                         std::string* body) {
+  PutVarint64(body, matches.size());
+  for (const auto& m : matches) {
+    PutVarint64(body, m.offset);
+    PutDouble(body, m.distance);
+  }
+}
+
+Status DecodeMatchPartBody(std::string_view body,
+                           std::vector<MatchResult>* out) {
+  uint64_t count = 0;
+  if (!GetVarint64(&body, &count)) return Malformed("part match count");
+  // A match needs >= 9 encoded bytes; reject counts the body cannot hold
+  // before allocating for them.
+  if (count > body.size() / 9) return Malformed("part count vs body size");
+  out->reserve(out->size() + static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    MatchResult m;
+    uint64_t offset = 0;
+    if (!GetVarint64(&body, &offset)) return Malformed("part match offset");
+    m.offset = static_cast<size_t>(offset);
+    if (!ReadDouble(&body, &m.distance)) {
+      return Malformed("part match distance");
+    }
+    out->push_back(m);
+  }
   if (!body.empty()) return Malformed("trailing bytes");
   return Status::OK();
 }

@@ -23,6 +23,7 @@
 #define KVMATCH_NET_PROTOCOL_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,6 +60,16 @@ enum class FrameType : uint8_t {
   kAppendRequest = 11,  // WireIngestRequest body: extend an existing series
   kDropRequest = 12,    // WireIngestRequest body (values ignored)
   kIngestResponse = 13, // IngestAck body
+  /// Aborts the in-flight query whose request id equals this frame's
+  /// request id (same connection). Fire-and-forget: there is no cancel
+  /// ack — the cancelled query itself answers with a typed kError
+  /// (Cancelled), or with its normal response if it won the race.
+  kCancel = 14,         // empty body
+  /// One chunk of a streamed match set: a match-list body for the given
+  /// request id. Zero or more parts precede the final kQueryResponse
+  /// (which then carries status/stats and no matches); parts arrive in
+  /// offset order and concatenate to the exact single-frame result.
+  kMatchResponsePart = 15,
 };
 
 struct Frame {
@@ -145,6 +156,14 @@ Status DecodeQueryRequestBody(std::string_view body, WireQueryRequest* out);
 void EncodeQueryResponseBody(const QueryResponse& response,
                              std::string* body);
 Status DecodeQueryResponseBody(std::string_view body, QueryResponse* out);
+
+/// Body of one kMatchResponsePart: a bare match list (the frame's request
+/// id ties it to its query).
+void EncodeMatchPartBody(std::span<const MatchResult> matches,
+                         std::string* body);
+/// Appends the part's matches to `*out` (streaming reassembly).
+Status DecodeMatchPartBody(std::string_view body,
+                           std::vector<MatchResult>* out);
 
 void EncodeErrorBody(const Status& status, std::string* body);
 /// Reconstructs the Status an error frame carries. Returns non-OK only

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -116,12 +117,64 @@ void Server::Stop() {
   if (!started_) return;
   stop_.store(true);
   if (acceptor_.joinable()) acceptor_.join();
+  // Bounded drain: give in-flight queries drain_timeout_ms to finish on
+  // their own, then cancel the stragglers through their tokens — they
+  // abort at the next probe/slice checkpoint and their Cancelled
+  // responses flush like any other, so Reap below never waits on a
+  // runaway scan.
+  if (options_.drain_timeout_ms > 0.0) {
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                options_.drain_timeout_ms));
+    while (PendingQueries() > 0 &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    // Sweep repeatedly, not once: a reader mid-iteration when stop_ was
+    // set can still register and submit a query for up to one poll
+    // interval, and a single sweep taken before that registration would
+    // let it run uncancelled — putting Reap right back into the
+    // unbounded wait this drain exists to prevent. Re-sweeping until the
+    // pipeline is empty is cheap (cancelling a token twice is a no-op)
+    // and terminates: readers stop submitting within kPollIntervalMs,
+    // and every cancelled query answers within one verify slice.
+    while (PendingQueries() > 0) {
+      CancelAllInFlight();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
   Reap(/*all=*/true);
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
   started_ = false;
+}
+
+size_t Server::PendingQueries() const {
+  size_t pending = 0;
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const auto& [id, conn] : conns_) {
+    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    pending += conn->pending;
+  }
+  return pending;
+}
+
+void Server::CancelAllInFlight() {
+  std::vector<std::shared_ptr<CancelToken>> tokens;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& [id, conn] : conns_) {
+      std::lock_guard<std::mutex> conn_lock(conn->mu);
+      for (const auto& [rid, token] : conn->inflight) {
+        tokens.push_back(token);
+      }
+    }
+  }
+  for (auto& token : tokens) token->Cancel();
 }
 
 size_t Server::ActiveConnections() const {
@@ -391,12 +444,16 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case FrameType::kDropRequest:
       HandleIngest(conn, frame.type, frame.request_id, frame.body);
       return;
+    case FrameType::kCancel:
+      HandleCancel(conn, frame.request_id);
+      return;
     case FrameType::kQueryResponse:
     case FrameType::kStatsResponse:
     case FrameType::kListResponse:
     case FrameType::kError:
     case FrameType::kPong:
     case FrameType::kIngestResponse:
+    case FrameType::kMatchResponsePart:
       SendError(conn, frame.request_id,
                 Status::InvalidArgument("response frame sent to server"));
       return;
@@ -454,6 +511,20 @@ void Server::HandleIngest(const std::shared_ptr<Connection>& conn,
   Enqueue(conn, response);
 }
 
+void Server::HandleCancel(const std::shared_ptr<Connection>& conn,
+                          uint64_t id) {
+  // Fire-and-forget: the cancelled query answers through its own response
+  // path, and a cancel that lost the race to completion is simply a no-op.
+  std::shared_ptr<CancelToken> token;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (auto it = conn->inflight.find(id); it != conn->inflight.end()) {
+      token = it->second;
+    }
+  }
+  if (token != nullptr) token->Cancel();
+}
+
 void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
                          uint64_t id, std::string_view body) {
   WireQueryRequest wire_request;
@@ -486,13 +557,66 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
     request.query.assign(span.begin(), span.end());
   }
 
+  // The token is registered before submission, so a kCancel can never
+  // race ahead of its target; the completion callback retires it. A
+  // request id already in flight is rejected: accepting it would clobber
+  // the first query's token (leaving one of the two uncancellable, which
+  // would also break Stop()'s bounded-drain guarantee).
+  auto token = std::make_shared<CancelToken>();
+  request.cancel = token;
+  bool duplicate = false;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
-    conn->pending += 1;
-    conn->requests += 1;
+    duplicate = conn->inflight.count(id) > 0;
+    if (!duplicate) {
+      conn->pending += 1;
+      conn->requests += 1;
+      conn->inflight[id] = token;
+    }
   }
+  if (duplicate) {
+    service_->stats_registry()->RecordProtocolError();
+    SendError(conn, id,
+              Status::InvalidArgument("request id " + std::to_string(id) +
+                                      " is already in flight"));
+    return;
+  }
+  // Clamp the chunk so no part frame can exceed the frame cap: a
+  // MatchResult encodes at up to 18 bytes (10B varint offset + 8B
+  // double), plus prologue headroom. 0 stays 0 (streaming disabled).
+  size_t stream_chunk = options_.stream_chunk_matches;
+  const size_t cap_matches =
+      options_.max_frame_bytes > 64 ? (options_.max_frame_bytes - 64) / 18
+                                    : 1;
+  if (stream_chunk > cap_matches) stream_chunk = cap_matches;
   service_->SubmitWithCallback(
-      std::move(request), [conn, id](QueryResponse response) {
+      std::move(request), [conn, id, stream_chunk](QueryResponse response) {
+        // Encoded frames for this response, pushed onto the outbox as one
+        // contiguous run (other requests' frames may interleave between
+        // runs — the client reassembles per request id).
+        std::vector<std::string> wires;
+        if (response.status.ok() && stream_chunk > 0 &&
+            response.matches.size() > stream_chunk) {
+          // Stream: the match list leaves in bounded parts, the final
+          // kQueryResponse carries status/stats/latency and no matches.
+          const std::vector<MatchResult> matches =
+              std::move(response.matches);
+          response.matches.clear();
+          for (size_t begin = 0; begin < matches.size();
+               begin += stream_chunk) {
+            const size_t len =
+                std::min(stream_chunk, matches.size() - begin);
+            Frame part;
+            part.type = FrameType::kMatchResponsePart;
+            part.request_id = id;
+            EncodeMatchPartBody(
+                std::span<const MatchResult>(matches.data() + begin, len),
+                &part.body);
+            std::string wire;
+            EncodeFrame(part, &wire);
+            wires.push_back(std::move(wire));
+          }
+        }
         Frame frame;
         frame.request_id = id;
         if (response.status.ok()) {
@@ -500,15 +624,19 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
           EncodeQueryResponseBody(response, &frame.body);
         } else {
           // Typed error on the wire: the client reconstructs the exact
-          // Status (ResourceExhausted, DeadlineExceeded, NotFound, ...).
+          // Status (ResourceExhausted, DeadlineExceeded, Cancelled, ...).
           frame.type = FrameType::kError;
           EncodeErrorBody(response.status, &frame.body);
         }
         std::string wire;
         EncodeFrame(frame, &wire);
+        wires.push_back(std::move(wire));
         std::lock_guard<std::mutex> lock(conn->mu);
         conn->pending -= 1;
-        if (!conn->aborted) conn->outbox.push_back(std::move(wire));
+        conn->inflight.erase(id);
+        if (!conn->aborted) {
+          for (auto& w : wires) conn->outbox.push_back(std::move(w));
+        }
         conn->cv.notify_all();
       });
 }

@@ -13,8 +13,17 @@
 // kError frame and the connection keeps serving; only an oversized
 // declared payload (framing no longer trustworthy) closes that one
 // connection. Connections over the limit are refused with
-// ResourceExhausted. Stop() is graceful: it stops accepting, lets every
-// submitted query finish, flushes the responses, then joins all threads.
+// ResourceExhausted. Stop() is graceful with a bounded drain: it stops
+// accepting, lets submitted queries finish for up to drain_timeout_ms,
+// cancels whatever is still running via the per-query tokens (those
+// queries answer Cancelled within a verify-slice), flushes the responses,
+// then joins all threads.
+//
+// Large match sets stream: when a response carries more matches than
+// stream_chunk_matches, it leaves as a sequence of kMatchResponsePart
+// frames followed by a final (matchless) kQueryResponse, so no result is
+// ever forced through a single ≤64 MiB frame. A kCancel frame aborts the
+// in-flight query with the same request id on that connection.
 #ifndef KVMATCH_NET_SERVER_H_
 #define KVMATCH_NET_SERVER_H_
 
@@ -45,6 +54,16 @@ class Server {
     size_t max_connections = 64;   // beyond this, refuse with an error frame
     double idle_timeout_ms = 0.0;  // close idle connections; 0 disables
     size_t max_frame_bytes = kMaxPayloadBytes;
+    /// Responses with more matches than this stream as kMatchResponsePart
+    /// chunks of this many matches, then a final (matchless)
+    /// kQueryResponse — so a huge match set never has to fit one frame.
+    /// The default keeps every part well under the 64 MiB payload cap;
+    /// 0 disables streaming (single-frame responses only).
+    size_t stream_chunk_matches = 2'000'000;
+    /// Stop(): wall-clock budget for draining in-flight queries before
+    /// the remaining ones are cancelled via their tokens (they then
+    /// answer Cancelled and the drain completes). 0 waits forever.
+    double drain_timeout_ms = 30'000.0;
   };
 
   /// `catalog` resolves by-reference queries and LIST requests; `service`
@@ -83,6 +102,10 @@ class Server {
     std::condition_variable cv;
     std::deque<std::string> outbox;  // encoded frames awaiting write
     size_t pending = 0;              // submitted queries not yet enqueued
+    /// Cancellation token per in-flight query, keyed by the client's
+    /// request id; entries vanish when the response is enqueued. kCancel
+    /// frames and the Stop() drain watchdog fire these.
+    std::map<uint64_t, std::shared_ptr<CancelToken>> inflight;
     bool reader_done = false;        // no more frames will be submitted
     bool aborted = false;            // write error: drop outbox, exit now
     bool finished = false;           // writer exited; joinable by reaper
@@ -98,6 +121,13 @@ class Server {
   void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
   void HandleQuery(const std::shared_ptr<Connection>& conn, uint64_t id,
                    std::string_view body);
+  /// kCancel: fires the token of the in-flight query with this id on this
+  /// connection (a no-op if it already completed — that race is inherent).
+  void HandleCancel(const std::shared_ptr<Connection>& conn, uint64_t id);
+  /// Cancels every in-flight query on every connection (drain watchdog).
+  void CancelAllInFlight();
+  /// Sum of pending responses across connections.
+  size_t PendingQueries() const;
   /// kCreate/kAppend/kDrop: runs the catalog write inline on the reader
   /// thread (catalog writes are serialized; other connections' queries
   /// keep flowing) and answers with kIngestResponse or kError.

@@ -1,6 +1,7 @@
 #include "service/query_service.h"
 
-#include <memory>
+#include <algorithm>
+#include <condition_variable>
 #include <thread>
 #include <utility>
 
@@ -36,6 +37,50 @@ bool HasDeadline(std::chrono::steady_clock::time_point deadline) {
   return deadline != std::chrono::steady_clock::time_point::max();
 }
 
+/// Shared state of one request's fanned-out verify phase. Slice indices
+/// are claimed atomically, so every slice runs exactly once no matter how
+/// many helpers actually got scheduled; the owning worker always claims
+/// too, so completion never depends on idle pool capacity. Helpers hold
+/// the state (and the pinned session) through a shared_ptr, so a helper
+/// task that only gets dequeued after the owner already returned still
+/// finds live memory and exits without claiming anything.
+struct SliceFanout {
+  std::shared_ptr<const Session> session;  // pins series/index memory
+  /// Owned by the submitting worker's stack; safe because that worker
+  /// waits for every *claimed* slice before returning, and a helper that
+  /// arrives later finds no slice left to claim and never dereferences.
+  QueryExecutor* executor = nullptr;
+  /// ctx.cancel is likewise owned by the submitting worker for the whole
+  /// fanout (it holds the token's shared_ptr across Execute()).
+  ExecContext ctx;
+
+  std::atomic<size_t> next{0};
+  std::vector<Status> status;               // per slice
+  std::vector<std::vector<MatchResult>> results;
+  std::vector<MatchStats> stats;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;  // guarded by mu
+
+  void RunSlices() {
+    const size_t total = results.size();
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      auto part = executor->VerifySlice(i, ctx, &stats[i]);
+      if (part.ok()) {
+        results[i] = std::move(part).value();
+      } else {
+        status[i] = part.status();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      completed += 1;
+      if (completed == total) cv.notify_all();
+    }
+  }
+};
+
 }  // namespace
 
 QueryService::QueryService(Catalog* catalog)
@@ -43,6 +88,7 @@ QueryService::QueryService(Catalog* catalog)
 
 QueryService::QueryService(Catalog* catalog, Options options)
     : catalog_(catalog),
+      options_(options),
       pool_(DefaultThreads(options.num_threads), options.max_queue) {}
 
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
@@ -54,10 +100,19 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
   return future;
 }
 
-void QueryService::SubmitWithCallback(
+uint64_t QueryService::SubmitWithCallback(
     QueryRequest request, std::function<void(QueryResponse)> done) {
   const auto enqueued = std::chrono::steady_clock::now();
   const auto deadline = ComputeDeadline(enqueued, request.timeout_ms);
+
+  // Every submission gets an id; only accepted ones get registered.
+  std::shared_ptr<CancelToken> token = request.cancel;
+  if (token == nullptr) token = std::make_shared<CancelToken>();
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    id = next_request_id_++;
+  }
 
   // A budget that is already spent never deserves a queue slot: answer
   // right away instead of displacing a request that could still make it.
@@ -67,25 +122,73 @@ void QueryService::SubmitWithCallback(
     response.status =
         Status::DeadlineExceeded("request budget spent before submission");
     done(std::move(response));
-    return;
+    return id;
   }
+
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_[id] = token;
+  }
+  stats_.RecordQueryStarted();
 
   // The request and callback are moved into the task; shared_ptr keeps
   // the lambda copyable for std::function.
   auto shared_request = std::make_shared<QueryRequest>(std::move(request));
   auto shared_done =
       std::make_shared<std::function<void(QueryResponse)>>(std::move(done));
-  Status submitted = pool_.Submit([this, shared_request, shared_done,
-                                   enqueued, deadline] {
-    (*shared_done)(Execute(*shared_request, enqueued, deadline));
+  Status submitted = pool_.Submit([this, shared_request, shared_done, token,
+                                   id, enqueued, deadline] {
+    QueryResponse response =
+        Execute(*shared_request, token, enqueued, deadline);
+    Unregister(id);
+    stats_.RecordQueryFinished();
+    (*shared_done)(std::move(response));
   });
   if (!submitted.ok()) {
+    Unregister(id);
+    stats_.RecordQueryFinished();
     stats_.RecordRejected();
     QueryResponse response;
     response.status = submitted;
     response.latency_ms = MsSince(enqueued);
     (*shared_done)(std::move(response));
   }
+  return id;
+}
+
+void QueryService::Unregister(uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_.erase(request_id);
+}
+
+Status QueryService::Cancel(uint64_t request_id) {
+  std::shared_ptr<CancelToken> token;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(request_id);
+    if (it == inflight_.end()) {
+      return Status::NotFound("request " + std::to_string(request_id) +
+                              " is not in flight");
+    }
+    token = it->second;
+  }
+  token->Cancel();
+  return Status::OK();
+}
+
+void QueryService::CancelAll() {
+  std::vector<std::shared_ptr<CancelToken>> tokens;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    tokens.reserve(inflight_.size());
+    for (auto& [id, token] : inflight_) tokens.push_back(token);
+  }
+  for (auto& token : tokens) token->Cancel();
+}
+
+size_t QueryService::InFlight() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return inflight_.size();
 }
 
 std::vector<std::future<QueryResponse>> QueryService::SubmitBatch(
@@ -96,15 +199,71 @@ std::vector<std::future<QueryResponse>> QueryService::SubmitBatch(
   return futures;
 }
 
+Status QueryService::ParallelVerify(
+    const std::shared_ptr<const Session>& session, QueryExecutor* executor,
+    const ExecContext& ctx, std::vector<MatchResult>* matches,
+    MatchStats* stats) {
+  const size_t num_slices = executor->num_slices();
+  auto fanout = std::make_shared<SliceFanout>();
+  fanout->session = session;
+  fanout->executor = executor;
+  fanout->ctx = ctx;
+  fanout->status.assign(num_slices, Status::OK());
+  fanout->results.resize(num_slices);
+  fanout->stats.resize(num_slices);
+
+  // Opportunistic helpers: leave one worker for the owner itself, and
+  // never mind a full queue — a rejected helper just means the owner
+  // verifies more slices. Helpers never block, so they cannot deadlock
+  // the pool the way a nested Submit-and-wait would.
+  const size_t helpers = std::min(num_slices, pool_.num_threads()) - 1;
+  for (size_t h = 0; h < helpers; ++h) {
+    if (!pool_.Submit([fanout] { fanout->RunSlices(); }).ok()) break;
+  }
+
+  fanout->RunSlices();
+  {
+    std::unique_lock<std::mutex> lock(fanout->mu);
+    fanout->cv.wait(lock, [&] { return fanout->completed == num_slices; });
+  }
+
+  Status overall = Status::OK();
+  double phase2_ms = 0.0;
+  size_t total = 0;
+  for (size_t i = 0; i < num_slices; ++i) {
+    // Per-slice wall times overlap under parallelism; report the phase as
+    // the max slice time instead of their sum so phase2_ms stays a
+    // wall-clock figure.
+    phase2_ms = std::max(phase2_ms, fanout->stats[i].phase2_ms);
+    fanout->stats[i].phase2_ms = 0.0;
+    stats->Add(fanout->stats[i]);
+    if (!fanout->status[i].ok() && overall.ok()) overall = fanout->status[i];
+    total += fanout->results[i].size();
+  }
+  stats->phase2_ms += phase2_ms;
+  if (!overall.ok()) return overall;
+  matches->reserve(total);
+  for (auto& part : fanout->results) {
+    matches->insert(matches->end(), part.begin(), part.end());
+  }
+  return Status::OK();
+}
+
 QueryResponse QueryService::Execute(
-    const QueryRequest& request,
+    const QueryRequest& request, const std::shared_ptr<CancelToken>& token,
     std::chrono::steady_clock::time_point enqueued,
     std::chrono::steady_clock::time_point deadline) {
   QueryResponse response;
-  // Checked at dequeue, before any work: a request that outlived its
-  // budget in the queue is answered immediately, not run to completion.
+  // Checked at dequeue, before any work: a request that was cancelled or
+  // outlived its budget in the queue is answered immediately, not run.
   // `>=` (not `>`) so a zero-length budget can never slip through on a
   // coarse clock tick.
+  if (token->cancelled()) {
+    stats_.RecordCancelled(request.series);
+    response.status = Status::Cancelled("request cancelled while queued");
+    response.latency_ms = MsSince(enqueued);
+    return response;
+  }
   if (HasDeadline(deadline) && std::chrono::steady_clock::now() >= deadline) {
     stats_.RecordDeadlineExceeded(request.series);
     response.status = Status::DeadlineExceeded(
@@ -121,20 +280,65 @@ QueryResponse QueryService::Execute(
     return response;
   }
 
-  Result<std::vector<MatchResult>> matches =
-      request.top_k > 0
-          ? (*session)->QueryTopK(request.query, request.params,
-                                  request.top_k, request.topk_options)
-          : (*session)->Query(request.query, request.params,
+  ExecContext ctx;
+  ctx.cancel = token.get();
+  ctx.deadline = deadline;
+
+  Result<std::vector<MatchResult>> matches = std::vector<MatchResult>{};
+  if (request.top_k > 0) {
+    // Top-k rides the single-shot wrapper: each ε-round is cancellable at
+    // its own probe/slice checkpoints.
+    matches = (*session)->QueryTopK(request.query, request.params,
+                                    request.top_k, request.topk_options, ctx);
+  } else {
+    auto executor =
+        (*session)->MakeExecutor(request.query, request.params);
+    if (!executor.ok()) {
+      matches = executor.status();
+    } else {
+      Status st = (*executor)->RunPhase1(ctx);
+      if (!st.ok()) {
+        response.stats.Add((*executor)->stats());  // partial phase-1
+        matches = st;
+      } else {
+        const size_t num_slices =
+            (*executor)->SliceCandidates(options_.verify_slice_positions);
+        if (options_.parallel_verify && num_slices >= 2 &&
+            pool_.num_threads() >= 2) {
+          std::vector<MatchResult> merged;
+          st = ParallelVerify(*session, executor->get(), ctx, &merged,
                               &response.stats);
+          response.stats.Add((*executor)->stats());  // phase-1 counters
+          if (st.ok()) {
+            matches = std::move(merged);
+          } else {
+            matches = st;
+          }
+        } else {
+          // Serial: Run() walks the prepared slices with per-slice ctx
+          // checks and folds phase-1 + verify stats into one report.
+          matches = (*executor)->Run(ctx, &response.stats);
+        }
+      }
+    }
+  }
+
+  response.latency_ms = MsSince(enqueued);
   if (matches.ok()) {
     response.matches = std::move(matches).value();
+    stats_.RecordQuery(request.series, response.latency_ms, response.stats,
+                       /*ok=*/true);
   } else {
     response.status = matches.status();
+    if (response.status.IsCancelled()) {
+      stats_.RecordCancelled(request.series);
+    } else if (response.status.IsDeadlineExceeded()) {
+      stats_.RecordDeadlineAbortedRunning(request.series);
+    } else {
+      stats_.RecordQuery(request.series, response.latency_ms, response.stats,
+                         /*ok=*/false);
+    }
   }
-  response.latency_ms = MsSince(enqueued);
-  stats_.RecordQuery(request.series, response.latency_ms, response.stats,
-                     response.status.ok());
   return response;
 }
 

@@ -5,17 +5,36 @@
 // shared immutable sessions. Submission is future-based and never blocks:
 // a full queue sheds load with ResourceExhausted, and a request whose
 // deadline passes while it waits in the queue is answered with
-// DeadlineExceeded instead of burning a worker. Per-series QPS, latency
-// percentiles and aggregated MatchStats are collected in a StatsRegistry.
+// DeadlineExceeded instead of burning a worker.
+//
+// Execution is cooperative (match/executor.h): a worker checks the
+// request's cancellation token and deadline at every phase-1 window probe
+// and every phase-2 verify slice, so Cancel(request_id) — or a deadline
+// expiring mid-flight — stops a running 100M-point scan within one slice
+// and answers Cancelled / DeadlineExceeded carrying the partial stats
+// accumulated up to the abort.
+//
+// Large verifications are also parallel *within* one query: the worker
+// that owns a request fans its verify slices out to idle pool workers
+// (claiming slices itself too, so progress never depends on idle
+// capacity) and merges the per-slice results back in offset order.
+//
+// Per-series QPS, latency percentiles and aggregated MatchStats are
+// collected in a StatsRegistry, alongside an in-flight gauge and
+// cancelled / deadline-aborted counters.
 #ifndef KVMATCH_SERVICE_QUERY_SERVICE_H_
 #define KVMATCH_SERVICE_QUERY_SERVICE_H_
 
 #include <chrono>
 #include <functional>
 #include <future>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "match/exec_context.h"
+#include "match/executor.h"
 #include "match/top_k.h"
 #include "service/catalog.h"
 #include "service/service_stats.h"
@@ -33,14 +52,22 @@ struct QueryRequest {
   TopKOptions topk_options;
   /// Wall-clock budget from submission; 0 disables. A request whose
   /// budget is already spent at submission, or still queued when it
-  /// expires, is failed with DeadlineExceeded without executing. A
-  /// negative budget counts as already spent.
+  /// expires, is failed with DeadlineExceeded without executing; one that
+  /// expires while running is aborted at the next probe/slice checkpoint.
+  /// A negative budget counts as already spent.
   double timeout_ms = 0.0;
+  /// Optional caller-owned cancellation token: Cancel() it from any
+  /// thread to abort this request (the network server holds one per
+  /// in-flight wire query). When null the service still allocates an
+  /// internal token so Cancel(request_id) always works.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 struct QueryResponse {
   Status status = Status::OK();
   std::vector<MatchResult> matches;
+  /// On Cancelled / DeadlineExceeded aborts these are the *partial*
+  /// counters accumulated before the checkpoint that stopped the run.
   MatchStats stats;
   /// Submission → completion, including queue wait.
   double latency_ms = 0.0;
@@ -51,6 +78,13 @@ class QueryService {
   struct Options {
     size_t num_threads = 0;   // 0 → hardware_concurrency
     size_t max_queue = 1024;  // pending requests before load shedding
+    /// Phase-2 decomposition granularity: candidate positions per verify
+    /// slice (0 → one slice, i.e. no mid-phase-2 checkpoints).
+    size_t verify_slice_positions = QueryExecutor::kDefaultSlicePositions;
+    /// Fan one request's verify slices across idle pool workers. Helpers
+    /// are opportunistic: with no idle capacity the owning worker simply
+    /// verifies every slice itself.
+    bool parallel_verify = true;
   };
 
   /// `catalog` must outlive the service.
@@ -62,7 +96,8 @@ class QueryService {
 
   /// Enqueues one request. The returned future is always fulfilled —
   /// with matches, or with a non-OK status (NotFound for unknown series,
-  /// ResourceExhausted when shedding, DeadlineExceeded on timeout).
+  /// ResourceExhausted when shedding, DeadlineExceeded on timeout,
+  /// Cancelled after a Cancel).
   std::future<QueryResponse> Submit(QueryRequest request);
 
   /// Enqueues a batch; futures are index-aligned with `requests`.
@@ -76,8 +111,24 @@ class QueryService {
   /// when the request is shed (queue full) or its deadline is already
   /// spent. It must not block for long and must not call back into
   /// Submit* (a worker thread would deadlock against a full queue).
-  void SubmitWithCallback(QueryRequest request,
-                          std::function<void(QueryResponse)> done);
+  ///
+  /// Returns the service-assigned request id, valid for Cancel() until
+  /// `done` runs. Inline-failed submissions return an id that Cancel()
+  /// reports as NotFound.
+  uint64_t SubmitWithCallback(QueryRequest request,
+                              std::function<void(QueryResponse)> done);
+
+  /// Aborts the identified request: still-queued requests are answered
+  /// Cancelled at dequeue, running ones stop at their next probe/slice
+  /// checkpoint. NotFound once the request has been answered (or for an
+  /// id this service never issued).
+  Status Cancel(uint64_t request_id);
+
+  /// Cancels every in-flight request (graceful-shutdown path).
+  void CancelAll();
+
+  /// Accepted requests not yet answered (the in-flight gauge).
+  size_t InFlight() const;
 
   ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
@@ -92,11 +143,27 @@ class QueryService {
 
  private:
   QueryResponse Execute(const QueryRequest& request,
+                        const std::shared_ptr<CancelToken>& token,
                         std::chrono::steady_clock::time_point enqueued,
                         std::chrono::steady_clock::time_point deadline);
 
+  /// Phase 2 of `executor` with slices fanned across idle workers; the
+  /// calling worker claims slices too. Results land in offset order.
+  Status ParallelVerify(const std::shared_ptr<const Session>& session,
+                        QueryExecutor* executor, const ExecContext& ctx,
+                        std::vector<MatchResult>* matches,
+                        MatchStats* stats);
+
+  void Unregister(uint64_t request_id);
+
   Catalog* catalog_;
+  Options options_;
   StatsRegistry stats_;
+
+  mutable std::mutex inflight_mu_;
+  uint64_t next_request_id_ = 1;                           // guarded ↑
+  std::map<uint64_t, std::shared_ptr<CancelToken>> inflight_;  // guarded ↑
+
   ThreadPool pool_;  // last member: workers stop before the rest tears down
 };
 

@@ -58,6 +58,28 @@ void StatsRegistry::RecordDeadlineExceeded(const std::string& series) {
   (void)series;  // deadline misses never ran, so no per-series latency
 }
 
+void StatsRegistry::RecordQueryStarted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_ += 1;
+}
+
+void StatsRegistry::RecordQueryFinished() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) in_flight_ -= 1;
+}
+
+void StatsRegistry::RecordCancelled(const std::string& series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ += 1;
+  (void)series;  // aborted runs report no completion latency
+}
+
+void StatsRegistry::RecordDeadlineAbortedRunning(const std::string& series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deadline_aborted_running_ += 1;
+  (void)series;
+}
+
 void StatsRegistry::RecordConnectionOpened() {
   std::lock_guard<std::mutex> lock(mu_);
   connections_open_ += 1;
@@ -128,6 +150,9 @@ ServiceStatsSnapshot StatsRegistry::Snapshot() const {
     snap.rejected = rejected_;
     snap.deadline_exceeded = deadline_exceeded_;
     snap.not_found = not_found_;
+    snap.in_flight = in_flight_;
+    snap.cancelled = cancelled_;
+    snap.deadline_aborted_running = deadline_aborted_running_;
     snap.connections_open = connections_open_;
     snap.connections_accepted = connections_accepted_;
     snap.connections_rejected = connections_rejected_;
@@ -177,6 +202,10 @@ void StatsRegistry::Reset() {
   rejected_ = 0;
   deadline_exceeded_ = 0;
   not_found_ = 0;
+  // in_flight_ is a live gauge owned by the QueryService's submit/finish
+  // pairing (like connections_open_ below); resetting it would desync it.
+  cancelled_ = 0;
+  deadline_aborted_running_ = 0;
   // connections_open_ is a live gauge owned by the server's accept loop;
   // resetting it would desync the open/close pairing. Re-base the
   // lifetime counter so accepted >= open still holds.
@@ -239,6 +268,10 @@ std::string StatsToText(const ServiceStatsSnapshot& snap) {
   EmitCounter(&out, "kvmatch_deadline_exceeded_total",
               snap.deadline_exceeded);
   EmitCounter(&out, "kvmatch_not_found_total", snap.not_found);
+  EmitCounter(&out, "kvmatch_queries_in_flight", snap.in_flight);
+  EmitCounter(&out, "kvmatch_cancelled_total", snap.cancelled);
+  EmitCounter(&out, "kvmatch_deadline_aborted_running_total",
+              snap.deadline_aborted_running);
   EmitCounter(&out, "kvmatch_connections_open", snap.connections_open);
   EmitCounter(&out, "kvmatch_connections_accepted_total",
               snap.connections_accepted);

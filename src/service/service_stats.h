@@ -43,6 +43,13 @@ struct ServiceStatsSnapshot {
   uint64_t rejected = 0;           // queue-full load sheds
   uint64_t deadline_exceeded = 0;  // expired before execution
   uint64_t not_found = 0;          // requests for unregistered series
+  /// Accepted requests not yet answered (queued or executing) — gauge.
+  uint64_t in_flight = 0;
+  /// Queries aborted by an explicit Cancel (queued or mid-execution).
+  uint64_t cancelled = 0;
+  /// Deadlines enforced *mid-execution* by the cooperative executor
+  /// (distinct from `deadline_exceeded`, which never started running).
+  uint64_t deadline_aborted_running = 0;
   // Network front-end gauges; all zero when no server is attached.
   uint64_t connections_open = 0;
   uint64_t connections_accepted = 0;  // lifetime, includes open ones
@@ -78,6 +85,14 @@ class StatsRegistry {
   void RecordDeadlineExceeded(const std::string& series);
   /// Unknown-series request; counted service-wide, never per-series.
   void RecordLookupFailure();
+  // In-flight gauge: Started when a request is accepted onto the queue,
+  // Finished when its response is delivered (any outcome).
+  void RecordQueryStarted();
+  void RecordQueryFinished();
+  /// Query aborted by an explicit Cancel (queued or mid-execution).
+  void RecordCancelled(const std::string& series);
+  /// Deadline enforced mid-execution by the cooperative executor.
+  void RecordDeadlineAbortedRunning(const std::string& series);
 
   // Network front-end gauges, recorded by the TCP server.
   void RecordConnectionOpened();
@@ -122,6 +137,9 @@ class StatsRegistry {
   uint64_t rejected_ = 0;
   uint64_t deadline_exceeded_ = 0;
   uint64_t not_found_ = 0;
+  uint64_t in_flight_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t deadline_aborted_running_ = 0;
   uint64_t connections_open_ = 0;
   uint64_t connections_accepted_ = 0;
   uint64_t connections_rejected_ = 0;

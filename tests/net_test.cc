@@ -57,7 +57,8 @@ TEST(ProtocolTest, FrameRoundTripsForEveryType) {
         FrameType::kStatsResponse, FrameType::kListRequest,
         FrameType::kListResponse, FrameType::kPing, FrameType::kPong,
         FrameType::kCreateRequest, FrameType::kAppendRequest,
-        FrameType::kDropRequest, FrameType::kIngestResponse}) {
+        FrameType::kDropRequest, FrameType::kIngestResponse,
+        FrameType::kCancel, FrameType::kMatchResponsePart}) {
     Frame in;
     in.type = type;
     in.request_id = 0xdeadbeefcafeull + static_cast<uint64_t>(type);
@@ -166,7 +167,7 @@ TEST(ProtocolTest, ErrorBodyCarriesEveryStatusCode) {
       Status::IOError("z"),           Status::Corruption("c"),
       Status::NotSupported("n"),      Status::OutOfRange("o"),
       Status::Internal("i"),          Status::ResourceExhausted("shed"),
-      Status::DeadlineExceeded("late")};
+      Status::DeadlineExceeded("late"), Status::Cancelled("aborted")};
   for (const Status& in : statuses) {
     std::string body;
     EncodeErrorBody(in, &body);
@@ -218,6 +219,34 @@ TEST(ProtocolTest, IngestBodiesRoundTrip) {
   EXPECT_FALSE(DecodeIngestRequestBody(body, &out).ok());
   EXPECT_FALSE(DecodeIngestRequestBody("", &out).ok());
   EXPECT_FALSE(DecodeIngestResponseBody("", &ack_out).ok());
+}
+
+TEST(ProtocolTest, MatchPartBodyRoundTripsAndAppends) {
+  const std::vector<MatchResult> first = {{10, 0.5}, {999, 1.25}};
+  const std::vector<MatchResult> second = {{123456789, 2.0}};
+  std::string body;
+  EncodeMatchPartBody(first, &body);
+  std::vector<MatchResult> out;
+  ASSERT_TRUE(DecodeMatchPartBody(body, &out).ok());
+  EXPECT_EQ(out, first);
+  // Decoding appends: a second part extends the reassembly buffer.
+  body.clear();
+  EncodeMatchPartBody(second, &body);
+  ASSERT_TRUE(DecodeMatchPartBody(body, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], second[0]);
+
+  // An empty part is legal; a count the body cannot hold is rejected
+  // before any allocation.
+  body.clear();
+  EncodeMatchPartBody({}, &body);
+  std::vector<MatchResult> empty_out;
+  ASSERT_TRUE(DecodeMatchPartBody(body, &empty_out).ok());
+  EXPECT_TRUE(empty_out.empty());
+  std::string bogus;
+  PutVarint64(&bogus, 1u << 30);
+  EXPECT_FALSE(DecodeMatchPartBody(bogus, &empty_out).ok());
+  EXPECT_FALSE(DecodeMatchPartBody("\xff", &empty_out).ok());
 }
 
 TEST(ProtocolTest, OversizedDeclaredLengthIsFatal) {
@@ -318,10 +347,10 @@ TEST(ProtocolTest, DecoderSurvivesRandomMutationsWithoutAcceptingGarbage) {
   std::vector<std::string> pool;
   {
     Rng rng(20260701);
-    for (int i = 0; i < 12; ++i) {
+    for (int i = 0; i < 18; ++i) {
       Frame frame;
       frame.request_id = rng.Next();
-      switch (i % 4) {
+      switch (i % 6) {
         case 0: {
           frame.type = FrameType::kQueryRequest;
           WireQueryRequest req;
@@ -348,6 +377,19 @@ TEST(ProtocolTest, DecoderSurvivesRandomMutationsWithoutAcceptingGarbage) {
           EncodeIngestRequestBody(req, &frame.body);
           break;
         }
+        case 3: {
+          frame.type = FrameType::kMatchResponsePart;
+          std::vector<MatchResult> matches;
+          for (int k = 0; k < 12 * (i + 1); ++k) {
+            matches.push_back({static_cast<size_t>(rng.Next() % 100000),
+                               static_cast<double>(k) * 0.25});
+          }
+          EncodeMatchPartBody(matches, &frame.body);
+          break;
+        }
+        case 4:
+          frame.type = FrameType::kCancel;  // empty body
+          break;
         default:
           frame.type = FrameType::kPing;
           break;
@@ -534,7 +576,9 @@ struct ServerFixture {
   std::unique_ptr<Server> server;
 
   explicit ServerFixture(size_t threads = 4, size_t max_conns = 64,
-                         size_t max_queue = 1024) {
+                         size_t max_queue = 1024,
+                         size_t stream_chunk = 2'000'000,
+                         double drain_ms = 30'000.0) {
     refs = IngestFixture(&store);
     Catalog::Options copts;
     copts.session = SmallOptions();
@@ -547,6 +591,8 @@ struct ServerFixture {
     Server::Options nopts;
     nopts.port = 0;  // ephemeral
     nopts.max_connections = max_conns;
+    nopts.stream_chunk_matches = stream_chunk;
+    nopts.drain_timeout_ms = drain_ms;
     server = std::make_unique<Server>(catalog.get(), service.get(), nopts);
     Status st = server->Start();
     EXPECT_TRUE(st.ok()) << st.ToString();
@@ -999,6 +1045,192 @@ TEST(NetServerTest, RefusesConnectionsOverTheLimit) {
 
   // The first connection is unaffected.
   EXPECT_TRUE((*first)->Ping().ok());
+}
+
+/// Registers a series and returns a wire request that runs for many
+/// seconds uncancelled: loose cNSM-DTW bounds over `n` points force the
+/// full verify cascade on ~every position.
+QueryRequest IngestHeavySeries(Catalog* catalog, size_t n) {
+  Rng rng(4242);
+  TimeSeries series = GenerateSynthetic(n, &rng);
+  QueryRequest req;
+  req.series = "heavy";
+  req.query = ExtractQuery(series, n / 2, 512, 0.3, &rng);
+  req.params.type = QueryType::kCnsmDtw;
+  req.params.epsilon = 1e6;
+  req.params.alpha = 1e6;
+  req.params.beta = 1e6;
+  req.params.rho = 32;
+  EXPECT_TRUE(catalog->Ingest("heavy", std::move(series)).ok());
+  return req;
+}
+
+TEST(NetServerTest, StreamedResponseReassemblesToSingleFrameResult) {
+  // Tiny chunk: a ~2900-match response must stream as many parts. The
+  // reassembled response has to be byte-identical to what the in-process
+  // (single-frame) path returns.
+  ServerFixture fx(/*threads=*/2, /*max_conns=*/64, /*max_queue=*/1024,
+                   /*stream_chunk=*/100);
+  QueryRequest req;
+  req.series = "s0";
+  req.query.assign(100, 0.0);
+  req.params.type = QueryType::kRsmEd;
+  req.params.epsilon = 1e9;  // everything matches: n - m + 1 offsets
+
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  auto streamed = (*client)->Query(req);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  ASSERT_TRUE(streamed->status.ok()) << streamed->status.ToString();
+  EXPECT_EQ(streamed->matches.size(), kSeriesLen - req.query.size() + 1);
+
+  const QueryResponse direct = fx.service->Submit(req).get();
+  ASSERT_TRUE(direct.status.ok());
+  ASSERT_EQ(streamed->matches, direct.matches);
+
+  // Byte-identical reassembly: after normalizing the run-dependent
+  // latency figure, the full re-encoded response bodies must agree.
+  QueryResponse a = *streamed;
+  QueryResponse b = direct;
+  a.latency_ms = b.latency_ms = 0.0;
+  a.stats = b.stats = MatchStats();
+  std::string wire_a, wire_b;
+  EncodeQueryResponseBody(a, &wire_a);
+  EncodeQueryResponseBody(b, &wire_b);
+  EXPECT_EQ(wire_a, wire_b);
+
+  // Offset order survived chunking.
+  for (size_t i = 1; i < streamed->matches.size(); ++i) {
+    ASSERT_LT(streamed->matches[i - 1].offset, streamed->matches[i].offset);
+  }
+}
+
+TEST(NetServerTest, StreamedAndPipelinedResponsesInterleaveSafely) {
+  // Two streamed queries and a ping pipelined on one connection: parts
+  // for different ids may interleave on the wire, and each must
+  // reassemble to its own complete result.
+  ServerFixture fx(/*threads=*/2, /*max_conns=*/64, /*max_queue=*/1024,
+                   /*stream_chunk=*/64);
+  QueryRequest req;
+  req.series = "s1";
+  req.query.assign(150, 0.0);
+  req.params.epsilon = 1e9;
+
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  auto id1 = (*client)->SendRequest(req);
+  auto id2 = (*client)->SendRequest(req);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE((*client)->Ping().ok());
+
+  // Wait in reverse submission order to force parking of id1's stream.
+  auto r2 = (*client)->WaitResponse(*id2);
+  auto r1 = (*client)->WaitResponse(*id1);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r1->status.ok());
+  ASSERT_TRUE(r2->status.ok());
+  EXPECT_EQ(r1->matches.size(), kSeriesLen - req.query.size() + 1);
+  EXPECT_EQ(r1->matches, r2->matches);
+}
+
+TEST(NetServerTest, RemoteCancelAbortsRunningQuery) {
+  ServerFixture fx(/*threads=*/2);
+  const QueryRequest heavy = IngestHeavySeries(fx.catalog.get(), 60'000);
+
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  auto id = (*client)->SendRequest(heavy);
+  ASSERT_TRUE(id.ok());
+  // Give the worker time to dequeue, then abort mid-flight. Uncancelled
+  // the query runs for minutes; the typed Cancelled answer must arrive
+  // within a slice.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE((*client)->Cancel(*id).ok());
+  auto response = (*client)->WaitResponse(*id);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.IsCancelled())
+      << response->status.ToString();
+  EXPECT_EQ(fx.service->Stats().cancelled, 1u);
+
+  // Cancelling an id that is not in flight is a harmless no-op, and the
+  // connection keeps serving.
+  ASSERT_TRUE((*client)->Cancel(987654).ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+}
+
+TEST(NetServerTest, DuplicateRequestIdIsRejectedNotClobbered) {
+  ServerFixture fx(/*threads=*/2);
+  const QueryRequest heavy = IngestHeavySeries(fx.catalog.get(), 60'000);
+  RawConnection raw(fx.server->port());
+
+  // Two query frames with the SAME id while the first is running: the
+  // second must bounce as a typed error (accepting it would clobber the
+  // first query's cancel token), and the first must stay cancellable.
+  WireQueryRequest wire_req;
+  wire_req.request = heavy;
+  Frame query;
+  query.type = FrameType::kQueryRequest;
+  query.request_id = 7;
+  EncodeQueryRequestBody(wire_req, &query.body);
+  std::string wire;
+  EncodeFrame(query, &wire);
+  raw.Send(wire);
+  raw.Send(wire);  // duplicate id, first one still in flight
+
+  Frame frame;
+  ASSERT_TRUE(raw.ReadFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(frame.request_id, 7u);
+  Status carried;
+  ASSERT_TRUE(DecodeErrorBody(frame.body, &carried).ok());
+  EXPECT_TRUE(carried.IsInvalidArgument()) << carried.ToString();
+
+  // The original query's token survived the duplicate: cancel still works.
+  Frame cancel;
+  cancel.type = FrameType::kCancel;
+  cancel.request_id = 7;
+  wire.clear();
+  EncodeFrame(cancel, &wire);
+  raw.Send(wire);
+  ASSERT_TRUE(raw.ReadFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  ASSERT_TRUE(DecodeErrorBody(frame.body, &carried).ok());
+  EXPECT_TRUE(carried.IsCancelled()) << carried.ToString();
+}
+
+TEST(NetServerTest, StopCancelsStragglersAfterDrainTimeout) {
+  // drain budget 100ms << query runtime: Stop() must cancel the running
+  // query via its token and return promptly instead of draining forever
+  // (the pre-executor server would hang here for minutes).
+  auto fx = std::make_unique<ServerFixture>(
+      /*threads=*/2, /*max_conns=*/64, /*max_queue=*/1024,
+      /*stream_chunk=*/size_t{2'000'000}, /*drain_ms=*/100.0);
+  const QueryRequest heavy = IngestHeavySeries(fx->catalog.get(), 60'000);
+
+  auto client = Client::Connect("127.0.0.1", fx->server->port());
+  ASSERT_TRUE(client.ok());
+  auto id = (*client)->SendRequest(heavy);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*client)->Ping().ok());  // the query frame has been read
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  fx->server->Stop();
+  const double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Generous bound: far below the query's runtime, so the return proves
+  // the cancel fired (not that the query finished).
+  EXPECT_LT(stop_seconds, 30.0);
+  EXPECT_EQ(fx->service->Stats().cancelled, 1u);
+
+  // The cancelled response was flushed to the client before the close.
+  auto response = (*client)->WaitResponse(*id);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.IsCancelled())
+      << response->status.ToString();
 }
 
 TEST(NetServerTest, GracefulStopDrainsPipelinedWork) {

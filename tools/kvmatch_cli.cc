@@ -30,12 +30,22 @@
 // Network front-end (src/net: wire protocol + TCP server):
 //   kvmatch_cli serve        --store catalog.kvm [--port 7777] [--bind ADDR]
 //                            [--threads N] [--queue 1024] [--max-conns 64]
-//                            [--idle-ms 0]
+//                            [--idle-ms 0] [--stream-chunk 2000000]
+//                            [--drain-ms 30000]
 //     Serves the catalog until SIGINT/SIGTERM; shutdown drains in-flight
-//     queries. --port 0 picks an ephemeral port (printed on stdout).
+//     queries for --drain-ms, then cancels the stragglers mid-query.
+//     Responses with more than --stream-chunk matches stream back in
+//     bounded kMatchResponsePart frames (0 disables streaming).
+//     --port 0 picks an ephemeral port (printed on stdout).
 //   kvmatch_cli remote-query --host 127.0.0.1 --port 7777 --queries q.txt
 //     Same query-file syntax as batch-query; qoffset/qlen windows are
 //     resolved by the server (queries travel by reference, not by value).
+//   kvmatch_cli remote-cancel --host 127.0.0.1 --port 7777 --queries q.txt
+//                             [--after-ms 100]
+//     Pipelines the queries, waits --after-ms, then sends kCancel for
+//     every one still outstanding and prints each final status — the
+//     abort path a dashboard uses when a user navigates away. Queries
+//     that finished before the cancel print their results normally.
 //   kvmatch_cli remote-bench --host 127.0.0.1 --port 7777 [--clients 4]
 //                            [--batch 64] [--qlen 256] [--seed 42]
 //     Pipelined load from N concurrent client connections; reports QPS.
@@ -120,8 +130,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: kvmatch_cli <generate|build|info|query|"
                "catalog-ingest|catalog-info|batch-query|serve-bench|"
-               "serve|remote-query|remote-bench|remote-ingest|remote-drop|"
-               "stats> [--flags]\n"
+               "serve|remote-query|remote-cancel|remote-bench|"
+               "remote-ingest|remote-drop|stats> [--flags]\n"
                "see the header of tools/kvmatch_cli.cc for details\n");
   return 2;
 }
@@ -603,6 +613,8 @@ int CmdServe(const Args& args) {
   nopts.port = static_cast<int>(args.GetU64("port", 7777));
   nopts.max_connections = args.GetU64("max-conns", 64);
   nopts.idle_timeout_ms = args.GetF("idle-ms", 0.0);
+  nopts.stream_chunk_matches = args.GetU64("stream-chunk", 2'000'000);
+  nopts.drain_timeout_ms = args.GetF("drain-ms", 30'000.0);
   net::Server server(&catalog, &service, nopts);
   if (Status st = server.Start(); !st.ok()) return Fail(st);
 
@@ -678,6 +690,75 @@ int CmdRemoteQuery(const Args& args) {
                   response->matches[j].distance);
     }
   }
+  return 0;
+}
+
+int CmdRemoteCancel(const Args& args) {
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int port = static_cast<int>(args.GetU64("port", 7777));
+  const std::string queries_path = args.Get("queries");
+  if (queries_path.empty()) return Usage();
+  const double after_ms = args.GetF("after-ms", 100.0);
+
+  std::ifstream in(queries_path);
+  if (!in) return Fail(Status::IOError("cannot open " + queries_path));
+  std::vector<net::WireQueryRequest> requests;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    auto req = ParseWireRequestLine(line);
+    if (!req.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", queries_path.c_str(), lineno,
+                   req.status().ToString().c_str());
+      return 1;
+    }
+    requests.push_back(std::move(req).value());
+  }
+  if (requests.empty()) {
+    return Fail(Status::InvalidArgument("no queries in " + queries_path));
+  }
+
+  auto client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  std::vector<uint64_t> ids;
+  for (const auto& req : requests) {
+    auto id = (*client)->SendRequest(req);
+    if (!id.ok()) return Fail(id.status());
+    ids.push_back(*id);
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      after_ms));
+  for (uint64_t id : ids) {
+    if (Status st = (*client)->Cancel(id); !st.ok()) return Fail(st);
+  }
+
+  size_t cancelled = 0, finished = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto response = (*client)->WaitResponse(ids[i]);
+    if (!response.ok()) return Fail(response.status());
+    if (response->status.IsCancelled()) {
+      ++cancelled;
+      std::printf("[%zu] %s: cancelled after %llu candidates verified\n", i,
+                  requests[i].request.series.c_str(),
+                  static_cast<unsigned long long>(
+                      response->stats.distance_calls +
+                      response->stats.lb_pruned +
+                      response->stats.constraint_pruned));
+    } else if (!response->status.ok()) {
+      std::printf("[%zu] %s: %s\n", i, requests[i].request.series.c_str(),
+                  response->status.ToString().c_str());
+    } else {
+      ++finished;
+      std::printf("[%zu] %s: finished first — %zu matches in %.2fms\n", i,
+                  requests[i].request.series.c_str(),
+                  response->matches.size(), response->latency_ms);
+    }
+  }
+  std::printf("%zu cancelled, %zu finished before the cancel landed\n",
+              cancelled, finished);
   return 0;
 }
 
@@ -848,6 +929,7 @@ int main(int argc, char** argv) {
   if (cmd == "serve-bench") return CmdServeBench(args);
   if (cmd == "serve") return CmdServe(args);
   if (cmd == "remote-query") return CmdRemoteQuery(args);
+  if (cmd == "remote-cancel") return CmdRemoteCancel(args);
   if (cmd == "remote-bench") return CmdRemoteBench(args);
   if (cmd == "remote-ingest") return CmdRemoteIngest(args);
   if (cmd == "remote-drop") return CmdRemoteDrop(args);

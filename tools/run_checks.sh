@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full verification pipeline: Release build + the whole ctest suite, then a
-# ThreadSanitizer build of the concurrent service/network/ingest tests and
-# an ASan+UBSan build of the storage/service/net/ingest tests plus the
-# crash-point-replay suite (fault_kvstore_test). Mirrors what CI runs; use
-# it locally before sending a PR.
+# ThreadSanitizer build of the concurrent service/network/ingest/executor
+# tests (including the racing-cancel suite) and an ASan+UBSan build of the
+# storage/service/net/ingest/executor tests plus the crash-point-replay
+# suite (fault_kvstore_test). Mirrors what CI runs; use it locally before
+# sending a PR.
 #
 #   tools/run_checks.sh [jobs]
 set -euo pipefail
@@ -17,23 +18,26 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "=== ThreadSanitizer: service_test + net_test + ingest_test ==="
+echo "=== ThreadSanitizer: service/net/ingest/executor tests ==="
 cmake -B build-tsan -S . -DKVMATCH_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "$JOBS" --target service_test net_test ingest_test
+cmake --build build-tsan -j "$JOBS" \
+  --target service_test net_test ingest_test executor_test
 ./build-tsan/service_test
 ./build-tsan/net_test
 ./build-tsan/ingest_test
+./build-tsan/executor_test
 
 echo
-echo "=== ASan+UBSan: storage/service/net/ingest + crash-point replay ==="
+echo "=== ASan+UBSan: storage/service/net/ingest/executor + crash replay ==="
 cmake -B build-asan -S . -DKVMATCH_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS" \
   --target storage_test service_test net_test ingest_test \
-           fault_kvstore_test
+           executor_test fault_kvstore_test
 ./build-asan/storage_test
 ./build-asan/service_test
 ./build-asan/net_test
 ./build-asan/ingest_test
+./build-asan/executor_test
 ./build-asan/fault_kvstore_test
 
 echo
