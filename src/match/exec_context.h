@@ -14,6 +14,8 @@
 
 namespace kvmatch {
 
+class QueryTrace;  // service/trace.h — optional per-request span sink
+
 /// One-shot cancellation flag shared between a submitter (or the service's
 /// Cancel entry point) and the worker executing the query. Cancel() may be
 /// called from any thread, any number of times, before/during/after the
@@ -38,6 +40,9 @@ struct ExecContext {
   /// Absolute deadline; time_point::max() disables it.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Borrowed span sink; null (the default) disables tracing, reducing
+  /// every hook in the executor to a single pointer test.
+  QueryTrace* trace = nullptr;
 
   bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point::max();

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <numeric>
 
+#include "service/trace.h"
+
 namespace kvmatch {
 
 namespace {
@@ -132,11 +134,27 @@ void QueryExecutor::FinishPhase1() {
 }
 
 Status QueryExecutor::RunPhase1(const ExecContext& ctx) {
+  // Already complete (e.g. Run() after an explicit RunPhase1): no work,
+  // and no empty duplicate probe span on the trace.
+  if (phase1_done_) return Status::OK();
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t probes0 = probes_done_;
+  const uint64_t rows0 = stats_.probe.rows_fetched;
+  Status st = Status::OK();
   while (!phase1_done_) {
-    KVMATCH_RETURN_NOT_OK(ctx.Check());
-    KVMATCH_RETURN_NOT_OK(StepProbe());
+    st = ctx.Check();
+    if (!st.ok()) break;
+    st = StepProbe();
+    if (!st.ok()) break;
   }
-  return Status::OK();
+  if (ctx.trace != nullptr) {
+    // Span recorded even on abort, covering the windows actually stepped.
+    ctx.trace->AddSpan(
+        kSpanProbe, t0, std::chrono::steady_clock::now(),
+        {{"windows", probes_done_ - probes0},
+         {"rows_fetched", stats_.probe.rows_fetched - rows0}});
+  }
+  return st;
 }
 
 size_t QueryExecutor::SliceCandidates(size_t max_positions) {
@@ -181,6 +199,17 @@ Result<std::vector<MatchResult>> QueryExecutor::VerifySlice(
   std::vector<MatchResult> results =
       verifier_.Verify(q_, params_, slices_[i], &local, options_.verify);
   local.phase2_ms = MsSince(t0);
+  if (ctx.trace != nullptr) {
+    // One span per slice; the recording thread becomes the span's worker
+    // id, so parallel verify shows up as overlapping lanes in the trace.
+    ctx.trace->AddSpan(
+        kSpanVerify, t0, std::chrono::steady_clock::now(),
+        {{"slice", i},
+         {"candidates", static_cast<uint64_t>(slices_[i].num_positions())},
+         {"distance_calls", local.distance_calls},
+         {"lb_pruned", local.lb_pruned},
+         {"constraint_pruned", local.constraint_pruned}});
+  }
   if (stats != nullptr) stats->Add(local);
   return results;
 }

@@ -190,6 +190,7 @@ void EncodeQueryRequestBody(const WireQueryRequest& wire_request,
                             : r.topk_options.max_rounds));
   PutVarint64(body, r.topk_options.exclusion_zone);
   PutDouble(body, r.timeout_ms);
+  body->push_back(r.collect_trace ? 1 : 0);
   body->push_back(wire_request.by_reference ? 1 : 0);
   if (wire_request.by_reference) {
     PutVarint64(body, wire_request.ref_offset);
@@ -234,6 +235,10 @@ Status DecodeQueryRequestBody(std::string_view body, WireQueryRequest* out) {
   r.topk_options.max_rounds = static_cast<int>(max_rounds);
   r.topk_options.exclusion_zone = static_cast<size_t>(exclusion);
   if (!ReadDouble(&body, &r.timeout_ms)) return Malformed("timeout");
+  uint8_t trace_flag = 0;
+  if (!ReadByte(&body, &trace_flag)) return Malformed("trace flag");
+  if (trace_flag > 1) return Malformed("trace flag");
+  r.collect_trace = trace_flag == 1;
   uint8_t kind = 0;
   if (!ReadByte(&body, &kind)) return Malformed("query kind");
   if (kind == 1) {
@@ -261,6 +266,12 @@ Status DecodeQueryRequestBody(std::string_view body, WireQueryRequest* out) {
 
 void EncodeQueryResponseBody(const QueryResponse& response,
                              std::string* body) {
+  EncodeQueryResponsePrefix(response, body);
+  AppendQueryResponseTrace(response.trace.get(), body);
+}
+
+void EncodeQueryResponsePrefix(const QueryResponse& response,
+                               std::string* body) {
   PutStatus(response.status, body);
   PutDouble(body, response.latency_ms);
   PutVarint64(body, response.matches.size());
@@ -282,6 +293,73 @@ void EncodeQueryResponseBody(const QueryResponse& response,
   PutDouble(body, s.phase1_ms);
   PutDouble(body, s.phase2_ms);
 }
+
+void AppendQueryResponseTrace(const QueryTrace* trace, std::string* body) {
+  if (trace == nullptr) {
+    body->push_back(0);
+    return;
+  }
+  body->push_back(1);
+  const std::vector<TraceSpan> spans = trace->spans();
+  PutVarint64(body, spans.size());
+  for (const TraceSpan& span : spans) {
+    PutLengthPrefixed(body, span.name);
+    PutDouble(body, span.start_ms);
+    PutDouble(body, span.dur_ms);
+    PutVarint64(body, span.worker);
+    PutVarint64(body, span.args.size());
+    for (const auto& [key, value] : span.args) {
+      PutLengthPrefixed(body, key);
+      PutVarint64(body, value);
+    }
+  }
+}
+
+namespace {
+
+// Minimum encoded size of one span: 1B name length + 8B start + 8B dur +
+// 1B worker + 1B arg count. Bounds attacker-controlled span counts.
+constexpr size_t kMinSpanBytes = 19;
+
+Status DecodeResponseTrace(std::string_view* body, QueryResponse* out) {
+  uint8_t has_trace = 0;
+  if (!ReadByte(body, &has_trace)) return Malformed("trace flag");
+  if (has_trace == 0) return Status::OK();
+  if (has_trace != 1) return Malformed("trace flag");
+  uint64_t count = 0;
+  if (!GetVarint64(body, &count)) return Malformed("trace span count");
+  if (count > body->size() / kMinSpanBytes) {
+    return Malformed("trace span count vs body size");
+  }
+  out->trace = std::make_shared<QueryTrace>();
+  for (uint64_t i = 0; i < count; ++i) {
+    TraceSpan span;
+    std::string_view name;
+    if (!GetLengthPrefixed(body, &name)) return Malformed("span name");
+    span.name.assign(name);
+    if (!ReadDouble(body, &span.start_ms)) return Malformed("span start");
+    if (!ReadDouble(body, &span.dur_ms)) return Malformed("span duration");
+    if (!GetVarint64(body, &span.worker)) return Malformed("span worker");
+    uint64_t nargs = 0;
+    if (!GetVarint64(body, &nargs)) return Malformed("span arg count");
+    // Each arg needs >= 2 encoded bytes; bound before reserving.
+    if (nargs > body->size() / 2) {
+      return Malformed("span arg count vs body size");
+    }
+    span.args.reserve(static_cast<size_t>(nargs));
+    for (uint64_t a = 0; a < nargs; ++a) {
+      std::string_view key;
+      uint64_t value = 0;
+      if (!GetLengthPrefixed(body, &key)) return Malformed("span arg key");
+      if (!GetVarint64(body, &value)) return Malformed("span arg value");
+      span.args.emplace_back(std::string(key), value);
+    }
+    out->trace->AddSpanAt(std::move(span));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status DecodeQueryResponseBody(std::string_view body, QueryResponse* out) {
   *out = QueryResponse();
@@ -310,6 +388,7 @@ Status DecodeQueryResponseBody(std::string_view body, QueryResponse* out) {
   }
   if (!ReadDouble(&body, &s.phase1_ms)) return Malformed("phase1 time");
   if (!ReadDouble(&body, &s.phase2_ms)) return Malformed("phase2 time");
+  KVMATCH_RETURN_NOT_OK(DecodeResponseTrace(&body, out));
   if (!body.empty()) return Malformed("trailing bytes");
   return Status::OK();
 }

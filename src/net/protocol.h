@@ -157,6 +157,17 @@ void EncodeQueryResponseBody(const QueryResponse& response,
                              std::string* body);
 Status DecodeQueryResponseBody(std::string_view body, QueryResponse* out);
 
+/// Split form of EncodeQueryResponseBody, for the server's serialize-span
+/// chicken-and-egg: the prefix (status/latency/matches/stats) is encoded
+/// and timed first, then the trace — now including the serialize span —
+/// is appended. Prefix + AppendQueryResponseTrace(response.trace.get())
+/// is byte-identical to EncodeQueryResponseBody.
+void EncodeQueryResponsePrefix(const QueryResponse& response,
+                               std::string* body);
+/// Appends the optional trace section (a has-trace byte, then the spans).
+/// `trace` may be null → "no trace".
+void AppendQueryResponseTrace(const QueryTrace* trace, std::string* body);
+
 /// Body of one kMatchResponsePart: a bare match list (the frame's request
 /// id ties it to its query).
 void EncodeMatchPartBody(std::span<const MatchResult> matches,

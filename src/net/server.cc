@@ -183,7 +183,9 @@ size_t Server::ActiveConnections() const {
 }
 
 std::string Server::StatsText() const {
-  std::string out = service_->stats_registry()->ToText();
+  // Via QueryService::Stats() (not the registry directly) so the pool's
+  // queue-depth / busy-worker gauges are populated.
+  std::string out = StatsToText(service_->Stats());
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(conns_mu_);
   for (const auto& [id, conn] : conns_) {
@@ -557,6 +559,13 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
     request.query.assign(span.begin(), span.end());
   }
 
+  // The client's trace wish is remembered separately: the slow-query log
+  // needs traces for every query while enabled, but only clients that
+  // asked for one get it echoed back on the wire.
+  const bool wants_trace = request.collect_trace;
+  if (options_.slow_query_ms > 0.0) request.collect_trace = true;
+  const std::string series_name = request.series;
+
   // The token is registered before submission, so a kCancel can never
   // race ahead of its target; the completion callback retires it. A
   // request id already in flight is rejected: accepting it would clobber
@@ -590,10 +599,13 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
                                     : 1;
   if (stream_chunk > cap_matches) stream_chunk = cap_matches;
   service_->SubmitWithCallback(
-      std::move(request), [conn, id, stream_chunk](QueryResponse response) {
+      std::move(request),
+      [this, conn, id, stream_chunk, wants_trace,
+       series_name](QueryResponse response) {
         // Encoded frames for this response, pushed onto the outbox as one
         // contiguous run (other requests' frames may interleave between
         // runs — the client reassembles per request id).
+        const auto serialize_t0 = std::chrono::steady_clock::now();
         std::vector<std::string> wires;
         if (response.status.ok() && stream_chunk > 0 &&
             response.matches.size() > stream_chunk) {
@@ -621,16 +633,44 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
         frame.request_id = id;
         if (response.status.ok()) {
           frame.type = FrameType::kQueryResponse;
-          EncodeQueryResponseBody(response, &frame.body);
+          // Split encode: the prefix (parts + status/matches/stats) is
+          // timed as the serialize span, which is then part of the trace
+          // appended behind it — so the wire trace covers its own cost.
+          EncodeQueryResponsePrefix(response, &frame.body);
+          if (response.trace != nullptr) {
+            response.trace->AddSpan(kSpanSerialize, serialize_t0,
+                                    std::chrono::steady_clock::now());
+          }
+          AppendQueryResponseTrace(
+              wants_trace ? response.trace.get() : nullptr, &frame.body);
         } else {
           // Typed error on the wire: the client reconstructs the exact
           // Status (ResourceExhausted, DeadlineExceeded, Cancelled, ...).
           frame.type = FrameType::kError;
           EncodeErrorBody(response.status, &frame.body);
+          if (response.trace != nullptr) {
+            response.trace->AddSpan(kSpanSerialize, serialize_t0,
+                                    std::chrono::steady_clock::now());
+          }
         }
         std::string wire;
         EncodeFrame(frame, &wire);
         wires.push_back(std::move(wire));
+        // Slow-query log, emitted before this request is retired below:
+        // Stop() may destroy the server the moment every pending count
+        // hits zero, so nothing may touch `this` after the decrement.
+        if (options_.slow_query_ms > 0.0 && response.trace != nullptr &&
+            response.latency_ms >= options_.slow_query_ms) {
+          const std::string line = TraceToJsonLine(
+              series_name,
+              response.status.ok() ? "ok" : response.status.ToString(),
+              response.latency_ms, *response.trace);
+          if (options_.slow_query_log) {
+            options_.slow_query_log(line);
+          } else {
+            std::fprintf(stderr, "%s\n", line.c_str());
+          }
+        }
         std::lock_guard<std::mutex> lock(conn->mu);
         conn->pending -= 1;
         conn->inflight.erase(id);

@@ -32,6 +32,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -64,6 +65,15 @@ class Server {
     /// the remaining ones are cancelled via their tokens (they then
     /// answer Cancelled and the drain completes). 0 waits forever.
     double drain_timeout_ms = 30'000.0;
+    /// Slow-query log threshold: a query whose end-to-end latency reaches
+    /// this emits its full trace (queue/probe/verify/serialize spans) as
+    /// one structured JSON line. Tracing is forced server-side for every
+    /// query while enabled, whether or not the client asked for a trace.
+    /// 0 disables.
+    double slow_query_ms = 0.0;
+    /// Sink for slow-query log lines (no trailing newline). Defaults to
+    /// stderr. Must be thread-safe: completions fire from pool workers.
+    std::function<void(const std::string&)> slow_query_log;
   };
 
   /// `catalog` resolves by-reference queries and LIST requests; `service`

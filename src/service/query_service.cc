@@ -254,6 +254,14 @@ QueryResponse QueryService::Execute(
     std::chrono::steady_clock::time_point enqueued,
     std::chrono::steady_clock::time_point deadline) {
   QueryResponse response;
+  if (request.collect_trace) {
+    // Origin = submission instant, so span offsets line up with
+    // latency_ms; the time between then and now is queue wait.
+    response.trace = std::make_shared<QueryTrace>(enqueued);
+    response.trace->AddSpan(
+        kSpanQueue, enqueued, std::chrono::steady_clock::now(),
+        {{"queue_depth", static_cast<uint64_t>(pool_.QueueDepth())}});
+  }
   // Checked at dequeue, before any work: a request that was cancelled or
   // outlived its budget in the queue is answered immediately, not run.
   // `>=` (not `>`) so a zero-length budget can never slip through on a
@@ -283,6 +291,7 @@ QueryResponse QueryService::Execute(
   ExecContext ctx;
   ctx.cancel = token.get();
   ctx.deadline = deadline;
+  ctx.trace = response.trace.get();
 
   Result<std::vector<MatchResult>> matches = std::vector<MatchResult>{};
   if (request.top_k > 0) {

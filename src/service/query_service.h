@@ -39,6 +39,7 @@
 #include "service/catalog.h"
 #include "service/service_stats.h"
 #include "service/thread_pool.h"
+#include "service/trace.h"
 
 namespace kvmatch {
 
@@ -61,6 +62,10 @@ struct QueryRequest {
   /// in-flight wire query). When null the service still allocates an
   /// internal token so Cancel(request_id) always works.
   std::shared_ptr<CancelToken> cancel;
+  /// Collect a per-stage QueryTrace (queue wait, probe, verify slices)
+  /// into QueryResponse::trace. Off by default: the untraced path costs
+  /// one branch per hook.
+  bool collect_trace = false;
 };
 
 struct QueryResponse {
@@ -71,6 +76,11 @@ struct QueryResponse {
   MatchStats stats;
   /// Submission → completion, including queue wait.
   double latency_ms = 0.0;
+  /// Stage spans, present iff the request set collect_trace. The trace
+  /// origin is the submission instant, so span start offsets line up with
+  /// latency_ms. shared_ptr: the server appends a serialize span after
+  /// the response has been handed to the completion callback.
+  std::shared_ptr<QueryTrace> trace;
 };
 
 class QueryService {
@@ -130,7 +140,15 @@ class QueryService {
   /// Accepted requests not yet answered (the in-flight gauge).
   size_t InFlight() const;
 
-  ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  /// Registry snapshot plus the pool's live queue-depth / busy-worker
+  /// gauges (the registry does not own the pool).
+  ServiceStatsSnapshot Stats() const {
+    ServiceStatsSnapshot snap = stats_.Snapshot();
+    snap.queue_depth = pool_.QueueDepth();
+    snap.workers_busy = pool_.NumBusy();
+    snap.workers_total = pool_.num_threads();
+    return snap;
+  }
   void ResetStats() { stats_.Reset(); }
 
   /// The live registry, for front-ends (e.g. the TCP server) that record

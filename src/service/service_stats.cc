@@ -7,217 +7,259 @@ namespace kvmatch {
 
 namespace {
 
-double Percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const size_t rank = static_cast<size_t>(p * (samples.size() - 1) + 0.5);
-  return samples[std::min(rank, samples.size() - 1)];
+constexpr double kNsPerMs = 1e6;
+
+uint64_t ToNs(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * kNsPerMs);
 }
 
 }  // namespace
 
+void StatsRegistry::AtomicMatchStats::Add(const MatchStats& s) {
+  const auto add = [](std::atomic<uint64_t>& a, uint64_t v) {
+    if (v) a.fetch_add(v, std::memory_order_relaxed);
+  };
+  add(index_accesses, s.probe.index_accesses);
+  add(rows_fetched, s.probe.rows_fetched);
+  add(intervals_fetched, s.probe.intervals_fetched);
+  add(bytes_fetched, s.probe.bytes_fetched);
+  add(cache_hits, s.probe.cache_hits);
+  add(candidate_positions, s.candidate_positions);
+  add(candidate_intervals, s.candidate_intervals);
+  add(distance_calls, s.distance_calls);
+  add(lb_pruned, s.lb_pruned);
+  add(constraint_pruned, s.constraint_pruned);
+  add(phase1_ns, ToNs(s.phase1_ms));
+  add(phase2_ns, ToNs(s.phase2_ms));
+}
+
+MatchStats StatsRegistry::AtomicMatchStats::Load() const {
+  MatchStats out;
+  out.probe.index_accesses = index_accesses.load(std::memory_order_relaxed);
+  out.probe.rows_fetched = rows_fetched.load(std::memory_order_relaxed);
+  out.probe.intervals_fetched =
+      intervals_fetched.load(std::memory_order_relaxed);
+  out.probe.bytes_fetched = bytes_fetched.load(std::memory_order_relaxed);
+  out.probe.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  out.candidate_positions =
+      candidate_positions.load(std::memory_order_relaxed);
+  out.candidate_intervals =
+      candidate_intervals.load(std::memory_order_relaxed);
+  out.distance_calls = distance_calls.load(std::memory_order_relaxed);
+  out.lb_pruned = lb_pruned.load(std::memory_order_relaxed);
+  out.constraint_pruned = constraint_pruned.load(std::memory_order_relaxed);
+  out.phase1_ms =
+      static_cast<double>(phase1_ns.load(std::memory_order_relaxed)) /
+      kNsPerMs;
+  out.phase2_ms =
+      static_cast<double>(phase2_ns.load(std::memory_order_relaxed)) /
+      kNsPerMs;
+  return out;
+}
+
 StatsRegistry::StatsRegistry() : start_(std::chrono::steady_clock::now()) {}
+
+StatsRegistry::PerSeries* StatsRegistry::GetSeries(const std::string& series) {
+  {
+    std::shared_lock<std::shared_mutex> lock(series_mu_);
+    auto it = series_.find(series);
+    if (it != series_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(series_mu_);
+  auto& slot = series_[series];
+  if (!slot) slot = std::make_shared<PerSeries>();
+  return slot.get();
+}
 
 void StatsRegistry::RecordQuery(const std::string& series, double latency_ms,
                                 const MatchStats& stats, bool ok) {
-  std::lock_guard<std::mutex> lock(mu_);
-  PerSeries& s = series_[series];
-  if (s.queries == 0) {
-    s.lat_min = s.lat_max = latency_ms;
-  } else {
-    s.lat_min = std::min(s.lat_min, latency_ms);
-    s.lat_max = std::max(s.lat_max, latency_ms);
-  }
-  s.queries += 1;
-  s.lat_sum += latency_ms;
-  if (!ok) s.errors += 1;
-  s.match.Add(stats);
-  if (s.latencies_ms.size() < kMaxSamples) {
-    s.latencies_ms.push_back(latency_ms);
-  } else {
-    s.latencies_ms[s.next_sample] = latency_ms;
-    s.next_sample = (s.next_sample + 1) % kMaxSamples;
-  }
+  PerSeries* s = GetSeries(series);
+  s->queries.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) s->errors.fetch_add(1, std::memory_order_relaxed);
+  s->match.Add(stats);
+  s->latency.Record(latency_ms);
+  all_latency_.Record(latency_ms);
 }
 
 void StatsRegistry::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
-  rejected_ += 1;
+  rejected_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void StatsRegistry::RecordLookupFailure() {
   // Deliberately not per-series: arbitrary unknown names must not grow
   // the series map without bound.
-  std::lock_guard<std::mutex> lock(mu_);
-  not_found_ += 1;
+  not_found_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void StatsRegistry::RecordDeadlineExceeded(const std::string& series) {
-  std::lock_guard<std::mutex> lock(mu_);
-  deadline_exceeded_ += 1;
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
   (void)series;  // deadline misses never ran, so no per-series latency
 }
 
 void StatsRegistry::RecordQueryStarted() {
-  std::lock_guard<std::mutex> lock(mu_);
-  in_flight_ += 1;
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void StatsRegistry::RecordQueryFinished() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (in_flight_ > 0) in_flight_ -= 1;
+  // fetch_sub with a floor: a Reset() racing a finish must not wrap the
+  // gauge to 2^64.
+  uint64_t cur = in_flight_.load(std::memory_order_relaxed);
+  while (cur > 0 && !in_flight_.compare_exchange_weak(
+                        cur, cur - 1, std::memory_order_relaxed)) {
+  }
 }
 
 void StatsRegistry::RecordCancelled(const std::string& series) {
-  std::lock_guard<std::mutex> lock(mu_);
-  cancelled_ += 1;
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
   (void)series;  // aborted runs report no completion latency
 }
 
 void StatsRegistry::RecordDeadlineAbortedRunning(const std::string& series) {
-  std::lock_guard<std::mutex> lock(mu_);
-  deadline_aborted_running_ += 1;
+  deadline_aborted_running_.fetch_add(1, std::memory_order_relaxed);
   (void)series;
 }
 
 void StatsRegistry::RecordConnectionOpened() {
-  std::lock_guard<std::mutex> lock(mu_);
-  connections_open_ += 1;
-  connections_accepted_ += 1;
+  connections_open_.fetch_add(1, std::memory_order_relaxed);
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void StatsRegistry::RecordConnectionClosed() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (connections_open_ > 0) connections_open_ -= 1;
+  uint64_t cur = connections_open_.load(std::memory_order_relaxed);
+  while (cur > 0 && !connections_open_.compare_exchange_weak(
+                        cur, cur - 1, std::memory_order_relaxed)) {
+  }
 }
 
 void StatsRegistry::RecordConnectionRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
-  connections_rejected_ += 1;
+  connections_rejected_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void StatsRegistry::RecordProtocolError() {
-  std::lock_guard<std::mutex> lock(mu_);
-  protocol_errors_ += 1;
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void StatsRegistry::RecordIngest(const std::string& series, uint64_t points,
                                  uint64_t batches) {
-  std::lock_guard<std::mutex> lock(mu_);
-  points_appended_ += points;
-  ingest_batches_ += batches;
-  (void)series;  // per-series ingest volume can ride on the epoch gauge
+  points_appended_.fetch_add(points, std::memory_order_relaxed);
+  ingest_batches_.fetch_add(batches, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(gauge_mu_);
+  ingest_points_[series] += points;
 }
 
 void StatsRegistry::RecordEpochInstalled(const std::string& series,
                                          uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(gauge_mu_);
   epoch_gauges_[series] = epoch;
 }
 
 void StatsRegistry::RecordEpochRetired() {
-  std::lock_guard<std::mutex> lock(mu_);
-  epochs_retired_ += 1;
+  epochs_retired_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void StatsRegistry::RecordSeriesDropped(const std::string& series) {
-  std::lock_guard<std::mutex> lock(mu_);
-  series_dropped_ += 1;
+  series_dropped_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(gauge_mu_);
   epoch_gauges_.erase(series);
 }
 
-LatencySummary StatsRegistry::Summarize(const PerSeries& s) {
+LatencySummary StatsRegistry::Summarize(
+    const LatencyHistogram::Snapshot& h) {
   LatencySummary out;
-  out.count = s.queries;
-  if (s.queries == 0) return out;
-  out.min_ms = s.lat_min;
-  out.max_ms = s.lat_max;
-  out.mean_ms = s.lat_sum / static_cast<double>(s.queries);
-  out.p99_ms = Percentile(s.latencies_ms, 0.99);
+  out.count = h.total;
+  if (h.total == 0) return out;
+  out.min_ms = h.min_ms;
+  out.max_ms = h.max_ms;
+  out.mean_ms = h.MeanMs();
+  out.p50_ms = h.Percentile(0.50);
+  out.p95_ms = h.Percentile(0.95);
+  out.p99_ms = h.Percentile(0.99);
   return out;
 }
 
 ServiceStatsSnapshot StatsRegistry::Snapshot() const {
-  // Copy the raw state under the lock, then sort/summarize outside it so a
-  // monitoring poll never stalls workers mid-RecordQuery.
-  std::map<std::string, PerSeries> series_copy;
   ServiceStatsSnapshot snap;
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  snap.not_found = not_found_.load(std::memory_order_relaxed);
+  snap.in_flight = in_flight_.load(std::memory_order_relaxed);
+  snap.cancelled = cancelled_.load(std::memory_order_relaxed);
+  snap.deadline_aborted_running =
+      deadline_aborted_running_.load(std::memory_order_relaxed);
+  snap.connections_open = connections_open_.load(std::memory_order_relaxed);
+  snap.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  snap.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  snap.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  snap.points_appended = points_appended_.load(std::memory_order_relaxed);
+  snap.ingest_batches = ingest_batches_.load(std::memory_order_relaxed);
+  snap.epochs_retired = epochs_retired_.load(std::memory_order_relaxed);
+  snap.series_dropped = series_dropped_.load(std::memory_order_relaxed);
+
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(gauge_mu_);
     snap.elapsed_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - start_)
                                .count();
-    snap.rejected = rejected_;
-    snap.deadline_exceeded = deadline_exceeded_;
-    snap.not_found = not_found_;
-    snap.in_flight = in_flight_;
-    snap.cancelled = cancelled_;
-    snap.deadline_aborted_running = deadline_aborted_running_;
-    snap.connections_open = connections_open_;
-    snap.connections_accepted = connections_accepted_;
-    snap.connections_rejected = connections_rejected_;
-    snap.protocol_errors = protocol_errors_;
-    snap.points_appended = points_appended_;
-    snap.ingest_batches = ingest_batches_;
-    snap.epochs_retired = epochs_retired_;
-    snap.series_dropped = series_dropped_;
     snap.series_epochs.assign(epoch_gauges_.begin(), epoch_gauges_.end());
-    series_copy = series_;
+    snap.series_ingest_points.assign(ingest_points_.begin(),
+                                     ingest_points_.end());
   }
 
-  PerSeries all;  // merged view for the service-wide latency summary
-  for (const auto& [name, s] : series_copy) {
+  std::vector<std::pair<std::string, std::shared_ptr<PerSeries>>> live;
+  {
+    std::shared_lock<std::shared_mutex> lock(series_mu_);
+    live.assign(series_.begin(), series_.end());  // std::map: sorted by name
+  }
+  for (const auto& [name, s] : live) {
     SeriesStatsSnapshot out;
     out.series = name;
-    out.queries = s.queries;
-    out.errors = s.errors;
+    out.queries = s->queries.load(std::memory_order_relaxed);
+    out.errors = s->errors.load(std::memory_order_relaxed);
     out.qps = snap.elapsed_seconds > 0.0
-                  ? static_cast<double>(s.queries) / snap.elapsed_seconds
+                  ? static_cast<double>(out.queries) / snap.elapsed_seconds
                   : 0.0;
-    out.latency = Summarize(s);
-    out.match = s.match;
-    snap.total_queries += s.queries;
-    snap.total_errors += s.errors;
-
-    if (all.queries == 0) {
-      all.lat_min = s.lat_min;
-      all.lat_max = s.lat_max;
-    } else if (s.queries > 0) {
-      all.lat_min = std::min(all.lat_min, s.lat_min);
-      all.lat_max = std::max(all.lat_max, s.lat_max);
-    }
-    all.queries += s.queries;
-    all.lat_sum += s.lat_sum;
-    all.latencies_ms.insert(all.latencies_ms.end(), s.latencies_ms.begin(),
-                            s.latencies_ms.end());
+    out.latency = Summarize(s->latency.TakeSnapshot());
+    out.match = s->match.Load();
+    snap.total_queries += out.queries;
+    snap.total_errors += out.errors;
     snap.series.push_back(std::move(out));
   }
-  snap.latency = Summarize(all);
+  snap.latency_hist = all_latency_.TakeSnapshot();
+  snap.latency = Summarize(snap.latency_hist);
   return snap;
 }
 
 void StatsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  series_.clear();
-  rejected_ = 0;
-  deadline_exceeded_ = 0;
-  not_found_ = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(series_mu_);
+    series_.clear();
+  }
+  all_latency_.Reset();
+  rejected_.store(0, std::memory_order_relaxed);
+  deadline_exceeded_.store(0, std::memory_order_relaxed);
+  not_found_.store(0, std::memory_order_relaxed);
   // in_flight_ is a live gauge owned by the QueryService's submit/finish
   // pairing (like connections_open_ below); resetting it would desync it.
-  cancelled_ = 0;
-  deadline_aborted_running_ = 0;
+  cancelled_.store(0, std::memory_order_relaxed);
+  deadline_aborted_running_.store(0, std::memory_order_relaxed);
   // connections_open_ is a live gauge owned by the server's accept loop;
   // resetting it would desync the open/close pairing. Re-base the
   // lifetime counter so accepted >= open still holds.
-  connections_accepted_ = connections_open_;
-  connections_rejected_ = 0;
-  protocol_errors_ = 0;
-  points_appended_ = 0;
-  ingest_batches_ = 0;
-  epochs_retired_ = 0;
-  series_dropped_ = 0;
+  connections_accepted_.store(
+      connections_open_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  connections_rejected_.store(0, std::memory_order_relaxed);
+  protocol_errors_.store(0, std::memory_order_relaxed);
+  points_appended_.store(0, std::memory_order_relaxed);
+  ingest_batches_.store(0, std::memory_order_relaxed);
+  epochs_retired_.store(0, std::memory_order_relaxed);
+  series_dropped_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(gauge_mu_);
   // epoch_gauges_ describes the catalog's current state, not this
   // registry's history; a stats rebase must not forget it.
+  ingest_points_.clear();
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -252,15 +294,36 @@ void EmitLatency(std::string* out, const std::string& name,
   };
   emit("min", latency.min_ms);
   emit("mean", latency.mean_ms);
+  emit("p50", latency.p50_ms);
+  emit("p95", latency.p95_ms);
   emit("p99", latency.p99_ms);
   emit("max", latency.max_ms);
+}
+
+// Prometheus histogram exposition: cumulative buckets. Buckets with no
+// observations are skipped (200 mostly-empty lines per poll would drown
+// the dump) except the mandatory le="+Inf" terminator.
+void EmitHistogram(std::string* out, const std::string& name,
+                   const LatencyHistogram::Snapshot& h) {
+  uint64_t cum = 0;
+  for (size_t i = 0; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    if (h.counts[i] == 0) continue;
+    cum += h.counts[i];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g",
+                  LatencyHistogram::BucketUpperBoundMs(i));
+    EmitCounter(out, (name + "_bucket{le=\"" + buf + "\"}").c_str(), cum);
+  }
+  EmitCounter(out, (name + "_bucket{le=\"+Inf\"}").c_str(), h.total);
+  EmitGauge(out, name + "_sum", h.sum_ms);
+  EmitCounter(out, (name + "_count").c_str(), h.total);
 }
 
 }  // namespace
 
 std::string StatsToText(const ServiceStatsSnapshot& snap) {
   std::string out;
-  out.reserve(1024 + 512 * snap.series.size());
+  out.reserve(2048 + 512 * snap.series.size());
   EmitGauge(&out, "kvmatch_uptime_seconds", snap.elapsed_seconds);
   EmitCounter(&out, "kvmatch_queries_total", snap.total_queries);
   EmitCounter(&out, "kvmatch_query_errors_total", snap.total_errors);
@@ -269,6 +332,9 @@ std::string StatsToText(const ServiceStatsSnapshot& snap) {
               snap.deadline_exceeded);
   EmitCounter(&out, "kvmatch_not_found_total", snap.not_found);
   EmitCounter(&out, "kvmatch_queries_in_flight", snap.in_flight);
+  EmitCounter(&out, "kvmatch_queue_depth", snap.queue_depth);
+  EmitCounter(&out, "kvmatch_workers_busy", snap.workers_busy);
+  EmitCounter(&out, "kvmatch_workers_total", snap.workers_total);
   EmitCounter(&out, "kvmatch_cancelled_total", snap.cancelled);
   EmitCounter(&out, "kvmatch_deadline_aborted_running_total",
               snap.deadline_aborted_running);
@@ -287,7 +353,15 @@ std::string StatsToText(const ServiceStatsSnapshot& snap) {
                           .c_str(),
                 epoch);
   }
+  for (const auto& [name, points] : snap.series_ingest_points) {
+    EmitCounter(
+        &out,
+        ("kvmatch_series_ingest_points_total{series=\"" + name + "\"}")
+            .c_str(),
+        points);
+  }
   EmitLatency(&out, "kvmatch_latency_ms", "", snap.latency);
+  EmitHistogram(&out, "kvmatch_query_latency_ms", snap.latency_hist);
   for (const auto& s : snap.series) {
     const std::string label = "{series=\"" + s.series + "\"}";
     EmitCounter(&out, ("kvmatch_series_queries_total" + label).c_str(),

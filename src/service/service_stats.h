@@ -1,26 +1,40 @@
 // Service-level observability: per-series throughput and latency plus the
 // paper's per-query MatchStats/ProbeStats, aggregated across every request
-// the QueryService executes. Feeds the bench harness and the CLI's
-// batch-query / serve-bench tables.
+// the QueryService executes. Feeds the bench harness, the CLI's
+// batch-query / serve-bench tables, and the Prometheus STATS exposition.
+//
+// The hot path (RecordQuery and friends) is lock-free: every counter is a
+// relaxed atomic and latencies go into striped LatencyHistograms, so a
+// pool of workers finishing queries never serializes on a registry mutex.
+// The per-series map itself is guarded by a shared_mutex taken shared for
+// lookups (the common case — the series already exists) and exclusive
+// only on first touch and Reset().
 #ifndef KVMATCH_SERVICE_SERVICE_STATS_H_
 #define KVMATCH_SERVICE_SERVICE_STATS_H_
 
+#include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/histogram.h"
 #include "match/query_types.h"
 
 namespace kvmatch {
 
-/// Latency distribution of a set of queries, in milliseconds.
+/// Latency distribution of a set of queries, in milliseconds. Percentiles
+/// are derived from the log-bucketed histogram (within ~9% of exact).
 struct LatencySummary {
   uint64_t count = 0;
   double min_ms = 0.0;
   double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
 };
@@ -50,6 +64,13 @@ struct ServiceStatsSnapshot {
   /// Deadlines enforced *mid-execution* by the cooperative executor
   /// (distinct from `deadline_exceeded`, which never started running).
   uint64_t deadline_aborted_running = 0;
+  // Thread-pool gauges, filled in by QueryService::Stats() (the registry
+  // itself does not own the pool). workers_busy counts workers currently
+  // inside a task; queue_depth counts tasks waiting for a worker — their
+  // sum splits the `in_flight` conflation apart.
+  uint64_t queue_depth = 0;
+  uint64_t workers_busy = 0;
+  uint64_t workers_total = 0;
   // Network front-end gauges; all zero when no server is attached.
   uint64_t connections_open = 0;
   uint64_t connections_accepted = 0;  // lifetime, includes open ones
@@ -62,19 +83,27 @@ struct ServiceStatsSnapshot {
   uint64_t series_dropped = 0;
   /// Current epoch per live series (gauge), sorted by name.
   std::vector<std::pair<std::string, uint64_t>> series_epochs;
+  /// Lifetime points appended per series (counter), sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> series_ingest_points;
   LatencySummary latency;          // across all series
+  /// Raw bucket counts behind `latency`, for the Prometheus
+  /// `_bucket`/`_sum`/`_count` exposition.
+  LatencyHistogram::Snapshot latency_hist;
   std::vector<SeriesStatsSnapshot> series;  // sorted by name
 };
 
 /// Renders a snapshot as a Prometheus-style plaintext exposition:
-/// service-wide counters, connection gauges, and per-series metrics with
-/// a `series="<name>"` label (series names are [A-Za-z0-9._-] so no label
+/// service-wide counters, connection/pool gauges, the query-latency
+/// histogram (`kvmatch_query_latency_ms_bucket{le="..."}` cumulative
+/// lines plus `_sum`/`_count`), and per-series metrics with a
+/// `series="<name>"` label (series names are [A-Za-z0-9._-] so no label
 /// escaping is needed). Served over the wire as a STATS response.
 std::string StatsToText(const ServiceStatsSnapshot& snapshot);
 
-/// Thread-safe sink for per-request measurements. Latencies are kept in a
-/// bounded per-series reservoir (most recent kMaxSamples) for the
-/// percentile estimate; counters and MatchStats aggregation are exact.
+/// Thread-safe sink for per-request measurements. All record paths are
+/// lock-free once a series has been seen (relaxed atomics + striped
+/// histograms); only first-touch of a new series and administrative
+/// updates (epoch gauges, Reset) take a lock.
 class StatsRegistry {
  public:
   StatsRegistry();
@@ -106,7 +135,8 @@ class StatsRegistry {
   /// Updates the per-series epoch gauge.
   void RecordEpochInstalled(const std::string& series, uint64_t epoch);
   void RecordEpochRetired();
-  /// Drops the series' epoch gauge and counts the drop.
+  /// Drops the series' epoch gauge and counts the drop. The ingest-points
+  /// counter survives (it is lifetime volume, not live state).
   void RecordSeriesDropped(const std::string& series);
 
   ServiceStatsSnapshot Snapshot() const;
@@ -118,37 +148,68 @@ class StatsRegistry {
   void Reset();
 
  private:
-  static constexpr size_t kMaxSamples = 1 << 16;
+  /// Atomic mirror of MatchStats: counters as relaxed uint64 atomics,
+  /// phase wall times as integer nanoseconds (atomic<double> has no
+  /// portable lock-free fetch_add).
+  struct AtomicMatchStats {
+    std::atomic<uint64_t> index_accesses{0};
+    std::atomic<uint64_t> rows_fetched{0};
+    std::atomic<uint64_t> intervals_fetched{0};
+    std::atomic<uint64_t> bytes_fetched{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> candidate_positions{0};
+    std::atomic<uint64_t> candidate_intervals{0};
+    std::atomic<uint64_t> distance_calls{0};
+    std::atomic<uint64_t> lb_pruned{0};
+    std::atomic<uint64_t> constraint_pruned{0};
+    std::atomic<uint64_t> phase1_ns{0};
+    std::atomic<uint64_t> phase2_ns{0};
 
-  struct PerSeries {
-    uint64_t queries = 0;
-    uint64_t errors = 0;
-    MatchStats match;
-    std::vector<double> latencies_ms;  // ring buffer of recent samples
-    size_t next_sample = 0;
-    double lat_min = 0.0, lat_max = 0.0, lat_sum = 0.0;
+    void Add(const MatchStats& s);
+    MatchStats Load() const;
   };
 
-  static LatencySummary Summarize(const PerSeries& s);
+  struct PerSeries {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> errors{0};
+    AtomicMatchStats match;
+    LatencyHistogram latency;
+  };
 
-  mutable std::mutex mu_;
+  static LatencySummary Summarize(const LatencyHistogram::Snapshot& h);
+
+  /// Shared-lock lookup; takes the exclusive lock only to insert.
+  PerSeries* GetSeries(const std::string& series);
+
+  mutable std::shared_mutex series_mu_;
+  // shared_ptr so Snapshot()/Reset() can't free a PerSeries out from
+  // under a concurrent lock-free recorder.
+  std::map<std::string, std::shared_ptr<PerSeries>> series_;
+
+  LatencyHistogram all_latency_;  // across every series
+
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> not_found_{0};
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> deadline_aborted_running_{0};
+  std::atomic<uint64_t> connections_open_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> points_appended_{0};
+  std::atomic<uint64_t> ingest_batches_{0};
+  std::atomic<uint64_t> epochs_retired_{0};
+  std::atomic<uint64_t> series_dropped_{0};
+
+  // Cold administrative state: epoch gauges, per-series ingest totals,
+  // and the QPS clock. Ingest is batched (catalog write path, not the
+  // query hot path) so a plain mutex here is fine.
+  mutable std::mutex gauge_mu_;
   std::chrono::steady_clock::time_point start_;
-  std::map<std::string, PerSeries> series_;
-  uint64_t rejected_ = 0;
-  uint64_t deadline_exceeded_ = 0;
-  uint64_t not_found_ = 0;
-  uint64_t in_flight_ = 0;
-  uint64_t cancelled_ = 0;
-  uint64_t deadline_aborted_running_ = 0;
-  uint64_t connections_open_ = 0;
-  uint64_t connections_accepted_ = 0;
-  uint64_t connections_rejected_ = 0;
-  uint64_t protocol_errors_ = 0;
-  uint64_t points_appended_ = 0;
-  uint64_t ingest_batches_ = 0;
-  uint64_t epochs_retired_ = 0;
-  uint64_t series_dropped_ = 0;
   std::map<std::string, uint64_t> epoch_gauges_;
+  std::map<std::string, uint64_t> ingest_points_;
 };
 
 }  // namespace kvmatch

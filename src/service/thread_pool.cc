@@ -55,7 +55,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    busy_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

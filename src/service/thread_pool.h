@@ -6,6 +6,7 @@
 #ifndef KVMATCH_SERVICE_THREAD_POOL_H_
 #define KVMATCH_SERVICE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -40,6 +41,10 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
   size_t QueueDepth() const;
+  /// Workers currently inside a task (utilization gauge). Approximate by
+  /// nature — it races task pickup/completion — but never exceeds
+  /// num_threads().
+  size_t NumBusy() const { return busy_.load(std::memory_order_relaxed); }
 
  private:
   void WorkerLoop();
@@ -50,6 +55,7 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   size_t max_queue_ = 0;
   bool shutdown_ = false;
+  std::atomic<size_t> busy_{0};
 };
 
 }  // namespace kvmatch

@@ -1260,6 +1260,202 @@ TEST(NetServerTest, GracefulStopDrainsPipelinedWork) {
   EXPECT_EQ(answered, ids.size());
 }
 
+// ------------------------------------------------------------- tracing
+
+TEST(ProtocolTest, QueryRequestTraceFlagRoundTrips) {
+  WireQueryRequest in;
+  in.request.series = "s";
+  in.request.query = {1.0, 2.0, 3.0};
+  for (bool flag : {false, true}) {
+    in.request.collect_trace = flag;
+    std::string body;
+    EncodeQueryRequestBody(in, &body);
+    WireQueryRequest out;
+    ASSERT_TRUE(DecodeQueryRequestBody(body, &out).ok());
+    EXPECT_EQ(out.request.collect_trace, flag);
+  }
+}
+
+TEST(ProtocolTest, QueryResponseTraceRoundTrips) {
+  QueryResponse in;
+  in.latency_ms = 42.0;
+  in.matches = {{7, 1.25}};
+  in.trace = std::make_shared<QueryTrace>();
+  const auto origin = in.trace->origin();
+  in.trace->AddSpan(kSpanQueue, origin,
+                    origin + std::chrono::milliseconds(2),
+                    {{"queue_depth", 3}});
+  in.trace->AddSpan(kSpanProbe, origin + std::chrono::milliseconds(2),
+                    origin + std::chrono::milliseconds(9),
+                    {{"windows", 4}, {"rows_fetched", 1234}});
+  in.trace->AddSpan(kSpanVerify, origin + std::chrono::milliseconds(9),
+                    origin + std::chrono::milliseconds(30),
+                    {{"slice", 0}, {"candidates", 512}});
+
+  std::string body;
+  EncodeQueryResponseBody(in, &body);
+
+  // The split encoding the server uses (prefix, then trace appended after
+  // the serialize span is known) must be byte-identical to the one-shot.
+  std::string split;
+  EncodeQueryResponsePrefix(in, &split);
+  AppendQueryResponseTrace(in.trace.get(), &split);
+  EXPECT_EQ(split, body);
+
+  QueryResponse out;
+  ASSERT_TRUE(DecodeQueryResponseBody(body, &out).ok());
+  ASSERT_NE(out.trace, nullptr);
+  const auto in_spans = in.trace->spans();
+  const auto out_spans = out.trace->spans();
+  ASSERT_EQ(out_spans.size(), in_spans.size());
+  for (size_t i = 0; i < in_spans.size(); ++i) {
+    EXPECT_EQ(out_spans[i].name, in_spans[i].name);
+    EXPECT_EQ(out_spans[i].start_ms, in_spans[i].start_ms);
+    EXPECT_EQ(out_spans[i].dur_ms, in_spans[i].dur_ms);
+    EXPECT_EQ(out_spans[i].worker, in_spans[i].worker);
+    EXPECT_EQ(out_spans[i].args, in_spans[i].args);
+  }
+
+  // No trace → a one-byte marker, and the decode yields a null trace.
+  QueryResponse plain;
+  plain.latency_ms = 1.0;
+  std::string plain_body;
+  EncodeQueryResponseBody(plain, &plain_body);
+  QueryResponse plain_out;
+  ASSERT_TRUE(DecodeQueryResponseBody(plain_body, &plain_out).ok());
+  EXPECT_EQ(plain_out.trace, nullptr);
+}
+
+TEST(ProtocolTest, TruncatedTraceBodyIsRejected) {
+  QueryResponse in;
+  in.trace = std::make_shared<QueryTrace>();
+  const auto origin = in.trace->origin();
+  in.trace->AddSpan(kSpanProbe, origin, origin + std::chrono::milliseconds(5),
+                    {{"windows", 4}});
+  std::string body;
+  EncodeQueryResponseBody(in, &body);
+  // Chop the trailing trace bytes off one at a time: every truncation
+  // must be rejected, never mis-decoded.
+  for (size_t cut = 1; cut <= 12; ++cut) {
+    QueryResponse out;
+    EXPECT_FALSE(DecodeQueryResponseBody(
+                     std::string_view(body.data(), body.size() - cut), &out)
+                     .ok());
+  }
+}
+
+TEST(NetServerTest, WireTraceCarriesStageBreakdown) {
+  ServerFixture fx(/*threads=*/2);
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  QueryRequest req = MakeWorkload(fx.refs, 1)[0];
+  // Untraced by default: no trace rides the response.
+  auto plain = (*client)->Query(req);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plain->status.ok());
+  EXPECT_EQ(plain->trace, nullptr);
+
+  req.collect_trace = true;
+  auto traced = (*client)->Query(req);
+  ASSERT_TRUE(traced.ok());
+  ASSERT_TRUE(traced->status.ok());
+  ASSERT_NE(traced->trace, nullptr);
+
+  bool saw_queue = false, saw_probe = false, saw_serialize = false;
+  for (const auto& s : traced->trace->spans()) {
+    if (s.name == kSpanQueue) saw_queue = true;
+    if (s.name == kSpanProbe) saw_probe = true;
+    if (s.name == kSpanSerialize) saw_serialize = true;
+  }
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_probe);
+  EXPECT_TRUE(saw_serialize);
+
+  // The stage breakdown accounts for the latency without exceeding it
+  // (small gaps — session acquire, callback dispatch — are real).
+  const StageBreakdown b = ComputeStageBreakdown(*traced->trace);
+  EXPECT_GT(b.TotalMs(), 0.0);
+  EXPECT_LE(b.TotalMs(), traced->latency_ms + 0.05 * traced->latency_ms + 1.0);
+}
+
+// A loopback server whose slow-query threshold and log sink are test
+// controlled (ServerFixture hard-codes the default options).
+struct SlowLogFixture {
+  MemKvStore store;
+  std::vector<TimeSeries> refs;
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<Server> server;
+
+  std::mutex mu;
+  std::vector<std::string> lines;
+
+  explicit SlowLogFixture(double slow_query_ms) {
+    refs = IngestFixture(&store);
+    Catalog::Options copts;
+    copts.session = SmallOptions();
+    catalog = std::make_unique<Catalog>(&store, copts);
+    QueryService::Options sopts;
+    sopts.num_threads = 2;
+    service = std::make_unique<QueryService>(catalog.get(), sopts);
+    Server::Options nopts;
+    nopts.port = 0;
+    nopts.slow_query_ms = slow_query_ms;
+    nopts.slow_query_log = [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.push_back(line);
+    };
+    server = std::make_unique<Server>(catalog.get(), service.get(), nopts);
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  std::vector<std::string> Lines() {
+    std::lock_guard<std::mutex> lock(mu);
+    return lines;
+  }
+};
+
+TEST(NetServerTest, SlowQueryLogEmitsExactlyOneLinePerSlowQuery) {
+  // Threshold ~0: every completed query is "slow".
+  SlowLogFixture fx(/*slow_query_ms=*/0.0001);
+  const auto requests = MakeWorkload(fx.refs, 6);
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  for (const auto& req : requests) {
+    auto response = (*client)->Query(req);
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->status.ok());
+    // The server traces for its own log, but the client didn't ask for a
+    // trace, so none is shipped back.
+    EXPECT_EQ(response->trace, nullptr);
+  }
+  const auto lines = fx.Lines();
+  ASSERT_EQ(lines.size(), requests.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].find("{\"slow_query\":true"), 0u) << lines[i];
+    EXPECT_NE(lines[i].find("\"series\":\"" + requests[i].series + "\""),
+              std::string::npos)
+        << lines[i];
+    EXPECT_NE(lines[i].find("\"name\":\"probe\""), std::string::npos);
+    EXPECT_EQ(lines[i].find('\n'), std::string::npos);
+  }
+}
+
+TEST(NetServerTest, FastQueriesNeverHitTheSlowLog) {
+  // Threshold far above anything this tiny fixture can take.
+  SlowLogFixture fx(/*slow_query_ms=*/1e9);
+  const auto requests = MakeWorkload(fx.refs, 4);
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  for (const auto& req : requests) {
+    auto response = (*client)->Query(req);
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->status.ok());
+  }
+  EXPECT_TRUE(fx.Lines().empty());
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace kvmatch

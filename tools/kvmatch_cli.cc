@@ -31,15 +31,22 @@
 //   kvmatch_cli serve        --store catalog.kvm [--port 7777] [--bind ADDR]
 //                            [--threads N] [--queue 1024] [--max-conns 64]
 //                            [--idle-ms 0] [--stream-chunk 2000000]
-//                            [--drain-ms 30000]
+//                            [--drain-ms 30000] [--slow-query-ms 0]
 //     Serves the catalog until SIGINT/SIGTERM; shutdown drains in-flight
 //     queries for --drain-ms, then cancels the stragglers mid-query.
 //     Responses with more than --stream-chunk matches stream back in
 //     bounded kMatchResponsePart frames (0 disables streaming).
 //     --port 0 picks an ephemeral port (printed on stdout).
+//     --slow-query-ms > 0 logs every query at least that slow to stderr
+//     as one JSON line carrying its queue/probe/verify/serialize spans.
 //   kvmatch_cli remote-query --host 127.0.0.1 --port 7777 --queries q.txt
+//                            [--trace] [--trace-json trace.json]
 //     Same query-file syntax as batch-query; qoffset/qlen windows are
 //     resolved by the server (queries travel by reference, not by value).
+//     --trace asks the server for per-stage spans and prints a
+//     queue/probe/verify/serialize breakdown under each query;
+//     --trace-json additionally writes all traces as one chrome://tracing
+//     (or ui.perfetto.dev) document, one pid per query.
 //   kvmatch_cli remote-cancel --host 127.0.0.1 --port 7777 --queries q.txt
 //                             [--after-ms 100]
 //     Pipelines the queries, waits --after-ms, then sends kCancel for
@@ -59,8 +66,10 @@
 //     throughout — each one completes on the epoch it pinned.
 //   kvmatch_cli remote-drop  --host 127.0.0.1 --port 7777 --name sensor1
 //     Unregisters a series; in-flight queries complete on their epoch.
-//   kvmatch_cli stats        --host 127.0.0.1 --port 7777
-//     Prints the server's Prometheus-style stats dump.
+//   kvmatch_cli stats        --host 127.0.0.1 --port 7777 [--watch SEC]
+//     Prints the server's Prometheus-style stats dump. With --watch it
+//     re-polls every SEC seconds until Ctrl-C, printing only the metrics
+//     that changed (as deltas) — live monitoring during benches.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -615,6 +624,7 @@ int CmdServe(const Args& args) {
   nopts.idle_timeout_ms = args.GetF("idle-ms", 0.0);
   nopts.stream_chunk_matches = args.GetU64("stream-chunk", 2'000'000);
   nopts.drain_timeout_ms = args.GetF("drain-ms", 30'000.0);
+  nopts.slow_query_ms = args.GetF("slow-query-ms", 0.0);
   net::Server server(&catalog, &service, nopts);
   if (Status st = server.Start(); !st.ok()) return Fail(st);
 
@@ -660,6 +670,10 @@ int CmdRemoteQuery(const Args& args) {
   if (requests.empty()) {
     return Fail(Status::InvalidArgument("no queries in " + queries_path));
   }
+  const bool want_trace = args.Has("trace") || args.Has("trace-json");
+  if (want_trace) {
+    for (auto& req : requests) req.request.collect_trace = true;
+  }
 
   auto client = net::Client::Connect(host, port);
   if (!client.ok()) return Fail(client.status());
@@ -673,6 +687,7 @@ int CmdRemoteQuery(const Args& args) {
     ids.push_back(*id);
   }
   const size_t limit = args.GetU64("limit", 3);
+  std::string trace_events;  // combined chrome://tracing doc (--trace-json)
   for (size_t i = 0; i < ids.size(); ++i) {
     auto response = (*client)->WaitResponse(ids[i]);
     if (!response.ok()) return Fail(response.status());
@@ -689,6 +704,25 @@ int CmdRemoteQuery(const Args& args) {
                   response->matches[j].offset,
                   response->matches[j].distance);
     }
+    if (want_trace && response->trace != nullptr) {
+      const StageBreakdown b = ComputeStageBreakdown(*response->trace);
+      const double total = response->latency_ms;
+      std::printf("      trace: queue=%.2fms probe=%.2fms verify=%.2fms "
+                  "serialize=%.2fms | stages sum %.2fms = %.0f%% of "
+                  "%.2fms total\n",
+                  b.queue_ms, b.probe_ms, b.verify_ms, b.serialize_ms,
+                  b.TotalMs(),
+                  total > 0.0 ? 100.0 * b.TotalMs() / total : 0.0, total);
+      AppendChromeTraceEvents(*response->trace, /*pid=*/i, &trace_events);
+    }
+  }
+  if (const std::string path = args.Get("trace-json"); !path.empty()) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Fail(Status::IOError("cannot write " + path));
+    out << "{\"traceEvents\":[" << trace_events << "]}\n";
+    std::printf("wrote %s (load it in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                path.c_str());
   }
   return 0;
 }
@@ -902,6 +936,19 @@ int CmdRemoteDrop(const Args& args) {
   return 0;
 }
 
+/// Parses a Prometheus-style dump into {metric-with-labels: value}.
+std::map<std::string, double> ParseMetrics(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0) continue;
+    out[line.substr(0, sp)] = std::strtod(line.c_str() + sp + 1, nullptr);
+  }
+  return out;
+}
+
 int CmdStats(const Args& args) {
   const std::string host = args.Get("host", "127.0.0.1");
   const int port = static_cast<int>(args.GetU64("port", 7777));
@@ -910,6 +957,42 @@ int CmdStats(const Args& args) {
   auto text = (*client)->StatsText();
   if (!text.ok()) return Fail(text.status());
   std::fputs(text->c_str(), stdout);
+
+  const double watch_sec = args.GetF("watch", 0.0);
+  if (watch_sec <= 0.0) return 0;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  auto prev = ParseMetrics(*text);
+  size_t tick = 0;
+  while (!g_shutdown.load()) {
+    // Sleep in short slices so Ctrl-C lands promptly mid-interval.
+    const auto wake =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(watch_sec));
+    while (!g_shutdown.load() && std::chrono::steady_clock::now() < wake) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (g_shutdown.load()) break;
+    auto poll = (*client)->StatsText();
+    if (!poll.ok()) return Fail(poll.status());
+    auto cur = ParseMetrics(*poll);
+    std::printf("--- t+%.0fs ---\n", ++tick * watch_sec);
+    for (const auto& [name, value] : cur) {
+      // Clocks tick on their own; only activity deltas are interesting.
+      if (name == "kvmatch_uptime_seconds" ||
+          name.find("age_seconds") != std::string::npos) {
+        continue;
+      }
+      const auto it = prev.find(name);
+      const double delta = it == prev.end() ? value : value - it->second;
+      if (delta != 0.0) {
+        std::printf("%-56s %+.6g (now %.6g)\n", name.c_str(), delta, value);
+      }
+    }
+    std::fflush(stdout);
+    prev = std::move(cur);
+  }
   return 0;
 }
 
