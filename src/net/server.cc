@@ -14,6 +14,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/event_log.h"
+
 namespace kvmatch {
 namespace net {
 
@@ -21,6 +23,20 @@ namespace {
 
 constexpr int kPollIntervalMs = 100;   // stop_-flag latency for idle loops
 constexpr int kStopWriteGraceMs = 5000;  // give up on a dead peer at Stop()
+
+/// Bytes needed to tell a plain-HTTP scrape from a binary frame. An HTTP
+/// verb read as a little-endian frame length would be absurd (e.g. "GET "
+/// ≈ 542 MB), far past kMaxPayloadBytes — the two protocols cannot
+/// collide within the cap.
+constexpr size_t kHttpSniffBytes = 4;
+/// A scrape request's head must fit this; anything longer is dropped.
+constexpr size_t kMaxHttpHeadBytes = 16 * 1024;
+
+bool LooksLikeHttp(std::string_view prelude) {
+  return prelude.substr(0, 4) == "GET " || prelude.substr(0, 4) == "HEAD" ||
+         prelude.substr(0, 4) == "POST" || prelude.substr(0, 4) == "PUT " ||
+         prelude.substr(0, 4) == "DELE" || prelude.substr(0, 4) == "OPTI";
+}
 
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
@@ -151,6 +167,17 @@ void Server::Stop() {
     listen_fd_ = -1;
   }
   started_ = false;
+  // Flight recorder last: the ring now includes everything the drain
+  // above produced (final commits, evictions, purges).
+  if (options_.dump_events_on_stop && options_.event_log != nullptr) {
+    for (const auto& line : options_.event_log->RingLines()) {
+      if (options_.event_dump) {
+        options_.event_dump(line);
+      } else {
+        std::fprintf(stderr, "%s\n", line.c_str());
+      }
+    }
+  }
 }
 
 size_t Server::PendingQueries() const {
@@ -292,6 +319,12 @@ void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
   char buf[64 * 1024];
   auto last_activity = std::chrono::steady_clock::now();
   bool open = true;
+  // Protocol sniff: the first kHttpSniffBytes decide whether this
+  // connection speaks binary frames or plain HTTP (a Prometheus scrape,
+  // a curl /healthz). Until decided, bytes accumulate in http_buf.
+  bool sniffed = false;
+  bool http_mode = false;
+  std::string http_buf;
 
   while (open && !stop_.load(std::memory_order_relaxed)) {
     struct pollfd pfd = {conn->fd, POLLIN, 0};
@@ -323,7 +356,29 @@ void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
       break;
     }
     last_activity = std::chrono::steady_clock::now();
-    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    if (!sniffed) {
+      http_buf.append(buf, static_cast<size_t>(n));
+      if (http_buf.size() < kHttpSniffBytes) continue;
+      sniffed = true;
+      http_mode = LooksLikeHttp(http_buf);
+      if (!http_mode) {
+        decoder.Feed(http_buf);
+        http_buf.clear();
+        http_buf.shrink_to_fit();
+      }
+    } else if (http_mode) {
+      http_buf.append(buf, static_cast<size_t>(n));
+    } else {
+      decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+
+    if (http_mode) {
+      if (http_buf.size() > kMaxHttpHeadBytes) break;  // not a scrape
+      const size_t head_end = http_buf.find("\r\n\r\n");
+      if (head_end == std::string::npos) continue;  // head still arriving
+      HandleHttp(conn, std::string_view(http_buf).substr(0, head_end));
+      break;  // Connection: close — one request per connection
+    }
 
     for (;;) {
       Frame frame;
@@ -387,9 +442,68 @@ void Server::Enqueue(const std::shared_ptr<Connection>& conn,
                      const Frame& frame) {
   std::string wire;
   EncodeFrame(frame, &wire);
+  EnqueueRaw(conn, std::move(wire));
+}
+
+void Server::EnqueueRaw(const std::shared_ptr<Connection>& conn,
+                        std::string wire) {
   std::lock_guard<std::mutex> lock(conn->mu);
   if (!conn->aborted) conn->outbox.push_back(std::move(wire));
   conn->cv.notify_all();
+}
+
+void Server::HandleHttp(const std::shared_ptr<Connection>& conn,
+                        std::string_view head) {
+  // Request line only; headers are irrelevant for a scrape.
+  std::string_view line = head.substr(0, head.find("\r\n"));
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  std::string_view method, target;
+  if (sp1 != std::string_view::npos && sp2 != std::string_view::npos &&
+      sp2 > sp1) {
+    method = line.substr(0, sp1);
+    target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  if (const size_t q = target.find('?'); q != std::string_view::npos) {
+    target = target.substr(0, q);  // scrape params are ignored
+  }
+
+  int code = 200;
+  const char* reason = "OK";
+  const char* content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET" && method != "HEAD") {
+    code = 405;
+    reason = "Method Not Allowed";
+    body = "method not allowed\n";
+  } else if (target == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = StatsText();
+  } else if (target == "/healthz") {
+    body = "ok\n";
+  } else {
+    code = 404;
+    reason = "Not Found";
+    body = "not found\n";
+  }
+
+  service_->stats_registry()->RecordHttpRequest();
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->requests += 1;
+  }
+
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                code, reason, content_type, body.size());
+  std::string wire(header);
+  if (method != "HEAD") wire += body;
+  EnqueueRaw(conn, std::move(wire));
 }
 
 void Server::SendError(const std::shared_ptr<Connection>& conn, uint64_t id,

@@ -74,6 +74,14 @@ class Server {
     /// Sink for slow-query log lines (no trailing newline). Defaults to
     /// stderr. Must be thread-safe: completions fire from pool workers.
     std::function<void(const std::string&)> slow_query_log;
+    /// Optional event journal whose in-memory ring (the flight recorder)
+    /// Stop() dumps when dump_events_on_stop is set — the last thing a
+    /// crashing-but-graceful shutdown leaves behind. Not owned.
+    EventLog* event_log = nullptr;
+    bool dump_events_on_stop = false;
+    /// Sink for dumped flight-recorder lines (no trailing newline).
+    /// Defaults to stderr.
+    std::function<void(const std::string&)> event_dump;
   };
 
   /// `catalog` resolves by-reference queries and LIST requests; `service`
@@ -146,8 +154,18 @@ class Server {
 
   static void Enqueue(const std::shared_ptr<Connection>& conn,
                       const Frame& frame);
+  /// Pushes pre-encoded bytes (an HTTP response) onto the outbox.
+  static void EnqueueRaw(const std::shared_ptr<Connection>& conn,
+                         std::string wire);
   void SendError(const std::shared_ptr<Connection>& conn, uint64_t id,
                  const Status& status);
+
+  /// Answers one plain-HTTP request (`head` is everything up to the blank
+  /// line) on a connection whose first bytes sniffed as an HTTP verb:
+  /// GET /metrics → the Prometheus text dump, GET /healthz → liveness.
+  /// One request per connection (Connection: close).
+  void HandleHttp(const std::shared_ptr<Connection>& conn,
+                  std::string_view head);
 
   /// Joins finished connections; with `all`, joins every connection.
   void Reap(bool all);

@@ -1,10 +1,12 @@
 #include "service/catalog.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/coding.h"
+#include "common/event_log.h"
 #include "service/service_stats.h"
 #include "ts/series_store.h"
 
@@ -97,6 +99,14 @@ Catalog::Catalog(KvStore* store, Options options)
     : store_(store),
       options_(options),
       store_write_mu_(std::make_shared<std::mutex>()) {
+  // Instrument before any I/O so recovery scans and journal replays are
+  // counted too. Every NsHandle holds the wrapper as keepalive: a purge
+  // triggered by a pinned Session released after the catalog died still
+  // goes through a live object.
+  if (options_.instrument_storage) {
+    instrumented_ = std::make_shared<InstrumentedKvStore>(store);
+    store_ = instrumented_.get();
+  }
   // Never reuse an epoch or data-generation number, even across drops and
   // process restarts: a recreated series must not collide with keys of a
   // dying generation.
@@ -135,11 +145,13 @@ Catalog::Catalog(KvStore* store, Options options)
 
     auto data_handle = std::make_shared<NsHandle>();
     data_handle->store = store_;
+    data_handle->keepalive = instrumented_;
     data_handle->write_mu = store_write_mu_;
     data_handle->prefix = entry.data_ns;
     data_handle->refs = 1;  // the current epoch
     auto handle = std::make_shared<NsHandle>();
     handle->store = store_;
+    handle->keepalive = instrumented_;
     handle->write_mu = store_write_mu_;
     handle->prefix = SeriesNs(name, entry.epoch);
     handle->parent = data_handle;
@@ -161,6 +173,11 @@ Catalog::~Catalog() {
 void Catalog::SetStatsRegistry(StatsRegistry* stats) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   stats_ = stats;
+  if (stats == nullptr) return;
+  // One registry snapshot should cover the whole write path: the store's
+  // per-op stats and the event journal's counters ride along.
+  if (instrumented_ != nullptr) stats->AttachStorage(instrumented_->stats());
+  if (options_.event_log != nullptr) stats->AttachEventLog(options_.event_log);
 }
 
 // ---- Crash recovery (constructor only; no concurrency yet) ----
@@ -209,6 +226,11 @@ void Catalog::RecoverJournals() {
         }
       }
       ++recovery_.epochs_rolled_forward;
+      if (options_.event_log != nullptr) {
+        options_.event_log->Emit(Event{kEventRecoveryRollforward, name}
+                                     .Num("epoch", rec.epoch)
+                                     .Num("prior_epoch", rec.prior_epoch));
+      }
     } else {
       // Roll back: delete the half-written epoch; for an in-place append,
       // trim the tail chunks past the previously committed length (the
@@ -223,6 +245,11 @@ void Catalog::RecoverJournals() {
             PrefixUpperBound(rec.data_ns + "c"));
       }
       ++recovery_.epochs_rolled_back;
+      if (options_.event_log != nullptr) {
+        options_.event_log->Emit(Event{kEventRecoveryRollback, name}
+                                     .Num("epoch", rec.epoch)
+                                     .Num("prior_length", rec.prior_length));
+      }
     }
     // Burn the journaled epoch number durably, even on rollback.
     fix.Put(kNextEpochKey, std::to_string(next_epoch_));
@@ -272,6 +299,10 @@ void Catalog::SweepOrphans() {
   for (const auto& prefix : doomed) {
     (void)store_->DeleteRange(prefix, PrefixUpperBound(prefix));
     ++recovery_.orphans_swept;
+    if (options_.event_log != nullptr) {
+      options_.event_log->Emit(
+          Event{kEventOrphanSweep}.Str("prefix", prefix));
+    }
   }
   if (!doomed.empty()) (void)store_->Flush();
 }
@@ -347,6 +378,13 @@ Status Catalog::CommitEpochLocked(const std::string& name,
                                   const SeriesIngestor& ingestor,
                                   CommitKind kind,
                                   uint64_t appended_points) {
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+  const auto commit_t0 = Clock::now();
+
   Session::Options layout;
   bool existed = false;
   uint64_t prior_epoch = 0;
@@ -387,22 +425,29 @@ Status Catalog::CommitEpochLocked(const std::string& name,
   rec.prior_length = prior_length;
 
   uint64_t batches = 0;
+  CommitBreakdown breakdown;
+  double journal_ms = 0.0;
+  double flip_ms = 0.0;
   {
     std::lock_guard<std::mutex> write_lock(*store_write_mu_);
     // Intent first: every backend persists staged writes in order, so the
     // journal row is durable no later than any byte of the epoch it
     // describes — a crash mid-commit always leaves the intent behind.
+    const auto journal_t0 = Clock::now();
     Status st = store_->Put(JournalKey(name), EncodeJournal(rec));
+    journal_ms = ms_since(journal_t0);
     if (st.ok()) st = ingestor.Commit(store_, ns, data_ns, from_offset,
-                                      &batches);
+                                      &batches, &breakdown);
     if (st.ok()) {
       // The flip: one atomic batch makes the new epoch the durable truth.
+      const auto flip_t0 = Clock::now();
       WriteBatch flip;
       flip.Put(DirectoryKey(name), EncodeLayout(layout, epoch));
       flip.Put(kNextEpochKey, std::to_string(next_epoch_));
       st = store_->Apply(flip);
+      if (st.ok()) st = store_->Flush();
+      flip_ms = ms_since(flip_t0);
     }
-    if (st.ok()) st = store_->Flush();
     if (!st.ok()) {
       // Abandon the half-written epoch. The rollback must also unwind the
       // flip: on stores that stage writes until Flush, the directory row
@@ -455,6 +500,7 @@ Status Catalog::CommitEpochLocked(const std::string& name,
       if (dhit != data_handles_.end()) old_data_handle = dhit->second;
       data_handle = std::make_shared<NsHandle>();
       data_handle->store = store_;
+      data_handle->keepalive = instrumented_;
       data_handle->write_mu = store_write_mu_;
       data_handle->prefix = data_ns;
       data_handle->refs = 1;  // this epoch
@@ -466,6 +512,7 @@ Status Catalog::CommitEpochLocked(const std::string& name,
 
     auto handle = std::make_shared<NsHandle>();
     handle->store = store_;
+    handle->keepalive = instrumented_;
     handle->write_mu = store_write_mu_;
     handle->prefix = ns;
     handle->parent = std::move(data_handle);
@@ -484,10 +531,56 @@ Status Catalog::CommitEpochLocked(const std::string& name,
   if (old_data_handle != nullptr) RetireNs(old_data_handle);
   if (old_handle != nullptr) RetireNs(old_handle);
 
+  const double total_ms = ms_since(commit_t0);
+  const char* kind_name = kind == CommitKind::kCreate    ? "create"
+                          : kind == CommitKind::kAppend ? "append"
+                                                        : "replace";
   if (stats_ != nullptr) {
     stats_->RecordIngest(name, appended_points, batches);
     stats_->RecordEpochInstalled(name, epoch);
     if (old_handle != nullptr) stats_->RecordEpochRetired();
+
+    CommitRecord record;
+    record.kind = kind_name;
+    record.total_ms = total_ms;
+    record.journal_ms = journal_ms;
+    record.data_ms = breakdown.data_ms;
+    record.index_ms = breakdown.index_ms;
+    record.header_ms = breakdown.header_ms;
+    record.flip_ms = flip_ms;
+    record.chunk_rows = breakdown.chunk_rows;
+    record.index_rows = breakdown.index_rows;
+    record.bytes_written = breakdown.bytes_written;
+    record.batches = batches;
+    stats_->RecordCommit(record);
+  }
+
+  const bool slow = options_.slow_commit_ms > 0.0 &&
+                    total_ms >= options_.slow_commit_ms;
+  if (slow && stats_ != nullptr) stats_->RecordSlowCommit();
+  if (options_.event_log != nullptr) {
+    options_.event_log->Emit(Event{kEventEpochCommit, name}
+                                 .Str("kind", kind_name)
+                                 .Num("epoch", epoch)
+                                 .Num("points", appended_points)
+                                 .Num("batches", batches)
+                                 .Num("chunk_rows", breakdown.chunk_rows)
+                                 .Num("index_rows", breakdown.index_rows)
+                                 .Num("bytes", breakdown.bytes_written)
+                                 .FNum("total_ms", total_ms)
+                                 .FNum("journal_ms", journal_ms)
+                                 .FNum("data_ms", breakdown.data_ms)
+                                 .FNum("index_ms", breakdown.index_ms)
+                                 .FNum("header_ms", breakdown.header_ms)
+                                 .FNum("flip_ms", flip_ms));
+    if (slow) {
+      options_.event_log->Emit(
+          Event{kEventSlowCommit, name}
+              .Str("kind", kind_name)
+              .Num("epoch", epoch)
+              .FNum("total_ms", total_ms)
+              .FNum("threshold_ms", options_.slow_commit_ms));
+    }
   }
   return Status::OK();
 }
@@ -613,6 +706,9 @@ Status Catalog::DropSeries(const std::string& name) {
     stats_->RecordEpochRetired();
     stats_->RecordSeriesDropped(name);
   }
+  if (options_.event_log != nullptr) {
+    options_.event_log->Emit(Event{kEventSeriesDrop, name});
+  }
   return Status::OK();
 }
 
@@ -705,6 +801,14 @@ void Catalog::EvictOverBudgetLocked(const std::string& protect) {
     }
     if (victim == open_.end()) break;
     open_bytes_ -= victim->second.bytes;
+    ++evicted_;
+    // EventLog::Emit never calls back into the catalog, so emitting under
+    // mu_ is safe.
+    if (options_.event_log != nullptr) {
+      options_.event_log->Emit(Event{kEventEviction, victim->first}
+                                   .Num("bytes", victim->second.bytes)
+                                   .Num("open_sessions", open_.size() - 1));
+    }
     open_.erase(victim);
   }
 }
@@ -768,6 +872,29 @@ uint64_t Catalog::ingest_state_bytes() const {
     bytes += ingestor->MemoryBytes();
   }
   return bytes;
+}
+
+CatalogGauges Catalog::Gauges() const {
+  CatalogGauges g;
+  {
+    // mu_ only — ingest_state_bytes() takes ingest_mu_ separately below.
+    // (CommitEpochLocked holds ingest_mu_ and then takes mu_, so nesting
+    // them here in the opposite order would deadlock.)
+    std::lock_guard<std::mutex> lock(mu_);
+    g.live_epochs = handles_.size();
+    g.data_generations = data_handles_.size();
+    g.resident_series = open_.size();
+    g.resident_bytes = open_bytes_ + RetiredBytesLocked();
+    g.pinned_snapshots = retired_.size();  // pruned by RetiredBytesLocked
+    g.memory_budget_bytes = options_.memory_budget_bytes;
+    g.series_evicted = evicted_;
+  }
+  g.ingest_state_bytes = ingest_state_bytes();
+  g.journal_replays =
+      recovery_.epochs_rolled_back + recovery_.epochs_rolled_forward;
+  g.orphans_swept = recovery_.orphans_swept;
+  store_->FillGauges(&g.backend);
+  return g;
 }
 
 }  // namespace kvmatch

@@ -65,11 +65,13 @@
 
 #include "matchdp/session.h"
 #include "service/ingest.h"
+#include "service/service_stats.h"
+#include "storage/instrumented_kvstore.h"
 #include "storage/kvstore.h"
 
 namespace kvmatch {
 
-class StatsRegistry;
+class EventLog;
 
 class Catalog {
  public:
@@ -79,6 +81,19 @@ class Catalog {
     /// (open + retired-but-pinned); the most recently used session is
     /// always retained. 0 means unlimited.
     uint64_t memory_budget_bytes = 256ull << 20;
+    /// Wrap the store in an InstrumentedKvStore so every op this catalog
+    /// issues — recovery scans included — feeds per-op counters and
+    /// latency histograms (storage_stats()). The wrapper is one virtual
+    /// call plus a few relaxed atomics per op.
+    bool instrument_storage = true;
+    /// Optional structured event journal (epoch commits, recovery
+    /// roll-backs/forwards, orphan sweeps, evictions, drops). Not owned;
+    /// must outlive the catalog and every Session it hands out (purges on
+    /// release can emit). nullptr disables.
+    EventLog* event_log = nullptr;
+    /// Commits whose end-to-end latency reaches this emit a "slow_commit"
+    /// event and bump kvmatch_slow_commits_total. 0 disables.
+    double slow_commit_ms = 0.0;
   };
 
   /// What crash recovery had to repair while opening the catalog. All
@@ -164,9 +179,26 @@ class Catalog {
   const RecoveryReport& recovery_report() const { return recovery_; }
 
   /// Optional sink for ingest metrics (points appended, batches
-  /// committed, epochs installed/retired). Call before serving traffic;
-  /// the registry must outlive the catalog's write-path use.
+  /// committed, epochs installed/retired, commit breakdowns). Also
+  /// attaches the instrumented store's op stats and the event journal's
+  /// counters to the registry, so one Snapshot() covers the whole write
+  /// path. Call before serving traffic; the registry must outlive the
+  /// catalog's write-path use.
   void SetStatsRegistry(StatsRegistry* stats);
+
+  /// The instrumented store's op-stats sink; nullptr when
+  /// Options::instrument_storage is off.
+  std::shared_ptr<KvStoreStats> storage_stats() const {
+    return instrumented_ != nullptr ? instrumented_->stats() : nullptr;
+  }
+
+  /// The event journal this catalog emits into (Options::event_log).
+  EventLog* event_log() const { return options_.event_log; }
+
+  /// Live MVCC gauges: epochs, generations, pinned snapshots, resident
+  /// footprint, eviction and recovery totals, plus the backend's own
+  /// gauges. Safe from any thread.
+  CatalogGauges Gauges() const;
 
   // ---- Cache introspection (for tests and stats).
 
@@ -189,6 +221,9 @@ class Catalog {
   /// outlive every epoch that can still reach them.
   struct NsHandle {
     KvStore* store = nullptr;
+    /// Keeps the instrumented wrapper behind `store` alive for purges
+    /// that run after the catalog is gone (a pinned Session's release).
+    std::shared_ptr<KvStore> keepalive;
     std::shared_ptr<std::mutex> write_mu;  // serializes all store writes
     std::string prefix;  // "series/<name>/e<N>/" or "series/<name>/d<G>/"
     std::shared_ptr<NsHandle> parent;  // data generation; null for data
@@ -293,6 +328,9 @@ class Catalog {
   void RetireOpenEntryLocked(const std::string& name);
 
   KvStore* store_;
+  /// When Options::instrument_storage is on, store_ points at this wrapper
+  /// instead of the caller's store; NsHandles hold it as keepalive.
+  std::shared_ptr<InstrumentedKvStore> instrumented_;
   Options options_;
   StatsRegistry* stats_ = nullptr;  // set once before traffic; see setter
   RecoveryReport recovery_;        // written by the constructor only
@@ -317,6 +355,7 @@ class Catalog {
   mutable std::vector<RetiredEntry> retired_;
   uint64_t open_bytes_ = 0;
   uint64_t tick_ = 0;
+  uint64_t evicted_ = 0;  // sessions dropped by the memory budget
 };
 
 }  // namespace kvmatch

@@ -1,6 +1,7 @@
 #include "service/ingest.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "ts/series_store.h"
 
@@ -32,11 +33,20 @@ uint64_t SeriesIngestor::MemoryBytes() const {
 Status SeriesIngestor::Commit(KvStore* store, const std::string& epoch_ns,
                               const std::string& data_ns,
                               uint64_t from_offset,
-                              uint64_t* batches_committed) const {
+                              uint64_t* batches_committed,
+                              CommitBreakdown* breakdown) const {
+  using Clock = std::chrono::steady_clock;
+  const auto stage_ms = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+
   uint64_t batches = 0;
+  uint64_t bytes_written = 0;
   WriteBatch batch;
   auto flush_batch = [&]() -> Status {
     if (batch.empty()) return Status::OK();
+    bytes_written += batch.ApproximateBytes();
     KVMATCH_RETURN_NOT_OK(store->Apply(batch));
     batch.Clear();
     ++batches;
@@ -48,6 +58,8 @@ Status SeriesIngestor::Commit(KvStore* store, const std::string& epoch_ns,
   // namespace and is byte-identical (appends never change old values).
   // Rewriting the partial last chunk only grows it, which readers pinned
   // on an older header never notice (they stop at their own length).
+  const auto data_t0 = Clock::now();
+  uint64_t chunk_rows = 0;
   const size_t chunk = options_.series_chunk;
   const size_t first_chunk =
       (std::min<size_t>(from_offset, series_.size()) / chunk) * chunk;
@@ -56,29 +68,44 @@ Status SeriesIngestor::Commit(KvStore* store, const std::string& epoch_ns,
     const size_t len = std::min(chunk, series_.size() - offset);
     SeriesStore::PutChunk(&batch, data_ns, offset,
                           series_.Subsequence(offset, len));
+    ++chunk_rows;
     if (batch.ApproximateBytes() >= kBatchTargetBytes) {
       KVMATCH_RETURN_NOT_OK(flush_batch());
     }
   }
   KVMATCH_RETURN_NOT_OK(flush_batch());
+  const double data_ms = stage_ms(data_t0);
 
   // Index stack: the γ-merge runs here, once per level per commit; each
   // level's rows + meta land as one atomic batch, versioned per epoch.
+  const auto index_t0 = Clock::now();
+  uint64_t index_rows = 0;
   for (const auto& builder : builders_) {
     const KvIndex index = builder.Snapshot();
     index.Persist(&batch,
                   epoch_ns + "idx/w" + std::to_string(index.window()) + "/");
+    index_rows += batch.num_ops();
     KVMATCH_RETURN_NOT_OK(flush_batch());
   }
+  const double index_ms = stage_ms(index_t0);
 
   // Header last: SeriesStore::Open (and therefore Session::Open) only
   // succeeds once every byte it will read exists. The header lives in the
   // epoch namespace but redirects chunk reads to the shared data rows.
+  const auto header_t0 = Clock::now();
   SeriesStore::PutHeaderRedirect(&batch, epoch_ns + "data/", series_.size(),
                                  chunk, data_ns);
   KVMATCH_RETURN_NOT_OK(flush_batch());
 
   if (batches_committed != nullptr) *batches_committed = batches;
+  if (breakdown != nullptr) {
+    breakdown->data_ms = data_ms;
+    breakdown->index_ms = index_ms;
+    breakdown->header_ms = stage_ms(header_t0);
+    breakdown->chunk_rows = chunk_rows;
+    breakdown->index_rows = index_rows;
+    breakdown->bytes_written = bytes_written;
+  }
   return Status::OK();
 }
 

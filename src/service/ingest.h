@@ -31,6 +31,17 @@
 
 namespace kvmatch {
 
+/// Per-stage measurements of one Commit, for the catalog's commit spans
+/// and the ingest bench's write-amplification table.
+struct CommitBreakdown {
+  double data_ms = 0.0;    // chunk-row batches
+  double index_ms = 0.0;   // γ-merge snapshots + index-row batches
+  double header_ms = 0.0;  // final header batch
+  uint64_t chunk_rows = 0;
+  uint64_t index_rows = 0;     // index rows + per-level meta rows
+  uint64_t bytes_written = 0;  // encoded bytes across all batches
+};
+
 class SeriesIngestor {
  public:
   /// `options` fixes the index layout (wu, levels, width) and the data
@@ -59,12 +70,14 @@ class SeriesIngestor {
   /// final batch — the series header under epoch_ns + "data/" with a
   /// redirect to `data_ns`, so the epoch only becomes openable once it is
   /// complete. `batches_committed` (may be null) reports how many
-  /// WriteBatches were applied. On failure the namespaces are left
-  /// partially written; the caller owns cleanup (the Catalog's journal
-  /// rolls abandoned commits back).
+  /// WriteBatches were applied; `breakdown` (may be null) receives the
+  /// per-stage timings and row/byte counts. On failure the namespaces are
+  /// left partially written; the caller owns cleanup (the Catalog's
+  /// journal rolls abandoned commits back).
   Status Commit(KvStore* store, const std::string& epoch_ns,
                 const std::string& data_ns, uint64_t from_offset,
-                uint64_t* batches_committed) const;
+                uint64_t* batches_committed,
+                CommitBreakdown* breakdown = nullptr) const;
 
  private:
   Session::Options options_;

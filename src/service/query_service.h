@@ -141,12 +141,14 @@ class QueryService {
   size_t InFlight() const;
 
   /// Registry snapshot plus the pool's live queue-depth / busy-worker
-  /// gauges (the registry does not own the pool).
+  /// gauges (the registry does not own the pool) and the catalog's MVCC /
+  /// storage gauges.
   ServiceStatsSnapshot Stats() const {
     ServiceStatsSnapshot snap = stats_.Snapshot();
     snap.queue_depth = pool_.QueueDepth();
     snap.workers_busy = pool_.NumBusy();
     snap.workers_total = pool_.num_threads();
+    snap.catalog = catalog_->Gauges();
     return snap;
   }
   void ResetStats() { stats_.Reset(); }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
+
+#include "common/event_log.h"
 
 namespace kvmatch {
 
@@ -157,6 +160,47 @@ void StatsRegistry::RecordEpochRetired() {
   epochs_retired_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void StatsRegistry::RecordCommit(const CommitRecord& rec) {
+  const std::string_view kind = rec.kind;
+  if (kind == "create") {
+    commits_create_.fetch_add(1, std::memory_order_relaxed);
+  } else if (kind == "append") {
+    commits_append_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    commits_replace_.fetch_add(1, std::memory_order_relaxed);
+  }
+  commit_latency_.Record(rec.total_ms);
+  const auto add = [](std::atomic<uint64_t>& a, uint64_t v) {
+    if (v) a.fetch_add(v, std::memory_order_relaxed);
+  };
+  add(commit_journal_ns_, ToNs(rec.journal_ms));
+  add(commit_data_ns_, ToNs(rec.data_ms));
+  add(commit_index_ns_, ToNs(rec.index_ms));
+  add(commit_header_ns_, ToNs(rec.header_ms));
+  add(commit_flip_ns_, ToNs(rec.flip_ms));
+  add(commit_chunk_rows_, rec.chunk_rows);
+  add(commit_index_rows_, rec.index_rows);
+  add(commit_bytes_, rec.bytes_written);
+}
+
+void StatsRegistry::RecordSlowCommit() {
+  slow_commits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsRegistry::RecordHttpRequest() {
+  http_requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsRegistry::AttachStorage(std::shared_ptr<KvStoreStats> storage) {
+  std::lock_guard<std::mutex> lock(gauge_mu_);
+  storage_ = std::move(storage);
+}
+
+void StatsRegistry::AttachEventLog(EventLog* events) {
+  std::lock_guard<std::mutex> lock(gauge_mu_);
+  events_ = events;
+}
+
 void StatsRegistry::RecordSeriesDropped(const std::string& series) {
   series_dropped_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(gauge_mu_);
@@ -196,9 +240,37 @@ ServiceStatsSnapshot StatsRegistry::Snapshot() const {
   snap.ingest_batches = ingest_batches_.load(std::memory_order_relaxed);
   snap.epochs_retired = epochs_retired_.load(std::memory_order_relaxed);
   snap.series_dropped = series_dropped_.load(std::memory_order_relaxed);
+  snap.http_requests = http_requests_.load(std::memory_order_relaxed);
+
+  snap.commits_create = commits_create_.load(std::memory_order_relaxed);
+  snap.commits_append = commits_append_.load(std::memory_order_relaxed);
+  snap.commits_replace = commits_replace_.load(std::memory_order_relaxed);
+  snap.slow_commits = slow_commits_.load(std::memory_order_relaxed);
+  snap.commit_latency_hist = commit_latency_.TakeSnapshot();
+  const auto ns_to_ms = [](const std::atomic<uint64_t>& a) {
+    return static_cast<double>(a.load(std::memory_order_relaxed)) / kNsPerMs;
+  };
+  snap.commit_journal_ms = ns_to_ms(commit_journal_ns_);
+  snap.commit_data_ms = ns_to_ms(commit_data_ns_);
+  snap.commit_index_ms = ns_to_ms(commit_index_ns_);
+  snap.commit_header_ms = ns_to_ms(commit_header_ns_);
+  snap.commit_flip_ms = ns_to_ms(commit_flip_ns_);
+  snap.commit_chunk_rows =
+      commit_chunk_rows_.load(std::memory_order_relaxed);
+  snap.commit_index_rows =
+      commit_index_rows_.load(std::memory_order_relaxed);
+  snap.commit_bytes = commit_bytes_.load(std::memory_order_relaxed);
 
   {
     std::lock_guard<std::mutex> lock(gauge_mu_);
+    if (storage_ != nullptr) {
+      snap.has_storage = true;
+      snap.storage = storage_->TakeSnapshot();
+    }
+    if (events_ != nullptr) {
+      snap.events_total = events_->TotalEvents();
+      snap.event_counts = events_->CountsByType();
+    }
     snap.elapsed_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - start_)
                                .count();
@@ -256,10 +328,30 @@ void StatsRegistry::Reset() {
   ingest_batches_.store(0, std::memory_order_relaxed);
   epochs_retired_.store(0, std::memory_order_relaxed);
   series_dropped_.store(0, std::memory_order_relaxed);
+  http_requests_.store(0, std::memory_order_relaxed);
+  commits_create_.store(0, std::memory_order_relaxed);
+  commits_append_.store(0, std::memory_order_relaxed);
+  commits_replace_.store(0, std::memory_order_relaxed);
+  slow_commits_.store(0, std::memory_order_relaxed);
+  commit_journal_ns_.store(0, std::memory_order_relaxed);
+  commit_data_ns_.store(0, std::memory_order_relaxed);
+  commit_index_ns_.store(0, std::memory_order_relaxed);
+  commit_header_ns_.store(0, std::memory_order_relaxed);
+  commit_flip_ns_.store(0, std::memory_order_relaxed);
+  commit_chunk_rows_.store(0, std::memory_order_relaxed);
+  commit_index_rows_.store(0, std::memory_order_relaxed);
+  commit_bytes_.store(0, std::memory_order_relaxed);
+  commit_latency_.Reset();
   std::lock_guard<std::mutex> lock(gauge_mu_);
   // epoch_gauges_ describes the catalog's current state, not this
   // registry's history; a stats rebase must not forget it.
   ingest_points_.clear();
+  // The attached storage histograms and event counters are part of this
+  // registry's exposition: a rebase that skipped them would make `stats
+  // --watch` deltas drift. The event log's flight-recorder ring is
+  // deliberately untouched (it is incident history, not a counter).
+  if (storage_ != nullptr) storage_->Reset();
+  if (events_ != nullptr) events_->ResetCounters();
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -348,6 +440,85 @@ std::string StatsToText(const ServiceStatsSnapshot& snap) {
   EmitCounter(&out, "kvmatch_ingest_batches_total", snap.ingest_batches);
   EmitCounter(&out, "kvmatch_epochs_retired_total", snap.epochs_retired);
   EmitCounter(&out, "kvmatch_series_dropped_total", snap.series_dropped);
+  EmitCounter(&out, "kvmatch_http_requests_total", snap.http_requests);
+
+  // Catalog MVCC gauges (zero when no catalog fills them).
+  EmitCounter(&out, "kvmatch_live_epochs", snap.catalog.live_epochs);
+  EmitCounter(&out, "kvmatch_data_generations",
+              snap.catalog.data_generations);
+  EmitCounter(&out, "kvmatch_pinned_snapshots",
+              snap.catalog.pinned_snapshots);
+  EmitCounter(&out, "kvmatch_resident_series", snap.catalog.resident_series);
+  EmitCounter(&out, "kvmatch_resident_bytes", snap.catalog.resident_bytes);
+  EmitCounter(&out, "kvmatch_memory_budget_bytes",
+              snap.catalog.memory_budget_bytes);
+  EmitCounter(&out, "kvmatch_ingest_state_bytes",
+              snap.catalog.ingest_state_bytes);
+  EmitCounter(&out, "kvmatch_journal_replays_total",
+              snap.catalog.journal_replays);
+  EmitCounter(&out, "kvmatch_orphans_swept_total",
+              snap.catalog.orphans_swept);
+  EmitCounter(&out, "kvmatch_series_evicted_total",
+              snap.catalog.series_evicted);
+  for (const auto& [name, value] : snap.catalog.backend) {
+    EmitCounter(&out, ("kvmatch_storage_" + name).c_str(), value);
+  }
+
+  // Storage-layer op metrics (instrumented KvStore decorator).
+  if (snap.has_storage) {
+    for (int op = 0; op < KvStoreStats::kNumOps; ++op) {
+      const std::string label =
+          std::string("{op=\"") + KvStoreStats::OpName(op) + "\"}";
+      EmitCounter(&out, ("kvmatch_kvstore_ops_total" + label).c_str(),
+                  snap.storage.ops[op].count);
+      EmitCounter(&out, ("kvmatch_kvstore_errors_total" + label).c_str(),
+                  snap.storage.ops[op].errors);
+      EmitHistogram(&out,
+                    std::string("kvmatch_kvstore_") +
+                        KvStoreStats::OpName(op) + "_latency_ms",
+                    snap.storage.ops[op].latency);
+    }
+    EmitCounter(&out, "kvmatch_kvstore_bytes_read_total",
+                snap.storage.bytes_read);
+    EmitCounter(&out, "kvmatch_kvstore_bytes_written_total",
+                snap.storage.bytes_written);
+    EmitCounter(&out, "kvmatch_kvstore_scan_rows_total",
+                snap.storage.scan_rows);
+    EmitHistogram(&out, "kvmatch_kvstore_batch_ops", snap.storage.batch_ops);
+  }
+
+  // Epoch-commit breakdown (ingest write path).
+  EmitCounter(&out, "kvmatch_commits_total{kind=\"create\"}",
+              snap.commits_create);
+  EmitCounter(&out, "kvmatch_commits_total{kind=\"append\"}",
+              snap.commits_append);
+  EmitCounter(&out, "kvmatch_commits_total{kind=\"replace\"}",
+              snap.commits_replace);
+  EmitCounter(&out, "kvmatch_slow_commits_total", snap.slow_commits);
+  EmitHistogram(&out, "kvmatch_commit_latency_ms", snap.commit_latency_hist);
+  EmitGauge(&out, "kvmatch_commit_stage_ms_total{stage=\"journal\"}",
+            snap.commit_journal_ms);
+  EmitGauge(&out, "kvmatch_commit_stage_ms_total{stage=\"data\"}",
+            snap.commit_data_ms);
+  EmitGauge(&out, "kvmatch_commit_stage_ms_total{stage=\"index\"}",
+            snap.commit_index_ms);
+  EmitGauge(&out, "kvmatch_commit_stage_ms_total{stage=\"header\"}",
+            snap.commit_header_ms);
+  EmitGauge(&out, "kvmatch_commit_stage_ms_total{stage=\"flip\"}",
+            snap.commit_flip_ms);
+  EmitCounter(&out, "kvmatch_commit_chunk_rows_total",
+              snap.commit_chunk_rows);
+  EmitCounter(&out, "kvmatch_commit_index_rows_total",
+              snap.commit_index_rows);
+  EmitCounter(&out, "kvmatch_commit_bytes_total", snap.commit_bytes);
+
+  // Event-journal counters.
+  EmitCounter(&out, "kvmatch_events_emitted_total", snap.events_total);
+  for (const auto& [type, count] : snap.event_counts) {
+    EmitCounter(&out,
+                ("kvmatch_events_total{type=\"" + type + "\"}").c_str(),
+                count);
+  }
   for (const auto& [name, epoch] : snap.series_epochs) {
     EmitCounter(&out, ("kvmatch_series_epoch{series=\"" + name + "\"}")
                           .c_str(),

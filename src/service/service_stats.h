@@ -24,8 +24,45 @@
 
 #include "common/histogram.h"
 #include "match/query_types.h"
+#include "storage/instrumented_kvstore.h"
 
 namespace kvmatch {
+
+class EventLog;
+
+/// Live state of the Catalog's MVCC machinery, filled by
+/// QueryService::Stats() from Catalog::Gauges() (the registry itself does
+/// not own the catalog).
+struct CatalogGauges {
+  uint64_t live_epochs = 0;         // series with a committed epoch
+  uint64_t data_generations = 0;    // live shared data-chunk namespaces
+  uint64_t pinned_snapshots = 0;    // retired generations held by readers
+  uint64_t resident_series = 0;     // sessions in the open cache
+  uint64_t resident_bytes = 0;      // open + retired-but-pinned bytes
+  uint64_t memory_budget_bytes = 0;
+  uint64_t ingest_state_bytes = 0;  // warm incremental-builder state
+  uint64_t journal_replays = 0;     // recovery roll-backs + roll-forwards
+  uint64_t orphans_swept = 0;       // at the catalog's open
+  uint64_t series_evicted = 0;      // LRU evictions from the open cache
+  /// Backend-specific gauges (KvStore::FillGauges), exposed as
+  /// kvmatch_storage_<name>.
+  std::vector<std::pair<std::string, uint64_t>> backend;
+};
+
+/// One epoch commit's measured breakdown, recorded by the Catalog.
+struct CommitRecord {
+  const char* kind = "";  // "create" | "append" | "replace"
+  double total_ms = 0.0;
+  double journal_ms = 0.0;  // intent-record write
+  double data_ms = 0.0;     // chunk puts
+  double index_ms = 0.0;    // γ-merge + index-row batches
+  double header_ms = 0.0;   // header flip batch (SeriesStore header)
+  double flip_ms = 0.0;     // directory-row flip + flush
+  uint64_t chunk_rows = 0;
+  uint64_t index_rows = 0;
+  uint64_t bytes_written = 0;
+  uint64_t batches = 0;
+};
 
 /// Latency distribution of a set of queries, in milliseconds. Percentiles
 /// are derived from the log-bucketed histogram (within ~9% of exact).
@@ -90,6 +127,31 @@ struct ServiceStatsSnapshot {
   /// `_bucket`/`_sum`/`_count` exposition.
   LatencyHistogram::Snapshot latency_hist;
   std::vector<SeriesStatsSnapshot> series;  // sorted by name
+  // Storage-layer op metrics (InstrumentedKvStore); present only when a
+  // catalog with an instrumented store attached its sink.
+  bool has_storage = false;
+  KvStoreStats::Snapshot storage;
+  // Epoch-commit breakdown (catalog write path).
+  uint64_t commits_create = 0;
+  uint64_t commits_append = 0;
+  uint64_t commits_replace = 0;
+  uint64_t slow_commits = 0;
+  LatencyHistogram::Snapshot commit_latency_hist;
+  double commit_journal_ms = 0.0;  // cumulative per-stage wall time
+  double commit_data_ms = 0.0;
+  double commit_index_ms = 0.0;
+  double commit_header_ms = 0.0;
+  double commit_flip_ms = 0.0;
+  uint64_t commit_chunk_rows = 0;
+  uint64_t commit_index_rows = 0;
+  uint64_t commit_bytes = 0;
+  // Event-journal counters (EventLog::CountsByType), sorted by type.
+  uint64_t events_total = 0;
+  std::vector<std::pair<std::string, uint64_t>> event_counts;
+  /// HTTP requests served by the /metrics responder.
+  uint64_t http_requests = 0;
+  /// Catalog MVCC gauges; all zero when no catalog fills them.
+  CatalogGauges catalog;
 };
 
 /// Renders a snapshot as a Prometheus-style plaintext exposition:
@@ -132,6 +194,20 @@ class StatsRegistry {
   // Ingest pipeline metrics, recorded by the Catalog's write path.
   void RecordIngest(const std::string& series, uint64_t points,
                     uint64_t batches);
+  /// One epoch commit's span breakdown.
+  void RecordCommit(const CommitRecord& rec);
+  /// A commit whose total latency crossed the catalog's slow threshold.
+  void RecordSlowCommit();
+  /// One request served by the HTTP /metrics responder.
+  void RecordHttpRequest();
+
+  /// Attaches the instrumented store's sink; Snapshot() folds it in and
+  /// Reset() rebases it. shared_ptr: the sink outlives the catalog.
+  void AttachStorage(std::shared_ptr<KvStoreStats> storage);
+  /// Attaches the event journal; Snapshot() reads its per-type counters
+  /// and Reset() rebases them (the flight-recorder ring is untouched).
+  /// Not owned; must outlive this registry's use.
+  void AttachEventLog(EventLog* events);
   /// Updates the per-series epoch gauge.
   void RecordEpochInstalled(const std::string& series, uint64_t epoch);
   void RecordEpochRetired();
@@ -202,6 +278,23 @@ class StatsRegistry {
   std::atomic<uint64_t> ingest_batches_{0};
   std::atomic<uint64_t> epochs_retired_{0};
   std::atomic<uint64_t> series_dropped_{0};
+  std::atomic<uint64_t> http_requests_{0};
+
+  // Commit-breakdown accumulators (stage times as integer nanoseconds —
+  // atomic<double> has no portable lock-free fetch_add).
+  std::atomic<uint64_t> commits_create_{0};
+  std::atomic<uint64_t> commits_append_{0};
+  std::atomic<uint64_t> commits_replace_{0};
+  std::atomic<uint64_t> slow_commits_{0};
+  std::atomic<uint64_t> commit_journal_ns_{0};
+  std::atomic<uint64_t> commit_data_ns_{0};
+  std::atomic<uint64_t> commit_index_ns_{0};
+  std::atomic<uint64_t> commit_header_ns_{0};
+  std::atomic<uint64_t> commit_flip_ns_{0};
+  std::atomic<uint64_t> commit_chunk_rows_{0};
+  std::atomic<uint64_t> commit_index_rows_{0};
+  std::atomic<uint64_t> commit_bytes_{0};
+  LatencyHistogram commit_latency_;
 
   // Cold administrative state: epoch gauges, per-series ingest totals,
   // and the QPS clock. Ingest is batched (catalog write path, not the
@@ -210,6 +303,8 @@ class StatsRegistry {
   std::chrono::steady_clock::time_point start_;
   std::map<std::string, uint64_t> epoch_gauges_;
   std::map<std::string, uint64_t> ingest_points_;
+  std::shared_ptr<KvStoreStats> storage_;  // guarded by gauge_mu_
+  EventLog* events_ = nullptr;             // guarded by gauge_mu_
 };
 
 }  // namespace kvmatch

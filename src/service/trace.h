@@ -92,6 +92,7 @@ struct StageBreakdown {
 StageBreakdown ComputeStageBreakdown(const QueryTrace& trace);
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
+/// Defined in common/event_log.cc (the event journal shares it).
 std::string JsonEscape(const std::string& s);
 
 /// chrome://tracing document: {"traceEvents":[...]} with complete ("X")

@@ -51,6 +51,11 @@ class FileKvStore : public KvStore {
                                      std::string_view end_key) const override;
   size_t ApproximateCount() const override;
   Status Flush() override;
+  void FillGauges(
+      std::vector<std::pair<std::string, uint64_t>>* gauges) const override {
+    gauges->emplace_back("entries", ApproximateCount());
+    gauges->emplace_back("file_bytes", FileBytes());
+  }
 
   /// Total bytes of the on-disk file (0 before first Flush).
   uint64_t FileBytes() const;

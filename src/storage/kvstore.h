@@ -148,6 +148,15 @@ class KvStore {
   /// Flushes buffered writes to durable storage (no-op where meaningless).
   virtual Status Flush() { return Status::OK(); }
 
+  /// Appends backend-specific gauges as (name, value) pairs — entry
+  /// counts, file bytes, LSM table counts, compaction totals. Names must
+  /// be Prometheus-metric-safe ([a-z0-9_]); the stats exposition prefixes
+  /// them with "kvmatch_storage_". Default: no gauges.
+  virtual void FillGauges(
+      std::vector<std::pair<std::string, uint64_t>>* gauges) const {
+    (void)gauges;
+  }
+
  protected:
   /// Shared default-Apply body: replays ops through the virtual write
   /// methods. Backends wrap it in their write lock for atomicity.

@@ -29,6 +29,10 @@ class MemKvStore : public KvStore {
   std::unique_ptr<ScanIterator> Scan(std::string_view start_key,
                                      std::string_view end_key) const override;
   size_t ApproximateCount() const override;
+  void FillGauges(
+      std::vector<std::pair<std::string, uint64_t>>* gauges) const override {
+    gauges->emplace_back("entries", ApproximateCount());
+  }
 
  private:
   /// Caller must hold mu_ exclusively.

@@ -3,10 +3,13 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <mutex>
 #include <utility>
+
+#include "common/event_log.h"
 
 namespace kvmatch {
 
@@ -181,6 +184,7 @@ std::string MiniKv::TablePath(uint64_t seq) const {
 
 Status MiniKv::PutTaggedLocked(std::string_view key, std::string tagged) {
   const size_t bytes = key.size() + tagged.size();
+  if (IsTombstone(tagged)) ++lsm_stats_.tombstones_written;
   memtable_.insert_or_assign(std::string(key), std::move(tagged));
   memtable_bytes_ += bytes;
   if (memtable_bytes_ >= options_.memtable_limit_bytes) {
@@ -279,6 +283,7 @@ Status MiniKv::FlushLocked() {
   table_paths_.push_back(TablePath(seq));
   memtable_.clear();
   memtable_bytes_ = 0;
+  ++lsm_stats_.flushes;
   return Status::OK();
 }
 
@@ -325,10 +330,14 @@ size_t MiniKv::ApproximateCount() const {
 }
 
 Status MiniKv::Compact() {
+  const auto t0 = std::chrono::steady_clock::now();
   std::unique_lock<std::shared_mutex> lock(mu_);
   KVMATCH_RETURN_NOT_OK(FlushLocked());
   if (tables_.size() <= 1) return Status::OK();
   const uint64_t seq = next_seq_++;
+  const size_t tables_in = tables_.size();
+  uint64_t entries_in = 0;
+  for (const auto& t : tables_) entries_in += t->num_entries();
   uint64_t live_entries = 0;
   {
     SstableBuilder builder(TablePath(seq), options_.sstable_block_size);
@@ -348,15 +357,37 @@ Status MiniKv::Compact() {
   tables_.clear();
   table_paths_.clear();
   for (const auto& p : old_paths) std::remove(p.c_str());
+  // Counters + event under the exclusive lock: emission is rare, and the
+  // event log never calls back into the store.
+  const auto finish = [&] {
+    ++lsm_stats_.compactions;
+    lsm_stats_.compaction_dropped +=
+        entries_in > live_entries ? entries_in - live_entries : 0;
+    if (event_log_ != nullptr) {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      event_log_->Emit(Event{kEventCompaction}
+                           .Num("tables_in", tables_in)
+                           .Num("entries_in", entries_in)
+                           .Num("entries_live", live_entries)
+                           .Num("dropped", entries_in > live_entries
+                                               ? entries_in - live_entries
+                                               : 0)
+                           .FNum("duration_ms", ms));
+    }
+  };
   if (live_entries == 0) {
     // Everything was deleted: no need to keep an empty table around.
     std::remove(TablePath(seq).c_str());
+    finish();
     return Status::OK();
   }
   auto reader = SstableReader::Open(TablePath(seq));
   if (!reader.ok()) return reader.status();
   tables_.push_back(std::move(reader).value());
   table_paths_.push_back(TablePath(seq));
+  finish();
   return Status::OK();
 }
 
@@ -370,6 +401,32 @@ uint64_t MiniKv::TotalFileBytes() const {
   uint64_t n = 0;
   for (const auto& t : tables_) n += t->file_bytes();
   return n;
+}
+
+MiniKv::LsmStats MiniKv::Stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return lsm_stats_;
+}
+
+void MiniKv::FillGauges(
+    std::vector<std::pair<std::string, uint64_t>>* gauges) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  uint64_t file_bytes = 0;
+  for (const auto& t : tables_) file_bytes += t->file_bytes();
+  gauges->emplace_back("tables", tables_.size());
+  gauges->emplace_back("file_bytes", file_bytes);
+  gauges->emplace_back("memtable_bytes", memtable_bytes_);
+  gauges->emplace_back("tombstones_written_total",
+                       lsm_stats_.tombstones_written);
+  gauges->emplace_back("flushes_total", lsm_stats_.flushes);
+  gauges->emplace_back("compactions_total", lsm_stats_.compactions);
+  gauges->emplace_back("compaction_dropped_total",
+                       lsm_stats_.compaction_dropped);
+}
+
+void MiniKv::SetEventLog(EventLog* log) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  event_log_ = log;
 }
 
 }  // namespace kvmatch

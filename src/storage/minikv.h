@@ -30,6 +30,8 @@
 
 namespace kvmatch {
 
+class EventLog;
+
 class MiniKv : public KvStore {
  public:
   struct Options {
@@ -63,6 +65,22 @@ class MiniKv : public KvStore {
   size_t NumTables() const;
   uint64_t TotalFileBytes() const;
 
+  /// LSM lifecycle counters since open (monotonic).
+  struct LsmStats {
+    uint64_t tombstones_written = 0;  // point + range tombstone writes
+    uint64_t flushes = 0;             // memtable → SSTable conversions
+    uint64_t compactions = 0;
+    uint64_t compaction_dropped = 0;  // shadowed/tombstoned entries merged away
+  };
+  LsmStats Stats() const;
+
+  void FillGauges(
+      std::vector<std::pair<std::string, uint64_t>>* gauges) const override;
+
+  /// Optional sink for "compaction" events (tables merged, entries
+  /// dropped, duration). Not owned; must outlive the store's write use.
+  void SetEventLog(EventLog* log);
+
  private:
   MiniKv(std::string dir, Options options)
       : dir_(std::move(dir)), options_(options) {}
@@ -93,6 +111,9 @@ class MiniKv : public KvStore {
   // shared_ptr: snapshot scans keep replaced/compacted tables alive.
   std::vector<std::shared_ptr<SstableReader>> tables_;
   std::vector<std::string> table_paths_;
+  // Written under the exclusive lock, read under the shared one.
+  LsmStats lsm_stats_;
+  EventLog* event_log_ = nullptr;
 };
 
 }  // namespace kvmatch

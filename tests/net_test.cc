@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <span>
@@ -817,6 +818,99 @@ class RawConnection {
   int fd_ = -1;
   FrameDecoder decoder_;
 };
+
+/// One plain-HTTP exchange on the server's (frame) port: sends `request`
+/// verbatim, reads until the server closes (it answers Connection: close).
+std::string RawHttpExchange(int port, std::string_view request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::string_view remaining = request;
+  while (!remaining.empty()) {
+    const ssize_t n =
+        ::send(fd, remaining.data(), remaining.size(), MSG_NOSIGNAL);
+    if (n <= 0) break;
+    remaining.remove_prefix(static_cast<size_t>(n));
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(NetServerTest, HttpMetricsScrapeOnTheFramePort) {
+  ServerFixture fx;
+  // The fixture's ingest went through the instrumented store and the
+  // registry is attached, so the scrape must carry live storage metrics.
+  const std::string resp = RawHttpExchange(
+      fx.server->port(),
+      "GET /metrics HTTP/1.1\r\nHost: localhost\r\nUser-Agent: "
+      "Prometheus/2.0\r\nAccept: */*\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos);
+  // Storage decorator histograms and counters.
+  EXPECT_NE(resp.find("kvmatch_kvstore_ops_total{op=\"put\"}"),
+            std::string::npos);
+  EXPECT_NE(resp.find("kvmatch_kvstore_put_latency_ms_bucket"),
+            std::string::npos);
+  EXPECT_NE(resp.find("kvmatch_kvstore_bytes_written_total"),
+            std::string::npos);
+  // Catalog MVCC gauges.
+  EXPECT_NE(resp.find("kvmatch_live_epochs"), std::string::npos);
+  EXPECT_NE(resp.find("kvmatch_data_generations"), std::string::npos);
+  EXPECT_NE(resp.find("kvmatch_pinned_snapshots"), std::string::npos);
+  // The declared length matches the delivered body.
+  const size_t cl_at = resp.find("Content-Length: ");
+  ASSERT_NE(cl_at, std::string::npos);
+  const size_t body_at = resp.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const size_t declared = std::strtoull(
+      resp.c_str() + cl_at + std::strlen("Content-Length: "), nullptr, 10);
+  EXPECT_EQ(resp.size() - (body_at + 4), declared);
+}
+
+TEST(NetServerTest, HttpHealthzNotFoundAndMethodNotAllowed) {
+  ServerFixture fx;
+  const std::string health =
+      RawHttpExchange(fx.server->port(), "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos);
+
+  const std::string missing =
+      RawHttpExchange(fx.server->port(), "GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.1 404 Not Found"), std::string::npos);
+
+  const std::string post =
+      RawHttpExchange(fx.server->port(), "POST /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405 Method Not Allowed"), std::string::npos);
+
+  // HEAD answers headers only, with the body's true length declared.
+  const std::string head =
+      RawHttpExchange(fx.server->port(), "HEAD /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(head.find("Content-Length: 3"), std::string::npos);
+  EXPECT_EQ(head.find("\r\n\r\nok"), std::string::npos);
+
+  // Binary clients are untouched by HTTP traffic having come and gone.
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+
+  // And the scrapes were counted.
+  EXPECT_GE(fx.service->Stats().http_requests, 4u);
+}
 
 TEST(NetServerTest, RemoteIngestLifecycleOverTheWire) {
   ServerFixture fx;

@@ -7,10 +7,12 @@
 #include <map>
 #include <string>
 
+#include "common/event_log.h"
 #include "common/rng.h"
 #include "storage/block.h"
 #include "ts/series_store.h"
 #include "storage/file_kvstore.h"
+#include "storage/instrumented_kvstore.h"
 #include "storage/mem_kvstore.h"
 #include "storage/minikv.h"
 #include "storage/sstable.h"
@@ -781,6 +783,61 @@ TEST(MiniKvTest, CompactingEverythingAwayLeavesNoTables) {
   fs::remove_all(dir);
 }
 
+TEST(MiniKvTest, StatsCountTombstonesFlushesAndCompactions) {
+  const std::string dir = TempPath("kvm_mini_lsmstats");
+  fs::remove_all(dir);
+  auto kv = MiniKv::Open(dir);
+  ASSERT_TRUE(kv.ok());
+  EventLog log;
+  (*kv)->SetEventLog(&log);
+
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE((*kv)->Put(Key(i), "v").ok());
+  ASSERT_TRUE((*kv)->Flush().ok());
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE((*kv)->Delete(Key(i)).ok());
+  ASSERT_TRUE((*kv)->Flush().ok());
+
+  MiniKv::LsmStats stats = (*kv)->Stats();
+  EXPECT_EQ(stats.tombstones_written, 40u);
+  EXPECT_EQ(stats.flushes, 2u);
+  EXPECT_EQ(stats.compactions, 0u);
+
+  ASSERT_TRUE((*kv)->Compact().ok());
+  stats = (*kv)->Stats();
+  EXPECT_EQ(stats.compactions, 1u);
+  // 140 entries in (100 puts + 40 tombstones), 60 live out.
+  EXPECT_EQ(stats.compaction_dropped, 80u);
+
+  // The compaction surfaced as a structured event...
+  const auto counts = log.CountsByType();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].first, std::string(kEventCompaction));
+  EXPECT_EQ(counts[0].second, 1u);
+  const auto lines = log.RingLines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"entries_in\":140"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"entries_live\":60"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"dropped\":80"), std::string::npos);
+
+  // ...and the cumulative totals ride the backend gauges.
+  std::vector<std::pair<std::string, uint64_t>> gauges;
+  (*kv)->FillGauges(&gauges);
+  auto find = [&gauges](const std::string& name) -> const uint64_t* {
+    for (const auto& [n, v] : gauges) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("tables"), nullptr);
+  EXPECT_EQ(*find("tables"), 1u);
+  ASSERT_NE(find("tombstones_written_total"), nullptr);
+  EXPECT_EQ(*find("tombstones_written_total"), 40u);
+  ASSERT_NE(find("flushes_total"), nullptr);
+  EXPECT_GE(*find("flushes_total"), 2u);
+  ASSERT_NE(find("compactions_total"), nullptr);
+  EXPECT_EQ(*find("compactions_total"), 1u);
+  fs::remove_all(dir);
+}
+
 TEST(MiniKvTest, LargeRandomWorkloadMatchesStdMap) {
   const std::string dir = TempPath("kvm_mini_random");
   fs::remove_all(dir);
@@ -805,6 +862,144 @@ TEST(MiniKvTest, LargeRandomWorkloadMatchesStdMap) {
   }
   EXPECT_EQ(expect, truth.end());
   fs::remove_all(dir);
+}
+
+// ---- InstrumentedKvStore: the observability decorator ----
+
+// The decorator must be transparent: the same randomized op sequence
+// driven through a wrapped store and a bare store of the same backend
+// must yield byte-identical scans — for every backend.
+TEST(InstrumentedKvStoreTest, WrappedBackendIsOpForOpIdenticalToBare) {
+  for (const StoreKind kind :
+       {StoreKind::kMem, StoreKind::kFile, StoreKind::kMini}) {
+    StoreFixture bare = MakeStore(kind, "instr_bare");
+    StoreFixture wrapped_base = MakeStore(kind, "instr_wrapped");
+    InstrumentedKvStore wrapped(wrapped_base.store.get());
+
+    Rng rng(20260808);
+    auto random_key = [&rng] {
+      return Key(static_cast<int>(rng.UniformInt(0, 99)));
+    };
+    for (int step = 0; step < 600; ++step) {
+      const int64_t roll = rng.UniformInt(0, 99);
+      if (roll < 55) {
+        const std::string k = random_key();
+        const std::string v = "v" + std::to_string(rng.Next() % 1000);
+        ASSERT_TRUE(bare.store->Put(k, v).ok());
+        ASSERT_TRUE(wrapped.Put(k, v).ok());
+      } else if (roll < 70) {
+        const std::string k = random_key();
+        ASSERT_TRUE(bare.store->Delete(k).ok());
+        ASSERT_TRUE(wrapped.Delete(k).ok());
+      } else if (roll < 80) {
+        std::string lo = random_key(), hi = random_key();
+        if (hi < lo) std::swap(lo, hi);
+        ASSERT_TRUE(bare.store->DeleteRange(lo, hi).ok());
+        ASSERT_TRUE(wrapped.DeleteRange(lo, hi).ok());
+      } else if (roll < 90) {
+        WriteBatch batch;
+        const int64_t ops = rng.UniformInt(2, 6);
+        for (int64_t i = 0; i < ops; ++i) {
+          const std::string k = random_key();
+          if (rng.UniformInt(0, 2) == 0) {
+            batch.Delete(k);
+          } else {
+            batch.Put(k, "b" + std::to_string(rng.Next() % 1000));
+          }
+        }
+        ASSERT_TRUE(bare.store->Apply(batch).ok());
+        ASSERT_TRUE(wrapped.Apply(batch).ok());
+      } else {
+        const std::string k = random_key();
+        std::string v1, v2;
+        const Status s1 = bare.store->Get(k, &v1);
+        const Status s2 = wrapped.Get(k, &v2);
+        ASSERT_EQ(s1.ok(), s2.ok());
+        if (s1.ok()) ASSERT_EQ(v1, v2);
+      }
+
+      if (step % 200 == 199) {
+        ASSERT_TRUE(bare.store->Flush().ok());
+        ASSERT_TRUE(wrapped.Flush().ok());
+        auto bit = bare.store->Scan("", "");
+        auto wit = wrapped.Scan("", "");
+        while (bit->Valid() && wit->Valid()) {
+          ASSERT_EQ(bit->key(), wit->key());
+          ASSERT_EQ(bit->value(), wit->value());
+          bit->Next();
+          wit->Next();
+        }
+        ASSERT_EQ(bit->Valid(), wit->Valid()) << "length mismatch";
+      }
+    }
+    EXPECT_GT(wrapped.stats()->TakeSnapshot().TotalOps(), 0u);
+  }
+}
+
+TEST(InstrumentedKvStoreTest, CountsOpsBytesScanRowsAndBatchSizes) {
+  MemKvStore base;
+  InstrumentedKvStore store(&base);
+  const auto& stats = store.stats();
+
+  ASSERT_TRUE(store.Put("alpha", "12345").ok());
+  ASSERT_TRUE(store.Put("beta", "678").ok());
+  std::string v;
+  ASSERT_TRUE(store.Get("alpha", &v).ok());
+  EXPECT_TRUE(store.Get("missing", &v).IsNotFound());
+  ASSERT_TRUE(store.Delete("beta").ok());
+  WriteBatch batch;
+  batch.Put("g1", "x");
+  batch.Put("g2", "y");
+  batch.Delete("g1");
+  ASSERT_TRUE(store.Apply(batch).ok());
+  size_t rows = 0;
+  for (auto it = store.Scan("", ""); it->Valid(); it->Next()) ++rows;
+  EXPECT_EQ(rows, 2u);  // alpha, g2
+  ASSERT_TRUE(store.Flush().ok());
+
+  const KvStoreStats::Snapshot snap = stats->TakeSnapshot();
+  EXPECT_EQ(snap.ops[KvStoreStats::kPut].count, 2u);
+  EXPECT_EQ(snap.ops[KvStoreStats::kGet].count, 2u);
+  EXPECT_EQ(snap.ops[KvStoreStats::kGet].errors, 0u);  // a miss is an answer
+  EXPECT_EQ(snap.ops[KvStoreStats::kDelete].count, 1u);
+  EXPECT_EQ(snap.ops[KvStoreStats::kApply].count, 1u);
+  EXPECT_EQ(snap.ops[KvStoreStats::kScan].count, 1u);
+  EXPECT_EQ(snap.ops[KvStoreStats::kFlush].count, 1u);
+  // Writes: "alpha12345" (10) + "beta678" (7) + the batch's encoded bytes.
+  EXPECT_GE(snap.bytes_written, 17u);
+  // Reads: the "alpha" hit (5 + 5) plus the scanned rows' keys+values.
+  EXPECT_GE(snap.bytes_read, 10u);
+  EXPECT_EQ(snap.scan_rows, 2u);
+  EXPECT_EQ(snap.batch_ops.total, 1u);           // one Apply...
+  EXPECT_DOUBLE_EQ(snap.batch_ops.max_ms, 3.0);  // ...of three ops
+  EXPECT_EQ(snap.TotalOps(), 8u);
+
+  stats->Reset();
+  const KvStoreStats::Snapshot zero = stats->TakeSnapshot();
+  EXPECT_EQ(zero.TotalOps(), 0u);
+  EXPECT_EQ(zero.bytes_written, 0u);
+  EXPECT_EQ(zero.scan_rows, 0u);
+  EXPECT_EQ(zero.batch_ops.total, 0u);
+}
+
+TEST(InstrumentedKvStoreTest, ForwardsBackendGauges) {
+  const std::string path = TempPath("kvm_instr_gauges");
+  std::remove(path.c_str());
+  auto file = FileKvStore::Open(path);
+  ASSERT_TRUE(file.ok());
+  InstrumentedKvStore store(file->get());
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  ASSERT_TRUE(store.Flush().ok());
+  std::vector<std::pair<std::string, uint64_t>> gauges;
+  store.FillGauges(&gauges);
+  bool saw_entries = false, saw_file_bytes = false;
+  for (const auto& [name, value] : gauges) {
+    if (name == "entries") saw_entries = value == 1;
+    if (name == "file_bytes") saw_file_bytes = value > 0;
+  }
+  EXPECT_TRUE(saw_entries);
+  EXPECT_TRUE(saw_file_bytes);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -16,7 +16,10 @@
 //   kvmatch_cli catalog-ingest --store catalog.kvm --data data.bin
 //                              --name sensor1 [--wu 25] [--levels 5]
 //                              [--width 0.5]
-//   kvmatch_cli catalog-info   --store catalog.kvm
+//   kvmatch_cli catalog-info   --store catalog.kvm [--json]
+//     --json emits one machine-readable object: the crash-recovery
+//     report, the series directory, and the recovery events the open
+//     produced (roll-backs/forwards, orphan sweeps) as a JSON array.
 //   kvmatch_cli batch-query    --store catalog.kvm --queries queries.txt
 //                              [--threads N] [--queue 1024]
 //     queries.txt: one request per line of key=value tokens, e.g.
@@ -32,6 +35,8 @@
 //                            [--threads N] [--queue 1024] [--max-conns 64]
 //                            [--idle-ms 0] [--stream-chunk 2000000]
 //                            [--drain-ms 30000] [--slow-query-ms 0]
+//                            [--event-log events.jsonl] [--dump-events]
+//                            [--slow-commit-ms 0]
 //     Serves the catalog until SIGINT/SIGTERM; shutdown drains in-flight
 //     queries for --drain-ms, then cancels the stragglers mid-query.
 //     Responses with more than --stream-chunk matches stream back in
@@ -39,6 +44,12 @@
 //     --port 0 picks an ephemeral port (printed on stdout).
 //     --slow-query-ms > 0 logs every query at least that slow to stderr
 //     as one JSON line carrying its queue/probe/verify/serialize spans.
+//     --event-log appends every storage/commit event (epoch commits,
+//     recovery repairs, evictions, compactions) as JSONL to the given
+//     file; --dump-events prints the in-memory flight recorder (the last
+//     1024 events) on shutdown; --slow-commit-ms > 0 flags commits at
+//     least that slow. GET /metrics (plain HTTP on the same port) serves
+//     the Prometheus text dump; GET /healthz answers liveness.
 //   kvmatch_cli remote-query --host 127.0.0.1 --port 7777 --queries q.txt
 //                            [--trace] [--trace-json trace.json]
 //     Same query-file syntax as batch-query; qoffset/qlen windows are
@@ -85,6 +96,7 @@
 #include <vector>
 
 #include "bench_util/table_printer.h"
+#include "common/event_log.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "bench_util/workload.h"
@@ -354,7 +366,42 @@ int CmdCatalogInfo(const Args& args) {
   if (store_path.empty()) return Usage();
   auto store = FileKvStore::Open(store_path);
   if (!store.ok()) return Fail(store.status());
-  Catalog catalog(store->get());
+  // The event journal captures what recovery repaired while opening; the
+  // ring is what --json surfaces as structured events.
+  EventLog event_log;
+  Catalog::Options copts;
+  copts.event_log = &event_log;
+  Catalog catalog(store->get(), copts);
+  if (args.Has("json")) {
+    const auto& rec = catalog.recovery_report();
+    std::string out = "{\"recovery\":{\"epochs_rolled_back\":" +
+                      std::to_string(rec.epochs_rolled_back) +
+                      ",\"epochs_rolled_forward\":" +
+                      std::to_string(rec.epochs_rolled_forward) +
+                      ",\"orphans_swept\":" +
+                      std::to_string(rec.orphans_swept) + "},\"series\":[";
+    bool first = true;
+    for (const auto& name : catalog.ListSeries()) {
+      uint64_t epoch = 0, length = 0;
+      if (auto e = catalog.SeriesEpoch(name); e.ok()) epoch = *e;
+      if (auto l = catalog.SeriesLength(name); l.ok()) length = *l;
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"" + JsonEscape(name) +
+             "\",\"points\":" + std::to_string(length) +
+             ",\"epoch\":" + std::to_string(epoch) + "}";
+    }
+    out += "],\"events\":[";
+    first = true;
+    for (const auto& line : event_log.RingLines()) {
+      if (!first) out += ',';
+      first = false;
+      out += line;  // ring lines are already JSON objects
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
   if (const auto& rec = catalog.recovery_report(); !rec.clean()) {
     std::printf("crash recovery: %llu epoch(s) rolled back, %llu rolled "
                 "forward, %llu orphaned namespace(s) swept\n",
@@ -602,7 +649,25 @@ int CmdServe(const Args& args) {
   if (store_path.empty()) return Usage();
   auto store = FileKvStore::Open(store_path);
   if (!store.ok()) return Fail(store.status());
-  Catalog catalog(store->get());
+
+  // Declared before the catalog so every emitter dies first. The optional
+  // file sink streams each event as it happens; the in-memory ring (the
+  // flight recorder) is dumped by Stop() with --dump-events.
+  EventLog event_log;
+  std::ofstream event_file;
+  if (const std::string path = args.Get("event-log"); !path.empty()) {
+    event_file.open(path, std::ios::app);
+    if (!event_file) return Fail(Status::IOError("cannot open " + path));
+    event_log.SetSink([&event_file](const std::string& line) {
+      event_file << line << '\n';
+      event_file.flush();
+    });
+  }
+
+  Catalog::Options copts;
+  copts.event_log = &event_log;
+  copts.slow_commit_ms = args.GetF("slow-commit-ms", 0.0);
+  Catalog catalog(store->get(), copts);
   if (const auto& rec = catalog.recovery_report(); !rec.clean()) {
     std::printf("crash recovery: %llu epoch(s) rolled back, %llu rolled "
                 "forward, %llu orphaned namespace(s) swept\n",
@@ -625,6 +690,8 @@ int CmdServe(const Args& args) {
   nopts.stream_chunk_matches = args.GetU64("stream-chunk", 2'000'000);
   nopts.drain_timeout_ms = args.GetF("drain-ms", 30'000.0);
   nopts.slow_query_ms = args.GetF("slow-query-ms", 0.0);
+  nopts.event_log = &event_log;
+  nopts.dump_events_on_stop = args.Has("dump-events");
   net::Server server(&catalog, &service, nopts);
   if (Status st = server.Start(); !st.ok()) return Fail(st);
 

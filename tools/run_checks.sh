@@ -18,23 +18,27 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
-echo "=== ThreadSanitizer: service/net/ingest/executor/trace tests ==="
+echo "=== ThreadSanitizer: service/net/ingest/executor/trace/event-log tests ==="
 cmake -B build-tsan -S . -DKVMATCH_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" \
-  --target service_test net_test ingest_test executor_test trace_test
+  --target service_test net_test ingest_test executor_test trace_test \
+           event_log_test storage_test
 ./build-tsan/service_test
 ./build-tsan/net_test
 ./build-tsan/ingest_test
 ./build-tsan/executor_test
 ./build-tsan/trace_test
+./build-tsan/event_log_test
+./build-tsan/storage_test
 
 echo
 echo "=== ASan+UBSan: storage/service/net/ingest/executor + crash replay ==="
 cmake -B build-asan -S . -DKVMATCH_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS" \
   --target storage_test service_test net_test ingest_test \
-           executor_test trace_test fault_kvstore_test
+           executor_test trace_test event_log_test fault_kvstore_test
 ./build-asan/storage_test
+./build-asan/event_log_test
 ./build-asan/service_test
 ./build-asan/net_test
 ./build-asan/ingest_test
