@@ -6,8 +6,42 @@
 #include "bench_common.h"
 
 #include "baseline/ucr_suite.h"
+#include "distance/simd/kernels.h"
 
 using namespace kvmatch;
+
+namespace {
+
+struct JsonRow {
+  size_t n;
+  double kvm_ed, ucr_ed, kvm_dtw, ucr_dtw;
+};
+
+/// --json OUT: machine-readable results for perf tracking across PRs
+/// (BENCH_fig9.json), tagged with the active SIMD dispatch tier.
+bool WriteJson(const std::string& path, size_t m, int runs,
+               const std::vector<JsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n  \"bench\": \"fig9_scalability\",\n"
+               "  \"dispatch_tier\": \"%s\",\n"
+               "  \"query_length\": %zu,\n  \"runs\": %d,\n"
+               "  \"results\": [\n",
+               simd::TierName(simd::ActiveTier()), m, runs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"n\": %zu, \"kvm_ed_s\": %.6f, \"ucr_ed_s\": %.6f, "
+                 "\"kvm_dtw_s\": %.6f, \"ucr_dtw_s\": %.6f}%s\n",
+                 rows[i].n, rows[i].kvm_ed, rows[i].ucr_ed, rows[i].kvm_dtw,
+                 rows[i].ucr_dtw, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   BenchFlags flags = BenchFlags::Parse(argc, argv);
@@ -26,6 +60,7 @@ int main(int argc, char** argv) {
               "beta'=1.0, %d runs\n\n", m, runs);
   TablePrinter table({"Data length", "KVM ED (s)", "UCR ED (s)",
                       "KVM DTW (s)", "UCR DTW (s)"});
+  std::vector<JsonRow> json_rows;
   for (size_t n : lengths) {
     const Workload w = Workload::Make(n, flags.seed);
     const MinMax mm = ComputeMinMax(w.series.values());
@@ -72,8 +107,14 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(ucr_ed / k, 3),
                   TablePrinter::Fmt(kvm_dtw / k, 3),
                   TablePrinter::Fmt(ucr_dtw / k, 3)});
+    json_rows.push_back({n, kvm_ed / k, ucr_ed / k, kvm_dtw / k, ucr_dtw / k});
   }
   table.Print();
+  if (!flags.json_out.empty() && !WriteJson(flags.json_out, m, runs,
+                                            json_rows)) {
+    std::fprintf(stderr, "cannot write %s\n", flags.json_out.c_str());
+    return 1;
+  }
   std::printf(
       "\nExpected shape (paper Fig. 9): UCR time grows linearly with data\n"
       "length; KVM-DP grows much more slowly, opening a gap of orders of\n"

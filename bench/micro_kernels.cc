@@ -1,15 +1,28 @@
 // google-benchmark micro suite: the hot kernels behind the headline
 // numbers — distances, lower bounds, envelope, interval algebra, index
-// build/probe and storage block/SSTable paths.
+// build/probe and storage block/SSTable paths, plus the dispatch-tier
+// comparison benches for the SIMD verify kernels (BM_Simd*<scalar> vs
+// BM_Simd*<avx2> on the same inputs).
+//
+//   ./bench_micro_kernels [gbench flags] [--json OUT]
+//
+// --json writes {name, ns_per_op, bytes_per_s, tier} rows for tracking
+// perf trajectory across PRs (BENCH_micro_kernels.json).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <filesystem>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/rng.h"
 #include "distance/dtw.h"
 #include "distance/ed.h"
 #include "distance/envelope.h"
 #include "distance/lower_bounds.h"
+#include "distance/simd/kernels.h"
 #include "index/index_builder.h"
 #include "storage/block.h"
 #include "storage/sstable.h"
@@ -174,7 +187,204 @@ void BM_SstableScan(benchmark::State& state) {
 }
 BENCHMARK(BM_SstableScan);
 
+// ---- Dispatch-tier comparison benches for the SIMD verify kernels ----
+//
+// Registered once per available tier so one run shows the scalar baseline
+// and the AVX2 speedup side by side on identical inputs. Thresholds are
+// +inf: these measure full-kernel throughput, not abandon luck.
+
+constexpr double kNoAbandon = std::numeric_limits<double>::infinity();
+
+void RegisterSimdKernelBenches() {
+  struct TierEntry {
+    const char* name;
+    const simd::Kernels* ker;
+  };
+  std::vector<TierEntry> tiers = {{"scalar", &simd::ScalarKernels()}};
+  if (const simd::Kernels* avx2 = simd::Avx2KernelsOrNull()) {
+    tiers.push_back({"avx2", avx2});
+  }
+  const std::vector<size_t> lengths = {256, 1024, 8192};
+  for (const TierEntry& tier : tiers) {
+    const simd::Kernels* ker = tier.ker;
+    const std::string suffix = std::string("<") + tier.name + ">/";
+    for (size_t n : lengths) {
+      benchmark::RegisterBenchmark(
+          ("BM_SimdSquaredEd" + suffix + std::to_string(n)).c_str(),
+          [ker, n](benchmark::State& state) {
+            const auto a = RandomSeries(n, 1);
+            const auto b = RandomSeries(n, 2);
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(
+                  ker->squared_ed(a.data(), b.data(), n, kNoAbandon));
+            }
+            state.SetBytesProcessed(
+                static_cast<int64_t>(state.iterations() * n * 2 *
+                                     sizeof(double)));
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_SimdEdZnormOrdered" + suffix + std::to_string(n)).c_str(),
+          [ker, n](benchmark::State& state) {
+            const auto s = RandomSeries(n, 1);
+            const auto q = RandomSeries(n, 2);
+            const auto order = SortedAbsOrder(q);
+            std::vector<double> q_ordered(n);
+            for (size_t i = 0; i < n; ++i) {
+              q_ordered[i] = q[static_cast<size_t>(order[i])];
+            }
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(ker->squared_ed_znorm_ordered(
+                  s.data(), order.data(), q_ordered.data(), n, 0.1, 0.9,
+                  kNoAbandon));
+            }
+            state.SetBytesProcessed(
+                static_cast<int64_t>(state.iterations() * n * 2 *
+                                     sizeof(double)));
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_SimdL1" + suffix + std::to_string(n)).c_str(),
+          [ker, n](benchmark::State& state) {
+            const auto a = RandomSeries(n, 1);
+            const auto b = RandomSeries(n, 2);
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(
+                  ker->l1(a.data(), b.data(), n, kNoAbandon));
+            }
+            state.SetBytesProcessed(
+                static_cast<int64_t>(state.iterations() * n * 2 *
+                                     sizeof(double)));
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_SimdLbKeogh" + suffix + std::to_string(n)).c_str(),
+          [ker, n](benchmark::State& state) {
+            const auto s = RandomSeries(n, 4);
+            const auto q = RandomSeries(n, 5);
+            const Envelope env = BuildEnvelope(q, n / 20);
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(
+                  ker->lb_keogh(s.data(), env.lower.data(), env.upper.data(),
+                                n, kNoAbandon, nullptr));
+            }
+            state.SetBytesProcessed(
+                static_cast<int64_t>(state.iterations() * n * 3 *
+                                     sizeof(double)));
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_SimdRollingMeanStd" + suffix + std::to_string(n)).c_str(),
+          [ker, n](benchmark::State& state) {
+            const size_t m = 256;
+            const PrefixStats ps(
+                std::span<const double>(RandomSeries(n + m, 6)));
+            std::vector<double> means(n), stds(n);
+            for (auto _ : state) {
+              ker->rolling_mean_std(ps.prefix_sums().data(),
+                                    ps.prefix_squares().data(), n, m,
+                                    means.data(), stds.data());
+              benchmark::DoNotOptimize(means.data());
+              benchmark::DoNotOptimize(stds.data());
+            }
+            state.SetBytesProcessed(
+                static_cast<int64_t>(state.iterations() * n * 4 *
+                                     sizeof(double)));
+          });
+    }
+  }
+}
+
+// ---- --json OUT: machine-readable results ----
+
+struct JsonRow {
+  std::string name;
+  std::string tier;
+  double ns_per_op = 0.0;
+  double bytes_per_s = 0.0;
+};
+
+/// Console reporter that also collects every run, so the human-readable
+/// table still prints while --json captures machine-readable rows.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      JsonRow row;
+      row.name = run.benchmark_name();
+      if (row.name.find("<scalar>") != std::string::npos) {
+        row.tier = "scalar";
+      } else if (row.name.find("<avx2>") != std::string::npos) {
+        row.tier = "avx2";
+      } else {
+        // Non-tiered benches run whatever the process-wide dispatch chose.
+        row.tier = simd::TierName(simd::ActiveTier());
+      }
+      if (run.iterations > 0) {
+        row.ns_per_op =
+            run.real_accumulated_time / static_cast<double>(run.iterations) *
+            1e9;
+      }
+      if (auto it = run.counters.find("bytes_per_second");
+          it != run.counters.end()) {
+        row.bytes_per_s = it->second.value;
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f,
+                 "{\n  \"bench\": \"micro_kernels\",\n"
+                 "  \"dispatch_tier\": \"%s\",\n  \"results\": [\n",
+                 simd::TierName(simd::ActiveTier()));
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"tier\": \"%s\", "
+                   "\"ns_per_op\": %.3f, \"bytes_per_s\": %.0f}%s\n",
+                   rows_[i].name.c_str(), rows_[i].tier.c_str(),
+                   rows_[i].ns_per_op, rows_[i].bytes_per_s,
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<JsonRow> rows_;
+};
+
 }  // namespace
 }  // namespace kvmatch
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json OUT before google-benchmark sees the argument list.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);
+  int args_count = static_cast<int>(args.size()) - 1;
+
+  benchmark::Initialize(&args_count, args.data());
+  kvmatch::RegisterSimdKernelBenches();
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    kvmatch::JsonCollector collector;
+    benchmark::RunSpecifiedBenchmarks(&collector);
+    if (!collector.Write(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,8 @@ BenchFlags BenchFlags::Parse(int argc, char** argv) {
       flags.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       flags.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      flags.json_out = argv[++i];
     }
   }
   return flags;

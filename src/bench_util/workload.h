@@ -14,12 +14,14 @@
 
 namespace kvmatch {
 
-/// Common command-line knobs: --n <len> --runs <k> --seed <s> --quick.
+/// Common command-line knobs:
+///   --n <len> --runs <k> --seed <s> --quick [--json OUT]
 struct BenchFlags {
   size_t n = 2'000'000;   // series length
   int runs = 3;           // queries per configuration
   uint64_t seed = 42;
   bool quick = false;     // shrink sweeps for smoke-testing
+  std::string json_out;   // when set, also emit machine-readable results
 
   static BenchFlags Parse(int argc, char** argv);
 };

@@ -1,0 +1,31 @@
+// One-shot cooperative cancellation flag.
+//
+// Lives in common/ (rather than match/) so leaf layers — notably the
+// distance kernels, which poll it between DTW rows — can depend on it
+// without pulling in the executor headers.
+#ifndef KVMATCH_COMMON_CANCEL_H_
+#define KVMATCH_COMMON_CANCEL_H_
+
+#include <atomic>
+
+namespace kvmatch {
+
+/// One-shot cancellation flag shared between a submitter (or the service's
+/// Cancel entry point) and the worker executing the query. Cancel() may be
+/// called from any thread, any number of times, before/during/after the
+/// query runs. Polling is a relaxed atomic load — cheap enough to sit in
+/// per-candidate (and per-DTW-row) hot loops.
+class CancelToken {
+ public:
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace kvmatch
+
+#endif  // KVMATCH_COMMON_CANCEL_H_

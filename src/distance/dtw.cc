@@ -8,7 +8,7 @@ namespace kvmatch {
 
 double DtwDistance(std::span<const double> a, std::span<const double> b,
                    size_t rho, double threshold,
-                   std::span<const double> cum_lb) {
+                   std::span<const double> cum_lb, const CancelToken* cancel) {
   const size_t m = a.size();
   if (m == 0) return 0.0;
   const double inf = std::numeric_limits<double>::infinity();
@@ -17,6 +17,9 @@ double DtwDistance(std::span<const double> a, std::span<const double> b,
   // Row-by-row DP over the band; prev/curr hold squared costs.
   std::vector<double> prev(m, inf), curr(m, inf);
   for (size_t i = 0; i < m; ++i) {
+    if (cancel != nullptr && i % kDtwCancelRows == 0 && cancel->cancelled()) {
+      return inf;
+    }
     const size_t j_lo = i > rho ? i - rho : 0;
     const size_t j_hi = std::min(m - 1, i + rho);
     double row_min = inf;

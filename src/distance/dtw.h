@@ -5,6 +5,8 @@
 #include <limits>
 #include <span>
 
+#include "common/cancel.h"
+
 namespace kvmatch {
 
 /// DTW distance between equal-length sequences restricted to the
@@ -15,10 +17,18 @@ namespace kvmatch {
 /// +inf is returned. `cum_lb` optionally supplies the UCR Suite cumulative
 /// lower-bound tail array (cb[i] = lower bound contribution of points >= i):
 /// adding cb[i+band] tightens abandoning further.
+///
+/// `cancel` (borrowed, may be null) is polled every kDtwCancelRows DP rows:
+/// one pathologically long candidate (m ~ 10⁴, wide band → 10⁸ cells) no
+/// longer pins a cancelled query until the candidate finishes. On
+/// cancellation +inf is returned; the caller is expected to re-check its
+/// token and discard the value rather than treat it as "no match".
+inline constexpr size_t kDtwCancelRows = 16;
 double DtwDistance(std::span<const double> a, std::span<const double> b,
                    size_t rho,
                    double threshold = std::numeric_limits<double>::infinity(),
-                   std::span<const double> cum_lb = {});
+                   std::span<const double> cum_lb = {},
+                   const CancelToken* cancel = nullptr);
 
 /// Unconstrained (full-matrix) DTW — reference implementation for tests.
 double DtwDistanceFull(std::span<const double> a, std::span<const double> b);

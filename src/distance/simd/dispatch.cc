@@ -1,0 +1,40 @@
+// One-time runtime tier selection for the verify kernels.
+#include "distance/simd/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace kvmatch::simd {
+
+#if !defined(KVMATCH_HAVE_AVX2_TU)
+// Non-x86 build (or a compiler without -mavx2): the AVX2 TU is not
+// compiled, so the probe trivially reports "unavailable" and every caller
+// lands on the scalar tier.
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+#endif
+
+bool ForceScalarValue(const char* value) {
+  if (value == nullptr) return false;
+  if (value[0] == '\0') return false;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "false") != 0 &&
+         std::strcmp(value, "off") != 0 && std::strcmp(value, "no") != 0;
+}
+
+const Kernels& Dispatch(bool force_scalar) {
+  if (!force_scalar) {
+    if (const Kernels* avx2 = Avx2KernelsOrNull(); avx2 != nullptr) {
+      return *avx2;
+    }
+  }
+  return ScalarKernels();
+}
+
+const Kernels& ActiveKernels() {
+  // Dispatched once per process; KVMATCH_FORCE_SCALAR pins the scalar tier
+  // for parity CI legs and for ruling SIMD in/out when debugging.
+  static const Kernels& active =
+      Dispatch(ForceScalarValue(std::getenv("KVMATCH_FORCE_SCALAR")));
+  return active;
+}
+
+}  // namespace kvmatch::simd

@@ -7,29 +7,14 @@
 #ifndef KVMATCH_MATCH_EXEC_CONTEXT_H_
 #define KVMATCH_MATCH_EXEC_CONTEXT_H_
 
-#include <atomic>
 #include <chrono>
 
+#include "common/cancel.h"
 #include "common/status.h"
 
 namespace kvmatch {
 
 class QueryTrace;  // service/trace.h — optional per-request span sink
-
-/// One-shot cancellation flag shared between a submitter (or the service's
-/// Cancel entry point) and the worker executing the query. Cancel() may be
-/// called from any thread, any number of times, before/during/after the
-/// query runs.
-class CancelToken {
- public:
-  void Cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
-  bool cancelled() const noexcept {
-    return cancelled_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<bool> cancelled_{false};
-};
 
 /// Per-execution context. Both members are optional: a default ExecContext
 /// never aborts, so wrapper APIs that predate the executor keep their

@@ -196,9 +196,17 @@ Result<std::vector<MatchResult>> QueryExecutor::VerifySlice(
   }
   const auto t0 = std::chrono::steady_clock::now();
   MatchStats local;
-  std::vector<MatchResult> results =
-      verifier_.Verify(q_, params_, slices_[i], &local, options_.verify);
+  std::vector<MatchResult> results;
+  const Status st = verifier_.VerifyCancellable(q_, params_, slices_[i], ctx,
+                                                &results, &local,
+                                                options_.verify);
   local.phase2_ms = MsSince(t0);
+  if (!st.ok()) {
+    // Partial counters (and the time burned) still reach the caller so an
+    // aborted query reports what it actually did.
+    if (stats != nullptr) stats->Add(local);
+    return st;
+  }
   if (ctx.trace != nullptr) {
     // One span per slice; the recording thread becomes the span's worker
     // id, so parallel verify shows up as overlapping lanes in the trace.
@@ -215,7 +223,8 @@ Result<std::vector<MatchResult>> QueryExecutor::VerifySlice(
 }
 
 Result<std::vector<MatchResult>> QueryExecutor::Run(const ExecContext& ctx,
-                                                    MatchStats* stats) {
+                                                    MatchStats* stats,
+                                                    const MatchSink* sink) {
   auto report = [&] {
     if (stats != nullptr) stats->Add(stats_);
   };
@@ -239,7 +248,11 @@ Result<std::vector<MatchResult>> QueryExecutor::Run(const ExecContext& ctx,
       return part.status();
     }
     slices_verified_ += 1;
-    results.insert(results.end(), part->begin(), part->end());
+    if (sink != nullptr && *sink) {
+      if (!part->empty()) (*sink)(*part);
+    } else {
+      results.insert(results.end(), part->begin(), part->end());
+    }
   }
   stats_.phase2_ms += MsSince(t0);
   report();

@@ -18,6 +18,7 @@
 #ifndef KVMATCH_MATCH_EXECUTOR_H_
 #define KVMATCH_MATCH_EXECUTOR_H_
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -66,8 +67,11 @@ class QueryExecutor {
   const IntervalList& slice(size_t i) const { return slices_[i]; }
 
   /// Verifies slice `i`: results ordered by offset, counters (and the
-  /// slice's verify wall time as phase2_ms) added to `*stats`. Checks
-  /// `ctx` once on entry — the cancellation granularity is one slice.
+  /// slice's verify wall time as phase2_ms) added to `*stats`. `ctx` is
+  /// threaded down to per-candidate granularity: the verifier polls the
+  /// cancel token on every candidate (and between DTW rows for expensive
+  /// candidates) and the deadline every few dozen candidates. On abort,
+  /// `*stats` holds the partial counters for the work actually done.
   /// Thread-safe: distinct slices may be verified concurrently.
   Result<std::vector<MatchResult>> VerifySlice(size_t i,
                                                const ExecContext& ctx = {},
@@ -75,12 +79,20 @@ class QueryExecutor {
       const;
   size_t slices_verified() const { return slices_verified_; }
 
+  /// Streaming consumer for Run(): called with each verified slice's
+  /// matches (offset order, non-empty) as the slice completes.
+  using MatchSink = std::function<void(std::span<const MatchResult>)>;
+
   /// Single-shot: remaining phase-1 steps, slicing (at
   /// MatchOptions-independent `verify_slice_positions`), then every slice
   /// in order on the calling thread, checking `ctx` at each boundary.
   /// On abort, stats() holds the partial counters accumulated so far.
+  /// When `sink` is non-null each slice's matches are handed to it as the
+  /// slice finishes and the returned vector is empty — results flow to the
+  /// wire while later slices are still verifying.
   Result<std::vector<MatchResult>> Run(const ExecContext& ctx = {},
-                                       MatchStats* stats = nullptr);
+                                       MatchStats* stats = nullptr,
+                                       const MatchSink* sink = nullptr);
 
   /// Stats accumulated so far: phase-1 probe counters always; verify
   /// counters only for slices executed through Run() (VerifySlice is

@@ -712,15 +712,83 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
       options_.max_frame_bytes > 64 ? (options_.max_frame_bytes - 64) / 18
                                     : 1;
   if (stream_chunk > cap_matches) stream_chunk = cap_matches;
+
+  // Incremental streaming (ε-threshold queries with streaming enabled):
+  // verified slices arrive through on_partial while later slices are
+  // still running; every full chunk leaves the server immediately and
+  // only the tail rides the completion path, so transfer overlaps
+  // verification. The wire shape is byte-identical to the
+  // whole-result-at-completion path: parts of exactly `stream_chunk`
+  // matches, a final part of at most one chunk, and no parts at all when
+  // the result fits in one chunk. Accesses to the state need no lock —
+  // the service serializes on_partial calls and runs the completion
+  // callback strictly after the last one.
+  struct StreamState {
+    std::vector<MatchResult> buffer;
+    bool parts_sent = false;
+  };
+  std::shared_ptr<StreamState> stream;
+  if (stream_chunk > 0 && request.top_k == 0) {
+    stream = std::make_shared<StreamState>();
+    request.on_partial = [this, conn, id, stream_chunk,
+                          stream](std::span<const MatchResult> part) {
+      auto& buf = stream->buffer;
+      buf.insert(buf.end(), part.begin(), part.end());
+      size_t begin = 0;
+      // Keep at least one match buffered: the last part must be the one
+      // that may run short, exactly as the completion-time chunker does.
+      while (buf.size() - begin > stream_chunk) {
+        Frame pf;
+        pf.type = FrameType::kMatchResponsePart;
+        pf.request_id = id;
+        EncodeMatchPartBody(
+            std::span<const MatchResult>(buf.data() + begin, stream_chunk),
+            &pf.body);
+        std::string wire;
+        EncodeFrame(pf, &wire);
+        EnqueueRaw(conn, std::move(wire));
+        stream->parts_sent = true;
+        begin += stream_chunk;
+      }
+      if (begin > 0) buf.erase(buf.begin(), buf.begin() + begin);
+    };
+  }
   service_->SubmitWithCallback(
       std::move(request),
-      [this, conn, id, stream_chunk, wants_trace,
-       series_name](QueryResponse response) {
+      [this, conn, id, stream_chunk, wants_trace, series_name,
+       stream](QueryResponse response) {
         // Encoded frames for this response, pushed onto the outbox as one
         // contiguous run (other requests' frames may interleave between
         // runs — the client reassembles per request id).
         const auto serialize_t0 = std::chrono::steady_clock::now();
         std::vector<std::string> wires;
+        if (stream != nullptr && response.status.ok()) {
+          if (!stream->parts_sent) {
+            // Nothing left early, so at most one chunk accumulated:
+            // deliver it on the final frame like the classic path.
+            if (response.matches.empty()) {
+              response.matches = std::move(stream->buffer);
+            }
+          } else {
+            // Parts are already on the wire; flush the buffered tail
+            // (≤ one chunk) as the closing part(s).
+            for (size_t begin = 0; begin < stream->buffer.size();
+                 begin += stream_chunk) {
+              const size_t len =
+                  std::min(stream_chunk, stream->buffer.size() - begin);
+              Frame part;
+              part.type = FrameType::kMatchResponsePart;
+              part.request_id = id;
+              EncodeMatchPartBody(
+                  std::span<const MatchResult>(stream->buffer.data() + begin,
+                                               len),
+                  &part.body);
+              std::string wire;
+              EncodeFrame(part, &wire);
+              wires.push_back(std::move(wire));
+            }
+          }
+        }
         if (response.status.ok() && stream_chunk > 0 &&
             response.matches.size() > stream_chunk) {
           // Stream: the match list leaves in bounded parts, the final

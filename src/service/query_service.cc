@@ -54,6 +54,10 @@ struct SliceFanout {
   /// fanout (it holds the token's shared_ptr across Execute()).
   ExecContext ctx;
 
+  /// Optional streaming consumer (owned by the submitting worker, like
+  /// executor/ctx). Flushed strictly in slice order under `mu`.
+  const QueryExecutor::MatchSink* sink = nullptr;
+
   std::atomic<size_t> next{0};
   std::vector<Status> status;               // per slice
   std::vector<std::vector<MatchResult>> results;
@@ -61,7 +65,9 @@ struct SliceFanout {
 
   std::mutex mu;
   std::condition_variable cv;
-  size_t completed = 0;  // guarded by mu
+  size_t completed = 0;     // guarded by mu
+  std::vector<char> done;   // per slice, guarded by mu
+  size_t flush_next = 0;    // first unflushed slice, guarded by mu
 
   void RunSlices() {
     const size_t total = results.size();
@@ -76,6 +82,22 @@ struct SliceFanout {
       }
       std::lock_guard<std::mutex> lock(mu);
       completed += 1;
+      done[i] = 1;
+      if (sink != nullptr) {
+        // In-order flush: emit every finished slice whose predecessors
+        // have all been emitted, so the wire sees offset order even when
+        // slices complete out of order. Whoever finishes slice
+        // `flush_next` drains the run; the callback runs under `mu`,
+        // which also serializes concurrent emitters.
+        while (flush_next < total && done[flush_next]) {
+          if (status[flush_next].ok() && !results[flush_next].empty()) {
+            (*sink)(results[flush_next]);
+            results[flush_next].clear();
+            results[flush_next].shrink_to_fit();
+          }
+          flush_next += 1;
+        }
+      }
       if (completed == total) cv.notify_all();
     }
   }
@@ -202,15 +224,17 @@ std::vector<std::future<QueryResponse>> QueryService::SubmitBatch(
 Status QueryService::ParallelVerify(
     const std::shared_ptr<const Session>& session, QueryExecutor* executor,
     const ExecContext& ctx, std::vector<MatchResult>* matches,
-    MatchStats* stats) {
+    MatchStats* stats, const QueryExecutor::MatchSink* sink) {
   const size_t num_slices = executor->num_slices();
   auto fanout = std::make_shared<SliceFanout>();
   fanout->session = session;
   fanout->executor = executor;
   fanout->ctx = ctx;
+  fanout->sink = (sink != nullptr && *sink) ? sink : nullptr;
   fanout->status.assign(num_slices, Status::OK());
   fanout->results.resize(num_slices);
   fanout->stats.resize(num_slices);
+  fanout->done.assign(num_slices, 0);
 
   // Opportunistic helpers: leave one worker for the owner itself, and
   // never mind a full queue — a rejected helper just means the owner
@@ -312,11 +336,13 @@ QueryResponse QueryService::Execute(
       } else {
         const size_t num_slices =
             (*executor)->SliceCandidates(options_.verify_slice_positions);
+        const QueryExecutor::MatchSink* sink =
+            request.on_partial ? &request.on_partial : nullptr;
         if (options_.parallel_verify && num_slices >= 2 &&
             pool_.num_threads() >= 2) {
           std::vector<MatchResult> merged;
           st = ParallelVerify(*session, executor->get(), ctx, &merged,
-                              &response.stats);
+                              &response.stats, sink);
           response.stats.Add((*executor)->stats());  // phase-1 counters
           if (st.ok()) {
             matches = std::move(merged);
@@ -326,7 +352,7 @@ QueryResponse QueryService::Execute(
         } else {
           // Serial: Run() walks the prepared slices with per-slice ctx
           // checks and folds phase-1 + verify stats into one report.
-          matches = (*executor)->Run(ctx, &response.stats);
+          matches = (*executor)->Run(ctx, &response.stats, sink);
         }
       }
     }

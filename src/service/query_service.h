@@ -66,6 +66,14 @@ struct QueryRequest {
   /// into QueryResponse::trace. Off by default: the untraced path costs
   /// one branch per hook.
   bool collect_trace = false;
+  /// Streaming hook for ε-threshold queries: when set, each verified
+  /// slice's matches are delivered in offset order (non-empty spans, on a
+  /// worker thread, strictly before `done`) as the slice completes, and
+  /// QueryResponse::matches arrives empty on success — the network server
+  /// uses this to overlap verification with transfer. Ignored for top-k
+  /// requests (a global heap cannot emit prefixes early). Must not block
+  /// for long; it is called while later slices are still verifying.
+  QueryExecutor::MatchSink on_partial;
 };
 
 struct QueryResponse {
@@ -169,10 +177,13 @@ class QueryService {
 
   /// Phase 2 of `executor` with slices fanned across idle workers; the
   /// calling worker claims slices too. Results land in offset order.
+  /// When `sink` is non-null, completed slices are flushed to it in
+  /// offset order as soon as every earlier slice has finished, and
+  /// `*matches` stays empty.
   Status ParallelVerify(const std::shared_ptr<const Session>& session,
                         QueryExecutor* executor, const ExecContext& ctx,
-                        std::vector<MatchResult>* matches,
-                        MatchStats* stats);
+                        std::vector<MatchResult>* matches, MatchStats* stats,
+                        const QueryExecutor::MatchSink* sink = nullptr);
 
   void Unregister(uint64_t request_id);
 

@@ -7,6 +7,7 @@
 #define KVMATCH_TS_STATS_ORACLE_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "ts/time_series.h"
@@ -35,6 +36,12 @@ class PrefixStats {
 
   /// Means of all length-`w` sliding windows (n - w + 1 entries).
   std::vector<double> SlidingMeans(size_t w) const;
+
+  /// Raw prefix arrays (n + 1 entries, index 0 is 0.0) for batch kernels:
+  /// the SIMD rolling mean/std kernel consumes these directly and
+  /// reproduces WindowMeanStd bitwise.
+  std::span<const double> prefix_sums() const { return sum_; }
+  std::span<const double> prefix_squares() const { return sq_; }
 
  private:
   void Build(std::span<const double> values);

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Full verification pipeline: Release build + the whole ctest suite, then a
-# ThreadSanitizer build of the concurrent service/network/ingest/executor
-# tests (including the racing-cancel suite) and an ASan+UBSan build of the
+# Full verification pipeline: Release build + the whole ctest suite (run
+# twice — once with native SIMD dispatch, once with KVMATCH_FORCE_SCALAR=1
+# to exercise the portable kernel tier), then a ThreadSanitizer build of
+# the concurrent service/network/ingest/executor tests (including the
+# racing-cancel suite) and an ASan+UBSan build of the
 # storage/service/net/ingest/executor tests plus the crash-point-replay
-# suite (fault_kvstore_test). Mirrors what CI runs; use it locally before
-# sending a PR.
+# suite (fault_kvstore_test) and the scalar-vs-SIMD parity suite
+# (simd_parity_test). Mirrors what CI runs; use it locally before sending
+# a PR.
 #
 #   tools/run_checks.sh [jobs]
 set -euo pipefail
@@ -18,11 +21,15 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
+echo "=== Forced-scalar dispatch: full ctest with KVMATCH_FORCE_SCALAR=1 ==="
+KVMATCH_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
 echo "=== ThreadSanitizer: service/net/ingest/executor/trace/event-log tests ==="
 cmake -B build-tsan -S . -DKVMATCH_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" \
   --target service_test net_test ingest_test executor_test trace_test \
-           event_log_test storage_test
+           event_log_test storage_test simd_parity_test
 ./build-tsan/service_test
 ./build-tsan/net_test
 ./build-tsan/ingest_test
@@ -30,13 +37,15 @@ cmake --build build-tsan -j "$JOBS" \
 ./build-tsan/trace_test
 ./build-tsan/event_log_test
 ./build-tsan/storage_test
+./build-tsan/simd_parity_test
 
 echo
 echo "=== ASan+UBSan: storage/service/net/ingest/executor + crash replay ==="
 cmake -B build-asan -S . -DKVMATCH_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS" \
   --target storage_test service_test net_test ingest_test \
-           executor_test trace_test event_log_test fault_kvstore_test
+           executor_test trace_test event_log_test fault_kvstore_test \
+           simd_parity_test
 ./build-asan/storage_test
 ./build-asan/event_log_test
 ./build-asan/service_test
@@ -45,6 +54,8 @@ cmake --build build-asan -j "$JOBS" \
 ./build-asan/executor_test
 ./build-asan/trace_test
 ./build-asan/fault_kvstore_test
+./build-asan/simd_parity_test
+KVMATCH_FORCE_SCALAR=1 ./build-asan/simd_parity_test
 
 echo
 echo "All checks passed."
