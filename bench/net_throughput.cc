@@ -10,12 +10,22 @@
 // from query execution cost (compare bench_service_throughput, which
 // drives the QueryService in-process).
 //
+// With --shards N the same catalog is instead hash-partitioned across
+// 1/2/.../N in-process shard servers behind a scatter-gather
+// coordinator, and a fixed client pool replays the identical workload
+// through it — the table shows how federated QPS scales with shard
+// count (overhead of the extra hop included).
+//
 //   ./bench_net_throughput [--n <total points>] [--runs <batch mult>]
-//                          [--seed <s>] [--quick]
+//                          [--seed <s>] [--quick] [--shards N]
 #include "bench_common.h"
 
+#include <cstring>
+#include <memory>
 #include <thread>
 
+#include "coord/coord_server.h"
+#include "coord/shard_map.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "service/catalog.h"
@@ -24,8 +34,165 @@
 
 using namespace kvmatch;
 
+namespace {
+
+/// One self-contained shard process-in-miniature: its own store,
+/// catalog, service and wire server on an ephemeral loopback port.
+struct ShardStack {
+  MemKvStore store;
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<net::Server> server;
+};
+
+int RunShardScaling(const BenchFlags& flags, size_t max_shards) {
+  const size_t kSeries = 8;
+  size_t total_points = flags.n == 2'000'000 ? 400'000 : flags.n;
+  size_t batch = 32 * static_cast<size_t>(std::max(1, flags.runs));
+  if (flags.quick) {
+    total_points = 100'000;
+    batch = 16;
+  }
+  const size_t per_series = total_points / kSeries;
+  const size_t m = 256;
+  const size_t clients = 4;
+
+  std::printf("federated net throughput: %zu series x %zu points, "
+              "|Q|=%zu, %zu clients x %zu queries, scatter-gather over "
+              "loopback shards\n\n",
+              kSeries, per_series, m, clients, batch);
+
+  TablePrinter table(
+      {"Shards", "Queries", "Seconds", "QPS", "Speedup", "p99 (ms)"});
+  double baseline_seconds = 0.0;
+  for (size_t num_shards : {1u, 2u, 4u}) {
+    if (num_shards > max_shards) break;
+
+    // Shards first (ephemeral ports), then the map from their ports.
+    std::vector<std::unique_ptr<ShardStack>> shards;
+    std::vector<coord::ShardEndpoint> endpoints;
+    for (size_t s = 0; s < num_shards; ++s) {
+      auto stack = std::make_unique<ShardStack>();
+      stack->catalog = std::make_unique<Catalog>(&stack->store);
+      stack->service = std::make_unique<QueryService>(
+          stack->catalog.get(),
+          QueryService::Options{.num_threads = 4, .max_queue = 4096});
+      net::Server::Options sopts;
+      sopts.port = 0;
+      stack->server = std::make_unique<net::Server>(
+          stack->catalog.get(), stack->service.get(), sopts);
+      if (Status st = stack->server->Start(); !st.ok()) {
+        std::fprintf(stderr, "shard %zu: %s\n", s, st.ToString().c_str());
+        return 1;
+      }
+      endpoints.push_back(
+          coord::ShardEndpoint{"127.0.0.1", stack->server->port()});
+      shards.push_back(std::move(stack));
+    }
+    auto map = coord::ShardMap::FromEndpoints(endpoints);
+    if (!map.ok()) {
+      std::fprintf(stderr, "map: %s\n", map.status().ToString().c_str());
+      return 1;
+    }
+
+    // Hash-partitioned ingest: each series lands on its owner only.
+    for (size_t i = 0; i < kSeries; ++i) {
+      const std::string name = "bench" + std::to_string(i);
+      Rng rng(flags.seed + i);
+      const uint32_t owner = map->OwnerOf(name);
+      if (!shards[owner]
+               ->catalog->Ingest(name, GenerateUcrLike(per_series, &rng))
+               .ok()) {
+        std::fprintf(stderr, "ingest failed\n");
+        return 1;
+      }
+    }
+
+    coord::CoordServer::CoordOptions copts;
+    copts.server.port = 0;
+    copts.num_threads = 2 * clients;
+    copts.coord.verify_shard_identity = false;  // ephemeral shard ports
+    coord::CoordServer coordinator(std::move(*map), copts);
+    if (Status st = coordinator.Start(); !st.ok()) {
+      std::fprintf(stderr, "coord: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    std::vector<std::thread> threads;
+    std::vector<size_t> errors(clients, 0);
+    Stopwatch sw;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = net::Client::Connect("127.0.0.1", coordinator.port());
+        if (!client.ok()) {
+          errors[c] = batch;
+          return;
+        }
+        std::vector<uint64_t> ids;
+        for (size_t i = 0; i < batch; ++i) {
+          net::WireQueryRequest wire;
+          wire.request.series =
+              "bench" + std::to_string((c * batch + i) % kSeries);
+          wire.request.params.type =
+              i % 2 == 0 ? QueryType::kRsmEd : QueryType::kCnsmEd;
+          wire.request.params.epsilon = 3.0;
+          wire.request.params.alpha = 1.5;
+          wire.request.params.beta = 3.0;
+          wire.by_reference = true;
+          wire.ref_length = m;
+          wire.ref_offset =
+              (flags.seed + 1237 * (c * batch + i)) % (per_series - m);
+          auto id = (*client)->SendRequest(wire);
+          if (!id.ok()) {
+            errors[c] += 1;
+            return;
+          }
+          ids.push_back(*id);
+        }
+        for (uint64_t id : ids) {
+          auto response = (*client)->WaitResponse(id);
+          if (!response.ok() || !response->status.ok()) errors[c] += 1;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds = sw.Seconds();
+    if (num_shards == 1) baseline_seconds = seconds;
+
+    size_t failed = 0;
+    for (size_t e : errors) failed += e;
+    const size_t total = clients * batch - failed;
+    const ServiceStatsSnapshot snap =
+        coordinator.stats_registry()->Snapshot();
+    table.AddRow(
+        {TablePrinter::FmtInt(num_shards), TablePrinter::FmtInt(total),
+         TablePrinter::Fmt(seconds, 2),
+         TablePrinter::Fmt(static_cast<double>(total) / seconds, 1),
+         TablePrinter::Fmt(
+             baseline_seconds > 0.0 ? baseline_seconds / seconds : 0.0, 2),
+         TablePrinter::Fmt(snap.latency.p99_ms, 2)});
+    if (failed > 0) {
+      std::fprintf(stderr, "warning: %zu queries failed at %zu shards\n",
+                   failed, num_shards);
+    }
+    coordinator.Stop();
+    for (auto& stack : shards) stack->server->Stop();
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   BenchFlags flags = BenchFlags::Parse(argc, argv);
+  size_t shards = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  if (shards > 0) return RunShardScaling(flags, shards);
   const size_t kSeries = 8;
   size_t total_points = flags.n == 2'000'000 ? 400'000 : flags.n;
   size_t batch = 32 * static_cast<size_t>(std::max(1, flags.runs));

@@ -1,0 +1,176 @@
+#include "coord/coord_server.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace kvmatch {
+namespace coord {
+
+net::Server::Options CoordServer::WithCoordinatorIdentity(
+    net::Server::Options options, const ShardMap& map) {
+  options.shard_id = net::kCoordinatorShardId;
+  options.num_shards = static_cast<uint32_t>(map.num_shards());
+  options.shard_map_fingerprint = map.Fingerprint();
+  return options;
+}
+
+CoordServer::CoordServer(ShardMap map, CoordOptions options)
+    : internal::CoordServerState(),
+      net::Server(&this->stats, WithCoordinatorIdentity(
+                                    std::move(options.server), map)),
+      coord_(std::move(map), options.coord),
+      pool_(std::max<size_t>(1, options.num_threads), options.max_queue) {}
+
+CoordServer::~CoordServer() {
+  // Stop() here, not in the base destructor: the drain completes every
+  // federated task, and those tasks use coord_/pool_, which die with
+  // this subclass.
+  Stop();
+}
+
+std::string CoordServer::StatsText() const {
+  std::string out = StatsToText(stats.Snapshot());
+  for (uint32_t s = 0; s < coord_.map().num_shards(); ++s) {
+    out += "kvmatch_coord_shard_connected{shard=\"" + std::to_string(s) +
+           "\"} " + (coord_.shard(s)->connected() ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+void CoordServer::HandleQuery(
+    const std::shared_ptr<Connection>& conn, uint64_t id,
+    std::string_view body, std::chrono::steady_clock::time_point received) {
+  net::WireQueryRequest wire_request;
+  if (Status st = net::DecodeQueryRequestBody(body, &wire_request);
+      !st.ok()) {
+    registry()->RecordProtocolError();
+    SendError(conn, id, st);
+    return;
+  }
+  // Same booking discipline as the base server: token registered before
+  // any work, so a kCancel can never race ahead of its target — and the
+  // token is what QueryBatch polls to fan kCancel to every shard.
+  auto token = std::make_shared<CancelToken>();
+  if (!RegisterRequest(conn, id, token)) {
+    registry()->RecordProtocolError();
+    SendError(conn, id,
+              Status::InvalidArgument("request id " + std::to_string(id) +
+                                      " is already in flight"));
+    return;
+  }
+  auto task = [this, conn, id, token, received,
+               wire_request = std::move(wire_request)]() mutable {
+    registry()->RecordQueryStarted();
+    // Re-anchor the deadline budget at this hop: queue wait in the
+    // federation pool plus wire time is charged, never granted twice.
+    wire_request.request.timeout_ms = net::RemainingBudgetMs(
+        wire_request.request.timeout_ms, received);
+    const std::string series = wire_request.request.series;
+    std::vector<std::string> wires;
+    if (IsGlobPattern(series)) {
+      if (wire_request.by_reference) {
+        net::Frame frame;
+        frame.type = net::FrameType::kError;
+        frame.request_id = id;
+        net::EncodeErrorBody(
+            Status::InvalidArgument(
+                "pattern queries require literal query values"),
+            &frame.body);
+        std::string wire;
+        net::EncodeFrame(frame, &wire);
+        wires.push_back(std::move(wire));
+      } else {
+        net::FederatedResponse fed =
+            coord_.ExecutePattern(wire_request, token);
+        registry()->RecordQuery(series, fed.latency_ms, fed.stats,
+                                fed.status.ok());
+        if (fed.status.IsCancelled()) registry()->RecordCancelled(series);
+        net::Frame frame;
+        frame.type = net::FrameType::kFederatedResponse;
+        frame.request_id = id;
+        net::EncodeFederatedResponseBody(fed, &frame.body);
+        std::string wire;
+        net::EncodeFrame(frame, &wire);
+        wires.push_back(std::move(wire));
+      }
+    } else {
+      QueryResponse response = coord_.ExecuteExact(wire_request, token);
+      registry()->RecordQuery(series, response.latency_ms, response.stats,
+                              response.status.ok());
+      if (response.status.IsCancelled()) registry()->RecordCancelled(series);
+      // Shared encoder: the federated answer for an exact series is
+      // byte-identical to the owner shard's own answer run.
+      wires = EncodeResponseRun(id, std::move(response),
+                                wire_request.request.collect_trace);
+    }
+    registry()->RecordQueryFinished();
+    CompleteRequest(conn, id, std::move(wires));
+  };
+  if (Status st = pool_.Submit(std::move(task)); !st.ok()) {
+    // Shed load with the booking retired, same contract as the service.
+    registry()->RecordRejected();
+    QueryResponse shed;
+    shed.status = st;
+    CompleteRequest(conn, id,
+                    EncodeResponseRun(id, std::move(shed), false));
+  }
+}
+
+void CoordServer::HandleIngest(const std::shared_ptr<Connection>& conn,
+                               net::FrameType type, uint64_t id,
+                               std::string_view body) {
+  net::WireIngestRequest request;
+  if (Status st = net::DecodeIngestRequestBody(body, &request); !st.ok()) {
+    registry()->RecordProtocolError();
+    SendError(conn, id, st);
+    return;
+  }
+  // Inline on the reader thread like the base server's ingest — the
+  // shard round trip is bounded by the client call timeout.
+  Status st;
+  net::IngestAck ack;
+  switch (type) {
+    case net::FrameType::kCreateRequest: {
+      auto result = coord_.CreateSeries(request.series, request.values);
+      st = result.status();
+      if (result.ok()) ack = *result;
+      break;
+    }
+    case net::FrameType::kAppendRequest: {
+      auto result = coord_.AppendSeries(request.series, request.values);
+      st = result.status();
+      if (result.ok()) ack = *result;
+      break;
+    }
+    default:
+      st = coord_.DropSeries(request.series);
+      break;
+  }
+  if (!st.ok()) {
+    SendError(conn, id, st);
+    return;
+  }
+  net::Frame response;
+  response.type = net::FrameType::kIngestResponse;
+  response.request_id = id;
+  net::EncodeIngestResponseBody(ack, &response.body);
+  Enqueue(conn, response);
+}
+
+void CoordServer::HandleList(const std::shared_ptr<Connection>& conn,
+                             uint64_t id) {
+  auto series = coord_.ListAll();
+  if (!series.ok()) {
+    SendError(conn, id, series.status());
+    return;
+  }
+  net::Frame response;
+  response.type = net::FrameType::kListResponse;
+  response.request_id = id;
+  net::EncodeListResponseBody(*series, &response.body);
+  Enqueue(conn, response);
+}
+
+}  // namespace coord
+}  // namespace kvmatch

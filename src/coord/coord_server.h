@@ -1,0 +1,85 @@
+// TCP front-end for the Coordinator: the same wire protocol, framing,
+// connection threading, HTTP sniffing and graceful drain as net::Server,
+// with every request frame answered by federation instead of a local
+// QueryService.
+//
+// A vanilla net::Client pointed at a CoordServer works unchanged for
+// exact-series queries: the answer run (kMatchResponsePart chunks + the
+// final kQueryResponse, or a typed kError) is produced by the shared
+// EncodeResponseRun, byte-identical to the owner shard answering
+// directly. Pattern queries ('*'/'?' in the series name) answer with a
+// kFederatedResponse frame (Client::FederatedQuery). Ingest and LIST
+// route through the shard map. kCancel fans out: cancelling a federated
+// request id cancels every sub-query on every shard it touched.
+#ifndef KVMATCH_COORD_COORD_SERVER_H_
+#define KVMATCH_COORD_COORD_SERVER_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "coord/coordinator.h"
+#include "coord/shard_map.h"
+#include "net/server.h"
+#include "service/service_stats.h"
+#include "service/thread_pool.h"
+
+namespace kvmatch {
+namespace coord {
+
+namespace internal {
+/// Holds the pieces the net::Server base needs pointers to. A private
+/// base class, so it is fully constructed before the Server base (and
+/// destroyed after it) — member fields of CoordServer itself would
+/// construct too late.
+struct CoordServerState {
+  StatsRegistry stats;
+};
+}  // namespace internal
+
+class CoordServer : private internal::CoordServerState,
+                    public net::Server {
+ public:
+  struct CoordOptions {
+    net::Server::Options server;
+    Coordinator::Options coord;
+    /// Federation workers: each in-flight federated request occupies one
+    /// while it waits on shards. A full pool answers ResourceExhausted
+    /// (same shedding contract as QueryService).
+    size_t num_threads = 4;
+    size_t max_queue = 256;
+  };
+
+  CoordServer(ShardMap map, CoordOptions options);
+  ~CoordServer() override;  // must Stop() before members die
+
+  Coordinator* coordinator() { return &coord_; }
+
+  /// The coordinator's own counters (federated queries, cancellations,
+  /// protocol errors) — distinct from any shard's registry.
+  StatsRegistry* stats_registry() { return &stats; }
+
+  std::string StatsText() const override;
+
+ protected:
+  void HandleQuery(const std::shared_ptr<Connection>& conn, uint64_t id,
+                   std::string_view body,
+                   std::chrono::steady_clock::time_point received) override;
+  void HandleIngest(const std::shared_ptr<Connection>& conn,
+                    net::FrameType type, uint64_t id,
+                    std::string_view body) override;
+  void HandleList(const std::shared_ptr<Connection>& conn,
+                  uint64_t id) override;
+
+ private:
+  static net::Server::Options WithCoordinatorIdentity(
+      net::Server::Options options, const ShardMap& map);
+
+  Coordinator coord_;
+  ThreadPool pool_;
+};
+
+}  // namespace coord
+}  // namespace kvmatch
+
+#endif  // KVMATCH_COORD_COORD_SERVER_H_

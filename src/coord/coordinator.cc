@@ -1,0 +1,322 @@
+#include "coord/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "match/top_k.h"
+#include "service/trace.h"
+
+namespace kvmatch {
+namespace coord {
+
+namespace {
+
+size_t DefaultFanoutThreads(size_t shards) {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  return std::max<size_t>(1, std::min(shards, hw));
+}
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+Coordinator::Coordinator(ShardMap map, Options options)
+    : map_(std::move(map)),
+      options_(options),
+      pool_(options.fanout_threads > 0
+                ? options.fanout_threads
+                : DefaultFanoutThreads(map_.num_shards()),
+            /*max_queue=*/64) {
+  shards_.reserve(map_.num_shards());
+  for (uint32_t s = 0; s < map_.num_shards(); ++s) {
+    ShardClient::Options client_options = options_.client;
+    if (options_.verify_shard_identity) {
+      client_options.expect_shard_id = s;
+      if (client_options.expect_fingerprint == 0) {
+        client_options.expect_fingerprint = map_.Fingerprint();
+      }
+    } else {
+      client_options.expect_fingerprint = 0;
+    }
+    shards_.push_back(
+        std::make_unique<ShardClient>(map_.endpoint(s), client_options));
+  }
+}
+
+void Coordinator::FanOut(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;
+  };
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto sync = std::make_shared<Sync>();
+  const size_t total = tasks.size();
+  auto* tasks_ptr = &tasks;
+  // A helper that wakes after the owner already finished everything
+  // claims an index >= total and exits without touching the (by then
+  // dead) task vector — only the claim cursor and sync block, which the
+  // shared_ptrs keep alive.
+  auto worker = [next, sync, tasks_ptr, total] {
+    for (;;) {
+      const size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      (*tasks_ptr)[i]();
+      std::lock_guard<std::mutex> lock(sync->mu);
+      if (++sync->done == total) sync->cv.notify_all();
+    }
+  };
+  // Helpers are best-effort: a full pool sheds them and the owner's own
+  // claim loop below still finishes every task — degraded to serial, but
+  // never deadlocked on pool capacity.
+  for (size_t h = 1; h < total; ++h) (void)pool_.Submit(worker);
+  worker();
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->cv.wait(lock, [&] { return sync->done == total; });
+}
+
+QueryResponse Coordinator::ExecuteExact(
+    const net::WireQueryRequest& request,
+    const std::shared_ptr<CancelToken>& cancel) {
+  const uint32_t owner = map_.OwnerOf(request.request.series);
+  auto batch = shards_[owner]->QueryBatch(std::span(&request, 1), cancel,
+                                          request.request.timeout_ms);
+  if (!batch.ok()) {
+    QueryResponse response;
+    response.status = batch.status();
+    return response;
+  }
+  return std::move(batch->front());
+}
+
+net::FederatedResponse Coordinator::ExecutePattern(
+    const net::WireQueryRequest& request,
+    const std::shared_ptr<CancelToken>& cancel) {
+  const auto t0 = std::chrono::steady_clock::now();
+  net::FederatedResponse fed;
+  fed.shards_total = static_cast<uint32_t>(map_.num_shards());
+  if (request.by_reference) {
+    fed.status = Status::InvalidArgument(
+        "pattern queries require literal query values: a by-reference "
+        "query has no single owner shard to resolve the reference");
+    fed.latency_ms = MsBetween(t0, std::chrono::steady_clock::now());
+    return fed;
+  }
+  std::shared_ptr<QueryTrace> trace;
+  if (request.request.collect_trace) {
+    trace = std::make_shared<QueryTrace>(t0);
+  }
+
+  struct ShardOutcome {
+    Status status = Status::OK();
+    std::vector<net::FederatedSeriesMatches> groups;
+    MatchStats stats;
+    std::chrono::steady_clock::time_point start{}, end{};
+  };
+  std::vector<ShardOutcome> outcomes(map_.num_shards());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(map_.num_shards());
+  for (uint32_t s = 0; s < map_.num_shards(); ++s) {
+    tasks.push_back([this, s, &request, &cancel, &outcomes, trace, t0] {
+      ShardOutcome& out = outcomes[s];
+      out.start = std::chrono::steady_clock::now();
+      // Plan against this shard's own directory: only series it owns
+      // under the current map (a leftover replica from a reshard must
+      // not produce the same series from two shards).
+      auto listing = shards_[s]->ListSeries();
+      if (!listing.ok()) {
+        out.status = listing.status();
+        out.end = std::chrono::steady_clock::now();
+        return;
+      }
+      std::vector<std::string> names;
+      for (const auto& info : *listing) {
+        if (GlobMatch(request.request.series, info.name) &&
+            map_.OwnerOf(info.name) == s) {
+          names.push_back(info.name);
+        }
+      }
+      std::sort(names.begin(), names.end());
+      if (names.empty()) {
+        out.end = std::chrono::steady_clock::now();
+        return;
+      }
+      // The budget that is left after planning is what the shard gets.
+      const double remaining =
+          net::RemainingBudgetMs(request.request.timeout_ms, t0);
+      if (request.request.timeout_ms > 0.0 && remaining <= 0.0) {
+        out.status = Status::DeadlineExceeded(
+            "deadline spent before shard " + std::to_string(s) +
+            " was queried");
+        out.end = std::chrono::steady_clock::now();
+        return;
+      }
+      std::vector<net::WireQueryRequest> batch;
+      batch.reserve(names.size());
+      for (const auto& name : names) {
+        net::WireQueryRequest sub = request;
+        sub.by_reference = false;
+        sub.request.series = name;
+        sub.request.timeout_ms = remaining;
+        batch.push_back(std::move(sub));
+      }
+      auto answers = shards_[s]->QueryBatch(batch, cancel, remaining);
+      if (!answers.ok()) {
+        out.status = answers.status();
+        out.end = std::chrono::steady_clock::now();
+        return;
+      }
+      for (size_t i = 0; i < answers->size(); ++i) {
+        QueryResponse& answer = (*answers)[i];
+        out.stats.Add(answer.stats);
+        if (trace != nullptr && answer.trace != nullptr) {
+          // Shard spans are re-based onto the coordinator timeline at
+          // this batch's start and namespaced per shard.
+          const double base = MsBetween(t0, out.start);
+          for (TraceSpan span : answer.trace->spans()) {
+            span.name =
+                "shard" + std::to_string(s) + "/" + names[i] + "/" +
+                span.name;
+            span.start_ms += base;
+            trace->AddSpanAt(std::move(span));
+          }
+        }
+        if (!answer.status.ok()) {
+          // One failed sub-query (cancelled, deadline, shard-side error)
+          // degrades this shard to partial; the successful groups are
+          // still delivered.
+          if (out.status.ok()) out.status = answer.status;
+          continue;
+        }
+        out.groups.push_back(net::FederatedSeriesMatches{
+            names[i], std::move(answer.matches)});
+      }
+      out.end = std::chrono::steady_clock::now();
+    });
+  }
+  FanOut(tasks);
+
+  const auto merge_t0 = std::chrono::steady_clock::now();
+  std::vector<net::FederatedSeriesMatches> groups;
+  for (uint32_t s = 0; s < outcomes.size(); ++s) {
+    ShardOutcome& out = outcomes[s];
+    if (out.status.ok()) {
+      fed.shards_ok += 1;
+    } else {
+      fed.shard_errors.emplace_back(s, out.status);
+    }
+    for (auto& g : out.groups) groups.push_back(std::move(g));
+    fed.stats.Add(out.stats);
+    if (trace != nullptr) {
+      TraceSpan span;
+      span.name = "shard" + std::to_string(s);
+      span.start_ms = MsBetween(t0, out.start);
+      span.dur_ms = MsBetween(out.start, out.end);
+      span.worker = s;
+      trace->AddSpanAt(std::move(span));
+    }
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const net::FederatedSeriesMatches& a,
+               const net::FederatedSeriesMatches& b) {
+              return a.series < b.series;
+            });
+  if (request.request.top_k > 0 && !groups.empty()) {
+    // Global top-k: every shard over-delivered its local best k; one
+    // bounded heap under (distance, series, offset) picks the true
+    // global winners, then the flat ranking folds back into per-series
+    // groups (name-sorted; within a series the heap's output order is
+    // already (distance, offset)).
+    std::vector<std::vector<SeriesMatch>> sources;
+    sources.reserve(groups.size());
+    for (auto& g : groups) {
+      std::vector<SeriesMatch> src;
+      src.reserve(g.matches.size());
+      for (const MatchResult& m : g.matches) {
+        src.push_back(SeriesMatch{g.series, m});
+      }
+      sources.push_back(std::move(src));
+    }
+    std::map<std::string, std::vector<MatchResult>> regrouped;
+    for (SeriesMatch& winner :
+         MergeTopK(std::move(sources), request.request.top_k)) {
+      regrouped[winner.series].push_back(winner.match);
+    }
+    groups.clear();
+    for (auto& [series, matches] : regrouped) {
+      groups.push_back(
+          net::FederatedSeriesMatches{series, std::move(matches)});
+    }
+  }
+  fed.groups = std::move(groups);
+  if (fed.shards_ok == 0 && !fed.shard_errors.empty()) {
+    fed.status = fed.shard_errors.front().second;
+  }
+  const auto done = std::chrono::steady_clock::now();
+  if (trace != nullptr) {
+    trace->AddSpan("merge", merge_t0, done);
+    fed.trace = trace;
+  }
+  fed.latency_ms = MsBetween(t0, done);
+  return fed;
+}
+
+Result<std::vector<net::SeriesInfo>> Coordinator::ListAll() {
+  // pair.first: whether the kept copy came from its owner shard.
+  std::map<std::string, std::pair<bool, net::SeriesInfo>> best;
+  Status first_error = Status::OK();
+  size_t reachable = 0;
+  for (uint32_t s = 0; s < map_.num_shards(); ++s) {
+    auto listing = shards_[s]->ListSeries();
+    if (!listing.ok()) {
+      if (first_error.ok()) first_error = listing.status();
+      continue;
+    }
+    ++reachable;
+    for (auto& info : *listing) {
+      const bool from_owner = map_.OwnerOf(info.name) == s;
+      auto it = best.find(info.name);
+      if (it == best.end()) {
+        // Copy the key before moving the value: the moved-from name must
+        // not be what the map is keyed on.
+        std::string key = info.name;
+        best.emplace(std::move(key),
+                     std::make_pair(from_owner, std::move(info)));
+      } else if (from_owner && !it->second.first) {
+        it->second = {from_owner, std::move(info)};
+      }
+    }
+  }
+  if (reachable == 0 && !first_error.ok()) return first_error;
+  std::vector<net::SeriesInfo> out;
+  out.reserve(best.size());
+  for (auto& [name, kept] : best) out.push_back(std::move(kept.second));
+  return out;
+}
+
+Result<net::IngestAck> Coordinator::CreateSeries(
+    const std::string& name, std::span<const double> values) {
+  return shards_[map_.OwnerOf(name)]->CreateSeries(name, values);
+}
+
+Result<net::IngestAck> Coordinator::AppendSeries(
+    const std::string& name, std::span<const double> values) {
+  return shards_[map_.OwnerOf(name)]->AppendSeries(name, values);
+}
+
+Status Coordinator::DropSeries(const std::string& name) {
+  return shards_[map_.OwnerOf(name)]->DropSeries(name);
+}
+
+}  // namespace coord
+}  // namespace kvmatch

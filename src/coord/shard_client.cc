@@ -1,0 +1,231 @@
+#include "coord/shard_client.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace kvmatch {
+namespace coord {
+
+namespace {
+
+/// Cancel-poll granularity inside QueryBatch: each bounded wait is at
+/// most this long, so a fired token turns into kCancel frames on the
+/// wire within one slice.
+constexpr double kCancelPollMs = 20.0;
+
+/// Statuses after which the connection's framing can no longer be
+/// trusted (or the peer is gone): drop and redial. Typed server answers
+/// (InvalidArgument, NotFound, ResourceExhausted, ...) leave the
+/// connection healthy.
+bool IsTransportFailure(const Status& s) {
+  return s.IsIOError() || s.IsCorruption();
+}
+
+}  // namespace
+
+ShardClient::ShardClient(ShardEndpoint endpoint, Options options)
+    : endpoint_(std::move(endpoint)), options_(options) {}
+
+bool ShardClient::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return client_ != nullptr;
+}
+
+void ShardClient::DropConnectionLocked(const Status& why) {
+  client_.reset();
+  backoff_ms_ = backoff_ms_ <= 0.0
+                    ? options_.backoff_initial_ms
+                    : std::min(backoff_ms_ * 2.0, options_.backoff_max_ms);
+  next_dial_ =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(backoff_ms_));
+  last_dial_error_ = why;
+}
+
+Status ShardClient::EnsureConnectedLocked() {
+  if (client_ != nullptr) return Status::OK();
+  if (std::chrono::steady_clock::now() < next_dial_) {
+    return Status::ResourceExhausted(
+        "shard " + endpoint_.host + ":" + std::to_string(endpoint_.port) +
+        " in dial backoff after: " + last_dial_error_.ToString());
+  }
+  auto dialed = net::Client::Connect(endpoint_.host, endpoint_.port);
+  if (!dialed.ok()) {
+    DropConnectionLocked(dialed.status());
+    return dialed.status();
+  }
+  // Identity check before first use: a shard started under a different
+  // map (or a standalone server at the right address by accident) is
+  // refused — routing against it would silently lose series.
+  (*dialed)->set_wait_timeout_ms(options_.call_timeout_ms);
+  auto info = (*dialed)->GetShardInfo();
+  if (!info.ok()) {
+    DropConnectionLocked(info.status());
+    return info.status();
+  }
+  if (options_.expect_fingerprint != 0 &&
+      (info->map_fingerprint != options_.expect_fingerprint ||
+       info->shard_id != options_.expect_shard_id)) {
+    const Status mismatch = Status::InvalidArgument(
+        "shard " + endpoint_.host + ":" + std::to_string(endpoint_.port) +
+        " identifies as shard " + std::to_string(info->shard_id) +
+        " fingerprint " + std::to_string(info->map_fingerprint) +
+        ", expected shard " + std::to_string(options_.expect_shard_id) +
+        " fingerprint " + std::to_string(options_.expect_fingerprint));
+    DropConnectionLocked(mismatch);
+    return mismatch;
+  }
+  (*dialed)->set_wait_timeout_ms(0.0);
+  client_ = std::move(*dialed);
+  backoff_ms_ = 0.0;
+  last_dial_error_ = Status::OK();
+  return Status::OK();
+}
+
+Status ShardClient::EnsureConnected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EnsureConnectedLocked();
+}
+
+Result<std::vector<QueryResponse>> ShardClient::QueryBatch(
+    std::span<const net::WireQueryRequest> requests,
+    const std::shared_ptr<CancelToken>& cancel, double deadline_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status st = EnsureConnectedLocked(); !st.ok()) return st;
+
+  std::map<uint64_t, size_t> slot;  // request id → result index
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto id = client_->SendRequest(requests[i]);
+    if (!id.ok()) {
+      DropConnectionLocked(id.status());
+      return id.status();
+    }
+    slot[*id] = i;
+  }
+
+  std::vector<QueryResponse> out(requests.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  double budget_ms = options_.call_timeout_ms;
+  if (deadline_ms > 0.0) budget_ms = std::min(budget_ms, deadline_ms);
+  bool cancel_sent = false;
+  client_->set_wait_timeout_ms(kCancelPollMs);
+  while (!slot.empty()) {
+    if (cancel != nullptr && cancel->cancelled() && !cancel_sent) {
+      // Fan kCancel to every outstanding sub-query exactly once, then
+      // keep collecting: the shards answer Cancelled through the normal
+      // response path, which leaves the connection clean for reuse.
+      for (const auto& [id, index] : slot) (void)client_->Cancel(id);
+      cancel_sent = true;
+    }
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (elapsed_ms >= budget_ms) {
+      // Too slow: abandon the stragglers (their late answers will be
+      // discarded on arrival, not parked forever) but keep the
+      // connection — a slow shard is not a dead one.
+      for (const auto& [id, index] : slot) {
+        (void)client_->Cancel(id);
+        client_->Forget(id);
+      }
+      client_->set_wait_timeout_ms(0.0);
+      return Status::DeadlineExceeded(
+          "shard " + endpoint_.host + ":" + std::to_string(endpoint_.port) +
+          " did not answer " + std::to_string(slot.size()) +
+          " sub-quer" + (slot.size() == 1 ? "y" : "ies") + " within " +
+          std::to_string(budget_ms) + " ms");
+    }
+    auto answer = client_->WaitAnyResponse();
+    if (!answer.ok()) {
+      if (answer.status().IsDeadlineExceeded()) continue;  // poll slice
+      DropConnectionLocked(answer.status());
+      return answer.status();
+    }
+    const auto it = slot.find(answer->first);
+    if (it == slot.end()) continue;  // stale answer from a prior batch
+    out[it->second] = std::move(answer->second);
+    slot.erase(it);
+  }
+  client_->set_wait_timeout_ms(0.0);
+  return out;
+}
+
+Result<std::vector<net::SeriesInfo>> ShardClient::ListSeries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status st = EnsureConnectedLocked(); !st.ok()) return st;
+  client_->set_wait_timeout_ms(options_.call_timeout_ms);
+  auto result = client_->ListSeries();
+  if (!result.ok() && (IsTransportFailure(result.status()) ||
+                       result.status().IsDeadlineExceeded())) {
+    // A timed-out round trip leaves an orphan answer in flight with no
+    // id to Forget from here; redialing is the simple safe reset.
+    DropConnectionLocked(result.status());
+    return result.status();
+  }
+  client_->set_wait_timeout_ms(0.0);
+  return result;
+}
+
+Result<net::ShardInfo> ShardClient::GetShardInfo() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status st = EnsureConnectedLocked(); !st.ok()) return st;
+  client_->set_wait_timeout_ms(options_.call_timeout_ms);
+  auto result = client_->GetShardInfo();
+  if (!result.ok() && (IsTransportFailure(result.status()) ||
+                       result.status().IsDeadlineExceeded())) {
+    DropConnectionLocked(result.status());
+    return result.status();
+  }
+  client_->set_wait_timeout_ms(0.0);
+  return result;
+}
+
+Result<net::IngestAck> ShardClient::CreateSeries(
+    const std::string& name, std::span<const double> values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status st = EnsureConnectedLocked(); !st.ok()) return st;
+  client_->set_wait_timeout_ms(options_.call_timeout_ms);
+  auto result = client_->CreateSeries(name, values);
+  if (!result.ok() && (IsTransportFailure(result.status()) ||
+                       result.status().IsDeadlineExceeded())) {
+    DropConnectionLocked(result.status());
+    return result.status();
+  }
+  client_->set_wait_timeout_ms(0.0);
+  return result;
+}
+
+Result<net::IngestAck> ShardClient::AppendSeries(
+    const std::string& name, std::span<const double> values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status st = EnsureConnectedLocked(); !st.ok()) return st;
+  client_->set_wait_timeout_ms(options_.call_timeout_ms);
+  auto result = client_->AppendSeries(name, values);
+  if (!result.ok() && (IsTransportFailure(result.status()) ||
+                       result.status().IsDeadlineExceeded())) {
+    DropConnectionLocked(result.status());
+    return result.status();
+  }
+  client_->set_wait_timeout_ms(0.0);
+  return result;
+}
+
+Status ShardClient::DropSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status st = EnsureConnectedLocked(); !st.ok()) return st;
+  client_->set_wait_timeout_ms(options_.call_timeout_ms);
+  Status result = client_->DropSeries(name);
+  if (!result.ok() && (IsTransportFailure(result) ||
+                       result.IsDeadlineExceeded())) {
+    DropConnectionLocked(result);
+    return result;
+  }
+  client_->set_wait_timeout_ms(0.0);
+  return result;
+}
+
+}  // namespace coord
+}  // namespace kvmatch

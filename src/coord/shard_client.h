@@ -1,0 +1,103 @@
+// One coordinator-side connection to one shard: a net::Client wrapped
+// with reconnect/backoff, cluster-identity verification, and a batched
+// scatter primitive whose waits are bounded so a cancel or a dead shard
+// never hangs the coordinator.
+//
+// Thread model: operations are serialized under one mutex (the
+// underlying Client is single-threaded by contract). The coordinator
+// fans out across SHARDS concurrently — one ShardClient per shard, each
+// used by at most one fan-out task at a time — and pipelines WITHIN a
+// shard by batching all of that shard's sub-queries into one
+// QueryBatch call.
+#ifndef KVMATCH_COORD_SHARD_CLIENT_H_
+#define KVMATCH_COORD_SHARD_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "coord/shard_map.h"
+#include "net/client.h"
+#include "net/protocol.h"
+
+namespace kvmatch {
+namespace coord {
+
+class ShardClient {
+ public:
+  struct Options {
+    /// Upper bound on any one remote call (dial, batch, list). A shard
+    /// that goes silent longer than this yields DeadlineExceeded; its
+    /// outstanding requests are Forgotten so the connection survives.
+    double call_timeout_ms = 10'000.0;
+    /// Reconnect backoff after a failed dial: doubles from initial to
+    /// max; a successful dial resets it.
+    double backoff_initial_ms = 100.0;
+    double backoff_max_ms = 3'200.0;
+    /// When nonzero, the shard's kShardInfo answer must carry exactly
+    /// this map fingerprint and shard id, or the connection is refused
+    /// (a shard started under a different topology must not be routed
+    /// to — series would silently come back missing).
+    uint64_t expect_fingerprint = 0;
+    uint32_t expect_shard_id = net::kStandaloneShardId;
+  };
+
+  ShardClient(ShardEndpoint endpoint, Options options);
+
+  /// Dials (or reuses) the connection and verifies the shard's identity.
+  /// While a dial backoff is pending, fails fast with ResourceExhausted
+  /// instead of re-dialing a known-dead endpoint on every query.
+  Status EnsureConnected();
+
+  /// Sends every request pipelined on one connection, then collects the
+  /// answers in completion order; returns them in REQUEST order. Between
+  /// bounded waits the `cancel` token is polled — when it fires, a
+  /// kCancel is fanned to every outstanding request id on this shard
+  /// (exactly once) and collection continues until the shards' own
+  /// Cancelled answers arrive. A shard silent past call_timeout_ms (or
+  /// `deadline_ms`, when smaller) fails the batch with DeadlineExceeded.
+  /// A per-request error (kError) is NOT a batch failure: it comes back
+  /// as that slot's response.status.
+  Result<std::vector<QueryResponse>> QueryBatch(
+      std::span<const net::WireQueryRequest> requests,
+      const std::shared_ptr<CancelToken>& cancel, double deadline_ms = 0.0);
+
+  Result<std::vector<net::SeriesInfo>> ListSeries();
+  Result<net::ShardInfo> GetShardInfo();
+  Result<net::IngestAck> CreateSeries(const std::string& name,
+                                      std::span<const double> values);
+  Result<net::IngestAck> AppendSeries(const std::string& name,
+                                      std::span<const double> values);
+  Status DropSeries(const std::string& name);
+
+  const ShardEndpoint& endpoint() const { return endpoint_; }
+
+  /// Connection liveness (observability / tests).
+  bool connected() const;
+
+ private:
+  /// Requires mu_ held.
+  Status EnsureConnectedLocked();
+  /// Drops the connection after a transport failure and arms the dial
+  /// backoff. Requires mu_ held.
+  void DropConnectionLocked(const Status& why);
+
+  const ShardEndpoint endpoint_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<net::Client> client_;
+  double backoff_ms_ = 0.0;  // 0 → next dial is immediate
+  std::chrono::steady_clock::time_point next_dial_{};
+  Status last_dial_error_ = Status::OK();
+};
+
+}  // namespace coord
+}  // namespace kvmatch
+
+#endif  // KVMATCH_COORD_SHARD_CLIENT_H_

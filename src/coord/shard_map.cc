@@ -1,0 +1,157 @@
+#include "coord/shard_map.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace kvmatch {
+namespace coord {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 14695981039346656037ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Result<ShardMap> ShardMap::FromEndpoints(
+    std::vector<ShardEndpoint> endpoints) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("shard map needs at least one shard");
+  }
+  for (const auto& ep : endpoints) {
+    if (ep.host.empty() || ep.port <= 0 || ep.port > 65535) {
+      return Status::InvalidArgument("shard endpoint " + ep.host + ":" +
+                                     std::to_string(ep.port) +
+                                     " is not usable");
+    }
+  }
+  ShardMap map;
+  map.endpoints_ = std::move(endpoints);
+  return map;
+}
+
+Result<ShardMap> ShardMap::Parse(std::string_view text) {
+  // Ids may appear in any order but must come out dense: the slot
+  // vector is grown on demand and every slot must be filled exactly
+  // once.
+  std::vector<ShardEndpoint> slots;
+  std::vector<bool> filled;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::string directive, host;
+    long long id = -1, port = 0;
+    fields >> directive >> id >> host >> port;
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (fields.fail() || directive != "shard") {
+      return Status::InvalidArgument(
+          "shard map: expected 'shard <id> <host> <port>'" + where);
+    }
+    if (id < 0 || id > 0xFFFF) {
+      return Status::InvalidArgument("shard map: shard id " +
+                                     std::to_string(id) + " out of range" +
+                                     where);
+    }
+    if (host.empty() || port <= 0 || port > 65535) {
+      return Status::InvalidArgument("shard map: bad endpoint" + where);
+    }
+    const size_t slot = static_cast<size_t>(id);
+    if (slot >= slots.size()) {
+      slots.resize(slot + 1);
+      filled.resize(slot + 1, false);
+    }
+    if (filled[slot]) {
+      return Status::InvalidArgument("shard map: duplicate shard id " +
+                                     std::to_string(id) + where);
+    }
+    slots[slot] = ShardEndpoint{host, static_cast<int>(port)};
+    filled[slot] = true;
+  }
+  if (slots.empty()) {
+    return Status::InvalidArgument("shard map: no shards defined");
+  }
+  for (size_t i = 0; i < filled.size(); ++i) {
+    if (!filled[i]) {
+      return Status::InvalidArgument("shard map: shard id " +
+                                     std::to_string(i) +
+                                     " missing (ids must be dense 0..N-1)");
+    }
+  }
+  return FromEndpoints(std::move(slots));
+}
+
+Result<ShardMap> ShardMap::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open shard map " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return Parse(text);
+}
+
+std::string ShardMap::Serialize() const {
+  std::string out;
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    out += "shard " + std::to_string(i) + " " + endpoints_[i].host + " " +
+           std::to_string(endpoints_[i].port) + "\n";
+  }
+  return out;
+}
+
+Status ShardMap::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot write shard map " + path);
+  }
+  const std::string text = Serialize();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  if (std::fclose(f) != 0 || written != text.size()) {
+    return Status::IOError("short write to shard map " + path);
+  }
+  return Status::OK();
+}
+
+uint32_t ShardMap::OwnerOf(std::string_view series) const {
+  return static_cast<uint32_t>(Fnv1a64(series) % endpoints_.size());
+}
+
+uint64_t ShardMap::Fingerprint() const { return Fnv1a64(Serialize()); }
+
+bool GlobMatch(std::string_view pattern, std::string_view name) {
+  // Iterative two-pointer matcher with star backtracking — linear in
+  // practice, no recursion to blow on adversarial patterns.
+  size_t p = 0, n = 0;
+  size_t star = std::string_view::npos, star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace coord
+}  // namespace kvmatch

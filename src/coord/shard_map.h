@@ -1,0 +1,84 @@
+// Static shard topology: which server process owns which series.
+//
+// Assignment is pure hashing — FNV-1a(series name) mod num_shards — so
+// any process holding the same map file routes identically without
+// coordination. The map is a small text file checked into the cluster's
+// config (one line per shard), and its canonical serialization is
+// fingerprinted; the coordinator refuses to talk to a shard whose
+// fingerprint disagrees, which turns "operator edited the map on one
+// box only" from silent misrouting into a typed error.
+#ifndef KVMATCH_COORD_SHARD_MAP_H_
+#define KVMATCH_COORD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kvmatch {
+namespace coord {
+
+/// 64-bit FNV-1a — the assignment hash. Exposed so tests can pin
+/// expected owners without re-deriving the constant.
+uint64_t Fnv1a64(std::string_view data);
+
+struct ShardEndpoint {
+  std::string host;
+  int port = 0;
+
+  bool operator==(const ShardEndpoint&) const = default;
+};
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  /// Shard ids are the endpoint indices: endpoint[i] serves shard i.
+  /// At least one endpoint is required.
+  static Result<ShardMap> FromEndpoints(std::vector<ShardEndpoint> endpoints);
+
+  /// Text format, one directive per line:
+  ///   shard <id> <host> <port>
+  /// Blank lines and '#' comments are ignored. Ids must be dense
+  /// 0..N-1 (any order); duplicates or gaps are errors.
+  static Result<ShardMap> Parse(std::string_view text);
+  static Result<ShardMap> Load(const std::string& path);
+
+  /// Canonical serialization: shards in id order, one per line. Parse of
+  /// the output reproduces the map (and therefore its fingerprint).
+  std::string Serialize() const;
+  Status Save(const std::string& path) const;
+
+  /// The shard that owns `series`: Fnv1a64(series) % num_shards().
+  uint32_t OwnerOf(std::string_view series) const;
+
+  /// FNV-1a of Serialize() — the cluster-topology identity every member
+  /// must agree on.
+  uint64_t Fingerprint() const;
+
+  size_t num_shards() const { return endpoints_.size(); }
+  const ShardEndpoint& endpoint(uint32_t shard) const {
+    return endpoints_[shard];
+  }
+  const std::vector<ShardEndpoint>& endpoints() const { return endpoints_; }
+
+ private:
+  std::vector<ShardEndpoint> endpoints_;
+};
+
+/// Shell-style glob over a series name: '*' matches any run (including
+/// empty), '?' any single byte; everything else is literal. The
+/// coordinator treats a query series containing either metacharacter as
+/// a pattern to fan out.
+bool GlobMatch(std::string_view pattern, std::string_view name);
+inline bool IsGlobPattern(std::string_view s) {
+  return s.find('*') != std::string_view::npos ||
+         s.find('?') != std::string_view::npos;
+}
+
+}  // namespace coord
+}  // namespace kvmatch
+
+#endif  // KVMATCH_COORD_SHARD_MAP_H_

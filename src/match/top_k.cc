@@ -2,8 +2,52 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <queue>
 
 namespace kvmatch {
+
+bool MatchOrderLess(const MatchResult& a, const MatchResult& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.offset < b.offset;
+}
+
+bool SeriesMatchLess(const SeriesMatch& a, const SeriesMatch& b) {
+  if (a.match.distance != b.match.distance) {
+    return a.match.distance < b.match.distance;
+  }
+  if (a.series != b.series) return a.series < b.series;
+  return a.match.offset < b.match.offset;
+}
+
+std::vector<SeriesMatch> MergeTopK(
+    std::vector<std::vector<SeriesMatch>> sources, size_t k) {
+  if (k == 0) return {};
+  // Bounded max-heap: the root is the worst of the best-k-so-far, so each
+  // candidate costs O(log k) and memory stays O(k) no matter how many
+  // shards contribute.
+  const auto worse = [](const SeriesMatch& a, const SeriesMatch& b) {
+    return SeriesMatchLess(a, b);  // max-heap under the total order
+  };
+  std::priority_queue<SeriesMatch, std::vector<SeriesMatch>,
+                      decltype(worse)>
+      heap(worse);
+  for (auto& source : sources) {
+    for (auto& sm : source) {
+      if (heap.size() < k) {
+        heap.push(std::move(sm));
+      } else if (SeriesMatchLess(sm, heap.top())) {
+        heap.pop();
+        heap.push(std::move(sm));
+      }
+    }
+  }
+  std::vector<SeriesMatch> merged(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    merged[i] = heap.top();
+    heap.pop();
+  }
+  return merged;
+}
 
 namespace {
 
@@ -41,11 +85,7 @@ Result<std::vector<MatchResult>> TopKMatch(
     auto results = match_fn(epsilon);
     if (!results.ok()) return results.status();
     std::vector<MatchResult> sorted = std::move(results).value();
-    std::sort(sorted.begin(), sorted.end(),
-              [](const MatchResult& a, const MatchResult& b) {
-                return a.distance < b.distance ||
-                       (a.distance == b.distance && a.offset < b.offset);
-              });
+    std::sort(sorted.begin(), sorted.end(), MatchOrderLess);
     sorted = ApplyExclusion(std::move(sorted), options.exclusion_zone);
     if (sorted.size() >= k) {
       sorted.resize(k);

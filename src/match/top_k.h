@@ -11,11 +11,40 @@
 
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "match/query_types.h"
 
 namespace kvmatch {
+
+/// Canonical result order for a single series: (distance, offset),
+/// strictly increasing. Every top-k producer sorts with this comparator,
+/// so equal-distance results always come back in the same order — the
+/// contract that lets a federated answer be byte-identical to the
+/// single-node one.
+bool MatchOrderLess(const MatchResult& a, const MatchResult& b);
+
+/// A match tagged with the series it came from — the unit of cross-series
+/// (federated) merging, where MatchResult alone is ambiguous.
+struct SeriesMatch {
+  std::string series;
+  MatchResult match;
+
+  bool operator==(const SeriesMatch&) const = default;
+};
+
+/// The (distance, series, offset) total order over tagged matches. Two
+/// distinct tagged matches never compare equal (a series cannot produce
+/// the same offset twice), so any sort under this order is deterministic
+/// regardless of the producer's internal heap/slice scheduling.
+bool SeriesMatchLess(const SeriesMatch& a, const SeriesMatch& b);
+
+/// Merges per-source top-k result lists (each list internally arbitrary)
+/// into the global k smallest under SeriesMatchLess, using a bounded
+/// max-heap of size k — the coordinator's cross-shard top-k merge.
+std::vector<SeriesMatch> MergeTopK(
+    std::vector<std::vector<SeriesMatch>> sources, size_t k);
 
 struct TopKOptions {
   double initial_epsilon = 0.5;

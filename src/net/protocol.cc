@@ -270,16 +270,9 @@ void EncodeQueryResponseBody(const QueryResponse& response,
   AppendQueryResponseTrace(response.trace.get(), body);
 }
 
-void EncodeQueryResponsePrefix(const QueryResponse& response,
-                               std::string* body) {
-  PutStatus(response.status, body);
-  PutDouble(body, response.latency_ms);
-  PutVarint64(body, response.matches.size());
-  for (const auto& m : response.matches) {
-    PutVarint64(body, m.offset);
-    PutDouble(body, m.distance);
-  }
-  const MatchStats& s = response.stats;
+namespace {
+
+void PutMatchStats(const MatchStats& s, std::string* body) {
   PutVarint64(body, s.probe.index_accesses);
   PutVarint64(body, s.probe.rows_fetched);
   PutVarint64(body, s.probe.intervals_fetched);
@@ -292,6 +285,35 @@ void EncodeQueryResponsePrefix(const QueryResponse& response,
   PutVarint64(body, s.constraint_pruned);
   PutDouble(body, s.phase1_ms);
   PutDouble(body, s.phase2_ms);
+}
+
+Status GetMatchStats(std::string_view* body, MatchStats* s) {
+  uint64_t* counters[] = {&s->probe.index_accesses, &s->probe.rows_fetched,
+                          &s->probe.intervals_fetched,
+                          &s->probe.bytes_fetched, &s->probe.cache_hits,
+                          &s->candidate_positions,  &s->candidate_intervals,
+                          &s->distance_calls,       &s->lb_pruned,
+                          &s->constraint_pruned};
+  for (uint64_t* c : counters) {
+    if (!GetVarint64(body, c)) return Malformed("stats counter");
+  }
+  if (!ReadDouble(body, &s->phase1_ms)) return Malformed("phase1 time");
+  if (!ReadDouble(body, &s->phase2_ms)) return Malformed("phase2 time");
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeQueryResponsePrefix(const QueryResponse& response,
+                               std::string* body) {
+  PutStatus(response.status, body);
+  PutDouble(body, response.latency_ms);
+  PutVarint64(body, response.matches.size());
+  for (const auto& m : response.matches) {
+    PutVarint64(body, m.offset);
+    PutDouble(body, m.distance);
+  }
+  PutMatchStats(response.stats, body);
 }
 
 void AppendQueryResponseTrace(const QueryTrace* trace, std::string* body) {
@@ -321,7 +343,8 @@ namespace {
 // 1B worker + 1B arg count. Bounds attacker-controlled span counts.
 constexpr size_t kMinSpanBytes = 19;
 
-Status DecodeResponseTrace(std::string_view* body, QueryResponse* out) {
+Status DecodeResponseTrace(std::string_view* body,
+                           std::shared_ptr<QueryTrace>* out) {
   uint8_t has_trace = 0;
   if (!ReadByte(body, &has_trace)) return Malformed("trace flag");
   if (has_trace == 0) return Status::OK();
@@ -331,7 +354,7 @@ Status DecodeResponseTrace(std::string_view* body, QueryResponse* out) {
   if (count > body->size() / kMinSpanBytes) {
     return Malformed("trace span count vs body size");
   }
-  out->trace = std::make_shared<QueryTrace>();
+  *out = std::make_shared<QueryTrace>();
   for (uint64_t i = 0; i < count; ++i) {
     TraceSpan span;
     std::string_view name;
@@ -354,7 +377,7 @@ Status DecodeResponseTrace(std::string_view* body, QueryResponse* out) {
       if (!GetVarint64(body, &value)) return Malformed("span arg value");
       span.args.emplace_back(std::string(key), value);
     }
-    out->trace->AddSpanAt(std::move(span));
+    (*out)->AddSpanAt(std::move(span));
   }
   return Status::OK();
 }
@@ -377,18 +400,8 @@ Status DecodeQueryResponseBody(std::string_view body, QueryResponse* out) {
     m.offset = static_cast<size_t>(offset);
     if (!ReadDouble(&body, &m.distance)) return Malformed("match distance");
   }
-  MatchStats& s = out->stats;
-  uint64_t* counters[] = {&s.probe.index_accesses,  &s.probe.rows_fetched,
-                          &s.probe.intervals_fetched, &s.probe.bytes_fetched,
-                          &s.probe.cache_hits,      &s.candidate_positions,
-                          &s.candidate_intervals,   &s.distance_calls,
-                          &s.lb_pruned,             &s.constraint_pruned};
-  for (uint64_t* c : counters) {
-    if (!GetVarint64(&body, c)) return Malformed("stats counter");
-  }
-  if (!ReadDouble(&body, &s.phase1_ms)) return Malformed("phase1 time");
-  if (!ReadDouble(&body, &s.phase2_ms)) return Malformed("phase2 time");
-  KVMATCH_RETURN_NOT_OK(DecodeResponseTrace(&body, out));
+  KVMATCH_RETURN_NOT_OK(GetMatchStats(&body, &out->stats));
+  KVMATCH_RETURN_NOT_OK(DecodeResponseTrace(&body, &out->trace));
   if (!body.empty()) return Malformed("trailing bytes");
   return Status::OK();
 }
@@ -508,6 +521,129 @@ Status DecodeIngestResponseBody(std::string_view body, IngestAck* out) {
   if (!GetVarint64(&body, &out->length)) return Malformed("series length");
   if (!body.empty()) return Malformed("trailing bytes");
   return Status::OK();
+}
+
+// ---- Shard topology ----
+
+void EncodeShardInfoBody(const ShardInfo& info, std::string* body) {
+  PutVarint32(body, info.shard_id);
+  PutVarint32(body, info.num_shards);
+  PutFixed64(body, info.map_fingerprint);
+  PutVarint64(body, info.series_count);
+}
+
+Status DecodeShardInfoBody(std::string_view body, ShardInfo* out) {
+  *out = ShardInfo();
+  if (!GetVarint32(&body, &out->shard_id)) return Malformed("shard id");
+  if (!GetVarint32(&body, &out->num_shards)) return Malformed("shard count");
+  if (body.size() < 8) return Malformed("map fingerprint");
+  out->map_fingerprint = DecodeFixed64(body.data());
+  body.remove_prefix(8);
+  if (!GetVarint64(&body, &out->series_count)) {
+    return Malformed("series count");
+  }
+  if (!body.empty()) return Malformed("trailing bytes");
+  return Status::OK();
+}
+
+// ---- Federated response ----
+
+void EncodeFederatedResponseBody(const FederatedResponse& response,
+                                 std::string* body) {
+  PutStatus(response.status, body);
+  PutDouble(body, response.latency_ms);
+  PutVarint32(body, response.shards_total);
+  PutVarint32(body, response.shards_ok);
+  PutVarint64(body, response.shard_errors.size());
+  for (const auto& [shard, status] : response.shard_errors) {
+    PutVarint32(body, shard);
+    PutStatus(status, body);
+  }
+  PutVarint64(body, response.groups.size());
+  for (const auto& group : response.groups) {
+    PutLengthPrefixed(body, group.series);
+    PutVarint64(body, group.matches.size());
+    for (const auto& m : group.matches) {
+      PutVarint64(body, m.offset);
+      PutDouble(body, m.distance);
+    }
+  }
+  PutMatchStats(response.stats, body);
+  AppendQueryResponseTrace(response.trace.get(), body);
+}
+
+Status DecodeFederatedResponseBody(std::string_view body,
+                                   FederatedResponse* out) {
+  *out = FederatedResponse();
+  if (!GetStatus(&body, &out->status)) return Malformed("status");
+  if (!ReadDouble(&body, &out->latency_ms)) return Malformed("latency");
+  if (!GetVarint32(&body, &out->shards_total)) {
+    return Malformed("shard total");
+  }
+  if (!GetVarint32(&body, &out->shards_ok)) return Malformed("shards ok");
+  uint64_t nerrors = 0;
+  if (!GetVarint64(&body, &nerrors)) return Malformed("shard error count");
+  // Each error needs >= 3 encoded bytes; bound before reserving.
+  if (nerrors > body.size() / 3) {
+    return Malformed("shard error count vs body size");
+  }
+  out->shard_errors.reserve(static_cast<size_t>(nerrors));
+  for (uint64_t i = 0; i < nerrors; ++i) {
+    uint32_t shard = 0;
+    Status carried;
+    if (!GetVarint32(&body, &shard)) return Malformed("shard error id");
+    if (!GetStatus(&body, &carried)) return Malformed("shard error status");
+    out->shard_errors.emplace_back(shard, std::move(carried));
+  }
+  uint64_t ngroups = 0;
+  if (!GetVarint64(&body, &ngroups)) return Malformed("group count");
+  // Each group needs >= 2 encoded bytes; bound before reserving.
+  if (ngroups > body.size() / 2) {
+    return Malformed("group count vs body size");
+  }
+  out->groups.reserve(static_cast<size_t>(ngroups));
+  for (uint64_t g = 0; g < ngroups; ++g) {
+    FederatedSeriesMatches group;
+    std::string_view name;
+    if (!GetLengthPrefixed(&body, &name)) return Malformed("group series");
+    group.series.assign(name);
+    uint64_t count = 0;
+    if (!GetVarint64(&body, &count)) return Malformed("group match count");
+    // A match needs >= 9 encoded bytes; reject counts the body cannot
+    // hold before allocating for them.
+    if (count > body.size() / 9) {
+      return Malformed("group match count vs body size");
+    }
+    group.matches.resize(static_cast<size_t>(count));
+    for (auto& m : group.matches) {
+      uint64_t offset = 0;
+      if (!GetVarint64(&body, &offset)) return Malformed("group offset");
+      m.offset = static_cast<size_t>(offset);
+      if (!ReadDouble(&body, &m.distance)) {
+        return Malformed("group distance");
+      }
+    }
+    out->groups.push_back(std::move(group));
+  }
+  KVMATCH_RETURN_NOT_OK(GetMatchStats(&body, &out->stats));
+  KVMATCH_RETURN_NOT_OK(DecodeResponseTrace(&body, &out->trace));
+  if (!body.empty()) return Malformed("trailing bytes");
+  return Status::OK();
+}
+
+// ---- Deadline budgets ----
+
+double RemainingBudgetMs(double timeout_ms,
+                         std::chrono::steady_clock::time_point received) {
+  if (timeout_ms <= 0.0) return timeout_ms;  // 0 = none, <0 = expired
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - received)
+          .count();
+  const double remaining = timeout_ms - elapsed_ms;
+  // Never round an almost-spent budget back to the "no deadline"
+  // sentinel: an expired budget must stay expired.
+  return remaining == 0.0 ? -1.0 : remaining;
 }
 
 }  // namespace net

@@ -22,10 +22,13 @@
 #ifndef KVMATCH_NET_PROTOCOL_H_
 #define KVMATCH_NET_PROTOCOL_H_
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -70,6 +73,18 @@ enum class FrameType : uint8_t {
   /// (which then carries status/stats and no matches); parts arrive in
   /// offset order and concatenate to the exact single-frame result.
   kMatchResponsePart = 15,
+  /// Cluster topology handshake: a coordinator verifies at connect time
+  /// that the process behind a shard-map endpoint really is the shard the
+  /// map says it is (same shard id, shard count and map fingerprint) —
+  /// catching a stale map or a swapped port before any query is routed.
+  kShardInfoRequest = 16,   // empty body
+  kShardInfoResponse = 17,  // ShardInfo body
+  /// Answer to a kQueryRequest whose series is a pattern ('*'/'?' glob),
+  /// served by a coordinator: per-series match groups plus per-shard
+  /// error/partial-result accounting. Exact-series queries through a
+  /// coordinator answer with plain kQueryResponse frames instead, so a
+  /// vanilla client cannot tell a coordinator from a single node.
+  kFederatedResponse = 18,  // FederatedResponse body
 };
 
 struct Frame {
@@ -114,6 +129,58 @@ struct IngestAck {
   uint64_t length = 0;
 
   bool operator==(const IngestAck&) const = default;
+};
+
+/// The shard id a coordinator answers kShardInfoRequest with (a
+/// coordinator is an endpoint too, but owns no slice of the hash space).
+constexpr uint32_t kCoordinatorShardId = 0xFFFFFFFFu;
+
+/// The shard id a server started without a shard map answers with:
+/// "not sharded, owns everything".
+constexpr uint32_t kStandaloneShardId = 0xFFFFFFFEu;
+
+/// Body of a kShardInfoResponse: the responder's place in the cluster.
+struct ShardInfo {
+  uint32_t shard_id = kStandaloneShardId;
+  uint32_t num_shards = 0;
+  /// FNV-1a of the shard map's canonical serialization; both sides of a
+  /// connection must agree or routing is undefined.
+  uint64_t map_fingerprint = 0;
+  uint64_t series_count = 0;
+
+  bool operator==(const ShardInfo&) const = default;
+};
+
+/// One series' slice of a federated answer. Threshold matches are in
+/// ascending offset order (the executor's slice-concat contract carried
+/// across the wire); top-k groups hold that series' members of the
+/// global top-k in (distance, offset) order.
+struct FederatedSeriesMatches {
+  std::string series;
+  std::vector<MatchResult> matches;
+
+  bool operator==(const FederatedSeriesMatches&) const = default;
+};
+
+/// Body of a kFederatedResponse: a scatter-gather answer. `groups` is
+/// sorted by series name; `stats` is the sum of every answering shard's
+/// MatchStats. A dead or too-slow shard does not fail the query — it is
+/// recorded in `shard_errors` and shards_ok < shards_total marks the
+/// result as typed-partial.
+struct FederatedResponse {
+  Status status = Status::OK();
+  double latency_ms = 0.0;
+  uint32_t shards_total = 0;
+  uint32_t shards_ok = 0;
+  /// (shard id, what went wrong) for every shard that failed to answer.
+  std::vector<std::pair<uint32_t, Status>> shard_errors;
+  std::vector<FederatedSeriesMatches> groups;
+  MatchStats stats;
+  /// Per-shard round-trip spans plus the coordinator's own plan/merge
+  /// spans, present iff the request asked for a trace.
+  std::shared_ptr<QueryTrace> trace;
+
+  bool partial() const { return shards_ok < shards_total; }
 };
 
 // ---- Frame framing ----
@@ -193,6 +260,23 @@ Status DecodeIngestRequestBody(std::string_view body,
 
 void EncodeIngestResponseBody(const IngestAck& ack, std::string* body);
 Status DecodeIngestResponseBody(std::string_view body, IngestAck* out);
+
+void EncodeShardInfoBody(const ShardInfo& info, std::string* body);
+Status DecodeShardInfoBody(std::string_view body, ShardInfo* out);
+
+void EncodeFederatedResponseBody(const FederatedResponse& response,
+                                 std::string* body);
+Status DecodeFederatedResponseBody(std::string_view body,
+                                   FederatedResponse* out);
+
+/// The deadline a request should carry on its next hop: the budget it
+/// arrived with minus the time already burned at this hop. Wire deadlines
+/// are relative budgets, not absolute instants — each forwarder must
+/// subtract its own elapsed time or queue/transfer time would be counted
+/// once per hop. Returns 0 for "no deadline" inputs and a negative value
+/// (meaning "already expired") once the budget is gone.
+double RemainingBudgetMs(double timeout_ms,
+                         std::chrono::steady_clock::time_point received);
 
 /// Stable StatusCode <-> wire mapping (independent of the enum's in-memory
 /// values, so old clients survive StatusCode reorderings).

@@ -76,7 +76,16 @@ Status WriteAll(int fd, std::string_view data,
 }  // namespace
 
 Server::Server(Catalog* catalog, QueryService* service, Options options)
-    : catalog_(catalog), service_(service), options_(std::move(options)) {}
+    : catalog_(catalog),
+      service_(service),
+      registry_(service->stats_registry()),
+      options_(std::move(options)) {}
+
+Server::Server(StatsRegistry* registry, Options options)
+    : catalog_(nullptr),
+      service_(nullptr),
+      registry_(registry),
+      options_(std::move(options)) {}
 
 Server::~Server() { Stop(); }
 
@@ -239,7 +248,7 @@ std::string Server::StatsText() const {
 }
 
 void Server::AcceptLoop() {
-  StatsRegistry* registry = service_->stats_registry();
+  StatsRegistry* registry = registry_;
   while (!stop_.load(std::memory_order_relaxed)) {
     struct pollfd pfd = {listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollIntervalMs);
@@ -277,6 +286,7 @@ void Server::AcceptLoop() {
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->opened = std::chrono::steady_clock::now();
+    conn->last_enqueue = conn->opened;
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conn->id = next_conn_id_++;
@@ -310,7 +320,7 @@ void Server::Reap(bool all) {
     if (conn->reader.joinable()) conn->reader.join();
     if (conn->writer.joinable()) conn->writer.join();
     ::close(conn->fd);
-    service_->stats_registry()->RecordConnectionClosed();
+    registry_->RecordConnectionClosed();
   }
 }
 
@@ -335,14 +345,23 @@ void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
     }
     if (ready == 0) {
       if (options_.idle_timeout_ms > 0.0) {
+        // Quiescent means truly drained: no response pending, nothing
+        // queued, and the writer not mid-WriteAll on a frame it already
+        // popped (the outbox being empty does NOT imply the wire is) —
+        // and the idle clock runs from the last activity in EITHER
+        // direction, so a connection being served a slow, long-streaming
+        // response is never reaped between its frames.
         bool quiescent = false;
+        auto last_outbound = last_activity;
         {
           std::lock_guard<std::mutex> lock(conn->mu);
-          quiescent = conn->pending == 0 && conn->outbox.empty();
+          quiescent = conn->pending == 0 && conn->outbox.empty() &&
+                      !conn->writing;
+          last_outbound = conn->last_enqueue;
         }
+        const auto last = std::max(last_activity, last_outbound);
         const double idle_ms = std::chrono::duration<double, std::milli>(
-                                   std::chrono::steady_clock::now() -
-                                   last_activity)
+                                   std::chrono::steady_clock::now() - last)
                                    .count();
         if (quiescent && idle_ms >= options_.idle_timeout_ms) break;
       }
@@ -391,7 +410,7 @@ void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
       }
       // kBadFrame / kFatal: answer with a typed error; the request id is
       // unrecoverable from a corrupt payload, so 0 means "stream-level".
-      service_->stats_registry()->RecordProtocolError();
+      registry_->RecordProtocolError();
       SendError(conn, 0, error);
       if (event == FrameDecoder::Event::kFatal) {
         open = false;  // framing offset lost: this connection is done
@@ -421,11 +440,21 @@ void Server::WriterLoop(const std::shared_ptr<Connection>& conn) {
       }
       next = std::move(conn->outbox.front());
       conn->outbox.pop_front();
+      conn->writing = true;  // mid-WriteAll: not quiescent
     }
-    if (!WriteAll(conn->fd, next, stop_).ok()) {
+    const Status write_status = WriteAll(conn->fd, next, stop_);
+    {
       std::lock_guard<std::mutex> lock(conn->mu);
-      conn->aborted = true;
-      break;
+      conn->writing = false;
+      // The idle clock restarts when the peer finishes DRAINING the
+      // response, not when it was enqueued — a slow consumer must not
+      // surface as "idle for the whole transfer" the instant the last
+      // byte leaves.
+      conn->last_enqueue = std::chrono::steady_clock::now();
+      if (!write_status.ok()) {
+        conn->aborted = true;
+        break;
+      }
     }
   }
   // Wake the reader out of poll() so it observes the closed stream, then
@@ -448,7 +477,10 @@ void Server::Enqueue(const std::shared_ptr<Connection>& conn,
 void Server::EnqueueRaw(const std::shared_ptr<Connection>& conn,
                         std::string wire) {
   std::lock_guard<std::mutex> lock(conn->mu);
-  if (!conn->aborted) conn->outbox.push_back(std::move(wire));
+  if (!conn->aborted) {
+    conn->outbox.push_back(std::move(wire));
+    conn->last_enqueue = std::chrono::steady_clock::now();
+  }
   conn->cv.notify_all();
 }
 
@@ -487,7 +519,7 @@ void Server::HandleHttp(const std::shared_ptr<Connection>& conn,
     body = "not found\n";
   }
 
-  service_->stats_registry()->RecordHttpRequest();
+  registry_->RecordHttpRequest();
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->requests += 1;
@@ -519,7 +551,8 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
                          Frame frame) {
   switch (frame.type) {
     case FrameType::kQueryRequest:
-      HandleQuery(conn, frame.request_id, frame.body);
+      HandleQuery(conn, frame.request_id, frame.body,
+                  std::chrono::steady_clock::now());
       return;
     case FrameType::kStatsRequest: {
       Frame response;
@@ -529,25 +562,12 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       Enqueue(conn, response);
       return;
     }
-    case FrameType::kListRequest: {
-      std::vector<SeriesInfo> series;
-      for (const auto& name : catalog_->ListSeries()) {
-        SeriesInfo info;
-        info.name = name;
-        // Directory metadata, not a session open: listing must stay cheap
-        // even when the catalog holds many cold series.
-        if (auto length = catalog_->SeriesLength(name); length.ok()) {
-          info.length = *length;
-        }
-        series.push_back(std::move(info));
-      }
-      Frame response;
-      response.type = FrameType::kListResponse;
-      response.request_id = frame.request_id;
-      EncodeListResponseBody(series, &response.body);
-      Enqueue(conn, response);
+    case FrameType::kListRequest:
+      HandleList(conn, frame.request_id);
       return;
-    }
+    case FrameType::kShardInfoRequest:
+      HandleShardInfo(conn, frame.request_id);
+      return;
     case FrameType::kPing: {
       Frame pong;
       pong.type = FrameType::kPong;
@@ -570,15 +590,52 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case FrameType::kPong:
     case FrameType::kIngestResponse:
     case FrameType::kMatchResponsePart:
+    case FrameType::kShardInfoResponse:
+    case FrameType::kFederatedResponse:
       SendError(conn, frame.request_id,
                 Status::InvalidArgument("response frame sent to server"));
       return;
   }
-  service_->stats_registry()->RecordProtocolError();
+  registry_->RecordProtocolError();
   SendError(conn, frame.request_id,
             Status::NotSupported(
                 "unknown frame type " +
                 std::to_string(static_cast<unsigned>(frame.type))));
+}
+
+void Server::HandleList(const std::shared_ptr<Connection>& conn,
+                        uint64_t id) {
+  std::vector<SeriesInfo> series;
+  for (const auto& name : catalog_->ListSeries()) {
+    SeriesInfo info;
+    info.name = name;
+    // Directory metadata, not a session open: listing must stay cheap
+    // even when the catalog holds many cold series.
+    if (auto length = catalog_->SeriesLength(name); length.ok()) {
+      info.length = *length;
+    }
+    series.push_back(std::move(info));
+  }
+  Frame response;
+  response.type = FrameType::kListResponse;
+  response.request_id = id;
+  EncodeListResponseBody(series, &response.body);
+  Enqueue(conn, response);
+}
+
+void Server::HandleShardInfo(const std::shared_ptr<Connection>& conn,
+                             uint64_t id) {
+  ShardInfo info;
+  info.shard_id = options_.shard_id;
+  info.num_shards = options_.num_shards;
+  info.map_fingerprint = options_.shard_map_fingerprint;
+  info.series_count =
+      catalog_ != nullptr ? catalog_->ListSeries().size() : 0;
+  Frame response;
+  response.type = FrameType::kShardInfoResponse;
+  response.request_id = id;
+  EncodeShardInfoBody(info, &response.body);
+  Enqueue(conn, response);
 }
 
 void Server::HandleIngest(const std::shared_ptr<Connection>& conn,
@@ -586,8 +643,17 @@ void Server::HandleIngest(const std::shared_ptr<Connection>& conn,
                           std::string_view body) {
   WireIngestRequest request;
   if (Status st = DecodeIngestRequestBody(body, &request); !st.ok()) {
-    service_->stats_registry()->RecordProtocolError();
+    registry_->RecordProtocolError();
     SendError(conn, id, st);
+    return;
+  }
+  // Shard-ownership fence: a client writing through a stale shard map
+  // must fail loudly here, not silently split a series across shards.
+  if (options_.owns_series && !options_.owns_series(request.series)) {
+    SendError(conn, id,
+              Status::InvalidArgument(
+                  "series '" + request.series +
+                  "' is not owned by this shard (stale shard map?)"));
     return;
   }
   // Ingest runs inline on this connection's reader thread: catalog writes
@@ -641,11 +707,101 @@ void Server::HandleCancel(const std::shared_ptr<Connection>& conn,
   if (token != nullptr) token->Cancel();
 }
 
+bool Server::RegisterRequest(const std::shared_ptr<Connection>& conn,
+                             uint64_t id,
+                             const std::shared_ptr<CancelToken>& token) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->inflight.count(id) > 0) return false;
+  conn->pending += 1;
+  conn->requests += 1;
+  conn->inflight[id] = token;
+  return true;
+}
+
+void Server::CompleteRequest(const std::shared_ptr<Connection>& conn,
+                             uint64_t id, std::vector<std::string> wires) {
+  // One critical section: the request stays pending until its terminal
+  // frame is on the outbox, so neither the idle reaper nor the Stop()
+  // drain can observe "no pending work" with the response still in hand.
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->pending -= 1;
+  conn->inflight.erase(id);
+  if (!conn->aborted) {
+    for (auto& w : wires) conn->outbox.push_back(std::move(w));
+    conn->last_enqueue = std::chrono::steady_clock::now();
+  }
+  conn->cv.notify_all();
+}
+
+std::vector<std::string> Server::EncodeResponseRun(uint64_t id,
+                                                   QueryResponse response,
+                                                   bool wants_trace) const {
+  const auto serialize_t0 = std::chrono::steady_clock::now();
+  std::vector<std::string> wires;
+  // Clamp the chunk so no part frame can exceed the frame cap: a
+  // MatchResult encodes at up to 18 bytes (10B varint offset + 8B
+  // double), plus prologue headroom. 0 stays 0 (streaming disabled).
+  size_t stream_chunk = options_.stream_chunk_matches;
+  const size_t cap_matches =
+      options_.max_frame_bytes > 64 ? (options_.max_frame_bytes - 64) / 18
+                                    : 1;
+  if (stream_chunk > cap_matches) stream_chunk = cap_matches;
+
+  if (response.status.ok() && stream_chunk > 0 &&
+      response.matches.size() > stream_chunk) {
+    // Stream: the match list leaves in bounded parts, the final
+    // kQueryResponse carries status/stats/latency and no matches.
+    const std::vector<MatchResult> matches = std::move(response.matches);
+    response.matches.clear();
+    for (size_t begin = 0; begin < matches.size(); begin += stream_chunk) {
+      const size_t len = std::min(stream_chunk, matches.size() - begin);
+      Frame part;
+      part.type = FrameType::kMatchResponsePart;
+      part.request_id = id;
+      EncodeMatchPartBody(
+          std::span<const MatchResult>(matches.data() + begin, len),
+          &part.body);
+      std::string wire;
+      EncodeFrame(part, &wire);
+      wires.push_back(std::move(wire));
+    }
+  }
+  Frame frame;
+  frame.request_id = id;
+  if (response.status.ok()) {
+    frame.type = FrameType::kQueryResponse;
+    // Split encode: the prefix (parts + status/matches/stats) is timed
+    // as the serialize span, which is then part of the trace appended
+    // behind it — so the wire trace covers its own cost.
+    EncodeQueryResponsePrefix(response, &frame.body);
+    if (response.trace != nullptr) {
+      response.trace->AddSpan(kSpanSerialize, serialize_t0,
+                              std::chrono::steady_clock::now());
+    }
+    AppendQueryResponseTrace(wants_trace ? response.trace.get() : nullptr,
+                             &frame.body);
+  } else {
+    // Typed error on the wire: the client reconstructs the exact
+    // Status (ResourceExhausted, DeadlineExceeded, Cancelled, ...).
+    frame.type = FrameType::kError;
+    EncodeErrorBody(response.status, &frame.body);
+    if (response.trace != nullptr) {
+      response.trace->AddSpan(kSpanSerialize, serialize_t0,
+                              std::chrono::steady_clock::now());
+    }
+  }
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  wires.push_back(std::move(wire));
+  return wires;
+}
+
 void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
-                         uint64_t id, std::string_view body) {
+                         uint64_t id, std::string_view body,
+                         std::chrono::steady_clock::time_point received) {
   WireQueryRequest wire_request;
   if (Status st = DecodeQueryRequestBody(body, &wire_request); !st.ok()) {
-    service_->stats_registry()->RecordProtocolError();
+    registry_->RecordProtocolError();
     SendError(conn, id, st);
     return;
   }
@@ -673,6 +829,15 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
     request.query.assign(span.begin(), span.end());
   }
 
+  // Deadline re-anchoring: the wire carries the REMAINING budget as of
+  // the sender's send instant, so time spent on the wire and waiting in
+  // this reader's socket buffer must be charged against it here — not
+  // silently granted again (the double-count this hop used to have). A
+  // budget that is already spent still submits: QueryService answers
+  // DeadlineExceeded and records the counter, keeping the accounting in
+  // one place.
+  request.timeout_ms = RemainingBudgetMs(request.timeout_ms, received);
+
   // The client's trace wish is remembered separately: the slow-query log
   // needs traces for every query while enabled, but only clients that
   // asked for one get it echoed back on the wire.
@@ -687,18 +852,8 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
   // would also break Stop()'s bounded-drain guarantee).
   auto token = std::make_shared<CancelToken>();
   request.cancel = token;
-  bool duplicate = false;
-  {
-    std::lock_guard<std::mutex> lock(conn->mu);
-    duplicate = conn->inflight.count(id) > 0;
-    if (!duplicate) {
-      conn->pending += 1;
-      conn->requests += 1;
-      conn->inflight[id] = token;
-    }
-  }
-  if (duplicate) {
-    service_->stats_registry()->RecordProtocolError();
+  if (!RegisterRequest(conn, id, token)) {
+    registry_->RecordProtocolError();
     SendError(conn, id,
               Status::InvalidArgument("request id " + std::to_string(id) +
                                       " is already in flight"));
@@ -760,7 +915,6 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
         // Encoded frames for this response, pushed onto the outbox as one
         // contiguous run (other requests' frames may interleave between
         // runs — the client reassembles per request id).
-        const auto serialize_t0 = std::chrono::steady_clock::now();
         std::vector<std::string> wires;
         if (stream != nullptr && response.status.ok()) {
           if (!stream->parts_sent) {
@@ -789,77 +943,31 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
             }
           }
         }
-        if (response.status.ok() && stream_chunk > 0 &&
-            response.matches.size() > stream_chunk) {
-          // Stream: the match list leaves in bounded parts, the final
-          // kQueryResponse carries status/stats/latency and no matches.
-          const std::vector<MatchResult> matches =
-              std::move(response.matches);
-          response.matches.clear();
-          for (size_t begin = 0; begin < matches.size();
-               begin += stream_chunk) {
-            const size_t len =
-                std::min(stream_chunk, matches.size() - begin);
-            Frame part;
-            part.type = FrameType::kMatchResponsePart;
-            part.request_id = id;
-            EncodeMatchPartBody(
-                std::span<const MatchResult>(matches.data() + begin, len),
-                &part.body);
-            std::string wire;
-            EncodeFrame(part, &wire);
-            wires.push_back(std::move(wire));
-          }
+        // The response's trace/latency outlive the encode below (the run
+        // consumes the response) for the slow-query log, which must fire
+        // before the request is retired: Stop() may destroy the server
+        // the moment every pending count hits zero, so nothing may touch
+        // `this` after CompleteRequest.
+        const auto trace = response.trace;
+        const double latency_ms = response.latency_ms;
+        const bool response_ok = response.status.ok();
+        const std::string status_text =
+            response_ok ? "ok" : response.status.ToString();
+        for (auto& w : EncodeResponseRun(id, std::move(response),
+                                         wants_trace)) {
+          wires.push_back(std::move(w));
         }
-        Frame frame;
-        frame.request_id = id;
-        if (response.status.ok()) {
-          frame.type = FrameType::kQueryResponse;
-          // Split encode: the prefix (parts + status/matches/stats) is
-          // timed as the serialize span, which is then part of the trace
-          // appended behind it — so the wire trace covers its own cost.
-          EncodeQueryResponsePrefix(response, &frame.body);
-          if (response.trace != nullptr) {
-            response.trace->AddSpan(kSpanSerialize, serialize_t0,
-                                    std::chrono::steady_clock::now());
-          }
-          AppendQueryResponseTrace(
-              wants_trace ? response.trace.get() : nullptr, &frame.body);
-        } else {
-          // Typed error on the wire: the client reconstructs the exact
-          // Status (ResourceExhausted, DeadlineExceeded, Cancelled, ...).
-          frame.type = FrameType::kError;
-          EncodeErrorBody(response.status, &frame.body);
-          if (response.trace != nullptr) {
-            response.trace->AddSpan(kSpanSerialize, serialize_t0,
-                                    std::chrono::steady_clock::now());
-          }
-        }
-        std::string wire;
-        EncodeFrame(frame, &wire);
-        wires.push_back(std::move(wire));
-        // Slow-query log, emitted before this request is retired below:
-        // Stop() may destroy the server the moment every pending count
-        // hits zero, so nothing may touch `this` after the decrement.
-        if (options_.slow_query_ms > 0.0 && response.trace != nullptr &&
-            response.latency_ms >= options_.slow_query_ms) {
-          const std::string line = TraceToJsonLine(
-              series_name,
-              response.status.ok() ? "ok" : response.status.ToString(),
-              response.latency_ms, *response.trace);
+        if (options_.slow_query_ms > 0.0 && trace != nullptr &&
+            latency_ms >= options_.slow_query_ms) {
+          const std::string line = TraceToJsonLine(series_name, status_text,
+                                                   latency_ms, *trace);
           if (options_.slow_query_log) {
             options_.slow_query_log(line);
           } else {
             std::fprintf(stderr, "%s\n", line.c_str());
           }
         }
-        std::lock_guard<std::mutex> lock(conn->mu);
-        conn->pending -= 1;
-        conn->inflight.erase(id);
-        if (!conn->aborted) {
-          for (auto& w : wires) conn->outbox.push_back(std::move(w));
-        }
-        conn->cv.notify_all();
+        CompleteRequest(conn, id, std::move(wires));
       });
 }
 

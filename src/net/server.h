@@ -55,6 +55,17 @@ class Server {
     size_t max_connections = 64;   // beyond this, refuse with an error frame
     double idle_timeout_ms = 0.0;  // close idle connections; 0 disables
     size_t max_frame_bytes = kMaxPayloadBytes;
+    /// Cluster identity answered on kShardInfoRequest: this process's
+    /// shard id and the shard count / fingerprint of the map that
+    /// assigned it. Defaults mean "standalone: not part of a cluster".
+    uint32_t shard_id = kStandaloneShardId;
+    uint32_t num_shards = 0;
+    uint64_t shard_map_fingerprint = 0;
+    /// When set, ingest frames for series this predicate rejects are
+    /// refused with InvalidArgument — a misconfigured client writing
+    /// through a stale shard map fails loudly instead of splitting a
+    /// series across shards. Null accepts everything.
+    std::function<bool(const std::string&)> owns_series;
     /// Responses with more matches than this stream as kMatchResponsePart
     /// chunks of this many matches, then a final (matchless)
     /// kQueryResponse — so a huge match set never has to fit one frame.
@@ -87,7 +98,12 @@ class Server {
   /// `catalog` resolves by-reference queries and LIST requests; `service`
   /// executes. Both must outlive the server.
   Server(Catalog* catalog, QueryService* service, Options options);
-  ~Server();  // calls Stop()
+  /// Subclasses (a coordinator front-end) that reuse the transport —
+  /// accept/reader/writer threads, framing, HTTP sniffing, drain — but
+  /// answer the request frames themselves. They MUST call Stop() in
+  /// their own destructor: the base destructor's Stop() would run after
+  /// the subclass members the virtual handlers touch are gone.
+  virtual ~Server();  // calls Stop()
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -106,10 +122,10 @@ class Server {
 
   /// The service's Prometheus-style dump plus one block per live
   /// connection (requests, QPS, connection age) — what a STATS frame
-  /// returns.
-  std::string StatsText() const;
+  /// returns. Subclasses answer with their own exposition.
+  virtual std::string StatsText() const;
 
- private:
+ protected:
   struct Connection {
     uint64_t id = 0;
     int fd = -1;
@@ -127,30 +143,65 @@ class Server {
     bool reader_done = false;        // no more frames will be submitted
     bool aborted = false;            // write error: drop outbox, exit now
     bool finished = false;           // writer exited; joinable by reaper
+    /// The writer popped a frame and is mid-WriteAll: the outbox being
+    /// empty does NOT mean the connection is drained. Part of the
+    /// idle-timeout quiescence predicate.
+    bool writing = false;
+    /// Last time anything was pushed onto the outbox — outbound activity
+    /// counts against idleness just like inbound bytes, so the idle
+    /// reaper cannot close a connection right after serving it a slow,
+    /// long-streaming response.
+    std::chrono::steady_clock::time_point last_enqueue;
 
     uint64_t requests = 0;  // guarded by mu (stats)
     std::chrono::steady_clock::time_point opened;
   };
 
-  void AcceptLoop();
-  void ReaderLoop(const std::shared_ptr<Connection>& conn);
-  void WriterLoop(const std::shared_ptr<Connection>& conn);
+  /// Transport-only construction for subclasses: no catalog, no query
+  /// service; every request handler below must be overridden. `registry`
+  /// records connection/protocol/HTTP counters and must outlive the
+  /// server.
+  Server(StatsRegistry* registry, Options options);
 
-  void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
-  void HandleQuery(const std::shared_ptr<Connection>& conn, uint64_t id,
-                   std::string_view body);
-  /// kCancel: fires the token of the in-flight query with this id on this
-  /// connection (a no-op if it already completed — that race is inherent).
-  void HandleCancel(const std::shared_ptr<Connection>& conn, uint64_t id);
-  /// Cancels every in-flight query on every connection (drain watchdog).
-  void CancelAllInFlight();
-  /// Sum of pending responses across connections.
-  size_t PendingQueries() const;
+  /// kQueryRequest. The base submits to the QueryService; a coordinator
+  /// fans out to its shards. `received` is the frame-arrival instant —
+  /// the anchor for deadline-budget accounting at this hop.
+  virtual void HandleQuery(const std::shared_ptr<Connection>& conn,
+                           uint64_t id, std::string_view body,
+                           std::chrono::steady_clock::time_point received);
   /// kCreate/kAppend/kDrop: runs the catalog write inline on the reader
   /// thread (catalog writes are serialized; other connections' queries
   /// keep flowing) and answers with kIngestResponse or kError.
-  void HandleIngest(const std::shared_ptr<Connection>& conn, FrameType type,
-                    uint64_t id, std::string_view body);
+  virtual void HandleIngest(const std::shared_ptr<Connection>& conn,
+                            FrameType type, uint64_t id,
+                            std::string_view body);
+  /// kListRequest: the catalog directory (or the union of the shards').
+  virtual void HandleList(const std::shared_ptr<Connection>& conn,
+                          uint64_t id);
+  /// kShardInfoRequest: this process's cluster identity.
+  virtual void HandleShardInfo(const std::shared_ptr<Connection>& conn,
+                               uint64_t id);
+
+  /// Books `id` as in flight on `conn` (pending/requests/inflight under
+  /// one lock). False — with nothing booked — when the id is already in
+  /// flight; the caller must answer with an error instead of clobbering
+  /// the first query's token.
+  bool RegisterRequest(const std::shared_ptr<Connection>& conn, uint64_t id,
+                       const std::shared_ptr<CancelToken>& token);
+  /// Retires `id` and pushes its encoded response frames onto the outbox
+  /// as one contiguous run, all under one critical section — a request
+  /// stays pending until its terminal frame is enqueued, which the idle
+  /// reaper and the Stop() drain both rely on.
+  void CompleteRequest(const std::shared_ptr<Connection>& conn, uint64_t id,
+                       std::vector<std::string> wires);
+  /// Encodes `response` as its wire run: kMatchResponsePart chunks per
+  /// options_.stream_chunk_matches followed by the final kQueryResponse
+  /// (or a single typed kError). Shared by the base completion path and
+  /// the coordinator's exact-series passthrough, so both produce
+  /// byte-identical frame sequences.
+  std::vector<std::string> EncodeResponseRun(uint64_t id,
+                                             QueryResponse response,
+                                             bool wants_trace) const;
 
   static void Enqueue(const std::shared_ptr<Connection>& conn,
                       const Frame& frame);
@@ -159,6 +210,23 @@ class Server {
                          std::string wire);
   void SendError(const std::shared_ptr<Connection>& conn, uint64_t id,
                  const Status& status);
+
+  const Options& options() const { return options_; }
+  StatsRegistry* registry() const { return registry_; }
+
+ private:
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  void WriterLoop(const std::shared_ptr<Connection>& conn);
+
+  void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  /// kCancel: fires the token of the in-flight query with this id on this
+  /// connection (a no-op if it already completed — that race is inherent).
+  void HandleCancel(const std::shared_ptr<Connection>& conn, uint64_t id);
+  /// Cancels every in-flight query on every connection (drain watchdog).
+  void CancelAllInFlight();
+  /// Sum of pending responses across connections.
+  size_t PendingQueries() const;
 
   /// Answers one plain-HTTP request (`head` is everything up to the blank
   /// line) on a connection whose first bytes sniffed as an HTTP verb:
@@ -172,6 +240,7 @@ class Server {
 
   Catalog* catalog_;
   QueryService* service_;
+  StatsRegistry* registry_;
   Options options_;
 
   int listen_fd_ = -1;

@@ -1550,6 +1550,386 @@ TEST(NetServerTest, FastQueriesNeverHitTheSlowLog) {
   EXPECT_TRUE(fx.Lines().empty());
 }
 
+// -------------------------------------------------- federation codecs
+
+TEST(ProtocolTest, ShardInfoBodyRoundTrips) {
+  ShardInfo in;
+  in.shard_id = 3;
+  in.num_shards = 8;
+  in.map_fingerprint = 0x1122334455667788ull;
+  in.series_count = 42;
+  std::string body;
+  EncodeShardInfoBody(in, &body);
+  ShardInfo out;
+  ASSERT_TRUE(DecodeShardInfoBody(body, &out).ok());
+  EXPECT_EQ(out, in);
+  // Any truncation is a decode error, never a half-read identity.
+  for (size_t cut = 1; cut <= body.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeShardInfoBody(std::string_view(body.data(), body.size() - cut),
+                            &out)
+            .ok());
+  }
+}
+
+TEST(ProtocolTest, FederatedResponseBodyRoundTrips) {
+  FederatedResponse in;
+  in.latency_ms = 12.5;
+  in.shards_total = 3;
+  in.shards_ok = 2;
+  in.shard_errors = {{2u, Status::DeadlineExceeded("slow shard")}};
+  in.groups = {{"alpha", {{1, 0.5}, {7, 1.25}}}, {"beta", {}}};
+  in.stats.candidate_positions = 10;
+  in.stats.distance_calls = 4;
+  in.trace = std::make_shared<QueryTrace>();
+  const auto origin = in.trace->origin();
+  in.trace->AddSpan("shard0", origin, origin + std::chrono::milliseconds(4));
+  in.trace->AddSpan("merge", origin + std::chrono::milliseconds(4),
+                    origin + std::chrono::milliseconds(5));
+
+  std::string body;
+  EncodeFederatedResponseBody(in, &body);
+  FederatedResponse out;
+  ASSERT_TRUE(DecodeFederatedResponseBody(body, &out).ok());
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.latency_ms, in.latency_ms);
+  EXPECT_EQ(out.shards_total, in.shards_total);
+  EXPECT_EQ(out.shards_ok, in.shards_ok);
+  EXPECT_TRUE(out.partial());
+  ASSERT_EQ(out.shard_errors.size(), 1u);
+  EXPECT_EQ(out.shard_errors[0].first, 2u);
+  EXPECT_TRUE(out.shard_errors[0].second.IsDeadlineExceeded());
+  EXPECT_EQ(out.groups, in.groups);
+  EXPECT_EQ(out.stats.candidate_positions, in.stats.candidate_positions);
+  EXPECT_EQ(out.stats.distance_calls, in.stats.distance_calls);
+  ASSERT_NE(out.trace, nullptr);
+  ASSERT_EQ(out.trace->spans().size(), 2u);
+  EXPECT_EQ(out.trace->spans()[0].name, "shard0");
+  EXPECT_EQ(out.trace->spans()[1].name, "merge");
+
+  for (size_t cut = 1; cut <= 16; ++cut) {
+    EXPECT_FALSE(DecodeFederatedResponseBody(
+                     std::string_view(body.data(), body.size() - cut), &out)
+                     .ok());
+  }
+}
+
+// -------------------------------------------- client parked-state leaks
+
+/// A fake server that plays scripted frames to one accepted client —
+/// sequences the real server only produces under timings a test cannot
+/// force deterministically.
+class ScriptedServer {
+ public:
+  ScriptedServer() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_,
+                            reinterpret_cast<struct sockaddr*>(&addr), &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~ScriptedServer() {
+    if (conn_fd_ >= 0) ::close(conn_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  int port() const { return port_; }
+
+  void Accept() {
+    conn_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+    EXPECT_GE(conn_fd_, 0);
+  }
+
+  std::vector<Frame> ReadFrames(size_t count) {
+    std::vector<Frame> frames;
+    char buf[4096];
+    while (frames.size() < count) {
+      Frame frame;
+      Status error;
+      switch (decoder_.Next(&frame, &error)) {
+        case FrameDecoder::Event::kFrame:
+          frames.push_back(std::move(frame));
+          continue;
+        case FrameDecoder::Event::kNeedMore:
+          break;
+        default:
+          ADD_FAILURE() << "bad frame from client: " << error.ToString();
+          return frames;
+      }
+      const ssize_t n = ::recv(conn_fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return frames;
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+    return frames;
+  }
+
+  void SendFrame(const Frame& frame) {
+    std::string wire;
+    EncodeFrame(frame, &wire);
+    std::string_view data = wire;
+    while (!data.empty()) {
+      const ssize_t n =
+          ::send(conn_fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  int port_ = 0;
+  FrameDecoder decoder_;
+};
+
+TEST(NetClientTest, TerminalErrorFrameReleasesParkedStreamChunks) {
+  ScriptedServer server;
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  server.Accept();
+
+  QueryRequest req;
+  req.series = "s";
+  req.query = {1.0, 2.0, 3.0};
+  auto id_a = (*client)->SendRequest(req);
+  auto id_b = (*client)->SendRequest(req);
+  ASSERT_TRUE(id_a.ok());
+  ASSERT_TRUE(id_b.ok());
+  const auto sent = server.ReadFrames(2);
+  ASSERT_EQ(sent.size(), 2u);
+  ASSERT_EQ(sent[0].request_id, *id_a);
+  ASSERT_EQ(sent[1].request_id, *id_b);
+
+  // Stream two chunks for A, terminate A with an ERROR, then answer B —
+  // all delivered while the client waits on B, so A's frames park.
+  Frame part;
+  part.type = FrameType::kMatchResponsePart;
+  part.request_id = *id_a;
+  EncodeMatchPartBody(std::vector<MatchResult>{{1, 1.0}, {2, 2.0}},
+                      &part.body);
+  server.SendFrame(part);
+  part.body.clear();
+  EncodeMatchPartBody(std::vector<MatchResult>{{3, 3.0}}, &part.body);
+  server.SendFrame(part);
+  Frame error;
+  error.type = FrameType::kError;
+  error.request_id = *id_a;
+  EncodeErrorBody(Status::InvalidArgument("boom"), &error.body);
+  server.SendFrame(error);
+  Frame final_b;
+  final_b.type = FrameType::kQueryResponse;
+  final_b.request_id = *id_b;
+  QueryResponse response_b;
+  response_b.matches = {{9, 0.5}};
+  EncodeQueryResponseBody(response_b, &final_b.body);
+  server.SendFrame(final_b);
+
+  auto b = (*client)->WaitResponse(*id_b);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b->matches, response_b.matches);
+
+  // THE LEAK REGRESSION: an error never carries matches, so A's parked
+  // chunks must be dropped the moment its terminal frame arrives — not
+  // held until a WaitResponse that may never come.
+  EXPECT_EQ((*client)->parked_part_ids(), 0u);
+  EXPECT_EQ((*client)->parked_frames(), 1u);  // A's terminal error itself
+
+  auto a = (*client)->WaitResponse(*id_a);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_TRUE(a->status.IsInvalidArgument()) << a->status.ToString();
+  EXPECT_TRUE(a->matches.empty());
+  EXPECT_EQ((*client)->parked_frames(), 0u);
+}
+
+TEST(NetClientTest, ForgetDiscardsLateFramesAndRetiresTombstone) {
+  ScriptedServer server;
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  server.Accept();
+
+  QueryRequest req;
+  req.series = "s";
+  req.query = {1.0};
+  auto id = (*client)->SendRequest(req);
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(server.ReadFrames(1).size(), 1u);
+
+  (*client)->Forget(*id);
+  EXPECT_EQ((*client)->forgotten_ids(), 1u);
+
+  // The abandoned query's stream chunk and terminal frame arrive late.
+  Frame part;
+  part.type = FrameType::kMatchResponsePart;
+  part.request_id = *id;
+  EncodeMatchPartBody(std::vector<MatchResult>{{4, 4.0}}, &part.body);
+  server.SendFrame(part);
+  Frame final_frame;
+  final_frame.type = FrameType::kQueryResponse;
+  final_frame.request_id = *id;
+  QueryResponse late;
+  late.matches = {{4, 4.0}};
+  EncodeQueryResponseBody(late, &final_frame.body);
+  server.SendFrame(final_frame);
+
+  // A ping walks the client through the late frames: both are discarded
+  // (nothing parks) and the tombstone retires on the terminal frame, so
+  // Forget cannot accumulate state either.
+  std::thread ponger([&server] {
+    const auto pings = server.ReadFrames(1);
+    ASSERT_EQ(pings.size(), 1u);
+    Frame pong;
+    pong.type = FrameType::kPong;
+    pong.request_id = pings[0].request_id;
+    server.SendFrame(pong);
+  });
+  EXPECT_TRUE((*client)->Ping().ok());
+  ponger.join();
+  EXPECT_EQ((*client)->parked_part_ids(), 0u);
+  EXPECT_EQ((*client)->parked_frames(), 0u);
+  EXPECT_EQ((*client)->forgotten_ids(), 0u);
+}
+
+// ------------------------------------------------- idle-reaper quiescence
+
+TEST(NetServerTest, IdleReaperSparesConnectionDrainingAResponse) {
+  // A connection whose only activity is OUTBOUND — megabytes of response
+  // draining into a tiny client window — must not be reaped as idle even
+  // when the drain takes much longer than the idle timeout. The pre-fix
+  // server clocked inbound bytes only and killed such connections
+  // mid-write.
+  MemKvStore store;
+  Catalog::Options copts;
+  copts.session = SmallOptions();
+  {
+    Catalog ingest(&store, copts);
+    Rng rng(99);
+    // ~400k matches ≈ 7 MB encoded: more than the kernel will buffer for
+    // the server (tcp_wmem caps at 4 MB here), so the writer thread is
+    // provably mid-WriteAll while the client stalls.
+    ASSERT_TRUE(ingest.Ingest("wide", GenerateSynthetic(400'000, &rng)).ok());
+  }
+  Catalog catalog(&store, copts);
+  QueryService service(&catalog,
+                       QueryService::Options{.num_threads = 2,
+                                             .max_queue = 64});
+  Server::Options nopts;
+  nopts.port = 0;
+  nopts.idle_timeout_ms = 300.0;
+  Server server(&catalog, &service, nopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Raw client with a deliberately tiny receive window.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf)),
+            0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  WireQueryRequest wire;
+  wire.request.series = "wide";
+  wire.request.query.assign(100, 0.0);
+  wire.request.params.epsilon = 1e9;  // everything matches
+  Frame request;
+  request.type = FrameType::kQueryRequest;
+  request.request_id = 1;
+  EncodeQueryRequestBody(wire, &request.body);
+  std::string bytes;
+  EncodeFrame(request, &bytes);
+  std::string_view data = bytes;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+
+  // Stall without reading a byte for 3x the idle timeout.
+  std::this_thread::sleep_for(std::chrono::milliseconds(900));
+
+  // Pipeline a ping BEFORE draining: the reader thread handles it while
+  // the writer is still blocked mid-response, so the pong queues behind
+  // the big frame and the answer proves the whole stall + drain happened
+  // on one surviving connection (no timing window between the server
+  // finishing its write and our next request, which would make the
+  // assertion a race on this process's decode speed).
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 2;
+  bytes.clear();
+  EncodeFrame(ping, &bytes);
+  data = bytes;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+
+  // Drain. The connection must still be alive and deliver the complete
+  // response AND the pong — in either order: the pong overtakes the
+  // response when the query is still executing as the ping arrives.
+  FrameDecoder decoder;
+  char buf[64 * 1024];
+  Frame frame;
+  bool got_final = false, got_pong = false;
+  std::vector<MatchResult> matches;
+  while (!got_final || !got_pong) {
+    Status error;
+    switch (decoder.Next(&frame, &error)) {
+      case FrameDecoder::Event::kFrame:
+        if (frame.type == FrameType::kMatchResponsePart) {
+          ASSERT_TRUE(DecodeMatchPartBody(frame.body, &matches).ok());
+        } else if (frame.type == FrameType::kPong) {
+          EXPECT_EQ(frame.request_id, 2u);
+          got_pong = true;
+        } else {
+          ASSERT_EQ(frame.type, FrameType::kQueryResponse);
+          QueryResponse response;
+          ASSERT_TRUE(DecodeQueryResponseBody(frame.body, &response).ok());
+          ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+          matches.insert(matches.end(), response.matches.begin(),
+                         response.matches.end());
+          got_final = true;
+        }
+        continue;
+      case FrameDecoder::Event::kNeedMore:
+        break;
+      default:
+        FAIL() << "stream corrupted: " << error.ToString();
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server closed the connection mid-drain";
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+  EXPECT_EQ(matches.size(), 400'000u - 100u + 1u);
+  ::close(fd);
+  server.Stop();
+
+  // Genuinely idle connections ARE still reaped: reconnect, go silent,
+  // and the server closes us.
+  Server idle_server(&catalog, &service, nopts);
+  ASSERT_TRUE(idle_server.Start().ok());
+  RawConnection idle(idle_server.port());
+  Frame unused;
+  EXPECT_FALSE(idle.ReadFrame(&unused));  // blocks until the reaper closes
+  idle_server.Stop();
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace kvmatch

@@ -50,6 +50,20 @@
 //     1024 events) on shutdown; --slow-commit-ms > 0 flags commits at
 //     least that slow. GET /metrics (plain HTTP on the same port) serves
 //     the Prometheus text dump; GET /healthz answers liveness.
+//     With --shard-map map.txt --shard-id N the server joins a cluster:
+//     it answers kShardInfo with shard N's identity under that map and
+//     refuses ingest for series the map assigns to other shards.
+//   kvmatch_cli coord        --shard-map map.txt [--port 7900]
+//                            [--bind ADDR] [--threads 4] [--queue 256]
+//                            [--shard-timeout-ms 10000] [--max-conns 64]
+//     Scatter-gather coordinator over the shards in map.txt (format:
+//     one "shard <id> <host> <port>" line per shard). Exact-series
+//     queries are routed to the owner shard and answered byte-identical
+//     to asking it directly; series patterns ('*'/'?') fan out to every
+//     shard and merge into a kFederatedResponse. Ingest and LIST route
+//     through the map; kCancel fans out to every shard a request
+//     touched. A dead shard degrades pattern queries to typed partial
+//     results instead of hanging.
 //   kvmatch_cli remote-query --host 127.0.0.1 --port 7777 --queries q.txt
 //                            [--trace] [--trace-json trace.json]
 //     Same query-file syntax as batch-query; qoffset/qlen windows are
@@ -97,6 +111,8 @@
 
 #include "bench_util/table_printer.h"
 #include "common/event_log.h"
+#include "coord/coord_server.h"
+#include "coord/shard_map.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "bench_util/workload.h"
@@ -151,7 +167,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: kvmatch_cli <generate|build|info|query|"
                "catalog-ingest|catalog-info|batch-query|serve-bench|"
-               "serve|remote-query|remote-cancel|remote-bench|"
+               "serve|coord|remote-query|remote-cancel|remote-bench|"
                "remote-ingest|remote-drop|stats> [--flags]\n"
                "see the header of tools/kvmatch_cli.cc for details\n");
   return 2;
@@ -692,6 +708,33 @@ int CmdServe(const Args& args) {
   nopts.slow_query_ms = args.GetF("slow-query-ms", 0.0);
   nopts.event_log = &event_log;
   nopts.dump_events_on_stop = args.Has("dump-events");
+  // Cluster membership: with --shard-map and --shard-id this process
+  // serves one slice of the hash space — it answers kShardInfo with its
+  // identity and refuses ingest for series the map assigns elsewhere.
+  coord::ShardMap shard_map;
+  if (const std::string map_path = args.Get("shard-map");
+      !map_path.empty()) {
+    if (!args.Has("shard-id")) {
+      std::fprintf(stderr, "--shard-map requires --shard-id\n");
+      return 2;
+    }
+    auto loaded = coord::ShardMap::Load(map_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    shard_map = std::move(*loaded);
+    const uint32_t shard_id =
+        static_cast<uint32_t>(args.GetU64("shard-id", 0));
+    if (shard_id >= shard_map.num_shards()) {
+      std::fprintf(stderr, "--shard-id %u out of range (map has %zu)\n",
+                   shard_id, shard_map.num_shards());
+      return 2;
+    }
+    nopts.shard_id = shard_id;
+    nopts.num_shards = static_cast<uint32_t>(shard_map.num_shards());
+    nopts.shard_map_fingerprint = shard_map.Fingerprint();
+    nopts.owns_series = [&shard_map, shard_id](const std::string& name) {
+      return shard_map.OwnerOf(name) == shard_id;
+    };
+  }
   net::Server server(&catalog, &service, nopts);
   if (Status st = server.Start(); !st.ok()) return Fail(st);
 
@@ -709,6 +752,46 @@ int CmdServe(const Args& args) {
   std::printf("draining %zu connection(s)...\n", server.ActiveConnections());
   server.Stop();
   PrintServiceStats(service.Stats());
+  return 0;
+}
+
+int CmdCoord(const Args& args) {
+  const std::string map_path = args.Get("shard-map");
+  if (map_path.empty()) return Usage();
+  auto map = coord::ShardMap::Load(map_path);
+  if (!map.ok()) return Fail(map.status());
+
+  coord::CoordServer::CoordOptions opts;
+  opts.server.bind_address = args.Get("bind", "127.0.0.1");
+  opts.server.port = static_cast<int>(args.GetU64("port", 7900));
+  opts.server.max_connections = args.GetU64("max-conns", 64);
+  opts.server.idle_timeout_ms = args.GetF("idle-ms", 0.0);
+  opts.server.stream_chunk_matches =
+      args.GetU64("stream-chunk", 2'000'000);
+  opts.server.drain_timeout_ms = args.GetF("drain-ms", 30'000.0);
+  opts.coord.client.call_timeout_ms = args.GetF("shard-timeout-ms",
+                                                10'000.0);
+  opts.num_threads = args.GetU64("threads", 4);
+  opts.max_queue = args.GetU64("queue", 256);
+
+  const size_t num_shards = map->num_shards();
+  const uint64_t fingerprint = map->Fingerprint();
+  coord::CoordServer server(std::move(*map), opts);
+  if (Status st = server.Start(); !st.ok()) return Fail(st);
+
+  std::printf("coordinating %zu shard(s) on %s:%d "
+              "(map fingerprint %016llx); Ctrl-C to stop\n",
+              num_shards, opts.server.bind_address.c_str(), server.port(),
+              static_cast<unsigned long long>(fingerprint));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining %zu connection(s)...\n", server.ActiveConnections());
+  server.Stop();
   return 0;
 }
 
@@ -1078,6 +1161,7 @@ int main(int argc, char** argv) {
   if (cmd == "batch-query") return CmdBatchQuery(args);
   if (cmd == "serve-bench") return CmdServeBench(args);
   if (cmd == "serve") return CmdServe(args);
+  if (cmd == "coord") return CmdCoord(args);
   if (cmd == "remote-query") return CmdRemoteQuery(args);
   if (cmd == "remote-cancel") return CmdRemoteCancel(args);
   if (cmd == "remote-bench") return CmdRemoteBench(args);
