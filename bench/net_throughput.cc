@@ -16,9 +16,27 @@
 // through it — the table shows how federated QPS scales with shard
 // count (overhead of the extra hop included).
 //
+// With --idle-connections N the bench instead measures C10k behavior:
+// N idle frame connections are parked against one server (held by forked
+// helper processes so the bench side's fd budget never caps the sweep)
+// while a single active client runs its queries — the table reports the
+// active client's p99, the server process's RSS, fd count and thread
+// count at N = 100 / 1000 / ... / N. The thread count staying flat as N
+// grows is the point of the epoll reactor: connections cost one fd and
+// one registration, not two threads.
+//
 //   ./bench_net_throughput [--n <total points>] [--runs <batch mult>]
 //                          [--seed <s>] [--quick] [--shards N]
+//                          [--idle-connections N] [--json OUT]
 #include "bench_common.h"
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstring>
 #include <memory>
@@ -182,16 +200,299 @@ int RunShardScaling(const BenchFlags& flags, size_t max_shards) {
   return 0;
 }
 
+// ------------------------------------------------- idle-connection sweep
+
+/// "VmRSS:", "Threads:", ... from /proc/self/status (Linux). 0 if absent.
+size_t ReadProcStatus(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t value = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      value = std::strtoull(line + key_len, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+size_t CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  size_t count = 0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count > 0 ? count - 1 : 0;  // exclude the dirfd itself
+}
+
+/// Child-process body after fork: park `count` idle connections against
+/// the server, report readiness, hold until the parent says stop. The
+/// parent is multithreaded, so the child sticks to raw syscalls — no
+/// stdio, no allocation (either could deadlock on a lock some other
+/// parent thread held at fork time).
+[[noreturn]] void HoldIdleConnections(int port, size_t count, int ready_fd,
+                                      int stop_fd) {
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  for (size_t i = 0; i < count; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) _exit(2);
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      _exit(3);
+    }
+    // Pace the storm: keep the aggregate in-flight connect count under
+    // the server's listen backlog so no SYN hits a retransmit timeout.
+    if (i % 64 == 63) ::usleep(2000);
+  }
+  char byte = 1;
+  if (::write(ready_fd, &byte, 1) != 1) _exit(4);
+  (void)!::read(stop_fd, &byte, 1);  // parked until the parent signals
+  _exit(0);                          // kernel closes every held socket
+}
+
+int RunIdleConnections(const BenchFlags& flags, size_t max_idle) {
+  // Each forked holder owns at most this many sockets, comfortably under
+  // typical fd limits even before the setrlimit below.
+  constexpr size_t kConnsPerChild = 4000;
+  // The server side needs one fd per idle connection plus headroom;
+  // raise the soft limit to the hard cap up front.
+  struct rlimit lim = {};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+  }
+  if (lim.rlim_max != RLIM_INFINITY &&
+      max_idle + 200 > static_cast<size_t>(lim.rlim_max)) {
+    std::fprintf(stderr,
+                 "warning: fd hard limit %llu caps the sweep below "
+                 "--idle-connections %zu\n",
+                 static_cast<unsigned long long>(lim.rlim_max), max_idle);
+  }
+
+  const size_t kSeries = 8;
+  size_t total_points = flags.n == 2'000'000 ? 400'000 : flags.n;
+  size_t queries = 64 * static_cast<size_t>(std::max(1, flags.runs));
+  if (flags.quick) {
+    total_points = 100'000;
+    queries = 48;
+  }
+  const size_t per_series = total_points / kSeries;
+  const size_t m = 256;
+
+  MemKvStore store;
+  Catalog catalog(&store);
+  for (size_t i = 0; i < kSeries; ++i) {
+    Rng rng(flags.seed + i);
+    if (!catalog
+             .Ingest("bench" + std::to_string(i),
+                     GenerateUcrLike(per_series, &rng))
+             .ok()) {
+      std::fprintf(stderr, "ingest failed\n");
+      return 1;
+    }
+  }
+  QueryService service(&catalog, {.num_threads = 4, .max_queue = 4096});
+  net::Server::Options nopts;
+  nopts.port = 0;
+  nopts.max_connections = max_idle + 64;
+  net::Server server(&catalog, &service, nopts);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("idle-connection scaling: %zu series x %zu points, |Q|=%zu, "
+              "%zu active queries per row, idle holders in forked "
+              "processes\n\n",
+              kSeries, per_series, m, queries);
+
+  std::vector<size_t> sweep;
+  for (size_t n : {size_t{100}, size_t{1000}, size_t{10000}}) {
+    if (n <= max_idle) sweep.push_back(n);
+  }
+  if (sweep.empty() || sweep.back() != max_idle) sweep.push_back(max_idle);
+
+  struct Row {
+    size_t idle;
+    double p99_ms, mean_ms, qps;
+    size_t rss_kb, fds, threads;
+  };
+  std::vector<Row> rows;
+  TablePrinter table({"Idle conns", "Queries", "p99 (ms)", "mean (ms)",
+                      "QPS", "RSS (MB)", "FDs", "Threads"});
+  for (size_t idle : sweep) {
+    // Spawn the holders and wait until every idle connection is up.
+    int ready_pipe[2], stop_pipe[2];
+    if (::pipe(ready_pipe) != 0 || ::pipe(stop_pipe) != 0) {
+      std::fprintf(stderr, "pipe failed\n");
+      return 1;
+    }
+    std::vector<pid_t> children;
+    size_t remaining = idle;
+    while (remaining > 0) {
+      const size_t batch = std::min(remaining, kConnsPerChild);
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        std::fprintf(stderr, "fork failed\n");
+        return 1;
+      }
+      if (pid == 0) {
+        ::close(ready_pipe[0]);
+        ::close(stop_pipe[1]);
+        HoldIdleConnections(server.port(), batch, ready_pipe[1],
+                            stop_pipe[0]);
+      }
+      children.push_back(pid);
+      remaining -= batch;
+    }
+    ::close(ready_pipe[1]);
+    ::close(stop_pipe[0]);
+    for (size_t c = 0; c < children.size(); ++c) {
+      char byte = 0;
+      if (::read(ready_pipe[0], &byte, 1) != 1) {
+        std::fprintf(stderr, "idle holder died before connecting %zu\n",
+                     idle);
+        return 1;
+      }
+    }
+
+    // One active client measured against the parked fleet.
+    service.ResetStats();
+    auto client = net::Client::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      std::fprintf(stderr, "client: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<double> latencies;
+    latencies.reserve(queries);
+    size_t failed = 0;
+    Stopwatch total;
+    for (size_t i = 0; i < queries; ++i) {
+      net::WireQueryRequest wire;
+      wire.request.series = "bench" + std::to_string(i % kSeries);
+      wire.request.params.type =
+          i % 2 == 0 ? QueryType::kRsmEd : QueryType::kCnsmEd;
+      wire.request.params.epsilon = 3.0;
+      wire.request.params.alpha = 1.5;
+      wire.request.params.beta = 3.0;
+      wire.by_reference = true;
+      wire.ref_length = m;
+      wire.ref_offset =
+          (flags.seed + 1237 * i) % (per_series - m);
+      Stopwatch sw;
+      auto id = (*client)->SendRequest(wire);
+      if (!id.ok()) {
+        failed += 1;
+        continue;
+      }
+      auto response = (*client)->WaitResponse(*id);
+      if (!response.ok() || !response->status.ok()) {
+        failed += 1;
+        continue;
+      }
+      latencies.push_back(sw.Ms());
+    }
+    const double seconds = total.Seconds();
+    std::sort(latencies.begin(), latencies.end());
+    double mean = 0.0;
+    for (double v : latencies) mean += v;
+    if (!latencies.empty()) mean /= static_cast<double>(latencies.size());
+    const double p99 =
+        latencies.empty()
+            ? 0.0
+            : latencies[std::min(latencies.size() - 1,
+                                 latencies.size() * 99 / 100)];
+
+    Row row;
+    row.idle = idle;
+    row.p99_ms = p99;
+    row.mean_ms = mean;
+    row.qps = seconds > 0.0
+                  ? static_cast<double>(latencies.size()) / seconds
+                  : 0.0;
+    row.rss_kb = ReadProcStatus("VmRSS:");
+    row.fds = CountOpenFds();
+    row.threads = ReadProcStatus("Threads:");
+    rows.push_back(row);
+    table.AddRow({TablePrinter::FmtInt(idle),
+                  TablePrinter::FmtInt(latencies.size()),
+                  TablePrinter::Fmt(p99, 2), TablePrinter::Fmt(mean, 2),
+                  TablePrinter::Fmt(row.qps, 1),
+                  TablePrinter::Fmt(
+                      static_cast<double>(row.rss_kb) / 1024.0, 1),
+                  TablePrinter::FmtInt(row.fds),
+                  TablePrinter::FmtInt(row.threads)});
+    if (failed > 0) {
+      std::fprintf(stderr, "warning: %zu queries failed at %zu idle\n",
+                   failed, idle);
+    }
+
+    // Release the fleet and reap.
+    ::close(stop_pipe[1]);  // EOF wakes every holder's read()
+    ::close(ready_pipe[0]);
+    for (pid_t pid : children) {
+      int wstatus = 0;
+      ::waitpid(pid, &wstatus, 0);
+    }
+    // Let the server observe the disconnects before the next row.
+    const size_t t0 = server.ActiveConnections();
+    for (int spin = 0; spin < 200 && server.ActiveConnections() > 1;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    (void)t0;
+  }
+  table.Print();
+  server.Stop();
+
+  if (!flags.json_out.empty()) {
+    std::FILE* f = std::fopen(flags.json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"net_idle_connections\",\n"
+                    "  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(
+          f,
+          "    {\"idle\": %zu, \"p99_ms\": %.4f, \"mean_ms\": %.4f, "
+          "\"qps\": %.2f, \"rss_kb\": %zu, \"fds\": %zu, "
+          "\"threads\": %zu}%s\n",
+          rows[i].idle, rows[i].p99_ms, rows[i].mean_ms, rows[i].qps,
+          rows[i].rss_kb, rows[i].fds, rows[i].threads,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchFlags flags = BenchFlags::Parse(argc, argv);
   size_t shards = 0;
+  size_t idle = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::strtoull(argv[i + 1], nullptr, 10);
     }
+    if (std::strcmp(argv[i], "--idle-connections") == 0 && i + 1 < argc) {
+      idle = std::strtoull(argv[i + 1], nullptr, 10);
+    }
   }
+  if (idle > 0) return RunIdleConnections(flags, idle);
   if (shards > 0) return RunShardScaling(flags, shards);
   const size_t kSeries = 8;
   size_t total_points = flags.n == 2'000'000 ? 400'000 : flags.n;

@@ -126,50 +126,59 @@ void CoordServer::HandleIngest(const std::shared_ptr<Connection>& conn,
     SendError(conn, id, st);
     return;
   }
-  // Inline on the reader thread like the base server's ingest — the
-  // shard round trip is bounded by the client call timeout.
-  Status st;
-  net::IngestAck ack;
-  switch (type) {
-    case net::FrameType::kCreateRequest: {
-      auto result = coord_.CreateSeries(request.series, request.values);
-      st = result.status();
-      if (result.ok()) ack = *result;
-      break;
+  // The shard round trip blocks on socket I/O (bounded by the client
+  // call timeout) — run it on the blocking-work thread so the reactor
+  // loop keeps serving every other connection. This connection's frame
+  // processing is suspended meanwhile, preserving its pipeline order.
+  RunBlocking(conn, [this, conn, type, id,
+                     request = std::move(request)]() mutable {
+    Status st;
+    net::IngestAck ack;
+    switch (type) {
+      case net::FrameType::kCreateRequest: {
+        auto result = coord_.CreateSeries(request.series, request.values);
+        st = result.status();
+        if (result.ok()) ack = *result;
+        break;
+      }
+      case net::FrameType::kAppendRequest: {
+        auto result = coord_.AppendSeries(request.series, request.values);
+        st = result.status();
+        if (result.ok()) ack = *result;
+        break;
+      }
+      default:
+        st = coord_.DropSeries(request.series);
+        break;
     }
-    case net::FrameType::kAppendRequest: {
-      auto result = coord_.AppendSeries(request.series, request.values);
-      st = result.status();
-      if (result.ok()) ack = *result;
-      break;
+    if (!st.ok()) {
+      SendError(conn, id, st);
+      return;
     }
-    default:
-      st = coord_.DropSeries(request.series);
-      break;
-  }
-  if (!st.ok()) {
-    SendError(conn, id, st);
-    return;
-  }
-  net::Frame response;
-  response.type = net::FrameType::kIngestResponse;
-  response.request_id = id;
-  net::EncodeIngestResponseBody(ack, &response.body);
-  Enqueue(conn, response);
+    net::Frame response;
+    response.type = net::FrameType::kIngestResponse;
+    response.request_id = id;
+    net::EncodeIngestResponseBody(ack, &response.body);
+    Enqueue(conn, response);
+  });
 }
 
 void CoordServer::HandleList(const std::shared_ptr<Connection>& conn,
                              uint64_t id) {
-  auto series = coord_.ListAll();
-  if (!series.ok()) {
-    SendError(conn, id, series.status());
-    return;
-  }
-  net::Frame response;
-  response.type = net::FrameType::kListResponse;
-  response.request_id = id;
-  net::EncodeListResponseBody(*series, &response.body);
-  Enqueue(conn, response);
+  // Fans out a LIST to every shard over the wire: blocking I/O, so off
+  // the loop like ingest above.
+  RunBlocking(conn, [this, conn, id] {
+    auto series = coord_.ListAll();
+    if (!series.ok()) {
+      SendError(conn, id, series.status());
+      return;
+    }
+    net::Frame response;
+    response.type = net::FrameType::kListResponse;
+    response.request_id = id;
+    net::EncodeListResponseBody(*series, &response.body);
+    Enqueue(conn, response);
+  });
 }
 
 }  // namespace coord

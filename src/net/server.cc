@@ -1,14 +1,17 @@
 #include "net/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -21,8 +24,12 @@ namespace net {
 
 namespace {
 
-constexpr int kPollIntervalMs = 100;   // stop_-flag latency for idle loops
-constexpr int kStopWriteGraceMs = 5000;  // give up on a dead peer at Stop()
+/// epoll_wait timeout: upper bound on the latency of periodic loop work
+/// (idle reaping, drain progress, stop_-flag observation).
+constexpr int kTickMs = 50;
+/// Abandon a peer that stops draining its responses during Stop() (and
+/// expire refused-connection courtesy frames) after this stall.
+constexpr int kStopWriteGraceMs = 5000;
 
 /// Bytes needed to tell a plain-HTTP scrape from a binary frame. An HTTP
 /// verb read as a little-endian frame length would be absurd (e.g. "GET "
@@ -32,43 +39,66 @@ constexpr size_t kHttpSniffBytes = 4;
 /// A scrape request's head must fit this; anything longer is dropped.
 constexpr size_t kMaxHttpHeadBytes = 16 * 1024;
 
+/// Bytes recv'd from one connection per readiness event before yielding
+/// to the rest of the loop (level-triggered epoll re-fires for the rest).
+constexpr size_t kMaxReadPerEvent = 256 * 1024;
+/// Bytes written to one connection per flush before the loop re-kicks
+/// itself — one fast consumer must not starve the others.
+constexpr size_t kMaxWritePerFlush = 4 * 1024 * 1024;
+/// Outbox frames coalesced into one writev round.
+constexpr int kMaxWriteIov = 16;
+/// accept4() calls per listen-readiness event, for the same fairness.
+constexpr int kMaxAcceptsPerEvent = 64;
+
 bool LooksLikeHttp(std::string_view prelude) {
   return prelude.substr(0, 4) == "GET " || prelude.substr(0, 4) == "HEAD" ||
          prelude.substr(0, 4) == "POST" || prelude.substr(0, 4) == "PUT " ||
          prelude.substr(0, 4) == "DELE" || prelude.substr(0, 4) == "OPTI";
 }
 
+/// The client asked to reuse the connection: scan the header lines after
+/// the request line for `Connection: keep-alive` (case-insensitive, as
+/// HTTP demands). HTTP/1.1 technically defaults to keep-alive, but this
+/// responder predates that nuance and clients of record (including the
+/// tests) rely on close-by-default — so only an explicit opt-in persists.
+bool WantsKeepAlive(std::string_view head) {
+  size_t pos = head.find("\r\n");
+  while (pos != std::string_view::npos && pos + 2 < head.size()) {
+    pos += 2;
+    const size_t end = head.find("\r\n", pos);
+    std::string_view line =
+        head.substr(pos, end == std::string_view::npos ? std::string_view::npos
+                                                       : end - pos);
+    const size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string_view name = line.substr(0, colon);
+      std::string_view value = line.substr(colon + 1);
+      auto lower = [](std::string_view s) {
+        std::string out(s);
+        for (char& c : out) {
+          c = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(c)));
+        }
+        return out;
+      };
+      if (lower(name) == "connection" &&
+          lower(value).find("keep-alive") != std::string::npos) {
+        return true;
+      }
+    }
+    pos = end;
+  }
+  return false;
+}
+
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
 
-/// Writes all of `data`, polling for writability so a stalled peer can be
-/// abandoned once `stopping` has been requested for a while.
-Status WriteAll(int fd, std::string_view data,
-                const std::atomic<bool>& stopping) {
-  int stalled_ms = 0;
-  while (!data.empty()) {
-    struct pollfd pfd = {fd, POLLOUT, 0};
-    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      return Errno("poll");
-    }
-    if (ready == 0) {
-      stalled_ms += kPollIntervalMs;
-      if (stopping.load(std::memory_order_relaxed) &&
-          stalled_ms >= kStopWriteGraceMs) {
-        return Status::IOError("peer not reading during shutdown");
-      }
-      continue;
-    }
-    stalled_ms = 0;
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Errno("send");
-    }
-    data.remove_prefix(static_cast<size_t>(n));
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
   }
   return Status::OK();
 }
@@ -119,10 +149,17 @@ Status Server::Start() {
     return Errno("bind " + options_.bind_address + ":" + port_str);
   }
   ::freeaddrinfo(resolved);
-  if (::listen(listen_fd_, 128) < 0) {
+  // A deep backlog: a C10k connect storm arrives faster than one loop
+  // iteration can accept, and the overflow must queue, not get RST.
+  if (::listen(listen_fd_, 1024) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Errno("listen");
+  }
+  if (Status st = SetNonBlocking(listen_fd_); !st.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
   }
 
   struct sockaddr_in bound = {};
@@ -132,49 +169,94 @@ Status Server::Start() {
     port_ = ntohs(bound.sin_port);
   }
 
-  started_ = true;
+  loop_ = std::make_unique<EventLoop>();
+  if (Status st = loop_->Init(); !st.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    loop_.reset();
+    return st;
+  }
+  listen_token_ =
+      loop_->Add(listen_fd_, EPOLLIN, [this](uint32_t) { OnAcceptable(); });
+  if (listen_token_ == 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    loop_.reset();
+    return Status::IOError("cannot register listen socket with epoll");
+  }
+
   stop_.store(false);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  draining_ = false;
+  blocking_stop_ = false;
+  blocking_thread_ = std::thread([this] { BlockingWorker(); });
+  loop_thread_ =
+      std::thread([this] { loop_->Run(kTickMs, [this] { OnTick(); }); });
+  started_ = true;
   return Status::OK();
 }
 
 void Server::Stop() {
   if (!started_) return;
   stop_.store(true);
-  if (acceptor_.joinable()) acceptor_.join();
+  // Seal intake on the loop thread: once EnterDrain has run, no new
+  // connection or request can register, so the pending counter below can
+  // only fall — the drain wait cannot be raced by a late submission (the
+  // flaw the old thread-per-connection Stop() had to re-sweep around).
+  std::atomic<bool> sealed{false};
+  loop_->Post([this, &sealed] {
+    EnterDrain();
+    sealed.store(true, std::memory_order_release);
+  });
+  while (!sealed.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   // Bounded drain: give in-flight queries drain_timeout_ms to finish on
   // their own, then cancel the stragglers through their tokens — they
   // abort at the next probe/slice checkpoint and their Cancelled
-  // responses flush like any other, so Reap below never waits on a
-  // runaway scan.
+  // responses flush like any other, so the connection wait below never
+  // hangs on a runaway scan. drain_timeout_ms == 0 preserves the old
+  // semantics: wait for completion forever, cancelling nothing.
   if (options_.drain_timeout_ms > 0.0) {
     const auto drain_deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double, std::milli>(
                 options_.drain_timeout_ms));
-    while (PendingQueries() > 0 &&
+    while (total_pending_.load(std::memory_order_acquire) > 0 &&
            std::chrono::steady_clock::now() < drain_deadline) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
-    // Sweep repeatedly, not once: a reader mid-iteration when stop_ was
-    // set can still register and submit a query for up to one poll
-    // interval, and a single sweep taken before that registration would
-    // let it run uncancelled — putting Reap right back into the
-    // unbounded wait this drain exists to prevent. Re-sweeping until the
-    // pipeline is empty is cheap (cancelling a token twice is a no-op)
-    // and terminates: readers stop submitting within kPollIntervalMs,
-    // and every cancelled query answers within one verify slice.
-    while (PendingQueries() > 0) {
+    while (total_pending_.load(std::memory_order_acquire) > 0) {
       CancelAllInFlight();
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
+  } else {
+    while (total_pending_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
   }
-  Reap(/*all=*/true);
+  // Every response is now enqueued; the loop's ticks flush and close each
+  // connection (abandoning peers that stall past kStopWriteGraceMs) and
+  // let suspended blocking work resume and finish.
+  while (ActiveConnections() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    std::lock_guard<std::mutex> lock(blocking_mu_);
+    blocking_stop_ = true;
+  }
+  blocking_cv_.notify_all();
+  if (blocking_thread_.joinable()) blocking_thread_.join();
+  loop_->RequestStop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // Courtesy refusals the loop did not finish flushing: just close them.
+  for (auto& [token, refusal] : refusals_) ::close(refusal->fd);
+  refusals_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  loop_.reset();
   started_ = false;
   // Flight recorder last: the ring now includes everything the drain
   // above produced (final commits, evictions, purges).
@@ -189,14 +271,30 @@ void Server::Stop() {
   }
 }
 
-size_t Server::PendingQueries() const {
-  size_t pending = 0;
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  for (const auto& [id, conn] : conns_) {
-    std::lock_guard<std::mutex> conn_lock(conn->mu);
-    pending += conn->pending;
+void Server::EnterDrain() {
+  draining_ = true;
+  // Stop accepting: deregister interest but keep the socket bound, so
+  // late connects queue in the backlog instead of getting RST while the
+  // drain completes.
+  if (listen_token_ != 0) loop_->Mod(listen_token_, 0);
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& [id, conn] : conns_) conns.push_back(conn);
   }
-  return pending;
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& conn : conns) {
+    if (conn->dead) continue;
+    conn->input_done = true;
+    {
+      // Restart the write-stall grace clock: the watchdog measures the
+      // stall from shutdown, not from whenever the peer last read.
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->last_write_progress = now;
+    }
+    UpdateInterest(conn);
+    if (ReadyToClose(conn)) CloseConnection(conn);
+  }
 }
 
 void Server::CancelAllInFlight() {
@@ -247,18 +345,27 @@ std::string Server::StatsText() const {
   return out;
 }
 
-void Server::AcceptLoop() {
-  StatsRegistry* registry = registry_;
-  while (!stop_.load(std::memory_order_relaxed)) {
-    struct pollfd pfd = {listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
-    // Reap on every tick, not just after an accept: otherwise dead
-    // connections would hold their fds and distort the connection
-    // gauges until the next client happens to show up.
-    Reap(/*all=*/false);
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+// --------------------------------------------------------------- accept
+
+void Server::OnAcceptable() {
+  if (draining_) return;
+  for (int i = 0; i < kMaxAcceptsPerEvent; ++i) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: level-triggered EPOLLIN would spin the loop
+        // hot on the un-accepted backlog, so back off until the next tick
+        // (closing connections is what frees fds, and closes happen here
+        // on the loop).
+        loop_->Mod(listen_token_, 0);
+        accept_paused_ = true;
+      }
+      return;  // EAGAIN or a hard error: nothing more to accept now
+    }
 
     bool over_limit = false;
     {
@@ -266,17 +373,7 @@ void Server::AcceptLoop() {
       over_limit = conns_.size() >= options_.max_connections;
     }
     if (over_limit) {
-      registry->RecordConnectionRejected();
-      Frame refusal;
-      refusal.type = FrameType::kError;
-      std::string body;
-      EncodeErrorBody(
-          Status::ResourceExhausted("connection limit reached"), &body);
-      refusal.body = std::move(body);
-      std::string wire;
-      EncodeFrame(refusal, &wire);
-      (void)WriteAll(fd, wire, stop_);  // best-effort courtesy
-      ::close(fd);
+      RefuseConnection(fd);
       continue;
     }
 
@@ -286,207 +383,230 @@ void Server::AcceptLoop() {
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->opened = std::chrono::steady_clock::now();
-    conn->last_enqueue = conn->opened;
+    conn->last_activity = conn->opened;
+    conn->last_write_progress = conn->opened;
+    conn->decoder = FrameDecoder(options_.max_frame_bytes);
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conn->id = next_conn_id_++;
       conns_[conn->id] = conn;
     }
-    registry->RecordConnectionOpened();
-    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
-    conn->writer = std::thread([this, conn] { WriterLoop(conn); });
-  }
-}
-
-void Server::Reap(bool all) {
-  std::vector<std::shared_ptr<Connection>> done;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      bool finished = false;
+    conn->token = loop_->Add(
+        fd, EPOLLIN,
+        [this, conn](uint32_t events) { OnConnectionEvent(conn, events); });
+    if (conn->token == 0) {
       {
-        std::lock_guard<std::mutex> conn_lock(it->second->mu);
-        finished = it->second->finished;
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns_.erase(conn->id);
       }
-      if (all || finished) {
-        done.push_back(it->second);
-        it = conns_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  for (auto& conn : done) {
-    if (conn->reader.joinable()) conn->reader.join();
-    if (conn->writer.joinable()) conn->writer.join();
-    ::close(conn->fd);
-    registry_->RecordConnectionClosed();
-  }
-}
-
-void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
-  FrameDecoder decoder(options_.max_frame_bytes);
-  char buf[64 * 1024];
-  auto last_activity = std::chrono::steady_clock::now();
-  bool open = true;
-  // Protocol sniff: the first kHttpSniffBytes decide whether this
-  // connection speaks binary frames or plain HTTP (a Prometheus scrape,
-  // a curl /healthz). Until decided, bytes accumulate in http_buf.
-  bool sniffed = false;
-  bool http_mode = false;
-  std::string http_buf;
-
-  while (open && !stop_.load(std::memory_order_relaxed)) {
-    struct pollfd pfd = {conn->fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) {
-      if (options_.idle_timeout_ms > 0.0) {
-        // Quiescent means truly drained: no response pending, nothing
-        // queued, and the writer not mid-WriteAll on a frame it already
-        // popped (the outbox being empty does NOT imply the wire is) —
-        // and the idle clock runs from the last activity in EITHER
-        // direction, so a connection being served a slow, long-streaming
-        // response is never reaped between its frames.
-        bool quiescent = false;
-        auto last_outbound = last_activity;
-        {
-          std::lock_guard<std::mutex> lock(conn->mu);
-          quiescent = conn->pending == 0 && conn->outbox.empty() &&
-                      !conn->writing;
-          last_outbound = conn->last_enqueue;
-        }
-        const auto last = std::max(last_activity, last_outbound);
-        const double idle_ms = std::chrono::duration<double, std::milli>(
-                                   std::chrono::steady_clock::now() - last)
-                                   .count();
-        if (quiescent && idle_ms >= options_.idle_timeout_ms) break;
-      }
+      ::close(fd);
       continue;
     }
-
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
-    if (n == 0) break;  // peer closed its write side
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    last_activity = std::chrono::steady_clock::now();
-    if (!sniffed) {
-      http_buf.append(buf, static_cast<size_t>(n));
-      if (http_buf.size() < kHttpSniffBytes) continue;
-      sniffed = true;
-      http_mode = LooksLikeHttp(http_buf);
-      if (!http_mode) {
-        decoder.Feed(http_buf);
-        http_buf.clear();
-        http_buf.shrink_to_fit();
-      }
-    } else if (http_mode) {
-      http_buf.append(buf, static_cast<size_t>(n));
-    } else {
-      decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
-    }
-
-    if (http_mode) {
-      if (http_buf.size() > kMaxHttpHeadBytes) break;  // not a scrape
-      const size_t head_end = http_buf.find("\r\n\r\n");
-      if (head_end == std::string::npos) continue;  // head still arriving
-      HandleHttp(conn, std::string_view(http_buf).substr(0, head_end));
-      break;  // Connection: close — one request per connection
-    }
-
-    for (;;) {
-      Frame frame;
-      Status error;
-      const FrameDecoder::Event event = decoder.Next(&frame, &error);
-      if (event == FrameDecoder::Event::kNeedMore) break;
-      if (event == FrameDecoder::Event::kFrame) {
-        HandleFrame(conn, std::move(frame));
-        continue;
-      }
-      // kBadFrame / kFatal: answer with a typed error; the request id is
-      // unrecoverable from a corrupt payload, so 0 means "stream-level".
-      registry_->RecordProtocolError();
-      SendError(conn, 0, error);
-      if (event == FrameDecoder::Event::kFatal) {
-        open = false;  // framing offset lost: this connection is done
-        break;
-      }
-    }
-  }
-
-  std::lock_guard<std::mutex> lock(conn->mu);
-  conn->reader_done = true;
-  conn->cv.notify_all();
-}
-
-void Server::WriterLoop(const std::shared_ptr<Connection>& conn) {
-  for (;;) {
-    std::string next;
-    {
-      std::unique_lock<std::mutex> lock(conn->mu);
-      conn->cv.wait(lock, [&] {
-        return conn->aborted || !conn->outbox.empty() ||
-               (conn->reader_done && conn->pending == 0);
-      });
-      if (conn->aborted) break;
-      if (conn->outbox.empty()) {
-        if (conn->reader_done && conn->pending == 0) break;  // drained
-        continue;
-      }
-      next = std::move(conn->outbox.front());
-      conn->outbox.pop_front();
-      conn->writing = true;  // mid-WriteAll: not quiescent
-    }
-    const Status write_status = WriteAll(conn->fd, next, stop_);
-    {
-      std::lock_guard<std::mutex> lock(conn->mu);
-      conn->writing = false;
-      // The idle clock restarts when the peer finishes DRAINING the
-      // response, not when it was enqueued — a slow consumer must not
-      // surface as "idle for the whole transfer" the instant the last
-      // byte leaves.
-      conn->last_enqueue = std::chrono::steady_clock::now();
-      if (!write_status.ok()) {
-        conn->aborted = true;
-        break;
-      }
-    }
-  }
-  // Wake the reader out of poll() so it observes the closed stream, then
-  // hand the connection to the reaper. The fd stays open until both
-  // threads are joined — shutdown() only disables I/O on it.
-  ::shutdown(conn->fd, SHUT_RDWR);
-  {
-    std::lock_guard<std::mutex> lock(conn->mu);
-    conn->finished = true;
+    registry_->RecordConnectionOpened();
   }
 }
 
-void Server::Enqueue(const std::shared_ptr<Connection>& conn,
-                     const Frame& frame) {
+void Server::RefuseConnection(int fd) {
+  registry_->RecordConnectionRejected();
+  Frame frame;
+  frame.type = FrameType::kError;
+  EncodeErrorBody(Status::ResourceExhausted("connection limit reached"),
+                  &frame.body);
   std::string wire;
   EncodeFrame(frame, &wire);
-  EnqueueRaw(conn, std::move(wire));
-}
-
-void Server::EnqueueRaw(const std::shared_ptr<Connection>& conn,
-                        std::string wire) {
-  std::lock_guard<std::mutex> lock(conn->mu);
-  if (!conn->aborted) {
-    conn->outbox.push_back(std::move(wire));
-    conn->last_enqueue = std::chrono::steady_clock::now();
+  // Best-effort courtesy: usually the whole frame fits the fresh socket
+  // buffer and the refusal costs one syscall.
+  size_t written = 0;
+  while (written < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + written,
+                             wire.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      ::close(fd);
+      return;
+    }
+    written += static_cast<size_t>(n);
   }
-  conn->cv.notify_all();
+  if (written == wire.size()) {
+    ::close(fd);
+    return;
+  }
+  // The rest flushes on EPOLLOUT, with a bounded grace: a refusal never
+  // becomes a tracked connection and never blocks the loop.
+  auto refusal = std::make_shared<Refusal>();
+  refusal->fd = fd;
+  refusal->wire = std::move(wire);
+  refusal->written = written;
+  refusal->since = std::chrono::steady_clock::now();
+  refusal->token = loop_->Add(
+      fd, EPOLLOUT, [this, refusal](uint32_t) { FlushRefusal(refusal); });
+  if (refusal->token == 0) {
+    ::close(fd);
+    return;
+  }
+  refusals_[refusal->token] = refusal;
 }
 
-void Server::HandleHttp(const std::shared_ptr<Connection>& conn,
+void Server::FlushRefusal(const std::shared_ptr<Refusal>& refusal) {
+  while (refusal->written < refusal->wire.size()) {
+    const ssize_t n =
+        ::send(refusal->fd, refusal->wire.data() + refusal->written,
+               refusal->wire.size() - refusal->written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      break;  // peer gone: give up on the courtesy
+    }
+    refusal->written += static_cast<size_t>(n);
+  }
+  loop_->Del(refusal->token);
+  ::close(refusal->fd);
+  refusals_.erase(refusal->token);
+}
+
+// ----------------------------------------------------------------- read
+
+void Server::OnConnectionEvent(const std::shared_ptr<Connection>& conn,
+                               uint32_t events) {
+  if (conn->dead) return;
+  // Read before write: an EPOLLIN|EPOLLOUT batch should submit the next
+  // pipelined request before draining responses, and EPOLLHUP/EPOLLERR
+  // surface through recv() (EOF / the pending error) on the read path.
+  if (events & (EPOLLIN | EPOLLHUP | EPOLLERR)) OnReadable(conn);
+  if (conn->dead) return;
+  if (events & EPOLLOUT) FlushOutbox(conn);
+}
+
+void Server::OnReadable(const std::shared_ptr<Connection>& conn) {
+  // Suspended (blocking work in flight, backpressure, or input finished):
+  // interest is disarmed, but EPOLLHUP/EPOLLERR still land here — the
+  // socket stays untouched until the suspension lifts.
+  if (conn->dead || conn->busy || conn->input_done || conn->reads_paused) {
+    return;
+  }
+  char buf[64 * 1024];
+  size_t consumed = 0;
+  bool eof = false;
+  while (consumed < kMaxReadPerEvent) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(conn);
+      return;
+    }
+    consumed += static_cast<size_t>(n);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->last_activity = std::chrono::steady_clock::now();
+    }
+    const std::string_view chunk(buf, static_cast<size_t>(n));
+    if (!conn->sniffed) {
+      // Protocol sniff: the first kHttpSniffBytes decide whether this
+      // connection speaks binary frames or plain HTTP (a Prometheus
+      // scrape, a curl /healthz). Until decided, bytes accumulate.
+      conn->http_buf.append(chunk);
+      if (conn->http_buf.size() < kHttpSniffBytes) continue;
+      conn->sniffed = true;
+      conn->http_mode = LooksLikeHttp(conn->http_buf);
+      if (!conn->http_mode) {
+        conn->decoder.Feed(conn->http_buf);
+        conn->http_buf.clear();
+        conn->http_buf.shrink_to_fit();
+      }
+    } else if (conn->http_mode) {
+      conn->http_buf.append(chunk);
+    } else {
+      conn->decoder.Feed(chunk);
+    }
+    ProcessInput(conn);
+    if (conn->dead) return;
+    if (conn->busy || conn->input_done) break;
+    // Backpressure: a slow reader with a deep pipeline has queued past
+    // the cap — stop taking new requests until the outbox drains below
+    // half of it (FlushOutbox resumes).
+    if (options_.max_outbox_bytes > 0) {
+      bool over = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        over = conn->outbox_bytes >= options_.max_outbox_bytes;
+      }
+      if (over) {
+        conn->reads_paused = true;
+        registry_->RecordNetReadPaused();
+        break;
+      }
+    }
+  }
+  if (eof) {
+    conn->input_done = true;
+    if (ReadyToClose(conn)) {
+      CloseConnection(conn);
+      return;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void Server::ProcessInput(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead || !conn->sniffed) return;
+  if (conn->http_mode) {
+    ProcessHttp(conn);
+    return;
+  }
+  // A handler may suspend the connection (RunBlocking) or finish its
+  // input (fatal framing, drain): both stop the dispatch with the
+  // remaining frames left buffered in the decoder for later (or never).
+  while (!conn->busy && !conn->dead && !conn->input_done) {
+    Frame frame;
+    Status error;
+    const FrameDecoder::Event event = conn->decoder.Next(&frame, &error);
+    if (event == FrameDecoder::Event::kNeedMore) break;
+    if (event == FrameDecoder::Event::kFrame) {
+      HandleFrame(conn, std::move(frame));
+      continue;
+    }
+    // kBadFrame / kFatal: answer with a typed error; the request id is
+    // unrecoverable from a corrupt payload, so 0 means "stream-level".
+    registry_->RecordProtocolError();
+    SendError(conn, 0, error);
+    if (event == FrameDecoder::Event::kFatal) {
+      // Framing offset lost: stop reading; the connection closes once
+      // the error frame (and any owed responses) have flushed.
+      conn->input_done = true;
+      UpdateInterest(conn);
+    }
+  }
+}
+
+void Server::ProcessHttp(const std::shared_ptr<Connection>& conn) {
+  while (!conn->dead && !conn->input_done) {
+    if (conn->http_buf.size() > kMaxHttpHeadBytes) {
+      CloseConnection(conn);  // not a scrape
+      return;
+    }
+    const size_t head_end = conn->http_buf.find("\r\n\r\n");
+    if (head_end == std::string::npos) return;  // head still arriving
+    const bool keep_alive =
+        HandleHttp(conn, std::string_view(conn->http_buf).substr(0, head_end));
+    conn->http_buf.erase(0, head_end + 4);
+    if (!keep_alive) {
+      conn->input_done = true;
+      UpdateInterest(conn);
+      return;  // the response flushes, then the connection closes
+    }
+    // Keep-alive: loop in case the scraper pipelined another request.
+  }
+}
+
+bool Server::HandleHttp(const std::shared_ptr<Connection>& conn,
                         std::string_view head) {
-  // Request line only; headers are irrelevant for a scrape.
+  // Request line only; the sole header that matters is Connection.
   std::string_view line = head.substr(0, head.find("\r\n"));
   const size_t sp1 = line.find(' ');
   const size_t sp2 = line.rfind(' ');
@@ -518,6 +638,11 @@ void Server::HandleHttp(const std::shared_ptr<Connection>& conn,
     reason = "Not Found";
     body = "not found\n";
   }
+  // Close by default (what one-shot scripted clients expect); persist
+  // only when the scraper explicitly asked — and never across a 405,
+  // whose request may carry a body this parser does not consume.
+  const bool keep_alive =
+      (method == "GET" || method == "HEAD") && WantsKeepAlive(head);
 
   registry_->RecordHttpRequest();
   {
@@ -530,13 +655,334 @@ void Server::HandleHttp(const std::shared_ptr<Connection>& conn,
                 "HTTP/1.1 %d %s\r\n"
                 "Content-Type: %s\r\n"
                 "Content-Length: %zu\r\n"
-                "Connection: close\r\n"
+                "Connection: %s\r\n"
                 "\r\n",
-                code, reason, content_type, body.size());
+                code, reason, content_type, body.size(),
+                keep_alive ? "keep-alive" : "close");
   std::string wire(header);
   if (method != "HEAD") wire += body;
   EnqueueRaw(conn, std::move(wire));
+  return keep_alive;
 }
+
+// ---------------------------------------------------------------- write
+
+void Server::Enqueue(const std::shared_ptr<Connection>& conn,
+                     const Frame& frame) {
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  EnqueueRaw(conn, std::move(wire));
+}
+
+void Server::EnqueueRaw(const std::shared_ptr<Connection>& conn,
+                        std::string wire) {
+  bool need_kick = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->outbox_bytes += wire.size();
+    registry_->RecordNetOutboxBytes(static_cast<int64_t>(wire.size()));
+    conn->outbox.push_back(std::move(wire));
+    conn->last_activity = std::chrono::steady_clock::now();
+    if (!conn->kick_pending) {
+      conn->kick_pending = true;
+      need_kick = true;
+    }
+  }
+  if (need_kick) {
+    loop_->Post([this, conn] { KickFlush(conn); });
+  }
+}
+
+void Server::KickFlush(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->kick_pending = false;
+  }
+  if (!conn->dead) FlushOutbox(conn);
+}
+
+void Server::FlushOutbox(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead) return;
+  size_t flushed = 0;
+  for (;;) {
+    // Coalesce queued frames into one writev round: with TCP_NODELAY on,
+    // per-frame send() would put each tiny streamed chunk in its own
+    // packet — batched iovecs keep the syscall AND packet count flat.
+    // The iovecs point into outbox strings; that is safe across the
+    // unlock because only this (loop) thread pops or clears the deque,
+    // workers only push_back, and deque growth never moves elements.
+    struct iovec iov[kMaxWriteIov];
+    int iovcnt = 0;
+    size_t batch_bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      size_t skip = conn->front_written;
+      for (const std::string& w : conn->outbox) {
+        if (iovcnt == kMaxWriteIov) break;
+        iov[iovcnt].iov_base = const_cast<char*>(w.data()) + skip;
+        iov[iovcnt].iov_len = w.size() - skip;
+        batch_bytes += w.size() - skip;
+        skip = 0;
+        ++iovcnt;
+      }
+    }
+    if (iovcnt == 0) break;  // drained
+
+    struct msghdr msg = {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        conn->want_write = true;
+        UpdateInterest(conn);
+        return;
+      }
+      CloseConnection(conn);
+      return;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->outbox_bytes -= static_cast<size_t>(n);
+      const auto now = std::chrono::steady_clock::now();
+      conn->last_activity = now;
+      conn->last_write_progress = now;
+      size_t remaining = static_cast<size_t>(n);
+      while (remaining > 0) {
+        std::string& front = conn->outbox.front();
+        const size_t left = front.size() - conn->front_written;
+        if (remaining >= left) {
+          remaining -= left;
+          conn->front_written = 0;
+          conn->outbox.pop_front();
+        } else {
+          conn->front_written += remaining;
+          remaining = 0;
+        }
+      }
+    }
+    registry_->RecordNetOutboxBytes(-n);
+    flushed += static_cast<size_t>(n);
+    MaybeResumeReads(conn);
+
+    if (static_cast<size_t>(n) < batch_bytes) {
+      // Kernel buffer full mid-batch: EPOLLOUT re-drives the rest.
+      conn->want_write = true;
+      UpdateInterest(conn);
+      return;
+    }
+    if (flushed >= kMaxWritePerFlush) {
+      // Fairness cap: yield the loop to other connections and come back
+      // through a self-kick.
+      bool need_kick = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->kick_pending) {
+          conn->kick_pending = true;
+          need_kick = true;
+        }
+      }
+      if (need_kick) {
+        loop_->Post([this, conn] { KickFlush(conn); });
+      }
+      return;
+    }
+  }
+  // Outbox empty: disarm EPOLLOUT, lift backpressure, and perform the
+  // deferred close of a connection whose input already finished.
+  conn->want_write = false;
+  MaybeResumeReads(conn);
+  UpdateInterest(conn);
+  if (conn->input_done && ReadyToClose(conn)) CloseConnection(conn);
+}
+
+void Server::MaybeResumeReads(const std::shared_ptr<Connection>& conn) {
+  if (!conn->reads_paused || conn->dead) return;
+  bool below = true;
+  if (options_.max_outbox_bytes > 0) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    below = conn->outbox_bytes <= options_.max_outbox_bytes / 2;
+  }
+  if (below) {
+    conn->reads_paused = false;
+    UpdateInterest(conn);
+  }
+}
+
+// ------------------------------------------------------------ lifecycle
+
+void Server::UpdateInterest(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead || conn->token == 0) return;
+  uint32_t events = 0;
+  if (!conn->reads_paused && !conn->busy && !conn->input_done) {
+    events |= EPOLLIN;
+  }
+  if (conn->want_write) events |= EPOLLOUT;
+  loop_->Mod(conn->token, events);
+}
+
+bool Server::ReadyToClose(const std::shared_ptr<Connection>& conn) {
+  if (conn->busy) return false;
+  std::lock_guard<std::mutex> lock(conn->mu);
+  return conn->pending == 0 && conn->outbox.empty();
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  if (conn->token != 0) {
+    loop_->Del(conn->token);
+    conn->token = 0;
+  }
+  std::vector<std::shared_ptr<CancelToken>> orphans;
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closed = true;
+    for (const auto& [rid, token] : conn->inflight) {
+      orphans.push_back(token);
+    }
+    dropped = conn->outbox_bytes;
+    conn->outbox.clear();
+    conn->outbox_bytes = 0;
+    conn->front_written = 0;
+  }
+  if (dropped > 0) {
+    registry_->RecordNetOutboxBytes(-static_cast<int64_t>(dropped));
+  }
+  ::close(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(conn->id);
+  }
+  registry_->RecordConnectionClosed();
+  // A disconnect cancels the queries still in flight on it: nobody can
+  // receive their answers, their compute is pure waste, and — since a
+  // closed connection is no longer reachable through CancelAllInFlight —
+  // leaving them running would also unbound the Stop() drain.
+  for (auto& token : orphans) token->Cancel();
+}
+
+void Server::RunBlocking(const std::shared_ptr<Connection>& conn,
+                         std::function<void()> work) {
+  conn->busy = true;
+  UpdateInterest(conn);
+  {
+    std::lock_guard<std::mutex> lock(blocking_mu_);
+    blocking_queue_.push_back([this, conn, work = std::move(work)] {
+      work();
+      loop_->Post([this, conn] {
+        conn->busy = false;
+        if (conn->dead) return;
+        UpdateInterest(conn);
+        // Frames that arrived (or were already decoded) before the
+        // suspension resume in order.
+        ProcessInput(conn);
+        if (conn->dead) return;
+        if (conn->input_done && ReadyToClose(conn)) CloseConnection(conn);
+      });
+    });
+  }
+  blocking_cv_.notify_one();
+}
+
+void Server::BlockingWorker() {
+  for (;;) {
+    std::function<void()> work;
+    {
+      std::unique_lock<std::mutex> lock(blocking_mu_);
+      blocking_cv_.wait(
+          lock, [&] { return blocking_stop_ || !blocking_queue_.empty(); });
+      if (blocking_queue_.empty()) {
+        if (blocking_stop_) return;
+        continue;
+      }
+      work = std::move(blocking_queue_.front());
+      blocking_queue_.pop_front();
+    }
+    work();
+  }
+}
+
+void Server::OnTick() {
+  // Run() invokes this after every epoll_wait return, which under load is
+  // far more often than the 50 ms tick — and a sweep over 10k connections
+  // must not run per readiness batch. Throttle to the tick period.
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_tick_ < std::chrono::milliseconds(kTickMs)) return;
+  last_tick_ = now;
+
+  registry_->SetNetLoopCounters(loop_->iterations(), loop_->wakeups());
+
+  if (accept_paused_ && !draining_) {
+    // fd-exhaustion backoff over: try accepting again.
+    loop_->Mod(listen_token_, EPOLLIN);
+    accept_paused_ = false;
+  }
+
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) conns.push_back(conn);
+  }
+  for (const auto& conn : conns) {
+    if (conn->dead) continue;
+    if (draining_) {
+      if (ReadyToClose(conn)) {
+        CloseConnection(conn);
+        continue;
+      }
+      bool stalled = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        stalled = !conn->outbox.empty() &&
+                  now - conn->last_write_progress >=
+                      std::chrono::milliseconds(kStopWriteGraceMs);
+      }
+      if (stalled) CloseConnection(conn);  // dead peer: abandon the flush
+      continue;
+    }
+    if (options_.idle_timeout_ms > 0.0 && !conn->busy) {
+      // Quiescent means truly drained: no response pending and nothing
+      // queued (a partially-written frame keeps the outbox non-empty) —
+      // and the idle clock runs from the last activity in EITHER
+      // direction, so a connection being served a slow, long-streaming
+      // response is never reaped between its frames.
+      bool quiescent = false;
+      double idle_ms = 0.0;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        quiescent = conn->pending == 0 && conn->outbox.empty();
+        idle_ms = std::chrono::duration<double, std::milli>(
+                      now - conn->last_activity)
+                      .count();
+      }
+      if (quiescent && idle_ms >= options_.idle_timeout_ms) {
+        CloseConnection(conn);
+      }
+    }
+  }
+
+  // Refused-connection courtesy frames that never flushed: expire them.
+  std::vector<std::shared_ptr<Refusal>> expired;
+  for (const auto& [token, refusal] : refusals_) {
+    if (now - refusal->since >=
+        std::chrono::milliseconds(kStopWriteGraceMs)) {
+      expired.push_back(refusal);
+    }
+  }
+  for (const auto& refusal : expired) {
+    loop_->Del(refusal->token);
+    ::close(refusal->fd);
+    refusals_.erase(refusal->token);
+  }
+}
+
+// ------------------------------------------------------------- requests
 
 void Server::SendError(const std::shared_ptr<Connection>& conn, uint64_t id,
                        const Status& status) {
@@ -656,41 +1102,46 @@ void Server::HandleIngest(const std::shared_ptr<Connection>& conn,
                   "' is not owned by this shard (stale shard map?)"));
     return;
   }
-  // Ingest runs inline on this connection's reader thread: catalog writes
-  // are serialized anyway, and pipelined queries on *other* connections
-  // keep flowing. A client that wants queries to overlap its own ingest
-  // uses a second connection.
-  Status st;
-  IngestAck ack;
-  switch (type) {
-    case FrameType::kCreateRequest:
-      st = catalog_->CreateSeries(request.series,
-                                  TimeSeries(std::move(request.values)));
-      break;
-    case FrameType::kAppendRequest:
-      st = catalog_->AppendSeries(request.series, request.values);
-      break;
-    default:
-      st = catalog_->DropSeries(request.series);
-      break;
-  }
-  if (st.ok() && type != FrameType::kDropRequest) {
-    if (auto epoch = catalog_->SeriesEpoch(request.series); epoch.ok()) {
-      ack.epoch = *epoch;
+  // The catalog write (journal + chunk puts + index merge) can take long
+  // enough to stall every other connection if run on the loop — hand it
+  // to the blocking-work thread. This connection's frame processing is
+  // suspended meanwhile, so its pipelined requests still execute in
+  // order; other connections keep flowing.
+  RunBlocking(conn, [this, conn, type, id,
+                     request = std::move(request)]() mutable {
+    Status st;
+    IngestAck ack;
+    switch (type) {
+      case FrameType::kCreateRequest:
+        st = catalog_->CreateSeries(request.series,
+                                    TimeSeries(std::move(request.values)));
+        break;
+      case FrameType::kAppendRequest:
+        st = catalog_->AppendSeries(request.series, request.values);
+        break;
+      default:
+        st = catalog_->DropSeries(request.series);
+        break;
     }
-    if (auto length = catalog_->SeriesLength(request.series); length.ok()) {
-      ack.length = *length;
+    if (st.ok() && type != FrameType::kDropRequest) {
+      if (auto epoch = catalog_->SeriesEpoch(request.series); epoch.ok()) {
+        ack.epoch = *epoch;
+      }
+      if (auto length = catalog_->SeriesLength(request.series);
+          length.ok()) {
+        ack.length = *length;
+      }
     }
-  }
-  if (!st.ok()) {
-    SendError(conn, id, st);
-    return;
-  }
-  Frame response;
-  response.type = FrameType::kIngestResponse;
-  response.request_id = id;
-  EncodeIngestResponseBody(ack, &response.body);
-  Enqueue(conn, response);
+    if (!st.ok()) {
+      SendError(conn, id, st);
+      return;
+    }
+    Frame response;
+    response.type = FrameType::kIngestResponse;
+    response.request_id = id;
+    EncodeIngestResponseBody(ack, &response.body);
+    Enqueue(conn, response);
+  });
 }
 
 void Server::HandleCancel(const std::shared_ptr<Connection>& conn,
@@ -710,27 +1161,50 @@ void Server::HandleCancel(const std::shared_ptr<Connection>& conn,
 bool Server::RegisterRequest(const std::shared_ptr<Connection>& conn,
                              uint64_t id,
                              const std::shared_ptr<CancelToken>& token) {
-  std::lock_guard<std::mutex> lock(conn->mu);
-  if (conn->inflight.count(id) > 0) return false;
-  conn->pending += 1;
-  conn->requests += 1;
-  conn->inflight[id] = token;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->inflight.count(id) > 0) return false;
+    conn->pending += 1;
+    conn->requests += 1;
+    conn->inflight[id] = token;
+  }
+  total_pending_.fetch_add(1, std::memory_order_acq_rel);
   return true;
 }
 
 void Server::CompleteRequest(const std::shared_ptr<Connection>& conn,
                              uint64_t id, std::vector<std::string> wires) {
-  // One critical section: the request stays pending until its terminal
-  // frame is on the outbox, so neither the idle reaper nor the Stop()
-  // drain can observe "no pending work" with the response still in hand.
-  std::lock_guard<std::mutex> lock(conn->mu);
-  conn->pending -= 1;
-  conn->inflight.erase(id);
-  if (!conn->aborted) {
-    for (auto& w : wires) conn->outbox.push_back(std::move(w));
-    conn->last_enqueue = std::chrono::steady_clock::now();
+  bool need_kick = false;
+  {
+    // One critical section: the request stays pending until its terminal
+    // frame is on the outbox, so neither the idle reaper nor the Stop()
+    // drain can observe "no pending work" with the response still in
+    // hand. A closed connection drops the frames (nobody can read them)
+    // but still retires the booking.
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->pending -= 1;
+    conn->inflight.erase(id);
+    if (!conn->closed) {
+      size_t added = 0;
+      for (auto& w : wires) {
+        added += w.size();
+        conn->outbox.push_back(std::move(w));
+      }
+      conn->outbox_bytes += added;
+      registry_->RecordNetOutboxBytes(static_cast<int64_t>(added));
+      conn->last_activity = std::chrono::steady_clock::now();
+      if (!conn->kick_pending) {
+        conn->kick_pending = true;
+        need_kick = true;
+      }
+    }
   }
-  conn->cv.notify_all();
+  if (need_kick) {
+    loop_->Post([this, conn] { KickFlush(conn); });
+  }
+  // LAST, after every other touch of `this`: the moment this hits zero,
+  // Stop() may proceed to tear the server down.
+  total_pending_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 std::vector<std::string> Server::EncodeResponseRun(uint64_t id,
@@ -831,9 +1305,9 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
 
   // Deadline re-anchoring: the wire carries the REMAINING budget as of
   // the sender's send instant, so time spent on the wire and waiting in
-  // this reader's socket buffer must be charged against it here — not
-  // silently granted again (the double-count this hop used to have). A
-  // budget that is already spent still submits: QueryService answers
+  // this socket's buffer must be charged against it here — not silently
+  // granted again (the double-count this hop used to have). A budget
+  // that is already spent still submits: QueryService answers
   // DeadlineExceeded and records the counter, keeping the accounting in
   // one place.
   request.timeout_ms = RemainingBudgetMs(request.timeout_ms, received);

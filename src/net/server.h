@@ -2,28 +2,53 @@
 // multiplexing: one server process, many concurrent connections, each
 // pipelining independent queries over the shared catalog).
 //
-// Threading model: one acceptor thread plus a reader and a writer thread
-// per connection. The reader decodes frames and submits queries through
-// QueryService::SubmitWithCallback; completions enqueue encoded response
-// frames onto the connection's outbox, which the writer drains — so
-// responses stream back in completion order, not submission order, and a
-// slow query never blocks the answers behind it.
+// Threading model: a single epoll reactor thread owns every socket —
+// accept, incremental frame decode on EPOLLIN, and completion-order
+// writes drained from a per-connection outbox on EPOLLOUT — so the
+// thread count is constant no matter how many connections are open
+// (C10k from one loop). Query execution stays on the QueryService pool:
+// the reactor decodes a kQueryRequest, submits it through
+// SubmitWithCallback, and the completion (running on a pool worker)
+// pushes the encoded response frames onto the connection's outbox and
+// prods the loop through an eventfd wakeup. Blocking request kinds
+// (catalog ingest, a coordinator's shard round-trips) are handed to one
+// helper thread via RunBlocking(), with that connection's frame
+// processing suspended until the work finishes — per-connection frame
+// order is exactly what a dedicated reader thread would have produced,
+// but every other connection keeps flowing.
 //
-// Robustness: a CRC-corrupted or malformed frame is answered with a typed
-// kError frame and the connection keeps serving; only an oversized
-// declared payload (framing no longer trustworthy) closes that one
-// connection. Connections over the limit are refused with
-// ResourceExhausted. Stop() is graceful with a bounded drain: it stops
-// accepting, lets submitted queries finish for up to drain_timeout_ms,
-// cancels whatever is still running via the per-query tokens (those
-// queries answer Cancelled within a verify-slice), flushes the responses,
-// then joins all threads.
+// Flow control: sockets are nonblocking; partial reads resume through
+// the incremental FrameDecoder and partial writes through a write cursor
+// into the outbox, which EPOLLOUT (level-triggered) re-drives. Queued
+// frames coalesce into a single writev per drain round, so streaming
+// tiny chunked matches does not pay one syscall per frame. When a
+// connection's outbox exceeds max_outbox_bytes (a slow reader with a
+// deep pipeline), the reactor stops reading from that connection until
+// the peer drains below half the cap — responses already owed are never
+// dropped, but a stalled consumer cannot queue unbounded new work.
+//
+// Robustness: a CRC-corrupted or malformed frame is answered with a
+// typed kError frame and the connection keeps serving; only an oversized
+// declared payload (framing no longer trustworthy) ends that connection
+// (after its error frame flushes). Connections over the limit are
+// refused with ResourceExhausted. A disconnect cancels the queries still
+// in flight on that connection — their compute is not owed to anyone
+// anymore. Stop() is graceful with a bounded drain: it stops accepting
+// and reading, lets submitted queries finish for up to drain_timeout_ms,
+// cancels whatever is still running via the per-query tokens, flushes
+// the responses (abandoning peers that stop reading for
+// kStopWriteGraceMs), then joins the loop.
 //
 // Large match sets stream: when a response carries more matches than
 // stream_chunk_matches, it leaves as a sequence of kMatchResponsePart
 // frames followed by a final (matchless) kQueryResponse, so no result is
 // ever forced through a single ≤64 MiB frame. A kCancel frame aborts the
 // in-flight query with the same request id on that connection.
+//
+// Plain HTTP coexists on the frame port via first-bytes sniffing:
+// GET/HEAD /metrics and /healthz are answered directly by the loop, with
+// Connection: keep-alive honored when the scraper asks for it (and
+// Connection: close otherwise).
 #ifndef KVMATCH_NET_SERVER_H_
 #define KVMATCH_NET_SERVER_H_
 
@@ -40,6 +65,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/event_loop.h"
 #include "net/protocol.h"
 #include "service/catalog.h"
 #include "service/query_service.h"
@@ -55,6 +81,12 @@ class Server {
     size_t max_connections = 64;   // beyond this, refuse with an error frame
     double idle_timeout_ms = 0.0;  // close idle connections; 0 disables
     size_t max_frame_bytes = kMaxPayloadBytes;
+    /// Backpressure cap on one connection's queued-but-unsent response
+    /// bytes: past it the reactor stops reading that connection's socket
+    /// (no new requests) until the peer drains below half the cap.
+    /// Responses owed for already-accepted requests still enqueue — the
+    /// cap bounds new intake, not delivery. 0 disables.
+    size_t max_outbox_bytes = 256ull << 20;
     /// Cluster identity answered on kShardInfoRequest: this process's
     /// shard id and the shard count / fingerprint of the map that
     /// assigned it. Defaults mean "standalone: not part of a cluster".
@@ -99,20 +131,20 @@ class Server {
   /// executes. Both must outlive the server.
   Server(Catalog* catalog, QueryService* service, Options options);
   /// Subclasses (a coordinator front-end) that reuse the transport —
-  /// accept/reader/writer threads, framing, HTTP sniffing, drain — but
-  /// answer the request frames themselves. They MUST call Stop() in
-  /// their own destructor: the base destructor's Stop() would run after
-  /// the subclass members the virtual handlers touch are gone.
+  /// reactor, framing, HTTP sniffing, drain — but answer the request
+  /// frames themselves. They MUST call Stop() in their own destructor:
+  /// the base destructor's Stop() would run after the subclass members
+  /// the virtual handlers touch are gone.
   virtual ~Server();  // calls Stop()
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and starts the acceptor thread.
+  /// Binds, listens and starts the reactor thread.
   Status Start();
 
-  /// Graceful shutdown: stop accepting, drain in-flight queries, flush
-  /// their responses, join every thread. Idempotent.
+  /// Graceful shutdown: stop accepting and reading, drain in-flight
+  /// queries, flush their responses, join every thread. Idempotent.
   void Stop();
 
   /// The bound port (after Start); useful with Options::port == 0.
@@ -129,32 +161,51 @@ class Server {
   struct Connection {
     uint64_t id = 0;
     int fd = -1;
-    std::thread reader;
-    std::thread writer;
+    uint64_t token = 0;  // event-loop registration
+    std::chrono::steady_clock::time_point opened;
 
+    /// Guards the fields workers share with the loop: the outbox and its
+    /// byte gauge, the in-flight bookkeeping, and the activity clock.
     std::mutex mu;
-    std::condition_variable cv;
     std::deque<std::string> outbox;  // encoded frames awaiting write
-    size_t pending = 0;              // submitted queries not yet enqueued
+    size_t outbox_bytes = 0;         // sum of queued (unsent) bytes
+    size_t front_written = 0;        // partial-write cursor into front()
+    /// A flush has been posted to the loop and not yet run — coalesces
+    /// the kicks of back-to-back completions into one loop entry.
+    bool kick_pending = false;
+    /// The fd is closed and the connection retired: enqueues are dropped
+    /// (their request is still retired through the pending counters).
+    bool closed = false;
+    size_t pending = 0;  // submitted queries not yet enqueued
     /// Cancellation token per in-flight query, keyed by the client's
     /// request id; entries vanish when the response is enqueued. kCancel
-    /// frames and the Stop() drain watchdog fire these.
+    /// frames, disconnects, and the Stop() drain watchdog fire these.
     std::map<uint64_t, std::shared_ptr<CancelToken>> inflight;
-    bool reader_done = false;        // no more frames will be submitted
-    bool aborted = false;            // write error: drop outbox, exit now
-    bool finished = false;           // writer exited; joinable by reaper
-    /// The writer popped a frame and is mid-WriteAll: the outbox being
-    /// empty does NOT mean the connection is drained. Part of the
-    /// idle-timeout quiescence predicate.
-    bool writing = false;
-    /// Last time anything was pushed onto the outbox — outbound activity
-    /// counts against idleness just like inbound bytes, so the idle
-    /// reaper cannot close a connection right after serving it a slow,
-    /// long-streaming response.
-    std::chrono::steady_clock::time_point last_enqueue;
+    uint64_t requests = 0;  // served requests (stats)
+    /// Last byte movement in either direction — inbound reads or write
+    /// progress — so the idle reaper never closes a connection that is
+    /// slowly draining a response.
+    std::chrono::steady_clock::time_point last_activity;
+    /// Last write progress, for the Stop() grace watchdog: a peer that
+    /// stops reading during shutdown is abandoned after a bounded stall.
+    std::chrono::steady_clock::time_point last_write_progress;
 
-    uint64_t requests = 0;  // guarded by mu (stats)
-    std::chrono::steady_clock::time_point opened;
+    // ---- loop-thread-only state ----
+    FrameDecoder decoder;
+    bool sniffed = false;    // first bytes classified HTTP vs frames
+    bool http_mode = false;
+    std::string http_buf;
+    /// A blocking op (ingest / federation round-trip) is in flight on the
+    /// helper thread: frame processing and reads are suspended so
+    /// per-connection order matches the old dedicated-reader semantics.
+    bool busy = false;
+    bool reads_paused = false;  // EPOLLIN disarmed (backpressure/busy)
+    bool want_write = false;    // EPOLLOUT armed (partial write pending)
+    /// No more input will be processed (peer EOF, fatal framing error,
+    /// HTTP close, or server drain): the connection closes once pending
+    /// responses have been enqueued and the outbox has flushed.
+    bool input_done = false;
+    bool dead = false;  // CloseConnection ran (loop-side mirror of closed)
   };
 
   /// Transport-only construction for subclasses: no catalog, no query
@@ -165,13 +216,15 @@ class Server {
 
   /// kQueryRequest. The base submits to the QueryService; a coordinator
   /// fans out to its shards. `received` is the frame-arrival instant —
-  /// the anchor for deadline-budget accounting at this hop.
+  /// the anchor for deadline-budget accounting at this hop. Runs on the
+  /// loop thread and must not block.
   virtual void HandleQuery(const std::shared_ptr<Connection>& conn,
                            uint64_t id, std::string_view body,
                            std::chrono::steady_clock::time_point received);
-  /// kCreate/kAppend/kDrop: runs the catalog write inline on the reader
-  /// thread (catalog writes are serialized; other connections' queries
-  /// keep flowing) and answers with kIngestResponse or kError.
+  /// kCreate/kAppend/kDrop: decodes on the loop thread, then runs the
+  /// catalog write on the blocking-work thread via RunBlocking (catalog
+  /// writes are serialized; other connections' queries keep flowing) and
+  /// answers with kIngestResponse or kError.
   virtual void HandleIngest(const std::shared_ptr<Connection>& conn,
                             FrameType type, uint64_t id,
                             std::string_view body);
@@ -191,7 +244,7 @@ class Server {
   /// Retires `id` and pushes its encoded response frames onto the outbox
   /// as one contiguous run, all under one critical section — a request
   /// stays pending until its terminal frame is enqueued, which the idle
-  /// reaper and the Stop() drain both rely on.
+  /// reaper and the Stop() drain both rely on. Safe from any thread.
   void CompleteRequest(const std::shared_ptr<Connection>& conn, uint64_t id,
                        std::vector<std::string> wires);
   /// Encodes `response` as its wire run: kMatchResponsePart chunks per
@@ -203,21 +256,63 @@ class Server {
                                              QueryResponse response,
                                              bool wants_trace) const;
 
-  static void Enqueue(const std::shared_ptr<Connection>& conn,
-                      const Frame& frame);
-  /// Pushes pre-encoded bytes (an HTTP response) onto the outbox.
-  static void EnqueueRaw(const std::shared_ptr<Connection>& conn,
-                         std::string wire);
+  void Enqueue(const std::shared_ptr<Connection>& conn, const Frame& frame);
+  /// Pushes pre-encoded bytes (an HTTP response) onto the outbox and
+  /// kicks the loop. Safe from any thread.
+  void EnqueueRaw(const std::shared_ptr<Connection>& conn, std::string wire);
   void SendError(const std::shared_ptr<Connection>& conn, uint64_t id,
                  const Status& status);
+
+  /// Hands `work` to the blocking-work thread with this connection's
+  /// frame processing suspended until it finishes; per-connection frame
+  /// order is preserved exactly as if the work had run inline on a
+  /// dedicated reader, but the reactor keeps serving every other
+  /// connection meanwhile. Loop thread only (request handlers). `work`
+  /// may Enqueue/CompleteRequest/SendError; it must not touch
+  /// loop-thread-only state.
+  void RunBlocking(const std::shared_ptr<Connection>& conn,
+                   std::function<void()> work);
 
   const Options& options() const { return options_; }
   StatsRegistry* registry() const { return registry_; }
 
  private:
-  void AcceptLoop();
-  void ReaderLoop(const std::shared_ptr<Connection>& conn);
-  void WriterLoop(const std::shared_ptr<Connection>& conn);
+  // ---- loop-thread handlers ----
+  void OnAcceptable();
+  void OnConnectionEvent(const std::shared_ptr<Connection>& conn,
+                         uint32_t events);
+  void OnReadable(const std::shared_ptr<Connection>& conn);
+  /// Drains decoded frames (and buffered HTTP requests) until the
+  /// decoder runs dry or the connection suspends/dies.
+  void ProcessInput(const std::shared_ptr<Connection>& conn);
+  void ProcessHttp(const std::shared_ptr<Connection>& conn);
+  /// writev-drains the outbox until EAGAIN, empty, or the fairness cap;
+  /// arms/disarms EPOLLOUT, resumes backpressured reads, and performs
+  /// the deferred close once a finished connection has flushed.
+  void FlushOutbox(const std::shared_ptr<Connection>& conn);
+  /// Loop-side landing of an enqueue kick: clears the coalescing flag and
+  /// flushes.
+  void KickFlush(const std::shared_ptr<Connection>& conn);
+  /// Re-arms EPOLLIN on a backpressured connection once its outbox has
+  /// drained below half the cap.
+  void MaybeResumeReads(const std::shared_ptr<Connection>& conn);
+  /// Recomputes and applies the epoll interest mask from the
+  /// paused/busy/input_done/want_write flags.
+  void UpdateInterest(const std::shared_ptr<Connection>& conn);
+  /// Closes the fd, retires the connection from the table, cancels its
+  /// in-flight queries. Loop thread only; idempotent.
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  /// True when every response owed has been enqueued AND flushed and no
+  /// blocking work is suspended on this connection.
+  bool ReadyToClose(const std::shared_ptr<Connection>& conn);
+  /// Periodic loop work: idle reaping, drain-mode closes, the shutdown
+  /// write-stall watchdog, refused-connection timeouts, and the loop
+  /// counters' export to the registry.
+  void OnTick();
+  /// Runs on the loop at the head of Stop(): stops accepting, marks every
+  /// connection input_done, restarts the write-stall grace clocks. After
+  /// it returns, no new connection or request can register.
+  void EnterDrain();
 
   void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
   /// kCancel: fires the token of the in-flight query with this id on this
@@ -225,18 +320,28 @@ class Server {
   void HandleCancel(const std::shared_ptr<Connection>& conn, uint64_t id);
   /// Cancels every in-flight query on every connection (drain watchdog).
   void CancelAllInFlight();
-  /// Sum of pending responses across connections.
-  size_t PendingQueries() const;
 
   /// Answers one plain-HTTP request (`head` is everything up to the blank
-  /// line) on a connection whose first bytes sniffed as an HTTP verb:
-  /// GET /metrics → the Prometheus text dump, GET /healthz → liveness.
-  /// One request per connection (Connection: close).
-  void HandleHttp(const std::shared_ptr<Connection>& conn,
+  /// line). Returns true to keep the connection open for the next request
+  /// (the client sent Connection: keep-alive), false to close after the
+  /// response flushes.
+  bool HandleHttp(const std::shared_ptr<Connection>& conn,
                   std::string_view head);
 
-  /// Joins finished connections; with `all`, joins every connection.
-  void Reap(bool all);
+  /// Over-limit courtesy refusal: flushes the error frame from the loop
+  /// without ever becoming a tracked connection.
+  void RefuseConnection(int fd);
+
+  /// Refused-over-limit sockets still flushing their courtesy error
+  /// frame. Loop thread only.
+  struct Refusal {
+    int fd = -1;
+    uint64_t token = 0;
+    std::string wire;
+    size_t written = 0;
+    std::chrono::steady_clock::time_point since;
+  };
+  void FlushRefusal(const std::shared_ptr<Refusal>& refusal);
 
   Catalog* catalog_;
   QueryService* service_;
@@ -244,10 +349,35 @@ class Server {
   Options options_;
 
   int listen_fd_ = -1;
+  uint64_t listen_token_ = 0;
   int port_ = 0;
   std::atomic<bool> stop_{false};
   bool started_ = false;
-  std::thread acceptor_;
+  // Loop-thread-only state.
+  bool draining_ = false;       // EnterDrain ran: shutting down
+  bool accept_paused_ = false;  // fd-exhaustion backoff on the listener
+  std::chrono::steady_clock::time_point last_tick_{};
+
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+
+  /// Requests accepted (RegisterRequest) and not yet completed, across
+  /// every connection including already-closed ones — what the Stop()
+  /// drain waits on. The decrement is CompleteRequest's final action, so
+  /// observing 0 means no completion callback will touch `this` again.
+  std::atomic<size_t> total_pending_{0};
+
+  // ---- blocking-work helper (single thread, FIFO: preserves catalog
+  // write order across connections exactly like the old inline path) ----
+  void BlockingWorker();
+  std::thread blocking_thread_;
+  std::mutex blocking_mu_;
+  std::condition_variable blocking_cv_;
+  std::deque<std::function<void()>> blocking_queue_;
+  bool blocking_stop_ = false;
+
+  /// Loop thread only (Stop() sweeps leftovers after the loop is joined).
+  std::map<uint64_t, std::shared_ptr<Refusal>> refusals_;  // by loop token
 
   mutable std::mutex conns_mu_;
   std::map<uint64_t, std::shared_ptr<Connection>> conns_;

@@ -142,6 +142,20 @@ void StatsRegistry::RecordProtocolError() {
   protocol_errors_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void StatsRegistry::RecordNetOutboxBytes(int64_t delta) {
+  net_outbox_bytes_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void StatsRegistry::RecordNetReadPaused() {
+  net_reads_paused_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsRegistry::SetNetLoopCounters(uint64_t iterations,
+                                       uint64_t wakeups) {
+  net_loop_iterations_.store(iterations, std::memory_order_relaxed);
+  net_epoll_wakeups_.store(wakeups, std::memory_order_relaxed);
+}
+
 void StatsRegistry::RecordIngest(const std::string& series, uint64_t points,
                                  uint64_t batches) {
   points_appended_.fetch_add(points, std::memory_order_relaxed);
@@ -236,6 +250,15 @@ ServiceStatsSnapshot StatsRegistry::Snapshot() const {
   snap.connections_rejected =
       connections_rejected_.load(std::memory_order_relaxed);
   snap.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  // The outbox gauge can transiently read negative (an enqueue's add and
+  // the flusher's subtract are not one atomic step); clamp for display.
+  snap.net_outbox_bytes = static_cast<uint64_t>(std::max<int64_t>(
+      0, net_outbox_bytes_.load(std::memory_order_relaxed)));
+  snap.net_reads_paused = net_reads_paused_.load(std::memory_order_relaxed);
+  snap.net_loop_iterations =
+      net_loop_iterations_.load(std::memory_order_relaxed);
+  snap.net_epoll_wakeups =
+      net_epoll_wakeups_.load(std::memory_order_relaxed);
   snap.points_appended = points_appended_.load(std::memory_order_relaxed);
   snap.ingest_batches = ingest_batches_.load(std::memory_order_relaxed);
   snap.epochs_retired = epochs_retired_.load(std::memory_order_relaxed);
@@ -324,6 +347,10 @@ void StatsRegistry::Reset() {
       std::memory_order_relaxed);
   connections_rejected_.store(0, std::memory_order_relaxed);
   protocol_errors_.store(0, std::memory_order_relaxed);
+  // net_outbox_bytes_ is a live gauge owned by the reactor's enqueue/flush
+  // pairing; the loop counters are absolute exports overwritten on every
+  // tick — resetting either would desync them.
+  net_reads_paused_.store(0, std::memory_order_relaxed);
   points_appended_.store(0, std::memory_order_relaxed);
   ingest_batches_.store(0, std::memory_order_relaxed);
   epochs_retired_.store(0, std::memory_order_relaxed);
@@ -436,6 +463,16 @@ std::string StatsToText(const ServiceStatsSnapshot& snap) {
   EmitCounter(&out, "kvmatch_connections_rejected_total",
               snap.connections_rejected);
   EmitCounter(&out, "kvmatch_protocol_errors_total", snap.protocol_errors);
+  // Reactor (epoll event-loop server) gauges.
+  EmitCounter(&out, "kvmatch_net_open_connections", snap.connections_open);
+  EmitCounter(&out, "kvmatch_net_accept_refused_total",
+              snap.connections_rejected);
+  EmitCounter(&out, "kvmatch_net_outbox_bytes", snap.net_outbox_bytes);
+  EmitCounter(&out, "kvmatch_net_reads_paused_total", snap.net_reads_paused);
+  EmitCounter(&out, "kvmatch_net_loop_iterations_total",
+              snap.net_loop_iterations);
+  EmitCounter(&out, "kvmatch_net_epoll_wakeups_total",
+              snap.net_epoll_wakeups);
   EmitCounter(&out, "kvmatch_ingest_points_total", snap.points_appended);
   EmitCounter(&out, "kvmatch_ingest_batches_total", snap.ingest_batches);
   EmitCounter(&out, "kvmatch_epochs_retired_total", snap.epochs_retired);

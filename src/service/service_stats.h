@@ -113,6 +113,11 @@ struct ServiceStatsSnapshot {
   uint64_t connections_accepted = 0;  // lifetime, includes open ones
   uint64_t connections_rejected = 0;  // over the connection limit
   uint64_t protocol_errors = 0;       // corrupt/malformed frames received
+  // Reactor gauges (epoll event-loop server); zero without one attached.
+  uint64_t net_outbox_bytes = 0;      // queued-unsent response bytes, live
+  uint64_t net_reads_paused = 0;      // backpressure read-pauses, lifetime
+  uint64_t net_loop_iterations = 0;   // epoll_wait returns
+  uint64_t net_epoll_wakeups = 0;     // eventfd prods from worker threads
   // Ingest pipeline counters (catalog write path).
   uint64_t points_appended = 0;    // across create/append/replace
   uint64_t ingest_batches = 0;     // WriteBatches committed
@@ -190,6 +195,14 @@ class StatsRegistry {
   void RecordConnectionClosed();
   void RecordConnectionRejected();
   void RecordProtocolError();
+  /// Live queued-but-unsent response bytes across every connection:
+  /// positive deltas on enqueue, negative as the reactor writes them out
+  /// (or drops them with a closing connection).
+  void RecordNetOutboxBytes(int64_t delta);
+  /// One backpressure read-pause (a connection's outbox hit its cap).
+  void RecordNetReadPaused();
+  /// Loop-health counters, exported by the reactor on its tick.
+  void SetNetLoopCounters(uint64_t iterations, uint64_t wakeups);
 
   // Ingest pipeline metrics, recorded by the Catalog's write path.
   void RecordIngest(const std::string& series, uint64_t points,
@@ -274,6 +287,10 @@ class StatsRegistry {
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_rejected_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<int64_t> net_outbox_bytes_{0};
+  std::atomic<uint64_t> net_reads_paused_{0};
+  std::atomic<uint64_t> net_loop_iterations_{0};
+  std::atomic<uint64_t> net_epoll_wakeups_{0};
   std::atomic<uint64_t> points_appended_{0};
   std::atomic<uint64_t> ingest_batches_{0};
   std::atomic<uint64_t> epochs_retired_{0};

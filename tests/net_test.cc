@@ -1930,6 +1930,444 @@ TEST(NetServerTest, IdleReaperSparesConnectionDrainingAResponse) {
   idle_server.Stop();
 }
 
+// ------------------------------------------------------- reactor behavior
+
+TEST(NetServerTest, HttpKeepAliveServesMultipleScrapes) {
+  ServerFixture fx;
+  // An explicit Connection: keep-alive holds the socket open across
+  // requests; omitting it (HTTP/1.1 default notwithstanding) closes.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(fx.server->port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  auto send_all = [&](std::string_view data) {
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+  };
+  // One full response: headers + Content-Length body, socket left open.
+  auto read_response = [&]() -> std::string {
+    std::string resp;
+    char buf[4096];
+    size_t body_at = std::string::npos, declared = 0;
+    for (;;) {
+      if (body_at == std::string::npos) {
+        body_at = resp.find("\r\n\r\n");
+        if (body_at != std::string::npos) {
+          const size_t cl = resp.find("Content-Length: ");
+          EXPECT_NE(cl, std::string::npos) << resp;
+          declared = std::strtoull(
+              resp.c_str() + cl + std::strlen("Content-Length: "), nullptr,
+              10);
+        }
+      }
+      if (body_at != std::string::npos &&
+          resp.size() >= body_at + 4 + declared) {
+        return resp;
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) return resp;
+      resp.append(buf, static_cast<size_t>(n));
+    }
+  };
+
+  for (int i = 0; i < 3; ++i) {
+    send_all(
+        "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n"
+        "\r\n");
+    const std::string resp = read_response();
+    EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+    EXPECT_NE(resp.find("Connection: keep-alive"), std::string::npos);
+    EXPECT_NE(resp.find("\r\n\r\nok\n"), std::string::npos);
+  }
+  // A scrape too — keep-alive is not /healthz-specific.
+  send_all(
+      "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: Keep-Alive\r\n\r\n");
+  const std::string scrape = read_response();
+  EXPECT_NE(scrape.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(scrape.find("Connection: keep-alive"), std::string::npos);
+  EXPECT_NE(scrape.find("kvmatch_net_open_connections"), std::string::npos);
+
+  // Without the header the server answers and closes, as it always has.
+  send_all("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string last = read_response();
+  EXPECT_NE(last.find("Connection: close"), std::string::npos) << last;
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // clean EOF from the server
+  ::close(fd);
+  EXPECT_GE(fx.service->Stats().http_requests, 5u);
+}
+
+TEST(NetServerTest, TrickledBytesReassembleAcrossSyscalls) {
+  // One byte per syscall: every frame-prologue and payload boundary lands
+  // mid-read, so partial-read resumption is exercised at every offset.
+  ServerFixture fx;
+  RawConnection raw(fx.server->port());
+
+  WireQueryRequest wire;
+  wire.request.series = SeriesName(0);
+  wire.request.query.assign(100, 0.0);
+  wire.request.params.epsilon = 2.0;
+  Frame request;
+  request.type = FrameType::kQueryRequest;
+  request.request_id = 7;
+  EncodeQueryRequestBody(wire, &request.body);
+
+  std::string bytes;
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 8;
+  EncodeFrame(request, &bytes);
+  EncodeFrame(ping, &bytes);
+
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    raw.Send(std::string_view(bytes).substr(i, 1));
+  }
+  // Both answers, in either order: the pong overtakes the response when
+  // the query is still on a worker thread as the ping assembles.
+  bool got_response = false, got_pong = false;
+  Frame out;
+  while (!got_response || !got_pong) {
+    ASSERT_TRUE(raw.ReadFrame(&out));
+    if (out.type == FrameType::kPong) {
+      EXPECT_EQ(out.request_id, 8u);
+      got_pong = true;
+    } else {
+      ASSERT_EQ(out.type, FrameType::kQueryResponse);
+      EXPECT_EQ(out.request_id, 7u);
+      QueryResponse response;
+      ASSERT_TRUE(DecodeQueryResponseBody(out.body, &response).ok());
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+      got_response = true;
+    }
+  }
+}
+
+TEST(NetServerTest, SlowReaderBackpressurePausesAndResumesReads) {
+  // A stalled reader behind a multi-MB streamed response must push the
+  // outbox past the cap, pause further reads (counted), and resume once
+  // the drain crosses the half-watermark — with every byte delivered.
+  MemKvStore store;
+  Catalog::Options copts;
+  copts.session = SmallOptions();
+  {
+    Catalog ingest(&store, copts);
+    Rng rng(77);
+    // ~1.5M matches ≈ 16 MB encoded: far beyond the ~4 MB the kernel
+    // will buffer (tcp_wmem caps sndbuf there), so the outbox provably
+    // holds many megabytes while the client stalls.
+    ASSERT_TRUE(
+        ingest.Ingest("wide", GenerateSynthetic(1'500'000, &rng)).ok());
+  }
+  Catalog catalog(&store, copts);
+  QueryService service(
+      &catalog, QueryService::Options{.num_threads = 2, .max_queue = 64});
+  catalog.SetStatsRegistry(service.stats_registry());
+  Server::Options nopts;
+  nopts.port = 0;
+  nopts.stream_chunk_matches = 50'000;  // force chunked kMatchResponsePart
+  nopts.max_outbox_bytes = 256 * 1024;
+  Server server(&catalog, &service, nopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf)),
+            0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+      0);
+  auto send_all = [&](std::string_view data) {
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+  };
+
+  WireQueryRequest wire;
+  wire.request.series = "wide";
+  wire.request.query.assign(100, 0.0);
+  wire.request.params.epsilon = 1e9;  // everything matches
+  Frame request;
+  request.type = FrameType::kQueryRequest;
+  request.request_id = 1;
+  EncodeQueryRequestBody(wire, &request.body);
+  std::string bytes;
+  EncodeFrame(request, &bytes);
+  send_all(bytes);
+
+  // Stall unread until the streamed response has piled well past the cap
+  // in the outbox — 8x, so the kernel socket buffer still absorbing the
+  // early parts can't drain it back under the cap before the ping below
+  // lands. Polled, not slept: sanitizer builds run the query an order of
+  // magnitude slower.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (service.Stats().net_outbox_bytes < 8 * nopts.max_outbox_bytes) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "outbox never crossed the cap";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // More inbound bytes now force the reactor's backpressure decision: the
+  // ping may be processed first or sit paused in the kernel buffer, but
+  // the pause itself must be taken and counted.
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 2;
+  bytes.clear();
+  EncodeFrame(ping, &bytes);
+  send_all(bytes);
+  while (service.Stats().net_reads_paused < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "outbox over the cap never paused reads";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Drain everything: all streamed parts, the final frame, and the pong.
+  FrameDecoder decoder;
+  char buf[64 * 1024];
+  Frame frame;
+  bool got_final = false, got_pong = false;
+  std::vector<MatchResult> matches;
+  while (!got_final || !got_pong) {
+    Status error;
+    switch (decoder.Next(&frame, &error)) {
+      case FrameDecoder::Event::kFrame:
+        if (frame.type == FrameType::kMatchResponsePart) {
+          ASSERT_TRUE(DecodeMatchPartBody(frame.body, &matches).ok());
+        } else if (frame.type == FrameType::kPong) {
+          EXPECT_EQ(frame.request_id, 2u);
+          got_pong = true;
+        } else {
+          ASSERT_EQ(frame.type, FrameType::kQueryResponse);
+          QueryResponse response;
+          ASSERT_TRUE(DecodeQueryResponseBody(frame.body, &response).ok());
+          ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+          matches.insert(matches.end(), response.matches.begin(),
+                         response.matches.end());
+          got_final = true;
+        }
+        continue;
+      case FrameDecoder::Event::kNeedMore:
+        break;
+      default:
+        FAIL() << "stream corrupted: " << error.ToString();
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server closed the connection mid-drain";
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+  EXPECT_EQ(matches.size(), 1'500'000u - 100u + 1u);
+
+  // Reads resumed after the drain: a fresh ping answers promptly.
+  ping.request_id = 3;
+  bytes.clear();
+  EncodeFrame(ping, &bytes);
+  send_all(bytes);
+  bool got_second_pong = false;
+  while (!got_second_pong) {
+    Status error;
+    switch (decoder.Next(&frame, &error)) {
+      case FrameDecoder::Event::kFrame:
+        EXPECT_EQ(frame.type, FrameType::kPong);
+        EXPECT_EQ(frame.request_id, 3u);
+        got_second_pong = true;
+        continue;
+      case FrameDecoder::Event::kNeedMore:
+        break;
+      default:
+        FAIL() << "stream corrupted: " << error.ToString();
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(NetServerTest, ReactorSurvivesMutatedFrameStreams) {
+  // The decoder-level fuzz (DecoderSurvivesRandomMutations...) proves the
+  // parser; this drives the same seeded mutations through real sockets so
+  // the reactor's error paths — kBadFrame error frames, kFatal
+  // half-close, mid-parse disconnects — run end to end. The server must
+  // outlive every storm and still answer a clean client.
+  ServerFixture fx(/*threads=*/2, /*max_conns=*/64);
+
+  std::vector<std::string> pool;
+  {
+    Rng rng(24680);
+    for (int i = 0; i < 4; ++i) {
+      Frame frame;
+      frame.request_id = static_cast<uint64_t>(i + 1);
+      switch (i % 3) {
+        case 0:
+          frame.type = FrameType::kPing;
+          break;
+        case 1: {
+          frame.type = FrameType::kQueryRequest;
+          WireQueryRequest wire;
+          wire.request.series = SeriesName(0);
+          wire.request.query.assign(64, 0.5);
+          wire.request.params.epsilon = 2.0;
+          EncodeQueryRequestBody(wire, &frame.body);
+          break;
+        }
+        default:
+          frame.type = FrameType::kCancel;
+          break;
+      }
+      std::string wire_bytes;
+      EncodeFrame(frame, &wire_bytes);
+      pool.push_back(std::move(wire_bytes));
+    }
+  }
+
+  Rng rng(13579);
+  for (int trial = 0; trial < 32; ++trial) {
+    std::string stream;
+    const int64_t count = rng.UniformInt(1, 3);
+    for (int64_t i = 0; i < count; ++i) {
+      stream += pool[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+    }
+    const int64_t mutations = rng.UniformInt(1, 4);
+    for (int64_t m = 0; m < mutations && !stream.empty(); ++m) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(stream.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          stream[pos] = static_cast<char>(stream[pos] ^
+                                          (1 << rng.UniformInt(0, 7)));
+          break;
+        case 1:
+          stream.resize(pos);
+          break;
+        default:
+          for (int64_t k = rng.UniformInt(1, 16); k > 0; --k) {
+            stream.insert(pos, 1,
+                          static_cast<char>(rng.UniformInt(0, 255)));
+          }
+          break;
+      }
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(fx.server->port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string_view data = stream;
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n <= 0) break;  // server closed on us mid-send — acceptable
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    // Half-close: the server sees EOF, finishes whatever parsed cleanly,
+    // and closes. Drain its side (bounded by a receive timeout: a
+    // mutation that enlarged a declared length legitimately leaves the
+    // decoder waiting for bytes that never come).
+    ::shutdown(fd, SHUT_WR);
+    struct timeval tv = {};
+    tv.tv_usec = 200 * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char buf[16 * 1024];
+    while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+    }
+    ::close(fd);
+  }
+
+  // The reactor took 32 storms; a well-behaved client is unaffected.
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+  QueryRequest req;
+  req.series = SeriesName(0);
+  req.query.assign(100, 0.0);
+  req.params.epsilon = 2.0;
+  auto response = (*client)->Query(req);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->status.ok()) << response->status.ToString();
+}
+
+TEST(NetServerTest, MetricsExposeReactorGauges) {
+  ServerFixture fx;
+  // Hold one frame connection open so the gauge counts it plus the
+  // scrape's own connection.
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  // A query's completion crosses from a worker thread into the loop via
+  // the eventfd — that is the wakeup the counter must witness. (Pings
+  // are answered inline on the loop thread and would prove nothing.)
+  QueryRequest req;
+  req.series = SeriesName(0);
+  req.query.assign(100, 0.0);
+  req.params.epsilon = 2.0;
+  auto response = (*client)->Query(req);
+  ASSERT_TRUE(response.ok());
+  // Loop counters are exported on the reactor's 50 ms tick; let one pass.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  const std::string resp = RawHttpExchange(
+      fx.server->port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  for (const char* name :
+       {"kvmatch_net_open_connections", "kvmatch_net_accept_refused_total",
+        "kvmatch_net_outbox_bytes", "kvmatch_net_reads_paused_total",
+        "kvmatch_net_loop_iterations_total",
+        "kvmatch_net_epoll_wakeups_total"}) {
+    EXPECT_NE(resp.find(name), std::string::npos) << name;
+  }
+  const ServiceStatsSnapshot snap = fx.service->Stats();
+  EXPECT_GE(snap.connections_open, 1u);
+  EXPECT_GE(snap.net_loop_iterations, 1u);
+  // The ping completion crossed threads, so at least one eventfd kick.
+  EXPECT_GE(snap.net_epoll_wakeups, 1u);
+}
+
+TEST(NetServerTest, IdleConnectionsDoNotStarveActiveClient) {
+  // A small in-test C10k: park idle connections, then verify an active
+  // client's queries flow normally past them. (bench_net_throughput
+  // --idle-connections scales this shape to 10k.)
+  constexpr size_t kIdle = 128;
+  ServerFixture fx(/*threads=*/2, /*max_conns=*/kIdle + 8);
+  std::vector<std::unique_ptr<RawConnection>> idle;
+  for (size_t i = 0; i < kIdle; ++i) {
+    idle.push_back(std::make_unique<RawConnection>(fx.server->port()));
+  }
+
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 8; ++i) {
+    QueryRequest req;
+    req.series = SeriesName(static_cast<size_t>(i) % kNumSeries);
+    req.query.assign(100, 0.0);
+    req.params.epsilon = 2.0;
+    auto response = (*client)->Query(req);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->status.ok()) << response->status.ToString();
+  }
+  EXPECT_GE(fx.service->Stats().connections_open, kIdle + 1);
+  idle.clear();
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace kvmatch

@@ -34,7 +34,8 @@
 //   kvmatch_cli serve        --store catalog.kvm [--port 7777] [--bind ADDR]
 //                            [--threads N] [--queue 1024] [--max-conns 64]
 //                            [--idle-ms 0] [--stream-chunk 2000000]
-//                            [--drain-ms 30000] [--slow-query-ms 0]
+//                            [--drain-ms 30000] [--max-outbox-mb 256]
+//                            [--slow-query-ms 0]
 //                            [--event-log events.jsonl] [--dump-events]
 //                            [--slow-commit-ms 0]
 //     Serves the catalog until SIGINT/SIGTERM; shutdown drains in-flight
@@ -705,6 +706,7 @@ int CmdServe(const Args& args) {
   nopts.idle_timeout_ms = args.GetF("idle-ms", 0.0);
   nopts.stream_chunk_matches = args.GetU64("stream-chunk", 2'000'000);
   nopts.drain_timeout_ms = args.GetF("drain-ms", 30'000.0);
+  nopts.max_outbox_bytes = args.GetU64("max-outbox-mb", 256) << 20;
   nopts.slow_query_ms = args.GetF("slow-query-ms", 0.0);
   nopts.event_log = &event_log;
   nopts.dump_events_on_stop = args.Has("dump-events");
@@ -769,6 +771,7 @@ int CmdCoord(const Args& args) {
   opts.server.stream_chunk_matches =
       args.GetU64("stream-chunk", 2'000'000);
   opts.server.drain_timeout_ms = args.GetF("drain-ms", 30'000.0);
+  opts.server.max_outbox_bytes = args.GetU64("max-outbox-mb", 256) << 20;
   opts.coord.client.call_timeout_ms = args.GetF("shard-timeout-ms",
                                                 10'000.0);
   opts.num_threads = args.GetU64("threads", 4);

@@ -60,4 +60,11 @@ cmake --build build-asan -j "$JOBS" \
 KVMATCH_FORCE_SCALAR=1 ./build-asan/simd_parity_test
 
 echo
+echo "=== C10k smoke: 1000 idle connections parked on one reactor loop ==="
+cmake --build build -j "$JOBS" --target bench_net_throughput
+./build/bench_net_throughput --idle-connections 1000 --quick \
+  --json build/idle_smoke.json
+cat build/idle_smoke.json
+
+echo
 echo "All checks passed."
